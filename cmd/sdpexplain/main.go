@@ -1,0 +1,121 @@
+// Command sdpexplain optimizes one query with DP, IDP and SDP and prints
+// the chosen plans side by side, EXPLAIN-style. The query is either
+// generated from a topology template or supplied as SQL text.
+//
+// Usage:
+//
+//	sdpexplain -topology star-chain -rels 15 -seed 7
+//	sdpexplain -topology star -rels 20 -ordered        # DP will report *
+//	sdpexplain -sql 'SELECT * FROM R20 f, R3 d WHERE f.c1 = d.c2'
+//	sdpexplain -topology star -rels 8 -dot | dot -Tsvg > plans.svg
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdpopt"
+)
+
+func main() {
+	topo := flag.String("topology", "star-chain", "chain | star | cycle | clique | star-chain")
+	rels := flag.Int("rels", 15, "number of relations")
+	seed := flag.Int64("seed", 1, "workload seed")
+	ordered := flag.Bool("ordered", false, "add an ORDER BY on a join column")
+	budgetMB := flag.Int64("budget", 1024, "memory budget in MB")
+	skewed := flag.Bool("skewed", false, "use the skewed schema")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT (join graph + each plan) instead of text")
+	sqlText := flag.String("sql", "", "optimize this SQL text instead of a generated query")
+	flag.Parse()
+
+	if err := run(*topo, *rels, *seed, *ordered, *budgetMB<<20, *skewed, *dot, *sqlText); err != nil {
+		fmt.Fprintln(os.Stderr, "sdpexplain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoName string, rels int, seed int64, ordered bool, budget int64, skewed, dot bool, sqlText string) error {
+	cat := sdpopt.PaperSchema()
+	if skewed {
+		cat = sdpopt.SkewedSchema()
+	}
+	var q *sdpopt.Query
+	if sqlText != "" {
+		var err error
+		q, err = sdpopt.ParseSQL(cat, sqlText)
+		if err != nil {
+			return err
+		}
+	} else {
+		topos := map[string]sdpopt.Topology{
+			"chain": sdpopt.Chain, "star": sdpopt.Star, "cycle": sdpopt.Cycle,
+			"clique": sdpopt.Clique, "star-chain": sdpopt.StarChain,
+		}
+		topo, ok := topos[strings.ToLower(topoName)]
+		if !ok {
+			return fmt.Errorf("unknown topology %q", topoName)
+		}
+		qs, err := sdpopt.Instances(sdpopt.WorkloadSpec{
+			Cat: cat, Topology: topo, NumRelations: rels, Ordered: ordered, Seed: seed,
+		}, 1)
+		if err != nil {
+			return err
+		}
+		q = qs[0]
+	}
+	if dot {
+		fmt.Println(sdpopt.JoinGraphDOT(q))
+	} else {
+		fmt.Println("Query:")
+		fmt.Println(q.SQL())
+		fmt.Println()
+	}
+
+	type alg struct {
+		name string
+		run  func() (*sdpopt.Plan, sdpopt.Stats, error)
+	}
+	idp7 := sdpopt.IDPDefaults()
+	idp7.Budget = budget
+	idp4 := idp7
+	idp4.K = 4
+	sdpOpts := sdpopt.SDPOptions()
+	sdpOpts.Budget = budget
+	algs := []alg{
+		{"DP", func() (*sdpopt.Plan, sdpopt.Stats, error) {
+			return sdpopt.OptimizeDP(q, sdpopt.DPOptions{Budget: budget})
+		}},
+		{"IDP(7)", func() (*sdpopt.Plan, sdpopt.Stats, error) { return sdpopt.OptimizeIDP(q, idp7) }},
+		{"IDP(4)", func() (*sdpopt.Plan, sdpopt.Stats, error) { return sdpopt.OptimizeIDP(q, idp4) }},
+		{"SDP", func() (*sdpopt.Plan, sdpopt.Stats, error) { return sdpopt.OptimizeSDP(q, sdpOpts) }},
+	}
+	var refCost float64
+	for _, a := range algs {
+		p, stats, err := a.run()
+		fmt.Printf("=== %s ===\n", a.name)
+		if errors.Is(err, sdpopt.ErrBudget) {
+			fmt.Printf("* infeasible: exceeds the %d MB budget (peak %.1f MB)\n\n", budget>>20, stats.Memo.PeakMB())
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", a.name, err)
+		}
+		if refCost == 0 {
+			refCost = p.Cost
+		}
+		fmt.Printf("cost=%.2f (%.3fx)  time=%v  plans-costed=%d  sim-mem=%.1fMB\n",
+			p.Cost, p.Cost/refCost, stats.Elapsed.Round(time.Microsecond),
+			stats.PlansCosted, stats.Memo.PeakMB())
+		if dot {
+			fmt.Println(sdpopt.PlanDOT(q, p))
+			continue
+		}
+		fmt.Println("shape:", sdpopt.PlanShape(q, p))
+		fmt.Println(sdpopt.Explain(q, p))
+	}
+	return nil
+}

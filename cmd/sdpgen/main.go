@@ -1,0 +1,46 @@
+// Command sdpgen emits a generated workload as SQL text — the queries the
+// experiments optimize, in executable form.
+//
+// Usage:
+//
+//	sdpgen -topology star -rels 15 -count 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sdpopt"
+)
+
+func main() {
+	topo := flag.String("topology", "star", "chain | star | cycle | clique | star-chain")
+	rels := flag.Int("rels", 15, "number of relations")
+	count := flag.Int("count", 5, "number of query instances")
+	seed := flag.Int64("seed", 1, "workload seed")
+	ordered := flag.Bool("ordered", false, "add an ORDER BY on a join column")
+	flag.Parse()
+
+	topos := map[string]sdpopt.Topology{
+		"chain": sdpopt.Chain, "star": sdpopt.Star, "cycle": sdpopt.Cycle,
+		"clique": sdpopt.Clique, "star-chain": sdpopt.StarChain,
+	}
+	t, ok := topos[strings.ToLower(*topo)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "sdpgen: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	qs, err := sdpopt.Instances(sdpopt.WorkloadSpec{
+		Cat: sdpopt.PaperSchema(), Topology: t, NumRelations: *rels,
+		Ordered: *ordered, Seed: *seed,
+	}, *count)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdpgen:", err)
+		os.Exit(1)
+	}
+	for i, q := range qs {
+		fmt.Printf("-- instance %d (%s-%d)\n%s\n\n", i+1, *topo, *rels, q.SQL())
+	}
+}

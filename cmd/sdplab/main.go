@@ -1,0 +1,88 @@
+// Command sdplab reproduces the paper's experiments.
+//
+// Usage:
+//
+//	sdplab list                          # show every experiment id
+//	sdplab run -exp tab1.1               # reproduce Table 1.1
+//	sdplab run -exp all -instances 100   # full paper-scale reproduction
+//
+// Flags tune the sample size (-instances), the RNG seed (-seed), the
+// simulated memory budget in MB (-budget), and the skewed-schema variant
+// (-skewed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sdpopt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range sdpopt.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  sdplab list
+  sdplab run -exp <id|all> [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W]`)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	exp := fs.String("exp", "", "experiment id (see 'sdplab list'), or 'all'")
+	instances := fs.Int("instances", 0, "instances per workload (0 = experiment default)")
+	seed := fs.Int64("seed", 42, "workload sampling seed")
+	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
+	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
+	workers := fs.Int("workers", 1, "concurrent optimizations (keep 1 for timing-faithful overhead tables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *exp == "" {
+		return fmt.Errorf("missing -exp (try 'sdplab list')")
+	}
+	cfg := sdpopt.ExperimentConfig{
+		Instances: *instances,
+		Seed:      *seed,
+		Budget:    *budgetMB << 20,
+		Skewed:    *skewed,
+		Workers:   *workers,
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = ids[:0]
+		for _, e := range sdpopt.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := sdpopt.RunExperiment(id, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+// Quickstart: build the paper's schema, generate one star query, optimize
+// it with SDP and print the chosen plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpopt"
+)
+
+func main() {
+	// The paper's synthetic schema: 25 relations, geometric cardinalities
+	// from 100 rows up, one indexed column per relation.
+	cat := sdpopt.PaperSchema()
+
+	// A 15-relation pure-star query: the largest relation at the hub (a
+	// data-warehouse fact table), spokes joining on their indexed columns.
+	qs, err := sdpopt.Instances(sdpopt.WorkloadSpec{
+		Cat:          cat,
+		Topology:     sdpopt.Star,
+		NumRelations: 15,
+		Seed:         7,
+	}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := qs[0]
+	fmt.Println("Optimizing:")
+	fmt.Println(q.SQL())
+	fmt.Println()
+
+	// Skyline Dynamic Programming with the paper's defaults: root-hub
+	// partitioning, disjunctive pairwise RC/CS/RS skyline, localized to hub
+	// regions.
+	opts := sdpopt.SDPOptions()
+	opts.Budget = sdpopt.DefaultBudget
+	plan, stats, err := sdpopt.OptimizeSDP(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("plan cost:     %.2f\n", plan.Cost)
+	fmt.Printf("join order:    %s\n", sdpopt.PlanShape(q, plan))
+	fmt.Printf("plans costed:  %d\n", stats.PlansCosted)
+	fmt.Printf("simulated mem: %.2f MB\n", stats.Memo.PeakMB())
+	fmt.Printf("wall time:     %v\n", stats.Elapsed)
+	fmt.Println()
+	fmt.Println(sdpopt.Explain(q, plan))
+}

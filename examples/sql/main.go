@@ -1,0 +1,53 @@
+// Sql: drive the optimizer from SQL text. A hand-written star query with a
+// range filter is parsed against the paper's schema, its join graph is
+// analyzed for hubs, and the SDP plan is explained — the workflow a
+// downstream user starts with.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sdpopt"
+)
+
+const queryText = `
+SELECT *
+FROM R25 fact, R10 d1, R12 d2, R14 d3, R16 d4, R18 d5
+WHERE fact.c1 = d1.c3
+  AND fact.c2 = d2.c5
+  AND fact.c4 = d3.c7
+  AND fact.c6 = d4.c2
+  AND fact.c8 = d5.c4
+  AND d1.c9 < 50
+ORDER BY fact.c1;`
+
+func main() {
+	cat := sdpopt.PaperSchema()
+	q, err := sdpopt.ParseSQL(cat, queryText)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Parsed query (canonical form):")
+	fmt.Println(q.SQL())
+	fmt.Println()
+	fmt.Printf("hub relations: %v (the fact table joins %d dimensions)\n",
+		q.HubRels(), q.Adjacent(0).Len())
+	fmt.Printf("order requested on join-column class %d\n\n", q.OrderEqClass())
+
+	opts := sdpopt.SDPOptions()
+	opts.Budget = sdpopt.DefaultBudget
+	plan, stats, err := sdpopt.OptimizeSDP(q, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SDP plan (cost %.2f, %d plans costed, %.2f MB):\n",
+		plan.Cost, stats.PlansCosted, stats.Memo.PeakMB())
+	fmt.Println(sdpopt.Explain(q, plan))
+
+	// The filter on d1.c9 makes d1's access path interesting: check what
+	// the optimizer picked for it.
+	fmt.Println("Join graph (Graphviz):")
+	fmt.Print(sdpopt.JoinGraphDOT(q))
+}

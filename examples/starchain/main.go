@@ -1,0 +1,75 @@
+// Starchain: the paper's motivating scenario. A Star-Chain-15 join graph —
+// structurally similar to TPC-H queries 8 and 9, a fact table star-joined
+// with ten dimensions plus a four-hop snowflake chain — is optimized with
+// exhaustive DP, IDP and SDP over a batch of instances, reproducing the
+// robustness comparison of Table 1.1 at example scale.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"sdpopt"
+)
+
+const instances = 8
+
+func main() {
+	cat := sdpopt.PaperSchema()
+	qs, err := sdpopt.Instances(sdpopt.WorkloadSpec{
+		Cat:          cat,
+		Topology:     sdpopt.StarChain,
+		NumRelations: 15,
+		Seed:         42,
+	}, instances)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	idpOpts := sdpopt.IDPDefaults() // IDP1-balanced-bestRow, k=7
+	idpOpts.Budget = sdpopt.DefaultBudget
+	sdpOpts := sdpopt.SDPOptions()
+	sdpOpts.Budget = sdpopt.DefaultBudget
+
+	var idpRatios, sdpRatios []float64
+	var dpTime, idpTime, sdpTime time.Duration
+	for i, q := range qs {
+		optimal, dpStats, err := sdpopt.OptimizeDP(q, sdpopt.DPOptions{Budget: sdpopt.DefaultBudget})
+		if err != nil {
+			log.Fatalf("DP on instance %d: %v", i, err)
+		}
+		idpPlan, idpStats, err := sdpopt.OptimizeIDP(q, idpOpts)
+		if err != nil {
+			log.Fatalf("IDP on instance %d: %v", i, err)
+		}
+		sdpPlan, sdpStats, err := sdpopt.OptimizeSDP(q, sdpOpts)
+		if err != nil {
+			log.Fatalf("SDP on instance %d: %v", i, err)
+		}
+		idpRatios = append(idpRatios, idpPlan.Cost/optimal.Cost)
+		sdpRatios = append(sdpRatios, sdpPlan.Cost/optimal.Cost)
+		dpTime += dpStats.Elapsed
+		idpTime += idpStats.Elapsed
+		sdpTime += sdpStats.Elapsed
+		fmt.Printf("instance %d: DP=%.0f  IDP=%.3fx  SDP=%.3fx\n",
+			i+1, optimal.Cost, idpPlan.Cost/optimal.Cost, sdpPlan.Cost/optimal.Cost)
+	}
+
+	idpSum, err := sdpopt.Summarize(idpRatios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sdpSum, err := sdpopt.Summarize(sdpRatios)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Printf("%-6s %-40s %12s\n", "Tech", "I/G/A/B  W  rho", "MeanTime")
+	fmt.Printf("%-6s %-40s %12v\n", "DP", "reference (always ideal)", dpTime/instances)
+	fmt.Printf("%-6s %-40s %12v\n", "IDP", idpSum.Row(), idpTime/instances)
+	fmt.Printf("%-6s %-40s %12v\n", "SDP", sdpSum.Row(), sdpTime/instances)
+	fmt.Println()
+	fmt.Println("The paper's claim at this scale: SDP stays near rho=1 with a small")
+	fmt.Println("worst case, at a fraction of DP's optimization effort.")
+}

@@ -1,0 +1,3 @@
+module sdpopt
+
+go 1.22

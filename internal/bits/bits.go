@@ -1,0 +1,156 @@
+// Package bits implements relation sets as 64-bit bitsets.
+//
+// The optimizer identifies every join-composite relation (JCR) by the set of
+// base relations it covers. Queries in this system are capped at 64 base
+// relations (the paper's largest experiment is a 45-relation star), so a
+// uint64 bitset gives O(1) set algebra and makes memo lookups a single map
+// probe.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a set of relation indexes in [0, 64). The zero value is the empty set.
+type Set uint64
+
+// MaxRelations is the largest number of base relations a Set can hold.
+const MaxRelations = 64
+
+// Single returns the set containing only relation i.
+func Single(i int) Set {
+	if i < 0 || i >= MaxRelations {
+		panic(fmt.Sprintf("bits: relation index %d out of range [0,%d)", i, MaxRelations))
+	}
+	return Set(1) << uint(i)
+}
+
+// Of returns the set of the given relation indexes.
+func Of(idx ...int) Set {
+	var s Set
+	for _, i := range idx {
+		s |= Single(i)
+	}
+	return s
+}
+
+// Full returns the set {0, 1, ..., n-1}.
+func Full(n int) Set {
+	if n < 0 || n > MaxRelations {
+		panic(fmt.Sprintf("bits: set size %d out of range [0,%d]", n, MaxRelations))
+	}
+	if n == MaxRelations {
+		return ^Set(0)
+	}
+	return Set(1)<<uint(n) - 1
+}
+
+// Has reports whether relation i is in s.
+func (s Set) Has(i int) bool { return s&Single(i) != 0 }
+
+// Add returns s with relation i added.
+func (s Set) Add(i int) Set { return s | Single(i) }
+
+// Remove returns s with relation i removed.
+func (s Set) Remove(i int) Set { return s &^ Single(i) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Diff returns s \ t.
+func (s Set) Diff(t Set) Set { return s &^ t }
+
+// Overlaps reports whether s and t share any relation.
+func (s Set) Overlaps(t Set) bool { return s&t != 0 }
+
+// Disjoint reports whether s and t share no relation.
+func (s Set) Disjoint(t Set) bool { return s&t == 0 }
+
+// Contains reports whether every relation of t is in s.
+func (s Set) Contains(t Set) bool { return s&t == t }
+
+// IsEmpty reports whether s is the empty set.
+func (s Set) IsEmpty() bool { return s == 0 }
+
+// Len returns the number of relations in s.
+func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+
+// Min returns the smallest relation index in s. It panics on the empty set.
+func (s Set) Min() int {
+	if s == 0 {
+		panic("bits: Min of empty set")
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
+// Max returns the largest relation index in s. It panics on the empty set.
+func (s Set) Max() int {
+	if s == 0 {
+		panic("bits: Max of empty set")
+	}
+	return 63 - bits.LeadingZeros64(uint64(s))
+}
+
+// Each calls fn for every relation index in s, in increasing order.
+func (s Set) Each(fn func(i int)) {
+	for t := s; t != 0; {
+		i := bits.TrailingZeros64(uint64(t))
+		fn(i)
+		t &= t - 1
+	}
+}
+
+// Slice returns the relation indexes of s in increasing order.
+func (s Set) Slice() []int {
+	out := make([]int, 0, s.Len())
+	s.Each(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Subsets calls fn for every non-empty proper subset of s that contains the
+// lowest bit of s. Restricting enumeration to subsets holding the lowest bit
+// visits each unordered {subset, complement} partition of s exactly once,
+// which is what a bushy join enumerator wants. fn returning false stops the
+// enumeration early.
+func (s Set) Subsets(fn func(sub Set) bool) {
+	if s == 0 {
+		return
+	}
+	lo := Set(1) << uint(bits.TrailingZeros64(uint64(s)))
+	rest := s &^ lo
+	// Enumerate all subsets of rest (including empty) and or-in the low bit;
+	// skip the full set itself so only proper subsets are produced.
+	for sub := Set(0); ; sub = (sub - rest) & rest {
+		cand := sub | lo
+		if cand != s {
+			if !fn(cand) {
+				return
+			}
+		}
+		if sub == rest {
+			return
+		}
+	}
+}
+
+// String renders the set as "{1,3,7}" using 1-based relation numbers, the
+// numbering convention the paper's figures use.
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.Each(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i+1)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

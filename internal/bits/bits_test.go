@@ -1,0 +1,296 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingle(t *testing.T) {
+	for i := 0; i < MaxRelations; i++ {
+		s := Single(i)
+		if s.Len() != 1 {
+			t.Fatalf("Single(%d).Len() = %d, want 1", i, s.Len())
+		}
+		if !s.Has(i) {
+			t.Fatalf("Single(%d) does not contain %d", i, i)
+		}
+	}
+}
+
+func TestSingleOutOfRangePanics(t *testing.T) {
+	for _, i := range []int{-1, 64, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Single(%d) did not panic", i)
+				}
+			}()
+			Single(i)
+		}()
+	}
+}
+
+func TestOf(t *testing.T) {
+	s := Of(0, 2, 5)
+	if got, want := s.Len(), 3; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	for _, i := range []int{0, 2, 5} {
+		if !s.Has(i) {
+			t.Errorf("Of(0,2,5) missing %d", i)
+		}
+	}
+	for _, i := range []int{1, 3, 4, 6} {
+		if s.Has(i) {
+			t.Errorf("Of(0,2,5) wrongly contains %d", i)
+		}
+	}
+}
+
+func TestFull(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int
+	}{{0, 0}, {1, 1}, {5, 5}, {63, 63}, {64, 64}}
+	for _, c := range cases {
+		if got := Full(c.n).Len(); got != c.want {
+			t.Errorf("Full(%d).Len() = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFullOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Full(65) did not panic")
+		}
+	}()
+	Full(65)
+}
+
+func TestAddRemove(t *testing.T) {
+	s := Set(0)
+	s = s.Add(3).Add(7).Add(3)
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len after adds = %d, want 2", got)
+	}
+	s = s.Remove(3)
+	if s.Has(3) || !s.Has(7) {
+		t.Fatalf("after Remove(3): %v", s)
+	}
+	s = s.Remove(3) // removing an absent element is a no-op
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len after double remove = %d, want 1", got)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := Of(0, 1, 2)
+	b := Of(2, 3)
+	if got, want := a.Union(b), Of(0, 1, 2, 3); got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got, want := a.Intersect(b), Of(2); got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if got, want := a.Diff(b), Of(0, 1); got != want {
+		t.Errorf("Diff = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) || a.Disjoint(b) {
+		t.Error("a and b should overlap")
+	}
+	c := Of(4, 5)
+	if a.Overlaps(c) || !a.Disjoint(c) {
+		t.Error("a and c should be disjoint")
+	}
+	if !a.Contains(Of(0, 2)) || a.Contains(b) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	s := Of(3, 10, 41)
+	if got := s.Min(); got != 3 {
+		t.Errorf("Min = %d, want 3", got)
+	}
+	if got := s.Max(); got != 41 {
+		t.Errorf("Max = %d, want 41", got)
+	}
+}
+
+func TestMinMaxEmptyPanics(t *testing.T) {
+	for name, fn := range map[string]func(Set) int{"Min": Set.Min, "Max": Set.Max} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s of empty set did not panic", name)
+				}
+			}()
+			fn(Set(0))
+		}()
+	}
+}
+
+func TestEachAndSlice(t *testing.T) {
+	s := Of(5, 1, 9)
+	want := []int{1, 5, 9}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSubsetsPartitionsOnce(t *testing.T) {
+	// For s = {0,1,2,3}, Subsets must visit each unordered 2-partition
+	// exactly once: every emitted subset contains the low bit, and together
+	// with its complement covers s.
+	s := Of(0, 1, 2, 3)
+	seen := map[Set]bool{}
+	s.Subsets(func(sub Set) bool {
+		if seen[sub] {
+			t.Fatalf("subset %v emitted twice", sub)
+		}
+		seen[sub] = true
+		if !sub.Has(0) {
+			t.Fatalf("subset %v missing low bit", sub)
+		}
+		comp := s.Diff(sub)
+		if comp.IsEmpty() {
+			t.Fatalf("full set %v emitted as proper subset", sub)
+		}
+		if !s.Contains(sub) {
+			t.Fatalf("subset %v not inside %v", sub, s)
+		}
+		return true
+	})
+	// A 4-element set has 2^3 subsets containing the low bit, minus the full
+	// set itself: 7 proper subsets.
+	if len(seen) != 7 {
+		t.Fatalf("got %d subsets, want 7", len(seen))
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	s := Of(0, 1, 2, 3, 4)
+	n := 0
+	s.Subsets(func(Set) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("early stop after %d emissions, want 3", n)
+	}
+}
+
+func TestSubsetsEmptyAndSingleton(t *testing.T) {
+	Set(0).Subsets(func(Set) bool {
+		t.Fatal("empty set emitted a subset")
+		return true
+	})
+	Single(3).Subsets(func(Set) bool {
+		t.Fatal("singleton emitted a proper subset containing its low bit")
+		return true
+	})
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		s    Set
+		want string
+	}{
+		{Set(0), "{}"},
+		{Of(0), "{1}"},
+		{Of(0, 1, 6), "{1,2,7}"},
+	}
+	for _, c := range cases {
+		if got := c.s.String(); got != c.want {
+			t.Errorf("String(%#x) = %q, want %q", uint64(c.s), got, c.want)
+		}
+	}
+}
+
+// Property: union/intersection/difference behave like their map-based models.
+func TestQuickSetAlgebraModel(t *testing.T) {
+	f := func(a, b uint64) bool {
+		sa, sb := Set(a), Set(b)
+		model := func(s Set) map[int]bool {
+			m := map[int]bool{}
+			s.Each(func(i int) { m[i] = true })
+			return m
+		}
+		ma, mb := model(sa), model(sb)
+		for i := 0; i < 64; i++ {
+			if sa.Union(sb).Has(i) != (ma[i] || mb[i]) {
+				return false
+			}
+			if sa.Intersect(sb).Has(i) != (ma[i] && mb[i]) {
+				return false
+			}
+			if sa.Diff(sb).Has(i) != (ma[i] && !mb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Len equals the number of elements Each visits, and Slice is
+// sorted strictly increasing.
+func TestQuickLenAndOrder(t *testing.T) {
+	f := func(a uint64) bool {
+		s := Set(a)
+		sl := s.Slice()
+		if len(sl) != s.Len() {
+			return false
+		}
+		for i := 1; i < len(sl); i++ {
+			if sl[i] <= sl[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every subset emitted by Subsets S satisfies S∪(s\S)=s, S∩(s\S)=∅,
+// and contains the low bit; the emission count is 2^(len-1)-1 for non-empty s.
+func TestQuickSubsetsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		// Cap the popcount so enumeration stays fast.
+		var s Set
+		for s.Len() < 1+rng.Intn(10) {
+			s = s.Add(rng.Intn(64))
+		}
+		count := 0
+		ok := true
+		s.Subsets(func(sub Set) bool {
+			count++
+			comp := s.Diff(sub)
+			if !sub.Has(s.Min()) || sub.Union(comp) != s || !sub.Disjoint(comp) {
+				ok = false
+				return false
+			}
+			return true
+		})
+		if !ok {
+			t.Fatalf("subset invariant violated for %v", s)
+		}
+		want := 1<<(s.Len()-1) - 1
+		if count != want {
+			t.Fatalf("s=%v emitted %d subsets, want %d", s, count, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package bits
+
+import "testing"
+
+// FuzzSubsetsPartition checks that for arbitrary sets, Subsets emits
+// exactly the proper subsets containing the low bit, each pairing with its
+// complement into a valid 2-partition.
+func FuzzSubsetsPartition(f *testing.F) {
+	f.Add(uint64(0b1011))
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(^uint64(0) >> 48)
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		s := Set(raw & 0xFFFF) // cap popcount at 16 to bound enumeration
+		count := 0
+		s.Subsets(func(sub Set) bool {
+			count++
+			if sub.IsEmpty() || sub == s {
+				t.Fatalf("emitted trivial subset %v of %v", sub, s)
+			}
+			if !s.Contains(sub) {
+				t.Fatalf("subset %v outside %v", sub, s)
+			}
+			if !sub.Has(s.Min()) {
+				t.Fatalf("subset %v misses low bit of %v", sub, s)
+			}
+			comp := s.Diff(sub)
+			if sub.Union(comp) != s || !sub.Disjoint(comp) {
+				t.Fatalf("bad partition %v + %v of %v", sub, comp, s)
+			}
+			return true
+		})
+		want := 0
+		if s.Len() >= 1 {
+			want = 1<<(s.Len()-1) - 1
+		}
+		if count != want {
+			t.Fatalf("set %v emitted %d subsets, want %d", s, count, want)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+// Package catalog models the database schema and optimizer statistics.
+//
+// The paper's experiments run on a synthetic 1.5 GB PostgreSQL database:
+// twenty-five relations whose cardinalities follow a geometric distribution
+// (ratio 1.5) from 100 to 2.5 million rows, twenty-four columns per relation
+// with geometrically distributed domain sizes, one randomly chosen indexed
+// column per relation, and both uniform and exponentially skewed value
+// distributions. The optimizer never touches the data itself — it consumes
+// only the statistics ANALYZE would produce — so this package generates those
+// statistics directly and deterministically from a seed.
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// PageSize is the block size assumed by the cost model, matching PostgreSQL.
+const PageSize = 8192
+
+// Column holds the per-column statistics the optimizer uses.
+type Column struct {
+	Name string
+	// NDV is the number of distinct values in the column's domain
+	// (PostgreSQL's n_distinct), capped at the relation cardinality.
+	NDV float64
+	// Skew is the exponential-distribution shape of the column's values:
+	// 0 means uniform; larger values concentrate rows onto few domain
+	// values, shrinking the effective distinct count seen by joins.
+	Skew float64
+	// Width is the average column width in bytes (pg_stats.avg_width).
+	Width int
+}
+
+// EffectiveNDV is the distinct count used for join selectivity estimation.
+// Under an exponential (skewed) distribution, most rows carry a small subset
+// of the domain, so the effective distinct count that drives equi-join
+// matching is lower than the raw NDV. The 1/(1+skew) contraction is the
+// standard first-moment approximation for an exponentially-tilted histogram.
+func (c *Column) EffectiveNDV() float64 {
+	ndv := c.NDV / (1 + c.Skew)
+	if ndv < 1 {
+		return 1
+	}
+	return ndv
+}
+
+// Relation describes one base table.
+type Relation struct {
+	Name string
+	// Rows is the table cardinality (pg_class.reltuples).
+	Rows float64
+	// Cols are the relation's columns. Every relation in the paper's schema
+	// has twenty-four.
+	Cols []Column
+	// IndexCol is the position in Cols of the single indexed column, chosen
+	// at random per relation in the paper's schema.
+	IndexCol int
+	// IndexCorr is the physical correlation of the indexed column with the
+	// heap order, in [0,1] (pg_stats.correlation). It interpolates index
+	// scan cost between sequential and random page fetches.
+	IndexCorr float64
+}
+
+// RowWidth is the total tuple width in bytes.
+func (r *Relation) RowWidth() int {
+	w := 0
+	for i := range r.Cols {
+		w += r.Cols[i].Width
+	}
+	return w
+}
+
+// Pages is the number of heap pages the relation occupies.
+func (r *Relation) Pages() float64 {
+	p := r.Rows * float64(r.RowWidth()) / PageSize
+	if p < 1 {
+		return 1
+	}
+	return math.Ceil(p)
+}
+
+// Catalog is a full schema with statistics.
+type Catalog struct {
+	Rels []Relation
+}
+
+// Relation returns the relation at index i.
+func (c *Catalog) Relation(i int) *Relation { return &c.Rels[i] }
+
+// NumRelations returns the number of relations in the catalog.
+func (c *Catalog) NumRelations() int { return len(c.Rels) }
+
+// LargestRelation returns the index of the relation with the most rows. The
+// paper's star workloads always place the largest relation at the hub, "as is
+// usually the case in data warehousing applications".
+func (c *Catalog) LargestRelation() int {
+	best, bestRows := 0, -1.0
+	for i := range c.Rels {
+		if c.Rels[i].Rows > bestRows {
+			best, bestRows = i, c.Rels[i].Rows
+		}
+	}
+	return best
+}
+
+// Config parameterizes synthetic schema generation.
+type Config struct {
+	// NumRelations is the number of base tables (paper: 25; the
+	// maximum-scaleup experiment uses an extended schema).
+	NumRelations int
+	// BaseRows is the smallest relation cardinality (paper: 100).
+	BaseRows float64
+	// Ratio is the geometric growth ratio of cardinalities (paper: 1.5).
+	Ratio float64
+	// ColsPerRelation is the column count per relation (paper: 24).
+	ColsPerRelation int
+	// MinDomain and MaxDomain bound the geometric distribution of column
+	// domain sizes (paper: 100 to 2.5 million).
+	MinDomain, MaxDomain float64
+	// SkewFraction is the fraction of columns given an exponentially skewed
+	// value distribution; the rest are uniform. The paper experiments with
+	// both uniform and skewed data.
+	SkewFraction float64
+	// Seed drives all random choices so schemas are reproducible.
+	Seed int64
+}
+
+// DefaultConfig is the paper's base schema: 25 relations, cardinalities
+// 100 … 100·1.5^24 ≈ 2.52 M (exactly the "100 to 2.5 million rows, geometric
+// parameter 1.5" of Section 3.1).
+func DefaultConfig() Config {
+	return Config{
+		NumRelations:    25,
+		BaseRows:        100,
+		Ratio:           1.5,
+		ColsPerRelation: 24,
+		MinDomain:       100,
+		MaxDomain:       2.5e6,
+		SkewFraction:    0,
+		Seed:            1,
+	}
+}
+
+// SkewedConfig is DefaultConfig with half the columns exponentially skewed.
+func SkewedConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SkewFraction = 0.5
+	return cfg
+}
+
+// ExtendedConfig is the enlarged schema used for the maximum-scaleup
+// experiment (Table 3.3), which needs stars of up to 45 relations. A gentler
+// ratio keeps the largest relation within the same 2.5 M-row range, and the
+// column count grows with the relation count so a hub can join that many
+// spokes on distinct columns.
+func ExtendedConfig(numRelations int) Config {
+	cfg := DefaultConfig()
+	cfg.NumRelations = numRelations
+	cfg.Ratio = math.Pow(cfg.MaxDomain/cfg.BaseRows, 1/float64(numRelations-1))
+	if numRelations > cfg.ColsPerRelation {
+		cfg.ColsPerRelation = numRelations
+	}
+	return cfg
+}
+
+// Synthetic builds a schema with statistics from cfg. Generation is
+// deterministic in cfg.Seed.
+func Synthetic(cfg Config) (*Catalog, error) {
+	if cfg.NumRelations < 1 {
+		return nil, fmt.Errorf("catalog: NumRelations %d < 1", cfg.NumRelations)
+	}
+	if cfg.ColsPerRelation < 1 {
+		return nil, fmt.Errorf("catalog: ColsPerRelation %d < 1", cfg.ColsPerRelation)
+	}
+	if cfg.Ratio <= 0 || cfg.BaseRows <= 0 {
+		return nil, fmt.Errorf("catalog: BaseRows %g and Ratio %g must be positive", cfg.BaseRows, cfg.Ratio)
+	}
+	if cfg.MinDomain <= 0 || cfg.MaxDomain < cfg.MinDomain {
+		return nil, fmt.Errorf("catalog: bad domain bounds [%g, %g]", cfg.MinDomain, cfg.MaxDomain)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := &Catalog{Rels: make([]Relation, cfg.NumRelations)}
+	// Domain sizes form a geometric grid over [MinDomain, MaxDomain]; each
+	// column samples a grid point uniformly, mirroring "the domain sizes of
+	// the columns also have a geometric distribution".
+	const domainGrid = 25
+	domRatio := math.Pow(cfg.MaxDomain/cfg.MinDomain, 1/float64(domainGrid-1))
+	for i := range cat.Rels {
+		rel := &cat.Rels[i]
+		rel.Name = fmt.Sprintf("R%d", i+1)
+		rel.Rows = math.Round(cfg.BaseRows * math.Pow(cfg.Ratio, float64(i)))
+		rel.Cols = make([]Column, cfg.ColsPerRelation)
+		for j := range rel.Cols {
+			col := &rel.Cols[j]
+			col.Name = fmt.Sprintf("c%d", j+1)
+			dom := cfg.MinDomain * math.Pow(domRatio, float64(rng.Intn(domainGrid)))
+			if dom > rel.Rows {
+				dom = rel.Rows // a column cannot have more distinct values than rows
+			}
+			col.NDV = math.Round(dom)
+			if rng.Float64() < cfg.SkewFraction {
+				// Exponential skew intensity in (0, 4]: mild to severe.
+				col.Skew = 0.5 + rng.Float64()*3.5
+			}
+			col.Width = 4 + rng.Intn(12) // 4–15 byte columns
+		}
+		rel.IndexCol = rng.Intn(cfg.ColsPerRelation)
+		rel.IndexCorr = rng.Float64()
+	}
+	return cat, nil
+}
+
+// MustSynthetic is Synthetic that panics on configuration errors; for use
+// with the fixed configurations above.
+func MustSynthetic(cfg Config) *Catalog {
+	cat, err := Synthetic(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return cat
+}

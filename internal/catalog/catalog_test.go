@@ -1,0 +1,249 @@
+package catalog
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultConfigMatchesPaperSchema(t *testing.T) {
+	cat := MustSynthetic(DefaultConfig())
+	if got := cat.NumRelations(); got != 25 {
+		t.Fatalf("NumRelations = %d, want 25", got)
+	}
+	if got := cat.Rels[0].Rows; got != 100 {
+		t.Errorf("smallest relation rows = %g, want 100", got)
+	}
+	// 100 · 1.5^24 ≈ 1.68 M. (The paper states both "ratio 1.5" and a range
+	// of "100 to 2.5 million" over 25 relations, which are mutually
+	// inconsistent; we keep the stated ratio.)
+	last := cat.Rels[24].Rows
+	if last < 1.6e6 || last > 1.8e6 {
+		t.Errorf("largest relation rows = %g, want ≈1.68e6", last)
+	}
+	for i := range cat.Rels {
+		rel := &cat.Rels[i]
+		if len(rel.Cols) != 24 {
+			t.Fatalf("%s has %d columns, want 24", rel.Name, len(rel.Cols))
+		}
+		if rel.IndexCol < 0 || rel.IndexCol >= 24 {
+			t.Errorf("%s IndexCol = %d out of range", rel.Name, rel.IndexCol)
+		}
+		if rel.IndexCorr < 0 || rel.IndexCorr > 1 {
+			t.Errorf("%s IndexCorr = %g out of [0,1]", rel.Name, rel.IndexCorr)
+		}
+	}
+}
+
+func TestCardinalitiesGeometric(t *testing.T) {
+	cat := MustSynthetic(DefaultConfig())
+	for i := 1; i < len(cat.Rels); i++ {
+		ratio := cat.Rels[i].Rows / cat.Rels[i-1].Rows
+		if ratio < 1.45 || ratio > 1.55 {
+			t.Errorf("ratio R%d/R%d = %g, want ≈1.5", i+1, i, ratio)
+		}
+	}
+}
+
+func TestNDVCappedByRows(t *testing.T) {
+	for _, cfg := range []Config{DefaultConfig(), SkewedConfig(), ExtendedConfig(50)} {
+		cat := MustSynthetic(cfg)
+		for i := range cat.Rels {
+			rel := &cat.Rels[i]
+			for j := range rel.Cols {
+				if rel.Cols[j].NDV > rel.Rows {
+					t.Errorf("%s.%s NDV %g > rows %g", rel.Name, rel.Cols[j].Name, rel.Cols[j].NDV, rel.Rows)
+				}
+				if rel.Cols[j].NDV < 1 {
+					t.Errorf("%s.%s NDV %g < 1", rel.Name, rel.Cols[j].Name, rel.Cols[j].NDV)
+				}
+			}
+		}
+	}
+}
+
+func TestSkewFraction(t *testing.T) {
+	cat := MustSynthetic(SkewedConfig())
+	skewed, total := 0, 0
+	for i := range cat.Rels {
+		for j := range cat.Rels[i].Cols {
+			total++
+			if cat.Rels[i].Cols[j].Skew > 0 {
+				skewed++
+			}
+		}
+	}
+	frac := float64(skewed) / float64(total)
+	if frac < 0.4 || frac > 0.6 {
+		t.Errorf("skewed column fraction = %g, want ≈0.5", frac)
+	}
+	// The uniform schema must have no skew at all.
+	uni := MustSynthetic(DefaultConfig())
+	for i := range uni.Rels {
+		for j := range uni.Rels[i].Cols {
+			if uni.Rels[i].Cols[j].Skew != 0 {
+				t.Fatalf("uniform schema has skewed column %s.%s", uni.Rels[i].Name, uni.Rels[i].Cols[j].Name)
+			}
+		}
+	}
+}
+
+func TestEffectiveNDV(t *testing.T) {
+	uniform := Column{NDV: 1000, Skew: 0}
+	if got := uniform.EffectiveNDV(); got != 1000 {
+		t.Errorf("uniform EffectiveNDV = %g, want 1000", got)
+	}
+	skewed := Column{NDV: 1000, Skew: 3}
+	if got := skewed.EffectiveNDV(); got != 250 {
+		t.Errorf("skewed EffectiveNDV = %g, want 250", got)
+	}
+	tiny := Column{NDV: 1, Skew: 4}
+	if got := tiny.EffectiveNDV(); got != 1 {
+		t.Errorf("EffectiveNDV floor = %g, want 1", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustSynthetic(DefaultConfig())
+	b := MustSynthetic(DefaultConfig())
+	for i := range a.Rels {
+		if a.Rels[i].Rows != b.Rels[i].Rows || a.Rels[i].IndexCol != b.Rels[i].IndexCol {
+			t.Fatalf("relation %d differs across identical seeds", i)
+		}
+		for j := range a.Rels[i].Cols {
+			if a.Rels[i].Cols[j] != b.Rels[i].Cols[j] {
+				t.Fatalf("column %d.%d differs across identical seeds", i, j)
+			}
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 2
+	c := MustSynthetic(cfg)
+	same := true
+	for i := range a.Rels {
+		for j := range a.Rels[i].Cols {
+			if a.Rels[i].Cols[j] != c.Rels[i].Cols[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schemas")
+	}
+}
+
+func TestLargestRelation(t *testing.T) {
+	cat := MustSynthetic(DefaultConfig())
+	if got := cat.LargestRelation(); got != 24 {
+		t.Errorf("LargestRelation = %d, want 24", got)
+	}
+}
+
+func TestPagesAndWidth(t *testing.T) {
+	rel := Relation{
+		Rows: 1000,
+		Cols: []Column{{Width: 4}, {Width: 12}},
+	}
+	if got := rel.RowWidth(); got != 16 {
+		t.Errorf("RowWidth = %d, want 16", got)
+	}
+	want := math.Ceil(1000 * 16 / float64(PageSize))
+	if got := rel.Pages(); got != want {
+		t.Errorf("Pages = %g, want %g", got, want)
+	}
+	small := Relation{Rows: 1, Cols: []Column{{Width: 4}}}
+	if got := small.Pages(); got != 1 {
+		t.Errorf("minimum Pages = %g, want 1", got)
+	}
+}
+
+func TestExtendedConfigSpansSameRange(t *testing.T) {
+	cat := MustSynthetic(ExtendedConfig(50))
+	if got := cat.NumRelations(); got != 50 {
+		t.Fatalf("NumRelations = %d, want 50", got)
+	}
+	last := cat.Rels[49].Rows
+	if last < 2.4e6 || last > 2.6e6 {
+		t.Errorf("largest extended relation rows = %g, want ≈2.5e6", last)
+	}
+}
+
+func TestSyntheticRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{NumRelations: 0, BaseRows: 100, Ratio: 1.5, ColsPerRelation: 4, MinDomain: 10, MaxDomain: 100},
+		{NumRelations: 5, BaseRows: 100, Ratio: 1.5, ColsPerRelation: 0, MinDomain: 10, MaxDomain: 100},
+		{NumRelations: 5, BaseRows: -1, Ratio: 1.5, ColsPerRelation: 4, MinDomain: 10, MaxDomain: 100},
+		{NumRelations: 5, BaseRows: 100, Ratio: 0, ColsPerRelation: 4, MinDomain: 10, MaxDomain: 100},
+		{NumRelations: 5, BaseRows: 100, Ratio: 1.5, ColsPerRelation: 4, MinDomain: 100, MaxDomain: 10},
+		{NumRelations: 5, BaseRows: 100, Ratio: 1.5, ColsPerRelation: 4, MinDomain: 0, MaxDomain: 10},
+	}
+	for i, cfg := range bad {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("case %d: Synthetic accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+// Property: EffectiveNDV is in [1, NDV] and decreases monotonically in skew.
+func TestQuickEffectiveNDVBounds(t *testing.T) {
+	f := func(ndvRaw, skewRaw uint16) bool {
+		ndv := 1 + float64(ndvRaw)
+		skew := float64(skewRaw) / 1000
+		c := Column{NDV: ndv, Skew: skew}
+		eff := c.EffectiveNDV()
+		if eff < 1 || eff > ndv {
+			return false
+		}
+		more := Column{NDV: ndv, Skew: skew + 1}
+		return more.EffectiveNDV() <= eff
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MustSynthetic(DefaultConfig())
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumRelations() != orig.NumRelations() {
+		t.Fatalf("relations = %d", got.NumRelations())
+	}
+	for i := range orig.Rels {
+		if got.Rels[i].Rows != orig.Rels[i].Rows || got.Rels[i].IndexCol != orig.Rels[i].IndexCol {
+			t.Fatalf("relation %d differs after round trip", i)
+		}
+		for j := range orig.Rels[i].Cols {
+			if got.Rels[i].Cols[j] != orig.Rels[i].Cols[j] {
+				t.Fatalf("column %d.%d differs after round trip", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONRejectsInvalid(t *testing.T) {
+	cases := map[string]string{
+		"garbage":        `{`,
+		"empty":          `{"Rels":[]}`,
+		"zero rows":      `{"Rels":[{"Name":"X","Rows":0,"Cols":[{"Name":"a","NDV":1,"Width":4}],"IndexCol":0}]}`,
+		"no cols":        `{"Rels":[{"Name":"X","Rows":10,"Cols":[],"IndexCol":0}]}`,
+		"bad index":      `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":4}],"IndexCol":7}]}`,
+		"bad corr":       `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":4}],"IndexCol":0,"IndexCorr":2}]}`,
+		"ndv above rows": `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":50,"Width":4}],"IndexCol":0}]}`,
+		"negative skew":  `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Skew":-1,"Width":4}],"IndexCol":0}]}`,
+		"zero width":     `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":0}],"IndexCol":0}]}`,
+	}
+	for name, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

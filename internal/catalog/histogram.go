@@ -1,0 +1,91 @@
+package catalog
+
+import "math"
+
+// FracBelow returns the fraction of the column's rows with value < bound,
+// the statistic ANALYZE's histograms provide. Column values live in
+// [0, NDV). For uniform columns this is bound/NDV; for skewed columns the
+// value distribution is the folded exponential the data generator draws
+// from (value = Exp(1)/skew · NDV/4, capped at NDV−1), whose CDF is
+// 1 − exp(−4·skew·v/NDV).
+func (c *Column) FracBelow(bound float64) float64 {
+	if bound <= 0 {
+		return 0
+	}
+	if bound >= c.NDV {
+		return 1
+	}
+	if c.Skew == 0 {
+		return bound / c.NDV
+	}
+	return 1 - math.Exp(-4*c.Skew*bound/c.NDV)
+}
+
+// HistogramBuckets is the bucket count of synthesized equi-depth
+// histograms, matching PostgreSQL 8.1's default statistics target
+// granularity.
+const HistogramBuckets = 10
+
+// Histogram is an equi-depth histogram over a column's value domain: each
+// bucket holds an equal fraction of the rows; Bounds[i] is the upper value
+// bound of bucket i (exclusive), Bounds[len-1] = NDV.
+type Histogram struct {
+	Bounds []float64
+}
+
+// Histogram synthesizes the equi-depth histogram ANALYZE would build for
+// the column, by inverting the value CDF at equal-depth quantiles.
+func (c *Column) Histogram() Histogram {
+	h := Histogram{Bounds: make([]float64, HistogramBuckets)}
+	for i := 1; i <= HistogramBuckets; i++ {
+		q := float64(i) / HistogramBuckets
+		h.Bounds[i-1] = c.quantile(q)
+	}
+	return h
+}
+
+// quantile inverts FracBelow: the smallest value v with FracBelow(v) ≥ q.
+func (c *Column) quantile(q float64) float64 {
+	if q >= 1 {
+		return c.NDV
+	}
+	if q <= 0 {
+		return 0
+	}
+	if c.Skew == 0 {
+		return q * c.NDV
+	}
+	// Invert 1 − exp(−4·skew·v/NDV) = q, capped at the domain: the folded
+	// tail mass sits in the top value, so quantiles beyond the fold clamp.
+	v := -math.Log(1-q) * c.NDV / (4 * c.Skew)
+	if v > c.NDV {
+		v = c.NDV
+	}
+	return v
+}
+
+// SelBelow estimates the selectivity of "value < bound" from the
+// histogram with linear interpolation inside the bucket containing bound —
+// PostgreSQL's ineq_histogram_selectivity.
+func (h Histogram) SelBelow(bound float64) float64 {
+	n := len(h.Bounds)
+	if n == 0 {
+		return 1
+	}
+	if bound <= 0 {
+		return 0
+	}
+	depth := 1 / float64(n)
+	lo := 0.0
+	for i, hi := range h.Bounds {
+		if bound < hi {
+			frac := 0.0
+			if hi > lo {
+				frac = (bound - lo) / (hi - lo)
+			}
+			return (float64(i) + frac) * depth
+		}
+		lo = hi
+	}
+	return 1
+}

@@ -1,0 +1,116 @@
+package catalog
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFracBelowUniform(t *testing.T) {
+	c := Column{NDV: 100}
+	cases := []struct{ bound, want float64 }{
+		{0, 0}, {-5, 0}, {25, 0.25}, {100, 1}, {500, 1},
+	}
+	for _, tc := range cases {
+		if got := c.FracBelow(tc.bound); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("FracBelow(%g) = %g, want %g", tc.bound, got, tc.want)
+		}
+	}
+}
+
+func TestFracBelowSkewed(t *testing.T) {
+	c := Column{NDV: 100, Skew: 2}
+	// Skew concentrates mass at small values: far more than 25 % of rows
+	// sit below a quarter of the domain.
+	if got := c.FracBelow(25); got <= 0.25 {
+		t.Errorf("skewed FracBelow(25) = %g, want > 0.25", got)
+	}
+	// CDF endpoints and monotonicity.
+	if c.FracBelow(0) != 0 || c.FracBelow(100) != 1 {
+		t.Error("CDF endpoints wrong")
+	}
+	prev := 0.0
+	for b := 1.0; b <= 100; b++ {
+		cur := c.FracBelow(b)
+		if cur < prev {
+			t.Fatalf("CDF not monotone at %g", b)
+		}
+		prev = cur
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	for _, c := range []Column{{NDV: 1000}, {NDV: 1000, Skew: 3}} {
+		h := c.Histogram()
+		if len(h.Bounds) != HistogramBuckets {
+			t.Fatalf("buckets = %d", len(h.Bounds))
+		}
+		// Bounds increase and end at NDV.
+		prev := 0.0
+		for _, b := range h.Bounds {
+			if b < prev {
+				t.Fatalf("bounds not monotone: %v", h.Bounds)
+			}
+			prev = b
+		}
+		if h.Bounds[len(h.Bounds)-1] != c.NDV {
+			t.Errorf("last bound = %g, want NDV %g", h.Bounds[len(h.Bounds)-1], c.NDV)
+		}
+		// Each bucket holds ~equal mass: CDF at each bound is i/B.
+		for i, b := range h.Bounds {
+			want := float64(i+1) / HistogramBuckets
+			if got := c.FracBelow(b); math.Abs(got-want) > 0.05 {
+				t.Errorf("skew=%g: mass below bound %d = %g, want %g", c.Skew, i, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramSelBelowMatchesCDF(t *testing.T) {
+	for _, c := range []Column{{NDV: 500}, {NDV: 500, Skew: 1.5}} {
+		h := c.Histogram()
+		for b := 0.0; b <= 500; b += 13 {
+			got := h.SelBelow(b)
+			want := c.FracBelow(b)
+			// Linear interpolation inside equi-depth buckets tracks the
+			// true CDF within a bucket's depth.
+			if math.Abs(got-want) > 1.0/HistogramBuckets {
+				t.Errorf("skew=%g SelBelow(%g) = %g, CDF %g", c.Skew, b, got, want)
+			}
+		}
+	}
+}
+
+func TestHistogramSelBelowEdges(t *testing.T) {
+	var empty Histogram
+	if got := empty.SelBelow(5); got != 1 {
+		t.Errorf("empty histogram SelBelow = %g", got)
+	}
+	c100 := Column{NDV: 100}
+	h := c100.Histogram()
+	if got := h.SelBelow(-1); got != 0 {
+		t.Errorf("SelBelow(-1) = %g", got)
+	}
+	if got := h.SelBelow(1e9); got != 1 {
+		t.Errorf("SelBelow(huge) = %g", got)
+	}
+}
+
+// Property: FracBelow is a CDF — in [0,1], monotone, 0 at 0, 1 at NDV —
+// for arbitrary NDV and skew.
+func TestQuickFracBelowIsCDF(t *testing.T) {
+	f := func(ndvRaw uint16, skewRaw uint8, aRaw, bRaw uint16) bool {
+		ndv := 1 + float64(ndvRaw)
+		c := Column{NDV: ndv, Skew: float64(skewRaw) / 32}
+		a := float64(aRaw) / 65535 * ndv
+		b := float64(bRaw) / 65535 * ndv
+		if a > b {
+			a, b = b, a
+		}
+		fa, fb := c.FracBelow(a), c.FracBelow(b)
+		return fa >= 0 && fb <= 1 && fa <= fb && c.FracBelow(0) == 0 && c.FracBelow(ndv) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the catalog (schema plus statistics) so a schema
+// can be inspected, versioned, or shared between runs.
+func (c *Catalog) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}
+
+// ReadJSON loads a catalog previously written by WriteJSON, validating
+// the statistics' basic invariants.
+func ReadJSON(r io.Reader) (*Catalog, error) {
+	var c Catalog
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("catalog: decoding: %w", err)
+	}
+	if len(c.Rels) == 0 {
+		return nil, fmt.Errorf("catalog: no relations")
+	}
+	for i := range c.Rels {
+		rel := &c.Rels[i]
+		if rel.Rows < 1 {
+			return nil, fmt.Errorf("catalog: relation %q has %g rows", rel.Name, rel.Rows)
+		}
+		if len(rel.Cols) == 0 {
+			return nil, fmt.Errorf("catalog: relation %q has no columns", rel.Name)
+		}
+		if rel.IndexCol < 0 || rel.IndexCol >= len(rel.Cols) {
+			return nil, fmt.Errorf("catalog: relation %q index column %d out of range", rel.Name, rel.IndexCol)
+		}
+		if rel.IndexCorr < 0 || rel.IndexCorr > 1 {
+			return nil, fmt.Errorf("catalog: relation %q correlation %g out of [0,1]", rel.Name, rel.IndexCorr)
+		}
+		for j := range rel.Cols {
+			col := &rel.Cols[j]
+			if col.NDV < 1 || col.NDV > rel.Rows {
+				return nil, fmt.Errorf("catalog: column %s.%s NDV %g out of [1, rows]", rel.Name, col.Name, col.NDV)
+			}
+			if col.Skew < 0 {
+				return nil, fmt.Errorf("catalog: column %s.%s negative skew", rel.Name, col.Name)
+			}
+			if col.Width < 1 {
+				return nil, fmt.Errorf("catalog: column %s.%s width %d", rel.Name, col.Name, col.Width)
+			}
+		}
+	}
+	return &c, nil
+}

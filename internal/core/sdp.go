@@ -1,0 +1,507 @@
+// Package core implements SDP — Skyline Dynamic Programming — the paper's
+// contribution: a robust, scalable pruning strategy for the bottom-up DP
+// join-order search.
+//
+// SDP differs from prior heuristics (IDP) in two ways:
+//
+//  1. Localized pruning. Only join-composite relations (JCRs) that contain a
+//     complete hub from the previous level are eligible for pruning (the
+//     PruneGroup); everything else (the FreeGroup) keeps the full power of
+//     exhaustive DP. Hubs — nodes with at least three join edges — are
+//     recomputed every level on the contracted join graph, so composite hubs
+//     formed during the search are caught too. Levels 1, N−2 and N−1 always
+//     run standard DP: with two or fewer relations left to add, no hub can
+//     exist.
+//
+//  2. Skyline pruning. Each PruneGroup is partitioned by hub (root hubs by
+//     default, the variant the paper selects; parent hubs as the studied
+//     alternative), and within each partition the JCRs compete on the
+//     feature vector [Rows, Cost, Selectivity]. The survivors are the union
+//     of the three pairwise skylines RC, CS and RS (Option 2) or the single
+//     three-dimensional skyline (Option 1). A JCR that falls in several
+//     partitions must survive in all of them.
+//
+// Ordered queries get one additional partition per relation carrying an
+// interesting join column, holding every PruneGroup JCR that does NOT
+// contain that relation; surviving any such partition keeps a JCR alive, so
+// the pruning cannot destroy the ability to later form order-providing
+// joins (paper Section 2.1.4).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+	"sdpopt/internal/skyline"
+)
+
+// Partitioning selects how PruneGroup JCRs are grouped before the skyline
+// is applied.
+type Partitioning int
+
+// Partitioning variants (paper Section 2.1.3).
+const (
+	// RootHub partitions by the hubs of the original join graph — the
+	// variant the paper adopts, having found it as good as ParentHub with
+	// lower overheads.
+	RootHub Partitioning = iota
+	// ParentHub partitions by the hub JCRs of the immediately previous
+	// level.
+	ParentHub
+)
+
+// String names the partitioning variant.
+func (p Partitioning) String() string {
+	if p == ParentHub {
+		return "ParentHub"
+	}
+	return "RootHub"
+}
+
+// SkylineOption selects the pruning function over the [R,C,S] vector.
+type SkylineOption int
+
+// Skyline options (paper Section 2.1.5).
+const (
+	// Option2 unions the pairwise RC, CS and RS skylines — the paper's
+	// choice: near-Option-1 plan quality with about half the JCRs.
+	Option2 SkylineOption = iota
+	// Option1 is the single skyline over the full three-dimensional vector.
+	Option1
+	// StrongSkyline is the k-dominant (k=2) skyline — the harsher pruning
+	// the paper's future-work section points at.
+	StrongSkyline
+)
+
+// String names the skyline option.
+func (s SkylineOption) String() string {
+	switch s {
+	case Option1:
+		return "Option1"
+	case StrongSkyline:
+		return "StrongSkyline"
+	}
+	return "Option2"
+}
+
+// Scope selects localized (hub-based) or global pruning.
+type Scope int
+
+// Pruning scopes. Global reproduces the ablation of Section 3.2.3: the
+// skyline applied to every level's full JCR output with no hub logic.
+const (
+	Local Scope = iota
+	Global
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	if s == Global {
+		return "Global"
+	}
+	return "Local"
+}
+
+// Options configures an SDP run.
+type Options struct {
+	Partitioning Partitioning
+	Skyline      SkylineOption
+	Scope        Scope
+	// Budget is the simulated-memory feasibility limit (0 = unlimited).
+	Budget int64
+	// Model supplies costing; if nil a fresh default model is created.
+	Model *cost.Model
+	// Trace, if non-nil, records per-level pruning decisions (the
+	// walkthrough of the paper's Figure 2.2).
+	Trace *Trace
+}
+
+// DefaultOptions returns the paper's adopted configuration: root-hub
+// partitioning with the Option-2 disjunctive pairwise skyline, locally
+// applied.
+func DefaultOptions() Options {
+	return Options{Partitioning: RootHub, Skyline: Option2, Scope: Local}
+}
+
+// Trace records what SDP pruned at each level.
+type Trace struct {
+	Levels []LevelTrace
+}
+
+// LevelTrace is one level's pruning record.
+type LevelTrace struct {
+	Level      int
+	PruneGroup []bits.Set
+	FreeGroup  []bits.Set
+	// Partitions maps a partition label (hub relation or JCR, or "order:R")
+	// to its member JCRs.
+	Partitions map[string][]bits.Set
+	// Features holds the [R,C,S] feature vector of every PruneGroup member,
+	// for rendering the paper's Table 2.2 / Figure 2.3 views.
+	Features  map[bits.Set]memo.FV
+	Survivors []bits.Set
+	Pruned    []bits.Set
+}
+
+// Optimize runs SDP on q and returns the chosen plan with overhead
+// statistics.
+func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
+	model := opts.Model
+	if model == nil {
+		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	started := time.Now()
+	costedAtStart := model.PlansCosted
+	s := &sdp{q: q, opts: opts}
+	e, err := dp.NewEngine(q, dp.BaseLeaves(q), dp.Options{
+		Budget: opts.Budget,
+		Model:  model,
+		Hook:   s.hook,
+	})
+	stats := func() dp.Stats {
+		st := dp.Stats{PlansCosted: model.PlansCosted - costedAtStart, Elapsed: time.Since(started)}
+		if e != nil {
+			st.Memo = e.Memo.Stats
+		}
+		return st
+	}
+	if err != nil {
+		return nil, stats(), err
+	}
+	if err := e.Run(q.NumRelations()); err != nil {
+		return nil, stats(), err
+	}
+	p, err := e.Finalize()
+	return p, stats(), err
+}
+
+type sdp struct {
+	q    *query.Query
+	opts Options
+}
+
+// hook is the per-level pruning filter installed into the DP engine.
+func (s *sdp) hook(level int, m *memo.Memo, created []*memo.Class) error {
+	n := s.q.NumRelations()
+	// Standard DP at level 1 and the last two join levels; nothing to do at
+	// the top level either.
+	if level < 2 || level >= n-2 || len(created) == 0 {
+		return nil
+	}
+	switch s.opts.Scope {
+	case Global:
+		s.pruneGlobal(level, m, created)
+	default:
+		s.pruneLocal(level, m, created)
+	}
+	return nil
+}
+
+// pruneGlobal applies the skyline to the level's whole output — the
+// ablation the paper uses to demonstrate that localized pruning matters.
+func (s *sdp) pruneGlobal(level int, m *memo.Memo, created []*memo.Class) {
+	mask := s.skylineMask(created)
+	tr := s.newLevelTrace(level)
+	if tr != nil {
+		tr.Partitions["global"] = setsOf(created)
+	}
+	for i, c := range created {
+		if mask[i] {
+			if tr != nil {
+				tr.Survivors = append(tr.Survivors, c.Set)
+			}
+			continue
+		}
+		if tr != nil {
+			tr.Pruned = append(tr.Pruned, c.Set)
+		}
+		m.Remove(c)
+	}
+}
+
+// pruneLocal applies the paper's SDP pruning: split into PruneGroup and
+// FreeGroup by hub-parent containment, partition the PruneGroup by hub,
+// skyline within each partition, and prune JCRs that fail to survive every
+// hub partition they belong to (unless rescued by an interesting-order
+// partition).
+func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
+	hubParents := s.hubParents(m, level)
+	if len(hubParents) == 0 {
+		return // no hubs at this level: pruning stays off
+	}
+	var pruneGroup, freeGroup []*memo.Class
+	for _, c := range created {
+		inPG := false
+		for _, hp := range hubParents {
+			if c.Set.Contains(hp) {
+				inPG = true
+				break
+			}
+		}
+		if inPG {
+			pruneGroup = append(pruneGroup, c)
+		} else {
+			freeGroup = append(freeGroup, c)
+		}
+	}
+	if len(pruneGroup) == 0 {
+		return
+	}
+
+	partitions := s.partition(pruneGroup, hubParents)
+	tr := s.newLevelTrace(level)
+	if tr != nil {
+		tr.PruneGroup = setsOf(pruneGroup)
+		tr.FreeGroup = setsOf(freeGroup)
+		for label, part := range partitions {
+			tr.Partitions[label] = setsOf(part)
+		}
+		for _, c := range pruneGroup {
+			tr.Features[c.Set] = c.FeatureVector()
+		}
+	}
+
+	// A JCR must survive in every hub partition it appears in.
+	survive := map[bits.Set]bool{}
+	seen := map[bits.Set]bool{}
+	labels := sortedLabels(partitions)
+	for _, label := range labels {
+		part := partitions[label]
+		mask := s.skylineMask(part)
+		for i, c := range part {
+			if !seen[c.Set] {
+				seen[c.Set] = true
+				survive[c.Set] = true
+			}
+			if !mask[i] {
+				survive[c.Set] = false
+			}
+		}
+	}
+	// PruneGroup members outside every partition (e.g. no root hub under
+	// root-hub partitioning) are left untouched, like the FreeGroup.
+	for _, c := range pruneGroup {
+		if !seen[c.Set] {
+			survive[c.Set] = true
+		}
+	}
+
+	// Interesting-order partitions can only rescue, never kill: their
+	// survivors are unioned into the level's survivor output.
+	s.applyOrderPartitions(pruneGroup, survive, tr)
+
+	// Guard: if the cross-partition veto rule emptied some partition
+	// entirely, resurrect that partition's cheapest member so every hub
+	// keeps at least one expansion and the search always completes. (The
+	// paper does not discuss this corner; see DESIGN.md.)
+	for _, label := range labels {
+		part := partitions[label]
+		any := false
+		for _, c := range part {
+			if survive[c.Set] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			best := part[0]
+			for _, c := range part[1:] {
+				if c.Best.Cost < best.Best.Cost {
+					best = c
+				}
+			}
+			survive[best.Set] = true
+		}
+	}
+
+	for _, c := range pruneGroup {
+		if survive[c.Set] {
+			if tr != nil {
+				tr.Survivors = append(tr.Survivors, c.Set)
+			}
+			continue
+		}
+		if tr != nil {
+			tr.Pruned = append(tr.Pruned, c.Set)
+		}
+		m.Remove(c)
+	}
+}
+
+// hubParents returns the sets of the previous level's surviving classes
+// that are hubs of the contracted join graph. At level 2 these are the root
+// hub base relations themselves.
+func (s *sdp) hubParents(m *memo.Memo, level int) []bits.Set {
+	var out []bits.Set
+	for _, c := range m.Level(level - 1) {
+		if s.q.IsHub(c.Set) {
+			out = append(out, c.Set)
+		}
+	}
+	return out
+}
+
+// partition groups the PruneGroup by hub. A JCR containing several hubs
+// appears in all the corresponding partitions.
+func (s *sdp) partition(pruneGroup []*memo.Class, hubParents []bits.Set) map[string][]*memo.Class {
+	parts := map[string][]*memo.Class{}
+	if s.opts.Partitioning == ParentHub {
+		for _, hp := range hubParents {
+			label := fmt.Sprintf("hub:%v", hp)
+			for _, c := range pruneGroup {
+				if c.Set.Contains(hp) {
+					parts[label] = append(parts[label], c)
+				}
+			}
+		}
+		return parts
+	}
+	rootHubs := s.q.HubRels()
+	rootHubs.Each(func(h int) {
+		label := fmt.Sprintf("hub:%d", h+1)
+		for _, c := range pruneGroup {
+			if c.Set.Has(h) {
+				parts[label] = append(parts[label], c)
+			}
+		}
+		if len(parts[label]) == 0 {
+			delete(parts, label)
+		}
+	})
+	return parts
+}
+
+// applyOrderPartitions forms one partition per relation carrying an
+// interesting join column (a column in the ORDER BY's equivalence class),
+// containing every PruneGroup JCR that does not include that relation, and
+// unions the skyline survivors into the survivor set.
+func (s *sdp) applyOrderPartitions(pruneGroup []*memo.Class, survive map[bits.Set]bool, tr *LevelTrace) {
+	ec := s.q.OrderEqClass()
+	if ec < 0 {
+		return
+	}
+	for r := 0; r < s.q.NumRelations(); r++ {
+		if !s.relHasOrderColumn(r, ec) {
+			continue
+		}
+		var part []*memo.Class
+		for _, c := range pruneGroup {
+			if !c.Set.Has(r) {
+				part = append(part, c)
+			}
+		}
+		if len(part) == 0 {
+			continue
+		}
+		if tr != nil {
+			tr.Partitions[fmt.Sprintf("order:%d", r+1)] = setsOf(part)
+		}
+		mask := s.skylineMask(part)
+		for i, c := range part {
+			if mask[i] {
+				survive[c.Set] = true
+			}
+		}
+	}
+}
+
+// relHasOrderColumn reports whether relation r has a join column in
+// equivalence class ec.
+func (s *sdp) relHasOrderColumn(r, ec int) bool {
+	for col := range s.q.Relation(r).Cols {
+		if s.q.EqClass(r, col) == ec {
+			return true
+		}
+	}
+	return false
+}
+
+// skylineMask computes the survivor mask of a group of classes under the
+// configured skyline option.
+func (s *sdp) skylineMask(classes []*memo.Class) []bool {
+	pts := make([][]float64, len(classes))
+	for i, c := range classes {
+		fv := c.FeatureVector()
+		pts[i] = []float64{fv.Rows, fv.Cost, fv.Sel}
+	}
+	switch s.opts.Skyline {
+	case Option1:
+		return skyline.SFS(pts)
+	case StrongSkyline:
+		mask := skyline.KDominant(pts, 2)
+		// k-dominance is cyclic: the strong skyline can be empty. Fall back
+		// to the full skyline in that case so a partition never vanishes.
+		for _, ok := range mask {
+			if ok {
+				return mask
+			}
+		}
+		return skyline.SFS(pts)
+	default:
+		return skyline.DisjunctivePairwise(pts, skyline.RCSPairs)
+	}
+}
+
+func (s *sdp) newLevelTrace(level int) *LevelTrace {
+	if s.opts.Trace == nil {
+		return nil
+	}
+	s.opts.Trace.Levels = append(s.opts.Trace.Levels, LevelTrace{
+		Level:      level,
+		Partitions: map[string][]bits.Set{},
+		Features:   map[bits.Set]memo.FV{},
+	})
+	return &s.opts.Trace.Levels[len(s.opts.Trace.Levels)-1]
+}
+
+func setsOf(classes []*memo.Class) []bits.Set {
+	out := make([]bits.Set, len(classes))
+	for i, c := range classes {
+		out[i] = c.Set
+	}
+	return out
+}
+
+func sortedLabels(parts map[string][]*memo.Class) []string {
+	labels := make([]string, 0, len(parts))
+	for l := range parts {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}
+
+// String renders the trace as the textual iteration walkthrough of the
+// paper's Figure 2.2: per level, the PruneGroup/FreeGroup split, the hub
+// and order partitions, and what was pruned.
+func (t *Trace) String() string {
+	var sb strings.Builder
+	for _, lvl := range t.Levels {
+		fmt.Fprintf(&sb, "Level %d: PruneGroup=%d FreeGroup=%d survivors=%d pruned=%d\n",
+			lvl.Level, len(lvl.PruneGroup), len(lvl.FreeGroup), len(lvl.Survivors), len(lvl.Pruned))
+		for _, label := range sortedTraceLabels(lvl.Partitions) {
+			fmt.Fprintf(&sb, "  partition %-10s %v\n", label, lvl.Partitions[label])
+		}
+		if len(lvl.Pruned) > 0 {
+			fmt.Fprintf(&sb, "  pruned: %v\n", lvl.Pruned)
+		}
+	}
+	return sb.String()
+}
+
+func sortedTraceLabels(parts map[string][]bits.Set) []string {
+	labels := make([]string, 0, len(parts))
+	for l := range parts {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	return labels
+}

@@ -1,0 +1,444 @@
+// Package cost implements a PostgreSQL-style cost model and cardinality
+// estimator for the optimizer.
+//
+// The paper runs every experiment inside PostgreSQL 8.1.2's optimizer; the
+// reported metrics (plan cost, plans costed, memory, time) never require
+// executing a query. This package reproduces the structure of that costing:
+// sequential and index scans, explicit sorts, nested-loop / indexed
+// nested-loop / hash / merge joins, work_mem-driven spill penalties, and the
+// textbook equi-join selectivity 1/max(ndv) that PostgreSQL's eqjoinsel uses.
+// Cost units follow PostgreSQL's convention: 1.0 = one sequential page fetch.
+package cost
+
+import (
+	"math"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Params are the cost-model constants. Defaults mirror PostgreSQL 8.1.
+type Params struct {
+	SeqPageCost       float64 // cost of a sequential page fetch
+	RandomPageCost    float64 // cost of a random page fetch
+	CPUTupleCost      float64 // cost of processing one tuple
+	CPUIndexTupleCost float64 // cost of processing one index entry
+	CPUOperatorCost   float64 // cost of one operator/hash/comparison
+	WorkMemBytes      float64 // memory available per sort/hash node
+	IndexEntryWidth   float64 // bytes per b-tree entry, for index size
+}
+
+// DefaultParams returns PostgreSQL 8.1's default cost constants
+// (work_mem = 1 MB in that release).
+func DefaultParams() Params {
+	return Params{
+		SeqPageCost:       1.0,
+		RandomPageCost:    4.0,
+		CPUTupleCost:      0.01,
+		CPUIndexTupleCost: 0.005,
+		CPUOperatorCost:   0.0025,
+		WorkMemBytes:      1 << 20,
+		IndexEntryWidth:   16,
+	}
+}
+
+// Model estimates cardinalities and costs for one query. It also counts
+// every candidate plan it costs — the "number of plans costed" calibration
+// the paper reports in its overhead tables.
+type Model struct {
+	Q      *query.Query
+	Params Params
+
+	predSel []float64 // selectivity per predicate index
+	// rawRows is the stored cardinality per query-local relation (drives
+	// scan IO); relRows is the post-filter output cardinality (drives
+	// joins).
+	rawRows  []float64
+	relRows  []float64
+	relWidth []int // tuple width per query-local relation
+
+	// PlansCosted counts candidate plans constructed and costed.
+	PlansCosted int64
+}
+
+// NewModel builds a cost model for q, precomputing per-predicate
+// selectivities and per-relation statistics.
+func NewModel(q *query.Query, params Params) *Model {
+	m := &Model{Q: q, Params: params}
+	m.rawRows = make([]float64, q.NumRelations())
+	m.relRows = make([]float64, q.NumRelations())
+	m.relWidth = make([]int, q.NumRelations())
+	for i := 0; i < q.NumRelations(); i++ {
+		rel := q.Relation(i)
+		m.rawRows[i] = rel.Rows
+		rows := rel.Rows
+		for _, f := range q.FiltersOn(i) {
+			rows *= m.FilterSel(f)
+		}
+		if rows < 1 {
+			rows = 1
+		}
+		m.relRows[i] = rows
+		m.relWidth[i] = rel.RowWidth()
+	}
+	m.predSel = make([]float64, len(q.Preds))
+	for i := range q.Preds {
+		m.predSel[i] = m.computePredSel(i)
+	}
+	return m
+}
+
+// FilterSel estimates a range filter's selectivity from the column's
+// value distribution (ANALYZE-style: the CDF a histogram encodes), so
+// skewed columns — where most rows carry small values — estimate
+// accurately rather than assuming uniformity.
+func (m *Model) FilterSel(f query.Filter) float64 {
+	sel := m.Q.Relation(f.Rel).Cols[f.Col].FracBelow(float64(f.Bound))
+	if sel <= 0 {
+		return 1e-9 // a filter never returns exactly nothing in estimates
+	}
+	return sel
+}
+
+// columnNDV is the effective distinct count of (rel, col) after skew and
+// any range filters on that column, capped by the relation's filtered
+// cardinality.
+func (m *Model) columnNDV(rel, col int) float64 {
+	c := m.Q.Relation(rel).Cols[col]
+	ndv := c.EffectiveNDV()
+	for _, f := range m.Q.FiltersOn(rel) {
+		if f.Col == col {
+			// A range filter keeps only the matching slice of the domain.
+			ndv *= m.FilterSel(f)
+		}
+	}
+	return math.Max(1, math.Min(ndv, m.relRows[rel]))
+}
+
+// computePredSel estimates the selectivity of equi-join predicate pi as
+// 1/max(effective ndv of either side), PostgreSQL's eqjoinsel formula, with
+// skew folded into the effective distinct counts.
+func (m *Model) computePredSel(pi int) float64 {
+	p := m.Q.Preds[pi]
+	lNDV := m.columnNDV(p.LeftRel, p.LeftCol)
+	rNDV := m.columnNDV(p.RightRel, p.RightCol)
+	sel := 1 / math.Max(lNDV, rNDV)
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+// PredSel returns the estimated selectivity of predicate pi.
+func (m *Model) PredSel(pi int) float64 { return m.predSel[pi] }
+
+// BaseRows returns the cardinality of query-local relation i.
+func (m *Model) BaseRows(i int) float64 { return m.relRows[i] }
+
+// Width returns the output tuple width in bytes of a JCR covering set s
+// (these workloads project all columns, so widths add).
+func (m *Model) Width(s bits.Set) int {
+	w := 0
+	s.Each(func(i int) { w += m.relWidth[i] })
+	return w
+}
+
+// JoinRows returns the cardinality of joining two disjoint JCRs with the
+// given estimated row counts, applying every join predicate that spans
+// them. Because the predicate set within a relation set is fixed, the
+// result is independent of join order — all plans of a JCR share one
+// cardinality, which is what makes the paper's per-JCR feature vector
+// well defined.
+func (m *Model) JoinRows(a, b bits.Set, rowsA, rowsB float64) float64 {
+	rows := rowsA * rowsB
+	for _, pi := range m.Q.PredsBetween(a, b) {
+		rows *= m.predSel[pi]
+	}
+	if rows < 1 {
+		return 1
+	}
+	return rows
+}
+
+// SetRows returns the cardinality of the JCR covering s: the product of
+// base cardinalities times the selectivity of every predicate inside s.
+//
+// This is the canonical cardinality — every memo class derives its Rows
+// from here, never incrementally from a particular join split, so all
+// optimizers see identical cardinalities for identical relation sets
+// regardless of enumeration order. (An incremental product would apply the
+// ≥1-row floor at order-dependent points and let a pruned search "see"
+// different statistics than an exhaustive one.) The product is accumulated
+// in log space: a 45-relation JCR's raw row product can overflow float64.
+func (m *Model) SetRows(s bits.Set) float64 {
+	logRows := 0.0
+	s.Each(func(i int) { logRows += math.Log(m.relRows[i]) })
+	for _, pi := range m.Q.PredsWithin(s) {
+		logRows += math.Log(m.predSel[pi])
+	}
+	rows := math.Exp(logRows)
+	if rows < 1 {
+		return 1
+	}
+	return rows
+}
+
+// Selectivity returns the paper's JCR selectivity feature: output rows
+// divided by the product of the base relation cardinalities, computed in
+// log space to avoid overflow on wide JCRs.
+func (m *Model) Selectivity(s bits.Set, rows float64) float64 {
+	logProd := 0.0
+	s.Each(func(i int) { logProd += math.Log(m.relRows[i]) })
+	return math.Exp(math.Log(rows) - logProd)
+}
+
+func (m *Model) pages(rows float64, width int) float64 {
+	p := math.Ceil(rows * float64(width) / catalog.PageSize)
+	if p < 1 {
+		return 1
+	}
+	return p
+}
+
+// AccessPaths returns the candidate scans of base relation i: a sequential
+// scan, plus an index scan when the relation's indexed column is a join
+// column (the index order is then an interesting order worth keeping) or
+// carries a range filter (the index prunes the scan to the matching
+// range — classic access-path selection).
+func (m *Model) AccessPaths(i int) []*plan.Plan {
+	rel := m.Q.Relation(i)
+	paths := []*plan.Plan{m.seqScan(i)}
+	ec := m.Q.EqClass(i, rel.IndexCol)
+	if ec >= 0 || m.indexedFilterSel(i) < 1 {
+		paths = append(paths, m.indexScan(i, ec))
+	}
+	return paths
+}
+
+// indexedFilterSel is the combined selectivity of filters on relation i's
+// indexed column — the fraction of the index a range scan must visit.
+func (m *Model) indexedFilterSel(i int) float64 {
+	rel := m.Q.Relation(i)
+	s := 1.0
+	for _, f := range m.Q.FiltersOn(i) {
+		if f.Col == rel.IndexCol {
+			s *= m.FilterSel(f)
+		}
+	}
+	return s
+}
+
+func (m *Model) seqScan(i int) *plan.Plan {
+	rel := m.Q.Relation(i)
+	nFilters := len(m.Q.FiltersOn(i))
+	c := rel.Pages()*m.Params.SeqPageCost +
+		rel.Rows*(m.Params.CPUTupleCost+float64(nFilters)*m.Params.CPUOperatorCost)
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.SeqScan, Rels: bits.Single(i), Rel: i,
+		Cost: c, Rows: m.relRows[i], Order: plan.NoOrder,
+	}
+}
+
+// indexScan costs a scan of relation i in index order, narrowed to the
+// range matching any filters on the indexed column. Heap access
+// interpolates between sequential and random fetches by the index
+// correlation, following PostgreSQL's cost_index.
+func (m *Model) indexScan(i, orderClass int) *plan.Plan {
+	rel := m.Q.Relation(i)
+	frac := m.indexedFilterSel(i)
+	scanned := math.Max(1, rel.Rows*frac)
+	idxPages := m.pages(scanned, int(m.Params.IndexEntryWidth))
+	corr := rel.IndexCorr * rel.IndexCorr // PG interpolates on correlation²
+	minIO := rel.Pages() * frac * m.Params.SeqPageCost
+	// Fully uncorrelated: every fetched tuple is potentially a fresh heap
+	// page visit, as in PostgreSQL's max_IO_cost for an unclustered index.
+	maxIO := scanned * m.Params.RandomPageCost
+	heap := corr*minIO + (1-corr)*maxIO
+	nOther := len(m.Q.FiltersOn(i))
+	c := idxPages*m.Params.SeqPageCost +
+		scanned*(m.Params.CPUIndexTupleCost+m.Params.CPUTupleCost+float64(nOther)*m.Params.CPUOperatorCost) +
+		heap
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.IndexScan, Rels: bits.Single(i), Rel: i,
+		Cost: c, Rows: m.relRows[i], Order: orderClass,
+	}
+}
+
+// SortPlan wraps p in an explicit sort to the given order class, with an
+// n·log n comparison cost and an external-merge penalty when the input
+// exceeds work_mem.
+func (m *Model) SortPlan(p *plan.Plan, orderClass int) *plan.Plan {
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.Sort, Rels: p.Rels, Left: p,
+		Cost: p.Cost + m.sortCost(p.Rows, m.Width(p.Rels)),
+		Rows: p.Rows, Order: orderClass,
+	}
+}
+
+func (m *Model) sortCost(rows float64, width int) float64 {
+	if rows < 2 {
+		return m.Params.CPUOperatorCost
+	}
+	cmp := 2 * rows * math.Log2(rows) * m.Params.CPUOperatorCost
+	bytes := rows * float64(width)
+	if bytes <= m.Params.WorkMemBytes {
+		return cmp
+	}
+	// External merge sort: read+write each page once per merge pass.
+	pages := m.pages(rows, width)
+	passes := math.Ceil(math.Log(bytes/m.Params.WorkMemBytes) / math.Log(16))
+	if passes < 1 {
+		passes = 1
+	}
+	return cmp + 2*pages*passes*m.Params.SeqPageCost
+}
+
+// JoinInputs identifies one candidate join: two disjoint subplans plus the
+// predicates connecting them and the (shared) output cardinality.
+type JoinInputs struct {
+	Outer, Inner *plan.Plan
+	// Preds indexes the query predicates spanning the two sides.
+	Preds []int
+	// Rows is the output cardinality of the joined JCR.
+	Rows float64
+}
+
+// JoinPlans returns every candidate physical join of the inputs in this
+// orientation: nested loop, indexed nested loop when the inner is a bare
+// relation scan with its index on a spanning join column, hash join with
+// the inner as build side, and one merge join per distinct spanning
+// equivalence class. Callers enumerate both orientations.
+func (m *Model) JoinPlans(in JoinInputs) []*plan.Plan {
+	out := make([]*plan.Plan, 0, 4)
+	out = append(out, m.nestLoop(in))
+	if p := m.indexNestLoop(in); p != nil {
+		out = append(out, p)
+	}
+	out = append(out, m.hashJoin(in))
+	seen := map[int]bool{}
+	for _, pi := range in.Preds {
+		ec := m.Q.PredEqClass(pi)
+		if ec < 0 || seen[ec] {
+			continue
+		}
+		seen[ec] = true
+		out = append(out, m.mergeJoin(in, ec))
+	}
+	return out
+}
+
+// nestLoop costs a plain nested loop with the inner side materialized once
+// and rescanned per outer row.
+func (m *Model) nestLoop(in JoinInputs) *plan.Plan {
+	o, i := in.Outer, in.Inner
+	mat := i.Rows * 2 * m.Params.CPUOperatorCost // write to tuplestore
+	rescan := i.Rows*m.Params.CPUOperatorCost + m.rescanIO(i)
+	c := o.Cost + i.Cost + mat + o.Rows*rescan + in.Rows*m.Params.CPUTupleCost
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.NestLoop, Rels: o.Rels.Union(i.Rels), Left: o, Right: i,
+		Cost: c, Rows: in.Rows, Order: plan.NoOrder,
+	}
+}
+
+// rescanIO is the page cost of re-reading a materialized inner that spills
+// out of work_mem.
+func (m *Model) rescanIO(i *plan.Plan) float64 {
+	bytes := i.Rows * float64(m.Width(i.Rels))
+	if bytes <= m.Params.WorkMemBytes {
+		return 0
+	}
+	return m.pages(i.Rows, m.Width(i.Rels)) * m.Params.SeqPageCost
+}
+
+// indexNestLoop costs a nested loop that probes the inner base relation's
+// index once per outer row. It applies only when the inner subplan is a
+// single-relation scan and that relation's indexed column belongs to the
+// equivalence class of one of the spanning predicates — the plan shape that
+// makes star joins on indexed spoke columns cheap.
+func (m *Model) indexNestLoop(in JoinInputs) *plan.Plan {
+	o, i := in.Outer, in.Inner
+	if !i.Op.IsScan() {
+		return nil
+	}
+	rel := m.Q.Relation(i.Rel)
+	idxClass := m.Q.EqClass(i.Rel, rel.IndexCol)
+	if idxClass < 0 {
+		return nil
+	}
+	usable := false
+	for _, pi := range in.Preds {
+		if m.Q.PredEqClass(pi) == idxClass {
+			usable = true
+			break
+		}
+	}
+	if !usable {
+		return nil
+	}
+	// Matching inner rows per outer row; the remaining spanning predicates
+	// filter after the index probe, so the probe fetches matchRows tuples.
+	matchRows := math.Max(1, m.relRows[i.Rel]/m.columnNDV(i.Rel, rel.IndexCol))
+	descend := math.Ceil(math.Log2(rel.Rows+1)) * m.Params.CPUOperatorCost
+	corr := rel.IndexCorr * rel.IndexCorr
+	perFetch := corr*m.Params.SeqPageCost*0.1 + (1-corr)*m.Params.RandomPageCost
+	probe := descend + m.Params.RandomPageCost + // b-tree leaf page
+		matchRows*(m.Params.CPUIndexTupleCost+m.Params.CPUTupleCost+perFetch)
+	// The inner scan plan's own cost is not paid: the index replaces it.
+	c := o.Cost + o.Rows*probe + in.Rows*m.Params.CPUTupleCost
+	inner := m.indexScan(i.Rel, idxClass)
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.IndexNestLoop, Rels: o.Rels.Union(i.Rels), Left: o, Right: inner,
+		Cost: c, Rows: in.Rows,
+		// Indexed nested loops preserve the outer ordering.
+		Order: o.Order,
+	}
+}
+
+// hashJoin costs a hash join building on the inner side, with batching IO
+// when the build side exceeds work_mem (PostgreSQL's hybrid hash join).
+func (m *Model) hashJoin(in JoinInputs) *plan.Plan {
+	o, i := in.Outer, in.Inner
+	c := o.Cost + i.Cost +
+		i.Rows*(m.Params.CPUOperatorCost*1.5+m.Params.CPUTupleCost) + // build
+		o.Rows*m.Params.CPUOperatorCost*1.5 + // probe
+		in.Rows*m.Params.CPUTupleCost
+	innerBytes := i.Rows * float64(m.Width(i.Rels))
+	if innerBytes > m.Params.WorkMemBytes {
+		// Both inputs are written out and re-read once per extra batch pass.
+		io := m.pages(i.Rows, m.Width(i.Rels)) + m.pages(o.Rows, m.Width(o.Rels))
+		c += 2 * io * m.Params.SeqPageCost
+	}
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.HashJoin, Rels: o.Rels.Union(i.Rels), Left: o, Right: i,
+		Cost: c, Rows: in.Rows, Order: plan.NoOrder,
+	}
+}
+
+// mergeJoin costs a merge join on equivalence class ec, inserting explicit
+// sorts for inputs not already ordered on ec. Its output carries ec as an
+// interesting order.
+func (m *Model) mergeJoin(in JoinInputs, ec int) *plan.Plan {
+	o, i := in.Outer, in.Inner
+	if o.Order != ec {
+		o = m.SortPlan(o, ec)
+	}
+	if i.Order != ec {
+		i = m.SortPlan(i, ec)
+	}
+	c := o.Cost + i.Cost +
+		(o.Rows+i.Rows)*m.Params.CPUOperatorCost +
+		in.Rows*m.Params.CPUTupleCost
+	m.PlansCosted++
+	return &plan.Plan{
+		Op: plan.MergeJoin, Rels: o.Rels.Union(i.Rels), Left: o, Right: i,
+		Cost: c, Rows: in.Rows, Order: ec,
+	}
+}

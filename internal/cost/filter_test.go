@@ -1,0 +1,137 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// filteredQuery joins A and B (A.c1 = B.c2) with a filter on the given
+// column of A (rel 0). A's index is on c1 (col 0), A.corr = 1.
+func filteredQuery(t *testing.T, filters []query.Filter) *query.Query {
+	t.Helper()
+	q, err := query.NewFiltered(handCatalog(), []int{0, 1},
+		[]query.Pred{{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 1}},
+		filters, nil)
+	if err != nil {
+		t.Fatalf("NewFiltered: %v", err)
+	}
+	return q
+}
+
+func TestFilterSel(t *testing.T) {
+	// A.c1 has NDV 100.
+	q := filteredQuery(t, []query.Filter{{Rel: 0, Col: 0, Bound: 25}})
+	m := NewModel(q, DefaultParams())
+	if got := m.FilterSel(q.Filters[0]); got != 0.25 {
+		t.Errorf("FilterSel = %g, want 0.25", got)
+	}
+	// Bound beyond the domain clamps to 1.
+	q2 := filteredQuery(t, []query.Filter{{Rel: 0, Col: 0, Bound: 1000}})
+	m2 := NewModel(q2, DefaultParams())
+	if got := m2.FilterSel(q2.Filters[0]); got != 1 {
+		t.Errorf("FilterSel clamp = %g, want 1", got)
+	}
+}
+
+func TestFilteredBaseRows(t *testing.T) {
+	// A has 1000 rows; a sel-0.25 filter leaves 250.
+	q := filteredQuery(t, []query.Filter{{Rel: 0, Col: 0, Bound: 25}})
+	m := NewModel(q, DefaultParams())
+	if got := m.BaseRows(0); got != 250 {
+		t.Errorf("BaseRows = %g, want 250", got)
+	}
+	// SetRows of the join uses the filtered cardinality.
+	rows := m.SetRows(bits.Of(0, 1))
+	// 250 · 5000 · sel(pred). The filter sits on A.c1 (the join column), so
+	// the predicate selectivity uses the narrowed NDV: max(25, 500) = 500.
+	want := 250.0 * 5000 / 500
+	if math.Abs(rows-want) > 1e-6*want {
+		t.Errorf("SetRows = %g, want %g", rows, want)
+	}
+}
+
+func TestFilterNarrowsJoinNDV(t *testing.T) {
+	// Filter on A.c1 (ndv 100) with sel 0.1 -> effective ndv 10; B.c2 has
+	// ndv 500, so pred sel stays 1/500. Filter B.c2 instead with sel 0.1:
+	// ndv 50 vs A's 100 -> sel = 1/100.
+	qB, err := query.NewFiltered(handCatalog(), []int{0, 1},
+		[]query.Pred{{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 1}},
+		[]query.Filter{{Rel: 1, Col: 1, Bound: 50}}, nil) // B.c2 ndv 500 -> sel 0.1
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(qB, DefaultParams())
+	if got := m.PredSel(0); got != 1.0/100 {
+		t.Errorf("PredSel with filtered B.c2 = %g, want 1/100", got)
+	}
+}
+
+func TestSeqScanAppliesFilterRows(t *testing.T) {
+	q := filteredQuery(t, []query.Filter{{Rel: 0, Col: 2, Bound: 5}}) // A.c3 ndv 10 -> sel 0.5
+	m := NewModel(q, DefaultParams())
+	scan := m.AccessPaths(0)[0]
+	if scan.Op != plan.SeqScan {
+		t.Fatal("first path not a seq scan")
+	}
+	if scan.Rows != 500 {
+		t.Errorf("filtered seq scan rows = %g, want 500", scan.Rows)
+	}
+	// Filtering costs CPU: the filtered scan is slightly more expensive
+	// than the unfiltered one per tuple, never cheaper on IO.
+	mu := NewModel(filteredQuery(t, nil), DefaultParams())
+	unfiltered := mu.AccessPaths(0)[0]
+	if scan.Cost < unfiltered.Cost {
+		t.Errorf("filtered seq scan cheaper: %g < %g", scan.Cost, unfiltered.Cost)
+	}
+}
+
+func TestIndexRangeScanBeatsSeqScanWhenSelective(t *testing.T) {
+	// A selective filter on the indexed column c1 turns the index scan
+	// into a cheap range scan.
+	q := filteredQuery(t, []query.Filter{{Rel: 0, Col: 0, Bound: 2}}) // sel 0.02
+	m := NewModel(q, DefaultParams())
+	paths := m.AccessPaths(0)
+	if len(paths) != 2 {
+		t.Fatalf("want seq + index paths, got %d", len(paths))
+	}
+	seq, idx := paths[0], paths[1]
+	if idx.Op != plan.IndexScan {
+		t.Fatalf("second path is %v", idx.Op)
+	}
+	if idx.Cost >= seq.Cost {
+		t.Errorf("selective index range scan (%g) should beat seq scan (%g)", idx.Cost, seq.Cost)
+	}
+	// An unselective filter must not make the index scan cheaper than the
+	// full-scan version.
+	qWide := filteredQuery(t, []query.Filter{{Rel: 0, Col: 0, Bound: 99}})
+	mWide := NewModel(qWide, DefaultParams())
+	wide := mWide.AccessPaths(0)[1]
+	if wide.Cost < idx.Cost {
+		t.Errorf("unselective range scan (%g) cheaper than selective (%g)", wide.Cost, idx.Cost)
+	}
+}
+
+func TestIndexScanGeneratedForFilteredNonJoinIndex(t *testing.T) {
+	// Relation D's index (c1) joins nothing; without filters it gets only
+	// a seq scan. A filter on D.c1 should add the index range scan path.
+	preds := []query.Pred{
+		{LeftRel: 0, LeftCol: 1, RightRel: 1, RightCol: 1}, // A.c2 = D.c2
+	}
+	q, err := query.NewFiltered(handCatalog(), []int{0, 3}, preds,
+		[]query.Filter{{Rel: 1, Col: 0, Bound: 10}}, nil) // D.c1 ndv 1000 -> sel 0.01
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewModel(q, DefaultParams())
+	paths := m.AccessPaths(1)
+	if len(paths) != 2 {
+		t.Fatalf("filtered indexed column should add an index path, got %d", len(paths))
+	}
+	if paths[1].Order != plan.NoOrder {
+		t.Errorf("non-join index order = %d, want NoOrder", paths[1].Order)
+	}
+}

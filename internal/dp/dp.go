@@ -1,0 +1,304 @@
+// Package dp implements the classical bottom-up dynamic-programming join
+// enumerator (DPsize), the search strategy of System R and PostgreSQL.
+//
+// Level 1 builds access paths for every leaf; level k joins every pair of
+// disjoint memo classes whose leaf counts sum to k and that are connected by
+// at least one join predicate — bushy trees included, cartesian products
+// excluded. Each class retains the cheapest plan plus the cheapest plan per
+// interesting order.
+//
+// The engine is the substrate the paper's three strategies share: plain DP
+// runs it to the top; IDP runs it to level k, commits a subplan and
+// restarts it on a reduced leaf set; SDP installs a per-level hook that
+// prunes the memo with localized skylines. A leaf is normally one base
+// relation, but IDP's compound relations enter as leaves covering several
+// base relations with a pre-built access plan.
+package dp
+
+import (
+	"fmt"
+	"time"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/cost"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Leaf is one input node of the enumeration. Plans nil means the leaf is a
+// single base relation whose access paths the engine generates; otherwise
+// the provided plans (e.g. an IDP compound relation's committed plan) are
+// used as the leaf's paths.
+type Leaf struct {
+	Set   bits.Set
+	Plans []*plan.Plan
+}
+
+// LevelHook runs after each enumeration level with the classes newly
+// created at that level. It may prune classes from the memo (SDP) and may
+// abort the optimization by returning an error.
+type LevelHook func(level int, m *memo.Memo, created []*memo.Class) error
+
+// Options configures an engine run.
+type Options struct {
+	// Budget is the simulated-memory feasibility limit in bytes
+	// (0 = unlimited). Exceeding it aborts with memo.ErrBudget.
+	Budget int64
+	// Hook, if non-nil, runs after every level.
+	Hook LevelHook
+	// Model supplies costing; if nil a fresh model with default parameters
+	// is created. IDP passes one model across restarts so the plans-costed
+	// counter accumulates.
+	Model *cost.Model
+	// LeftDeepOnly restricts enumeration to System R's classic space:
+	// every join extends a composite by a single leaf, so no bushy trees.
+	// Every connected set still materializes (a connected graph always has
+	// a non-cut leaf to peel), but with fewer candidate plans per class.
+	LeftDeepOnly bool
+}
+
+// Stats aggregates the overhead metrics of one optimization, matching the
+// columns of the paper's overhead tables.
+type Stats struct {
+	Memo memo.Stats
+	// PlansCosted counts candidate plans costed, the paper's "Costing (in
+	// plans)" column.
+	PlansCosted int64
+	// Elapsed is the optimization wall time.
+	Elapsed time.Duration
+}
+
+// Engine runs the level-wise enumeration over a fixed leaf set.
+type Engine struct {
+	Q        *query.Query
+	Model    *cost.Model
+	Memo     *memo.Memo
+	leaves   []Leaf
+	hook     LevelHook
+	leftDeep bool
+
+	costedAtStart int64
+	started       time.Time
+}
+
+// NewEngine prepares an engine and seeds level 1 of the memo. The leaves
+// must be disjoint and cover the query's relations.
+func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
+	model := opts.Model
+	if model == nil {
+		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	e := &Engine{
+		Q:             q,
+		Model:         model,
+		Memo:          memo.New(opts.Budget),
+		leaves:        leaves,
+		hook:          opts.Hook,
+		leftDeep:      opts.LeftDeepOnly,
+		costedAtStart: model.PlansCosted,
+		started:       time.Now(),
+	}
+	var covered bits.Set
+	for _, l := range leaves {
+		if l.Set.IsEmpty() {
+			return nil, fmt.Errorf("dp: empty leaf")
+		}
+		if covered.Overlaps(l.Set) {
+			return nil, fmt.Errorf("dp: leaf %v overlaps another leaf", l.Set)
+		}
+		covered = covered.Union(l.Set)
+		if l.Plans == nil && l.Set.Len() != 1 {
+			return nil, fmt.Errorf("dp: leaf %v has no plans but is not a base relation", l.Set)
+		}
+	}
+	if covered != bits.Full(q.NumRelations()) {
+		return nil, fmt.Errorf("dp: leaves cover %v, want all %d relations", covered, q.NumRelations())
+	}
+	if err := e.seedLevel1(); err != nil {
+		// Return the engine so callers can still read overhead stats (a
+		// budget abort is a reportable outcome, not a programming error).
+		return e, err
+	}
+	return e, nil
+}
+
+// BaseLeaves returns the default leaf set: one leaf per base relation.
+func BaseLeaves(q *query.Query) []Leaf {
+	leaves := make([]Leaf, q.NumRelations())
+	for i := range leaves {
+		leaves[i] = Leaf{Set: bits.Single(i)}
+	}
+	return leaves
+}
+
+func (e *Engine) seedLevel1() error {
+	for _, l := range e.leaves {
+		rows := e.Model.SetRows(l.Set)
+		c, err := e.Memo.NewClass(l.Set, 1, rows, e.Model.Selectivity(l.Set, rows))
+		if err != nil {
+			return err
+		}
+		paths := l.Plans
+		if paths == nil {
+			paths = e.Model.AccessPaths(l.Set.Min())
+		}
+		for _, p := range paths {
+			if _, err := e.Memo.AddPlan(c, p); err != nil {
+				return err
+			}
+		}
+	}
+	if e.hook != nil {
+		if err := e.hook(1, e.Memo, e.Memo.Level(1)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// NumLeaves returns the size of the enumeration (its top level).
+func (e *Engine) NumLeaves() int { return len(e.leaves) }
+
+// Run executes enumeration levels 2..toLevel (capped at the leaf count).
+// On a budget error the memo is left as-is and memo.ErrBudget is returned.
+func (e *Engine) Run(toLevel int) error {
+	if toLevel > len(e.leaves) {
+		toLevel = len(e.leaves)
+	}
+	for k := 2; k <= toLevel; k++ {
+		created, err := e.runLevel(k)
+		if err != nil {
+			return err
+		}
+		if e.hook != nil {
+			if err := e.hook(k, e.Memo, created); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
+	var created []*memo.Class
+	maxSplit := k / 2
+	if e.leftDeep {
+		maxSplit = 1 // only (1, k-1) splits: a leaf extends a composite
+	}
+	for i := 1; i <= maxSplit; i++ {
+		j := k - i
+		left := e.Memo.Level(i)
+		right := e.Memo.Level(j)
+		for ai, a := range left {
+			bs := right
+			if i == j {
+				bs = right[ai+1:] // each unordered pair once
+			}
+			for _, b := range bs {
+				if !a.Set.Disjoint(b.Set) || !e.Q.Connected(a.Set, b.Set) {
+					continue
+				}
+				cls, isNew, err := e.joinClasses(a, b, k)
+				if err != nil {
+					return created, err
+				}
+				if isNew {
+					created = append(created, cls)
+				}
+			}
+		}
+	}
+	return created, nil
+}
+
+// joinClasses enumerates the physical joins of classes a and b, folding the
+// results into the class for a∪b (creating it if needed).
+func (e *Engine) joinClasses(a, b *memo.Class, level int) (*memo.Class, bool, error) {
+	set := a.Set.Union(b.Set)
+	cls := e.Memo.Get(set)
+	isNew := false
+	if cls == nil {
+		// Canonical per-set cardinality: identical for every optimizer and
+		// enumeration order (see cost.SetRows).
+		rows := e.Model.SetRows(set)
+		var err error
+		cls, err = e.Memo.NewClass(set, level, rows, e.Model.Selectivity(set, rows))
+		if err != nil {
+			return nil, false, err
+		}
+		isNew = true
+	}
+	preds := e.Q.PredsBetween(a.Set, b.Set)
+	for _, pa := range a.Paths() {
+		for _, pb := range b.Paths() {
+			for _, in := range []cost.JoinInputs{
+				{Outer: pa, Inner: pb, Preds: preds, Rows: cls.Rows},
+				{Outer: pb, Inner: pa, Preds: preds, Rows: cls.Rows},
+			} {
+				for _, p := range e.Model.JoinPlans(in) {
+					if _, err := e.Memo.AddPlan(cls, p); err != nil {
+						return cls, isNew, err
+					}
+				}
+			}
+		}
+	}
+	return cls, isNew, nil
+}
+
+// Finalize returns the completed plan for the full relation set, applying
+// the query's ORDER BY (using a retained interesting-order plan when it
+// beats sorting the cheapest plan). It fails if enumeration has not reached
+// the top level.
+func (e *Engine) Finalize() (*plan.Plan, error) {
+	full := bits.Full(e.Q.NumRelations())
+	cls := e.Memo.Get(full)
+	if cls == nil || cls.Best == nil {
+		return nil, fmt.Errorf("dp: no plan for the full relation set (enumeration incomplete)")
+	}
+	best := cls.Best
+	if e.Q.OrderBy == nil {
+		return best, nil
+	}
+	ec := e.Q.OrderEqClass()
+	if ec < 0 {
+		// Ordering on a non-join column: always an explicit final sort.
+		return e.Model.SortPlan(best, 0), nil
+	}
+	if best.Order == ec {
+		return best, nil
+	}
+	sorted := e.Model.SortPlan(best, ec)
+	if pre, ok := cls.Ordered[ec]; ok && pre.Cost < sorted.Cost {
+		return pre, nil
+	}
+	return sorted, nil
+}
+
+// Stats snapshots the overhead counters of this engine's run.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Memo:        e.Memo.Stats,
+		PlansCosted: e.Model.PlansCosted - e.costedAtStart,
+		Elapsed:     time.Since(e.started),
+	}
+}
+
+// Optimize runs exhaustive DP over the query's base relations and returns
+// the optimal plan with overhead statistics. This is the paper's "DP"
+// baseline.
+func Optimize(q *query.Query, opts Options) (*plan.Plan, Stats, error) {
+	e, err := NewEngine(q, BaseLeaves(q), opts)
+	if err != nil {
+		if e != nil {
+			return nil, e.Stats(), err
+		}
+		return nil, Stats{}, err
+	}
+	if err := e.Run(q.NumRelations()); err != nil {
+		return nil, e.Stats(), err
+	}
+	p, err := e.Finalize()
+	return p, e.Stats(), err
+}

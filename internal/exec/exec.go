@@ -1,0 +1,359 @@
+// Package exec executes physical plans over synthetic data generated from
+// the catalog statistics.
+//
+// The paper's experiments never execute queries — every reported number
+// comes from the optimizer — but an executor makes the optimizer testable
+// end to end: data is generated to match the catalog's cardinalities,
+// distinct counts and skew, each physical operator (scans, sorts, all four
+// joins) is implemented with its real semantics, and any two plans for the
+// same query must produce the same result multiset. That invariant is the
+// strongest correctness check the plan space admits and is exercised by
+// this package's tests and the validate example.
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Table is a materialized intermediate result: a row-major matrix whose
+// columns are identified by (query-local relation, column) pairs.
+type Table struct {
+	// Cols maps output column position to its origin.
+	Cols []ColRef
+	// Rows holds the tuples.
+	Rows [][]int64
+}
+
+// ColRef identifies one output column's origin.
+type ColRef struct{ Rel, Col int }
+
+// NumRows returns the tuple count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// colIndex returns the position of (rel, col) in the output, or -1.
+func (t *Table) colIndex(rel, col int) int {
+	for i, c := range t.Cols {
+		if c.Rel == rel && c.Col == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// DB holds generated base-relation data for one query's relations.
+type DB struct {
+	q *query.Query
+	// tables[i] is the data of query-local relation i, one row per tuple,
+	// one value per column.
+	tables [][][]int64
+}
+
+// Generate builds synthetic data for every relation of q, honoring each
+// column's distinct count and skew from the catalog. Generation is
+// deterministic in seed. Relation cardinalities above maxRows are rejected
+// — the executor is a validation harness for scaled-down schemas, not a
+// data warehouse.
+func Generate(q *query.Query, seed int64, maxRows int) (*DB, error) {
+	db := &DB{q: q, tables: make([][][]int64, q.NumRelations())}
+	for i := 0; i < q.NumRelations(); i++ {
+		rel := q.Relation(i)
+		n := int(rel.Rows)
+		if n > maxRows {
+			return nil, fmt.Errorf("exec: relation %s has %d rows, cap is %d", rel.Name, n, maxRows)
+		}
+		// Per-relation deterministic stream, independent of query shape.
+		rng := rand.New(rand.NewSource(seed ^ int64(q.Rels[i]+1)*2654435761))
+		rows := make([][]int64, n)
+		for r := range rows {
+			rows[r] = make([]int64, len(rel.Cols))
+			for c := range rel.Cols {
+				rows[r][c] = drawValue(&rel.Cols[c], rng)
+			}
+		}
+		db.tables[i] = rows
+	}
+	return db, nil
+}
+
+// drawValue samples one column value in [0, NDV): uniformly for unskewed
+// columns, exponentially tilted for skewed ones (matching the catalog's
+// "exponential distribution" of values).
+func drawValue(col *catalog.Column, rng *rand.Rand) int64 {
+	ndv := int64(col.NDV)
+	if ndv < 1 {
+		ndv = 1
+	}
+	if col.Skew == 0 {
+		return rng.Int63n(ndv)
+	}
+	// Exponential with rate λ = skew, folded into the domain: small values
+	// are much likelier than large ones.
+	v := int64(rng.ExpFloat64() / col.Skew * float64(ndv) / 4)
+	if v >= ndv {
+		v = ndv - 1
+	}
+	return v
+}
+
+// Run executes p against the database and returns its materialized result.
+func (db *DB) Run(p *plan.Plan) (*Table, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	return db.run(p)
+}
+
+func (db *DB) run(p *plan.Plan) (*Table, error) {
+	switch p.Op {
+	case plan.SeqScan:
+		return db.scan(p.Rel, false), nil
+	case plan.IndexScan:
+		return db.scan(p.Rel, true), nil
+	case plan.Sort:
+		in, err := db.run(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		return db.sortTable(in, p.Order)
+	case plan.NestLoop, plan.HashJoin, plan.MergeJoin, plan.IndexNestLoop:
+		left, err := db.run(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		var right *Table
+		if p.Op == plan.IndexNestLoop {
+			// The inner of an indexed nested loop is the base relation the
+			// probe descends into.
+			right = db.scan(p.Right.Rel, true)
+		} else {
+			right, err = db.run(p.Right)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return db.join(p, left, right)
+	default:
+		return nil, fmt.Errorf("exec: unsupported operator %v", p.Op)
+	}
+}
+
+// scan materializes base relation rel, applying the query's local range
+// filters; index scans deliver rows ordered by the indexed column, as the
+// plan's order property promises.
+func (db *DB) scan(rel int, indexOrder bool) *Table {
+	relMeta := db.q.Relation(rel)
+	t := &Table{}
+	for c := range relMeta.Cols {
+		t.Cols = append(t.Cols, ColRef{Rel: rel, Col: c})
+	}
+	filters := db.q.FiltersOn(rel)
+	for _, row := range db.tables[rel] {
+		pass := true
+		for _, f := range filters {
+			if row[f.Col] >= f.Bound {
+				pass = false
+				break
+			}
+		}
+		if pass {
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	if indexOrder {
+		idx := relMeta.IndexCol
+		sort.SliceStable(t.Rows, func(a, b int) bool { return t.Rows[a][idx] < t.Rows[b][idx] })
+	}
+	return t
+}
+
+// sortTable orders the input on (one of) the columns of order equivalence
+// class ec present in the table.
+func (db *DB) sortTable(in *Table, ec int) (*Table, error) {
+	key := db.orderColumn(in, ec)
+	if key < 0 {
+		return nil, fmt.Errorf("exec: no column of order class %d in input", ec)
+	}
+	out := &Table{Cols: in.Cols, Rows: append([][]int64(nil), in.Rows...)}
+	sort.SliceStable(out.Rows, func(a, b int) bool { return out.Rows[a][key] < out.Rows[b][key] })
+	return out, nil
+}
+
+// orderColumn finds a column of equivalence class ec in the table.
+func (db *DB) orderColumn(t *Table, ec int) int {
+	for i, c := range t.Cols {
+		if db.q.EqClass(c.Rel, c.Col) == ec {
+			return i
+		}
+	}
+	return -1
+}
+
+// join evaluates every query predicate spanning the two inputs. All four
+// physical operators share these semantics — hash join implements them with
+// a build/probe on the first predicate, the others nest-and-filter — so all
+// plans of one query produce identical result multisets.
+func (db *DB) join(p *plan.Plan, left, right *Table) (*Table, error) {
+	leftRels := relsOf(left)
+	rightRels := relsOf(right)
+	predIdx := db.q.PredsBetween(leftRels, rightRels)
+	var pairs []keyPair
+	for _, pi := range predIdx {
+		pr := db.q.Preds[pi]
+		l := left.colIndex(pr.LeftRel, pr.LeftCol)
+		r := right.colIndex(pr.RightRel, pr.RightCol)
+		if l < 0 {
+			// Predicate written right-to-left relative to this join.
+			l = left.colIndex(pr.RightRel, pr.RightCol)
+			r = right.colIndex(pr.LeftRel, pr.LeftCol)
+		}
+		if l < 0 || r < 0 {
+			return nil, fmt.Errorf("exec: predicate %d columns not found in join inputs", pi)
+		}
+		pairs = append(pairs, keyPair{l, r})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("exec: cartesian join of %v and %v", leftRels, rightRels)
+	}
+
+	out := &Table{Cols: append(append([]ColRef(nil), left.Cols...), right.Cols...)}
+	switch p.Op {
+	case plan.HashJoin:
+		// Build on the first key pair, re-check the rest.
+		build := map[int64][]int{}
+		for ri, row := range right.Rows {
+			build[row[pairs[0].r]] = append(build[row[pairs[0].r]], ri)
+		}
+		for _, lrow := range left.Rows {
+			for _, ri := range build[lrow[pairs[0].l]] {
+				rrow := right.Rows[ri]
+				if matches(lrow, rrow, pairs) {
+					out.Rows = append(out.Rows, concat(lrow, rrow))
+				}
+			}
+		}
+	default:
+		// Nested loop semantics (also fine for merge join correctness —
+		// ordering is a physical property, not a logical one).
+		for _, lrow := range left.Rows {
+			for _, rrow := range right.Rows {
+				if matches(lrow, rrow, pairs) {
+					out.Rows = append(out.Rows, concat(lrow, rrow))
+				}
+			}
+		}
+	}
+	// Physical output order: merge joins deliver key order; sorts and index
+	// order are preserved by the nested loop's outer-major iteration. For
+	// the multiset-equality validation the order is irrelevant, but a merge
+	// join's promised order is re-established here so downstream sorts stay
+	// honest.
+	if p.Op == plan.MergeJoin && p.Order != plan.NoOrder {
+		if key := db.orderColumn(out, p.Order); key >= 0 {
+			sort.SliceStable(out.Rows, func(a, b int) bool { return out.Rows[a][key] < out.Rows[b][key] })
+		}
+	}
+	return out, nil
+}
+
+// keyPair is one equi-join key: column positions in the left and right
+// join inputs.
+type keyPair struct{ l, r int }
+
+func relsOf(t *Table) bits.Set {
+	var s bits.Set
+	for _, c := range t.Cols {
+		s = s.Add(c.Rel)
+	}
+	return s
+}
+
+func matches(lrow, rrow []int64, pairs []keyPair) bool {
+	for _, kp := range pairs {
+		if lrow[kp.l] != rrow[kp.r] {
+			return false
+		}
+	}
+	return true
+}
+
+func concat(a, b []int64) []int64 {
+	out := make([]int64, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+// Fingerprint returns an order-insensitive digest of the result: the sorted
+// multiset of rows rendered canonically. Two plans for the same query are
+// equivalent iff their fingerprints match.
+func (t *Table) Fingerprint() string {
+	// Canonicalize column order by (rel, col) so bushy vs left-deep shapes
+	// compare equal.
+	perm := make([]int, len(t.Cols))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ca, cb := t.Cols[perm[a]], t.Cols[perm[b]]
+		if ca.Rel != cb.Rel {
+			return ca.Rel < cb.Rel
+		}
+		return ca.Col < cb.Col
+	})
+	lines := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		buf := make([]byte, 0, len(row)*10)
+		for _, p := range perm {
+			buf = appendInt(buf, row[p])
+			buf = append(buf, ',')
+		}
+		lines[i] = string(buf)
+	}
+	sort.Strings(lines)
+	out := make([]byte, 0, len(lines)*16)
+	for _, l := range lines {
+		out = append(out, l...)
+		out = append(out, '\n')
+	}
+	return string(out)
+}
+
+func appendInt(buf []byte, v int64) []byte {
+	return append(buf, fmt.Sprintf("%d", v)...)
+}
+
+// EstimationError compares an estimated cardinality with the actual row
+// count, returning the log10 error (q-error direction-signed): 0 means
+// exact, 1 means a 10× overestimate, -1 a 10× underestimate.
+func EstimationError(estimated float64, actual int) float64 {
+	a := float64(actual)
+	if a < 1 {
+		a = 1
+	}
+	e := estimated
+	if e < 1 {
+		e = 1
+	}
+	return math.Log10(e / a)
+}
+
+// SortedBy reports whether the table's rows are non-decreasing on some
+// column of order equivalence class ec.
+func (db *DB) SortedBy(t *Table, ec int) bool {
+	key := db.orderColumn(t, ec)
+	if key < 0 {
+		return false
+	}
+	for i := 1; i < len(t.Rows); i++ {
+		if t.Rows[i-1][key] > t.Rows[i][key] {
+			return false
+		}
+	}
+	return true
+}

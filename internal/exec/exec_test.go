@@ -1,0 +1,331 @@
+package exec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/core"
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/greedy"
+	"sdpopt/internal/jointree"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+	"sdpopt/internal/testutil"
+)
+
+// tinyCatalog is a scaled-down schema whose relations are small enough to
+// execute: tens of rows, small domains so joins actually match.
+func tinyCatalog(n int) *catalog.Catalog {
+	return catalog.MustSynthetic(catalog.Config{
+		NumRelations:    n,
+		BaseRows:        20,
+		Ratio:           1.3,
+		ColsPerRelation: 8,
+		MinDomain:       4,
+		MaxDomain:       30,
+		Seed:            5,
+	})
+}
+
+func tinyQuery(t *testing.T, n int, edges []query.Edge, order *query.OrderSpec) *query.Query {
+	t.Helper()
+	q, err := testutil.Query(tinyCatalog(n), n, edges, order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestGenerateHonorsStatistics(t *testing.T) {
+	q := tinyQuery(t, 4, query.ChainEdges(4), nil)
+	db, err := Generate(q, 1, 1000)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for i := 0; i < q.NumRelations(); i++ {
+		rel := q.Relation(i)
+		if got := len(db.tables[i]); got != int(rel.Rows) {
+			t.Errorf("relation %d has %d rows, want %g", i, got, rel.Rows)
+		}
+		for _, row := range db.tables[i] {
+			for c, v := range row {
+				if v < 0 || float64(v) >= rel.Cols[c].NDV {
+					t.Fatalf("relation %d col %d value %d outside [0,%g)", i, c, v, rel.Cols[c].NDV)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	q := tinyQuery(t, 3, query.ChainEdges(3), nil)
+	a, err := Generate(q, 9, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(q, 9, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.tables {
+		for r := range a.tables[i] {
+			for c := range a.tables[i][r] {
+				if a.tables[i][r][c] != b.tables[i][r][c] {
+					t.Fatal("generation not deterministic")
+				}
+			}
+		}
+	}
+	c, err := Generate(q, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.tables {
+		for r := range a.tables[i] {
+			for cc := range a.tables[i][r] {
+				if a.tables[i][r][cc] != c.tables[i][r][cc] {
+					same = false
+				}
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds generated identical data")
+	}
+}
+
+func TestGenerateRowCap(t *testing.T) {
+	q := tinyQuery(t, 3, query.ChainEdges(3), nil)
+	if _, err := Generate(q, 1, 5); err == nil {
+		t.Error("row cap not enforced")
+	}
+}
+
+// TestAllPlansEquivalent is the central invariant: DP's, SDP's, greedy's
+// and random left-deep plans for the same query all produce the same
+// result multiset when executed.
+func TestAllPlansEquivalent(t *testing.T) {
+	topologies := []struct {
+		name  string
+		n     int
+		edges []query.Edge
+	}{
+		{"chain-4", 4, query.ChainEdges(4)},
+		{"star-5", 5, query.StarEdges(5)},
+		{"cycle-4", 4, query.CycleEdges(4)},
+		{"star-chain-6", 6, query.StarChainEdges(6, 3)},
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, tc := range topologies {
+		q := tinyQuery(t, tc.n, tc.edges, nil)
+		db, err := Generate(q, 2, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var plans []*plan.Plan
+		dpPlan, _, err := dp.Optimize(q, dp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, dpPlan)
+		sdpPlan, _, err := core.Optimize(q, core.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, sdpPlan)
+		gooPlan, _, err := greedy.Optimize(q, greedy.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, gooPlan)
+		m := cost.NewModel(q, cost.DefaultParams())
+		for i := 0; i < 5; i++ {
+			p, err := jointree.Build(q, m, jointree.RandomPerm(q, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+		var want string
+		for i, p := range plans {
+			res, err := db.Run(p)
+			if err != nil {
+				t.Fatalf("%s plan %d: %v", tc.name, i, err)
+			}
+			fp := res.Fingerprint()
+			if i == 0 {
+				want = fp
+				continue
+			}
+			if fp != want {
+				t.Fatalf("%s: plan %d (%s) result differs from DP's",
+					tc.name, i, p.Shape(func(r int) string { return q.Relation(r).Name }))
+			}
+		}
+	}
+}
+
+func TestIndexScanDeliversIndexOrder(t *testing.T) {
+	q := tinyQuery(t, 2, query.ChainEdges(2), nil)
+	db, err := Generate(q, 4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.scan(1, true)
+	idx := q.Relation(1).IndexCol
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i-1][idx] > tab.Rows[i][idx] {
+			t.Fatal("index scan output not ordered")
+		}
+	}
+}
+
+func TestSortAndMergeJoinOrder(t *testing.T) {
+	// Ordered query: the final plan promises the ORDER BY class; executing
+	// it must deliver rows sorted on that column.
+	cat := tinyCatalog(4)
+	q, err := testutil.Query(cat, 4, query.ChainEdges(4), &query.OrderSpec{Rel: 0, Col: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OrderEqClass() < 0 {
+		t.Fatal("fixture: order column not a join column")
+	}
+	db, err := Generate(q, 6, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Order != q.OrderEqClass() {
+		t.Fatalf("plan order = %d, want %d", p.Order, q.OrderEqClass())
+	}
+	res, err := db.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() > 1 && !db.SortedBy(res, q.OrderEqClass()) {
+		t.Error("executed ordered plan is not sorted on the ORDER BY class")
+	}
+}
+
+func TestCardinalityEstimatesReasonable(t *testing.T) {
+	// On uniform data the eqjoinsel estimate should land within roughly an
+	// order of magnitude of the truth for 2-way and 3-way joins.
+	q := tinyQuery(t, 3, query.ChainEdges(3), nil)
+	db, err := Generate(q, 8, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := cost.NewModel(q, cost.DefaultParams())
+	p, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := m.SetRows(p.Rels)
+	if e := EstimationError(est, res.NumRows()); math.Abs(e) > 1.5 {
+		t.Errorf("3-way join estimate %g vs actual %d: log10 error %g", est, res.NumRows(), e)
+	}
+}
+
+func TestEstimationError(t *testing.T) {
+	cases := []struct {
+		est    float64
+		actual int
+		want   float64
+	}{
+		{100, 100, 0},
+		{1000, 100, 1},
+		{10, 100, -1},
+		{0.5, 0, 0}, // both clamp to 1
+	}
+	for _, c := range cases {
+		if got := EstimationError(c.est, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("EstimationError(%g, %d) = %g, want %g", c.est, c.actual, got, c.want)
+		}
+	}
+}
+
+func TestRunRejectsInvalidPlan(t *testing.T) {
+	q := tinyQuery(t, 2, query.ChainEdges(2), nil)
+	db, err := Generate(q, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Run(&plan.Plan{Op: plan.Op(77)}); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func TestFingerprintOrderInsensitive(t *testing.T) {
+	a := &Table{
+		Cols: []ColRef{{0, 0}, {1, 0}},
+		Rows: [][]int64{{1, 2}, {3, 4}},
+	}
+	b := &Table{
+		Cols: []ColRef{{1, 0}, {0, 0}},  // swapped column order
+		Rows: [][]int64{{4, 3}, {2, 1}}, // swapped row order and values
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprints should match across column/row permutations")
+	}
+	c := &Table{Cols: a.Cols, Rows: [][]int64{{1, 2}, {3, 5}}}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("different contents produced equal fingerprints")
+	}
+}
+
+func TestFiltersAppliedAtScan(t *testing.T) {
+	cat := tinyCatalog(2)
+	preds := []query.Pred{{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0}}
+	ndv := int64(cat.Relation(0).Cols[2].NDV)
+	bound := ndv / 2
+	if bound < 1 {
+		bound = 1
+	}
+	q, err := query.NewFiltered(cat, []int{0, 1}, preds,
+		[]query.Filter{{Rel: 0, Col: 2, Bound: bound}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Generate(q, 3, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := db.scan(0, false)
+	for _, row := range tab.Rows {
+		if row[2] >= bound {
+			t.Fatalf("filter not applied: value %d >= bound %d", row[2], bound)
+		}
+	}
+	// Plans over the filtered query still agree with each other.
+	p1, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := greedy.Optimize(q, greedy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := db.Run(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Run(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Error("filtered plans disagree on results")
+	}
+}

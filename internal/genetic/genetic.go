@@ -1,0 +1,168 @@
+// Package genetic implements a GEQO-style genetic join-order optimizer,
+// the third family the paper's introduction cites (PostgreSQL's fallback
+// for large joins).
+//
+// Chromosomes are prefix-connected permutations (left-deep trees, as in
+// internal/jointree); fitness is plan cost. Each generation applies
+// tournament selection, order crossover (OX1) followed by a
+// connectivity repair, and swap mutation, with elitism preserving the
+// incumbent. (PostgreSQL's GEQO uses edge-recombination crossover; OX1
+// with repair is a standard alternative with the same character.)
+package genetic
+
+import (
+	"math/rand"
+	"time"
+
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/jointree"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Options configures the genetic search.
+type Options struct {
+	// PopSize is the population size; 0 selects GEQO's heuristic
+	// 2^ceil(log2 n) bounded to [16, 128].
+	PopSize int
+	// Generations is the number of generations; 0 selects 20·n.
+	Generations int
+	// MutationRate is the per-offspring swap-mutation probability;
+	// 0 selects 0.05.
+	MutationRate float64
+	// Seed drives all randomness; runs are deterministic in it.
+	Seed int64
+	// Model supplies costing; if nil a fresh default model is created.
+	Model *cost.Model
+}
+
+// DefaultOptions returns the GEQO-flavored defaults.
+func DefaultOptions() Options { return Options{} }
+
+type individual struct {
+	perm []int
+	pl   *plan.Plan
+}
+
+// Optimize runs the genetic search on q.
+func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
+	model := opts.Model
+	if model == nil {
+		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	started := time.Now()
+	costedAtStart := model.PlansCosted
+	n := q.NumRelations()
+
+	pop := opts.PopSize
+	if pop == 0 {
+		pop = 16
+		for pop < 2*n && pop < 128 {
+			pop *= 2
+		}
+	}
+	gens := opts.Generations
+	if gens == 0 {
+		gens = 20 * n
+	}
+	mut := opts.MutationRate
+	if mut == 0 {
+		mut = 0.05
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+
+	mk := func(perm []int) (individual, error) {
+		pl, err := jointree.Build(q, model, perm)
+		return individual{perm: perm, pl: pl}, err
+	}
+
+	people := make([]individual, pop)
+	for i := range people {
+		ind, err := mk(jointree.RandomPerm(q, rng))
+		if err != nil {
+			return nil, statsOf(model, costedAtStart, started, n), err
+		}
+		people[i] = ind
+	}
+	best := people[0]
+	for _, ind := range people[1:] {
+		if ind.pl.Cost < best.pl.Cost {
+			best = ind
+		}
+	}
+
+	tournament := func() individual {
+		a, b := people[rng.Intn(pop)], people[rng.Intn(pop)]
+		if a.pl.Cost <= b.pl.Cost {
+			return a
+		}
+		return b
+	}
+
+	for g := 0; g < gens; g++ {
+		next := make([]individual, 0, pop)
+		next = append(next, best) // elitism
+		for len(next) < pop {
+			p1, p2 := tournament(), tournament()
+			child := orderCrossover(p1.perm, p2.perm, rng)
+			if rng.Float64() < mut {
+				i, j := rng.Intn(n), rng.Intn(n)
+				child[i], child[j] = child[j], child[i]
+			}
+			child = jointree.Repair(q, child)
+			ind, err := mk(child)
+			if err != nil {
+				return nil, statsOf(model, costedAtStart, started, n), err
+			}
+			if ind.pl.Cost < best.pl.Cost {
+				best = ind
+			}
+			next = append(next, ind)
+		}
+		people = next
+	}
+	return best.pl, statsOf(model, costedAtStart, started, n*pop), nil
+}
+
+// orderCrossover is OX1: copy a random slice from p1, fill the rest in
+// p2's order. The result is a permutation but not necessarily
+// prefix-connected; callers repair it.
+func orderCrossover(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	if n < 2 {
+		return append([]int(nil), p1...)
+	}
+	i, j := rng.Intn(n), rng.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	child := make([]int, n)
+	used := make([]bool, n)
+	for k := i; k <= j; k++ {
+		child[k] = p1[k]
+		used[p1[k]] = true
+	}
+	pos := (j + 1) % n
+	for k := 0; k < n; k++ {
+		gene := p2[(j+1+k)%n]
+		if used[gene] {
+			continue
+		}
+		child[pos] = gene
+		used[gene] = true
+		pos = (pos + 1) % n
+	}
+	return child
+}
+
+func statsOf(model *cost.Model, costedAtStart int64, started time.Time, liveSolutions int) dp.Stats {
+	return dp.Stats{
+		Memo: memo.Stats{
+			PeakSimBytes: int64(liveSolutions) * memo.SimPathBytes,
+		},
+		PlansCosted: model.PlansCosted - costedAtStart,
+		Elapsed:     time.Since(started),
+	}
+}

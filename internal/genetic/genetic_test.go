@@ -1,0 +1,115 @@
+package genetic
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/query"
+	"sdpopt/internal/testutil"
+)
+
+func TestOrderCrossoverIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		p1 := rng.Perm(n)
+		p2 := rng.Perm(n)
+		child := orderCrossover(p1, p2, rng)
+		sorted := append([]int(nil), child...)
+		sort.Ints(sorted)
+		for i, v := range sorted {
+			if v != i {
+				t.Fatalf("child %v is not a permutation (p1=%v p2=%v)", child, p1, p2)
+			}
+		}
+	}
+}
+
+func TestOptimizeProducesValidPlans(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		edges []query.Edge
+	}{
+		{"star-9", 9, query.StarEdges(9)},
+		{"chain-8", 8, query.ChainEdges(8)},
+		{"star-chain-11", 11, query.StarChainEdges(11, 7)},
+	} {
+		q := testutil.MustQuery(testutil.Catalog(tc.n), tc.n, tc.edges, nil)
+		p, stats, err := Optimize(q, Options{Seed: 1, Generations: 30})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid plan: %v", tc.name, err)
+		}
+		if p.Rels != bits.Full(tc.n) {
+			t.Fatalf("%s: covers %v", tc.name, p.Rels)
+		}
+		if stats.PlansCosted <= 0 {
+			t.Errorf("%s: no plans costed", tc.name)
+		}
+	}
+}
+
+func TestNeverBeatsDP(t *testing.T) {
+	q := testutil.MustQuery(testutil.Catalog(9), 9, query.StarEdges(9), nil)
+	optimal, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 3; seed++ {
+		p, _, err := Optimize(q, Options{Seed: seed, Generations: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost < optimal.Cost*(1-1e-9) {
+			t.Fatalf("seed %d: genetic %g beat DP %g", seed, p.Cost, optimal.Cost)
+		}
+	}
+}
+
+func TestMoreGenerationsNeverHurt(t *testing.T) {
+	q := testutil.MustQuery(testutil.Catalog(12), 12, query.StarChainEdges(12, 8), nil)
+	short, _, err := Optimize(q, Options{Seed: 5, Generations: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, _, err := Optimize(q, Options{Seed: 5, Generations: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Elitism makes the incumbent monotone over generations for one seed.
+	if long.Cost > short.Cost*(1+1e-9) {
+		t.Errorf("more generations worsened the plan: %g -> %g", short.Cost, long.Cost)
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	q := testutil.MustQuery(testutil.Catalog(10), 10, query.StarEdges(10), nil)
+	a, _, err := Optimize(q, Options{Seed: 3, Generations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Optimize(q, Options{Seed: 3, Generations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Error("genetic search not deterministic in seed")
+	}
+}
+
+func TestExplicitKnobs(t *testing.T) {
+	q := testutil.MustQuery(testutil.Catalog(8), 8, query.StarEdges(8), nil)
+	p, _, err := Optimize(q, Options{PopSize: 8, Generations: 5, MutationRate: 0.5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package greedy implements Greedy Operator Ordering (GOO), the classic
+// O(n³) bottom-up greedy heuristic: repeatedly join the pair of current
+// nodes whose result has the smallest cardinality until one tree remains.
+//
+// GOO is the cheapest member of the heuristic family the paper's
+// evaluation space sits in; it serves as a lower anchor for the
+// quality/effort tradeoff (Figure 1.2-style comparisons): almost no
+// optimization effort, no optimality guarantee, bushy trees allowed.
+package greedy
+
+import (
+	"fmt"
+	"time"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Options configures a GOO run.
+type Options struct {
+	// Model supplies costing; if nil a fresh default model is created.
+	Model *cost.Model
+}
+
+// Optimize runs Greedy Operator Ordering on q.
+func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
+	model := opts.Model
+	if model == nil {
+		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	started := time.Now()
+	costedAtStart := model.PlansCosted
+
+	type node struct {
+		set bits.Set
+		pl  *plan.Plan
+	}
+	nodes := make([]node, q.NumRelations())
+	for i := range nodes {
+		paths := model.AccessPaths(i)
+		best := paths[0]
+		for _, p := range paths[1:] {
+			if p.Cost < best.Cost {
+				best = p
+			}
+		}
+		nodes[i] = node{set: bits.Single(i), pl: best}
+	}
+
+	for len(nodes) > 1 {
+		bi, bj, bestRows := -1, -1, 0.0
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if !q.Connected(nodes[i].set, nodes[j].set) {
+					continue
+				}
+				rows := model.SetRows(nodes[i].set.Union(nodes[j].set))
+				if bi < 0 || rows < bestRows {
+					bi, bj, bestRows = i, j, rows
+				}
+			}
+		}
+		if bi < 0 {
+			return nil, stats(model, costedAtStart, started), fmt.Errorf("greedy: disconnected join graph")
+		}
+		a, b := nodes[bi], nodes[bj]
+		preds := q.PredsBetween(a.set, b.set)
+		var best *plan.Plan
+		for _, in := range []cost.JoinInputs{
+			{Outer: a.pl, Inner: b.pl, Preds: preds, Rows: bestRows},
+			{Outer: b.pl, Inner: a.pl, Preds: preds, Rows: bestRows},
+		} {
+			for _, p := range model.JoinPlans(in) {
+				if best == nil || p.Cost < best.Cost {
+					best = p
+				}
+			}
+		}
+		merged := node{set: a.set.Union(b.set), pl: best}
+		nodes = append(nodes[:bj], nodes[bj+1:]...)
+		nodes[bi] = merged
+	}
+
+	result := nodes[0].pl
+	if q.OrderBy != nil {
+		ec := q.OrderEqClass()
+		if ec < 0 {
+			result = model.SortPlan(result, 0)
+		} else if result.Order != ec {
+			result = model.SortPlan(result, ec)
+		}
+	}
+	return result, stats(model, costedAtStart, started), nil
+}
+
+func stats(model *cost.Model, costedAtStart int64, started time.Time) dp.Stats {
+	return dp.Stats{
+		// GOO keeps one plan per live node: simulated memory is a handful
+		// of paths, reported through the same accounting constants.
+		Memo: memo.Stats{
+			PathsRetained: int64(0),
+			PeakSimBytes:  int64(model.Q.NumRelations()) * memo.SimPathBytes,
+			SimBytes:      memo.SimPathBytes,
+		},
+		PlansCosted: model.PlansCosted - costedAtStart,
+		Elapsed:     time.Since(started),
+	}
+}

@@ -1,0 +1,100 @@
+package greedy
+
+import (
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/query"
+	"sdpopt/internal/testutil"
+)
+
+func TestGreedyProducesValidPlans(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		n     int
+		edges []query.Edge
+	}{
+		{"chain-8", 8, query.ChainEdges(8)},
+		{"star-9", 9, query.StarEdges(9)},
+		{"star-chain-12", 12, query.StarChainEdges(12, 8)},
+		{"clique-6", 6, query.CliqueEdges(6)},
+	} {
+		q := testutil.MustQuery(testutil.Catalog(tc.n), tc.n, tc.edges, nil)
+		p, stats, err := Optimize(q, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: invalid plan: %v", tc.name, err)
+		}
+		if p.Rels != bits.Full(tc.n) {
+			t.Fatalf("%s: covers %v", tc.name, p.Rels)
+		}
+		if stats.PlansCosted <= 0 || stats.Elapsed <= 0 {
+			t.Errorf("%s: stats = %+v", tc.name, stats)
+		}
+	}
+}
+
+func TestGreedyNeverBeatsDP(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := testutil.Catalog(10)
+		_ = cfg
+		q := testutil.MustQuery(testutil.Catalog(10), 10, query.StarChainEdges(10, 6), nil)
+		optimal, _, err := dp.Optimize(q, dp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, err := Optimize(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost < optimal.Cost*(1-1e-9) {
+			t.Fatalf("greedy %g beat DP %g", p.Cost, optimal.Cost)
+		}
+	}
+}
+
+func TestGreedyIsCheap(t *testing.T) {
+	q := testutil.MustQuery(testutil.Catalog(12), 12, query.StarEdges(12), nil)
+	_, gooStats, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dpStats, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gooStats.PlansCosted*10 > dpStats.PlansCosted {
+		t.Errorf("greedy costed %d plans, DP %d — not cheap enough",
+			gooStats.PlansCosted, dpStats.PlansCosted)
+	}
+}
+
+func TestGreedyOrdered(t *testing.T) {
+	cat := testutil.Catalog(8)
+	q := testutil.MustQuery(cat, 8, query.StarEdges(8), &query.OrderSpec{Rel: 0, Col: 0})
+	p, _, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec := q.OrderEqClass(); ec >= 0 && p.Order != ec {
+		t.Errorf("ordered greedy delivers order %d, want %d", p.Order, ec)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	q := testutil.MustQuery(testutil.Catalog(10), 10, query.StarEdges(10), nil)
+	a, _, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Optimize(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("greedy non-deterministic: %g vs %g", a.Cost, b.Cost)
+	}
+}

@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CSV renders the batch as comma-separated values, one row per technique,
+// for external plotting (the paper's Figure 1.2 style quality-vs-effort
+// series). Infeasible techniques emit empty metric fields.
+func (b *Batch) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("graph,technique,feasible,pct_ideal,pct_good,pct_acceptable,pct_bad,worst,rho,peak_mem_mb,mean_time_us,mean_plans_costed\n")
+	for _, o := range b.Outcomes {
+		if !o.Feasible {
+			fmt.Fprintf(&sb, "%s,%s,false,,,,,,,%.3f,%d,%.0f\n",
+				b.Graph, o.Name, o.PeakMemMB, o.MeanTime.Microseconds(), o.MeanCosted)
+			continue
+		}
+		s := o.Summary
+		fmt.Fprintf(&sb, "%s,%s,true,%.1f,%.1f,%.1f,%.1f,%.4f,%.4f,%.3f,%d,%.0f\n",
+			b.Graph, o.Name, s.PctIdeal, s.PctGood, s.PctAcceptable, s.PctBad,
+			s.Worst, s.Rho, o.PeakMemMB, o.MeanTime.Microseconds(), o.MeanCosted)
+	}
+	return sb.String()
+}

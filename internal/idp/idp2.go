@@ -1,0 +1,253 @@
+package idp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Optimize2 runs IDP2, the second family of Kossmann & Stocker's iterative
+// dynamic programming: instead of bottom-up DP blocks (IDP1), IDP2 first
+// builds a complete plan with a cheap greedy heuristic, then repeatedly
+// selects a subtree spanning at most K base relations and re-optimizes
+// those relations exhaustively with DP, splicing the DP-optimal subplan
+// back in, until no subtree improves. IDP2 does more, cheaper iterations
+// than IDP1 and was the scalability-oriented variant.
+func Optimize2(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
+	if opts.K < 2 {
+		return nil, dp.Stats{}, fmt.Errorf("idp: block size K=%d must be at least 2", opts.K)
+	}
+	model := opts.Model
+	if model == nil {
+		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	started := time.Now()
+	costedAtStart := model.PlansCosted
+	var agg memo.Stats
+
+	// Phase 1: greedy initial plan — join the connected pair with minimum
+	// result cardinality (GOO), using the cheapest operator each time.
+	nodes := make([]*plan.Plan, 0, q.NumRelations())
+	for i := 0; i < q.NumRelations(); i++ {
+		paths := model.AccessPaths(i)
+		best := paths[0]
+		for _, p := range paths[1:] {
+			if p.Cost < best.Cost {
+				best = p
+			}
+		}
+		nodes = append(nodes, best)
+	}
+	for len(nodes) > 1 {
+		bi, bj := -1, -1
+		bestRows := math.Inf(1)
+		for i := 0; i < len(nodes); i++ {
+			for j := i + 1; j < len(nodes); j++ {
+				if !q.Connected(nodes[i].Rels, nodes[j].Rels) {
+					continue
+				}
+				rows := model.SetRows(nodes[i].Rels.Union(nodes[j].Rels))
+				if rows < bestRows {
+					bi, bj, bestRows = i, j, rows
+				}
+			}
+		}
+		if bi < 0 {
+			return nil, finish(agg, model, costedAtStart, started), fmt.Errorf("idp: disconnected join graph")
+		}
+		joined := cheapestJoin(q, model, nodes[bi], nodes[bj], bestRows)
+		nodes = append(nodes[:bj], nodes[bj+1:]...)
+		nodes[bi] = joined
+	}
+	current := nodes[0]
+
+	// Phase 2: iterative subtree re-optimization. Each pass enumerates the
+	// maximal subtrees spanning ≤ K relations and re-plans the best
+	// improvement via exhaustive DP over the subtree's leaves.
+	improved := true
+	for improved {
+		improved = false
+		for _, sub := range subtreesUpTo(current, opts.K) {
+			replanned, stats, err := replanSubtree(q, model, current, sub, opts.Budget)
+			accumulate(&agg, stats)
+			if err != nil {
+				return nil, finish(agg, model, costedAtStart, started), err
+			}
+			if replanned.Cost < current.Cost*(1-1e-12) {
+				current = replanned
+				improved = true
+				break // restart subtree enumeration on the new plan
+			}
+		}
+	}
+
+	// Final ORDER BY handling mirrors the engine's Finalize.
+	if q.OrderBy != nil {
+		ec := q.OrderEqClass()
+		if ec < 0 {
+			current = model.SortPlan(current, 0)
+		} else if current.Order != ec {
+			current = model.SortPlan(current, ec)
+		}
+	}
+	return current, finish(agg, model, costedAtStart, started), nil
+}
+
+// cheapestJoin builds the cheapest physical join of two subplans.
+func cheapestJoin(q *query.Query, model *cost.Model, a, b *plan.Plan, rows float64) *plan.Plan {
+	preds := q.PredsBetween(a.Rels, b.Rels)
+	var best *plan.Plan
+	for _, in := range []cost.JoinInputs{
+		{Outer: a, Inner: b, Preds: preds, Rows: rows},
+		{Outer: b, Inner: a, Preds: preds, Rows: rows},
+	} {
+		for _, p := range model.JoinPlans(in) {
+			if best == nil || p.Cost < best.Cost {
+				best = p
+			}
+		}
+	}
+	return best
+}
+
+// subtreesUpTo collects the join subtrees of p spanning at most k base
+// relations, largest first so re-optimization prefers big wins.
+func subtreesUpTo(p *plan.Plan, k int) []*plan.Plan {
+	var out []*plan.Plan
+	var walk func(*plan.Plan)
+	walk = func(n *plan.Plan) {
+		if n == nil || n.Op.IsScan() {
+			return
+		}
+		if n.Op.IsJoin() && n.Rels.Len() <= k {
+			out = append(out, n)
+			return // children are strictly smaller; the parent suffices
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(p)
+	return out
+}
+
+// replanSubtree re-optimizes the base relations under sub with exhaustive
+// DP and splices the optimal subplan into a rebuilt tree.
+func replanSubtree(q *query.Query, model *cost.Model, root, sub *plan.Plan, budget int64) (*plan.Plan, memo.Stats, error) {
+	leaves := make([]dp.Leaf, 0, q.NumRelations())
+	sub.Rels.Each(func(i int) { leaves = append(leaves, dp.Leaf{Set: bits.Single(i)}) })
+	// DP over only the subtree's relations: treat them as the whole
+	// problem by building a sub-engine on the same query but restricted
+	// leaves. The engine requires full coverage, so run a raw DPsize here.
+	best, stats, err := dpOverSubset(q, model, sub.Rels, budget)
+	if err != nil {
+		return nil, stats, err
+	}
+	return rebuildWith(q, model, root, sub, best), stats, nil
+}
+
+// dpOverSubset runs exhaustive DPsize over just the relations in set.
+func dpOverSubset(q *query.Query, model *cost.Model, set bits.Set, budget int64) (*plan.Plan, memo.Stats, error) {
+	m := memo.New(budget)
+	mk := func(s bits.Set, level int) (*memo.Class, error) {
+		rows := model.SetRows(s)
+		return m.NewClass(s, level, rows, model.Selectivity(s, rows))
+	}
+	rels := set.Slice()
+	for _, r := range rels {
+		c, err := mk(bits.Single(r), 1)
+		if err != nil {
+			return nil, m.Stats, err
+		}
+		for _, p := range model.AccessPaths(r) {
+			if _, err := m.AddPlan(c, p); err != nil {
+				return nil, m.Stats, err
+			}
+		}
+	}
+	n := len(rels)
+	for k := 2; k <= n; k++ {
+		for i := 1; i <= k/2; i++ {
+			left := m.Level(i)
+			right := m.Level(k - i)
+			for ai, a := range left {
+				bs := right
+				if i == k-i {
+					bs = right[ai+1:]
+				}
+				for _, b := range bs {
+					if !a.Set.Disjoint(b.Set) || !q.Connected(a.Set, b.Set) {
+						continue
+					}
+					u := a.Set.Union(b.Set)
+					cls := m.Get(u)
+					if cls == nil {
+						var err error
+						cls, err = mk(u, k)
+						if err != nil {
+							return nil, m.Stats, err
+						}
+					}
+					preds := q.PredsBetween(a.Set, b.Set)
+					for _, pa := range a.Paths() {
+						for _, pb := range b.Paths() {
+							for _, in := range []cost.JoinInputs{
+								{Outer: pa, Inner: pb, Preds: preds, Rows: cls.Rows},
+								{Outer: pb, Inner: pa, Preds: preds, Rows: cls.Rows},
+							} {
+								for _, p := range model.JoinPlans(in) {
+									if _, err := m.AddPlan(cls, p); err != nil {
+										return nil, m.Stats, err
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	cls := m.Get(set)
+	if cls == nil || cls.Best == nil {
+		return nil, m.Stats, fmt.Errorf("idp: subtree relations %v are not connected", set)
+	}
+	return cls.Best, m.Stats, nil
+}
+
+// rebuildWith returns root with the subtree sub replaced by repl,
+// re-costing every ancestor join with the same operator choices refreshed
+// (the cheapest operator for each ancestor is re-selected since its input
+// changed).
+func rebuildWith(q *query.Query, model *cost.Model, root, sub *plan.Plan, repl *plan.Plan) *plan.Plan {
+	if root == sub {
+		return repl
+	}
+	if root.Op.IsScan() {
+		return root
+	}
+	if root.Op == plan.Sort {
+		child := rebuildWith(q, model, root.Left, sub, repl)
+		if child == root.Left {
+			return root
+		}
+		return model.SortPlan(child, root.Order)
+	}
+	left := rebuildWith(q, model, root.Left, sub, repl)
+	right := root.Right
+	if left == root.Left {
+		right = rebuildWith(q, model, root.Right, sub, repl)
+		if right == root.Right {
+			return root
+		}
+	}
+	// For indexed nested loops the inner is a synthesized index scan that
+	// never contains sub; only re-cost with the (possibly) new outer.
+	rows := model.SetRows(left.Rels.Union(right.Rels))
+	return cheapestJoin(q, model, left, right, rows)
+}

@@ -1,0 +1,203 @@
+package idp
+
+import (
+	"errors"
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/query"
+	"sdpopt/internal/testutil"
+)
+
+func fixture(t *testing.T, n int, edges []query.Edge) *query.Query {
+	t.Helper()
+	return testutil.MustQuery(testutil.Catalog(n), n, edges, nil)
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.K != 7 || !o.Balanced || o.Eval != MinRows || o.BalloonFrac != 0.05 {
+		t.Errorf("DefaultOptions = %+v", o)
+	}
+}
+
+func TestEvalString(t *testing.T) {
+	cases := map[Eval]string{MinRows: "MinRows", MinCost: "MinCost", MinSel: "MinSel", Eval(9): "Eval(9)"}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(e), got, want)
+		}
+	}
+}
+
+func TestBalancedBlock(t *testing.T) {
+	cases := []struct {
+		remaining, k, want int
+	}{
+		{5, 7, 5},   // fits in one iteration
+		{7, 7, 7},   // exactly one iteration
+		{15, 7, 6},  // ceil(14/6)=3 iterations, blocks of 1+ceil(14/3)=6
+		{8, 7, 5},   // 2 iterations, 1+ceil(7/2)=5
+		{23, 4, 4},  // many iterations capped at k
+		{100, 2, 2}, // degenerate block
+	}
+	for _, c := range cases {
+		if got := balancedBlock(c.remaining, c.k); got != c.want {
+			t.Errorf("balancedBlock(%d, %d) = %d, want %d", c.remaining, c.k, got, c.want)
+		}
+		if got := balancedBlock(c.remaining, c.k); got > c.k && c.remaining > c.k {
+			t.Errorf("balancedBlock(%d, %d) = %d exceeds k", c.remaining, c.k, got)
+		}
+	}
+}
+
+func TestRejectsBadK(t *testing.T) {
+	q := fixture(t, 3, query.ChainEdges(3))
+	for _, k := range []int{0, 1, -3} {
+		if _, _, err := Optimize(q, Options{K: k}); err == nil {
+			t.Errorf("K=%d accepted", k)
+		}
+	}
+}
+
+func TestMatchesDPWhenQueryFits(t *testing.T) {
+	// With n ≤ K, IDP is exactly DP.
+	q := fixture(t, 5, query.StarEdges(5))
+	want, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Optimize(q, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cost != want.Cost {
+		t.Errorf("IDP cost %g != DP cost %g", got.Cost, want.Cost)
+	}
+}
+
+func TestNeverBeatsDP(t *testing.T) {
+	topologies := []struct {
+		name  string
+		n     int
+		edges []query.Edge
+	}{
+		{"chain-10", 10, query.ChainEdges(10)},
+		{"star-9", 9, query.StarEdges(9)},
+		{"star-chain-10", 10, query.StarChainEdges(10, 6)},
+		{"cycle-8", 8, query.CycleEdges(8)},
+	}
+	for _, tc := range topologies {
+		q := fixture(t, tc.n, tc.edges)
+		optimal, _, err := dp.Optimize(q, dp.Options{})
+		if err != nil {
+			t.Fatalf("%s DP: %v", tc.name, err)
+		}
+		for _, k := range []int{4, 7} {
+			opts := DefaultOptions()
+			opts.K = k
+			p, stats, err := Optimize(q, opts)
+			if err != nil {
+				t.Fatalf("%s IDP(%d): %v", tc.name, k, err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s IDP(%d) invalid plan: %v", tc.name, k, err)
+			}
+			if p.Rels != bits.Full(tc.n) {
+				t.Fatalf("%s IDP(%d) covers %v", tc.name, k, p.Rels)
+			}
+			if p.Cost < optimal.Cost*(1-1e-9) {
+				t.Errorf("%s IDP(%d) cost %g beats DP %g", tc.name, k, p.Cost, optimal.Cost)
+			}
+			if stats.PlansCosted <= 0 || stats.Memo.PeakSimBytes <= 0 {
+				t.Errorf("%s IDP(%d) stats = %+v", tc.name, k, stats)
+			}
+		}
+	}
+}
+
+func TestEvalVariantsProduceValidPlans(t *testing.T) {
+	q := fixture(t, 10, query.StarChainEdges(10, 6))
+	for _, eval := range []Eval{MinRows, MinCost, MinSel} {
+		opts := Options{K: 4, Balanced: true, Eval: eval, BalloonFrac: 0.05}
+		p, _, err := Optimize(q, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", eval, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: invalid plan: %v", eval, err)
+		}
+	}
+}
+
+func TestNoBallooning(t *testing.T) {
+	q := fixture(t, 10, query.StarEdges(10))
+	opts := Options{K: 4, Balanced: false, Eval: MinRows, BalloonFrac: 0}
+	p, _, err := Optimize(q, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("invalid plan: %v", err)
+	}
+}
+
+func TestUnbalancedBlocks(t *testing.T) {
+	q := fixture(t, 11, query.ChainEdges(11))
+	pBal, _, err := Optimize(q, Options{K: 4, Balanced: true, Eval: MinRows, BalloonFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pUnbal, _, err := Optimize(q, Options{K: 4, Balanced: false, Eval: MinRows, BalloonFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, p := range map[string]interface{ Validate() error }{"balanced": pBal, "unbalanced": pUnbal} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestBudgetAbort(t *testing.T) {
+	q := fixture(t, 14, query.StarEdges(14))
+	_, stats, err := Optimize(q, Options{K: 12, Balanced: false, Eval: MinRows, Budget: 256 * 1024})
+	if !errors.Is(err, memo.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Memo.PeakSimBytes == 0 {
+		t.Error("stats lost on budget abort")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	q := fixture(t, 12, query.StarChainEdges(12, 8))
+	a, _, err := Optimize(q, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Optimize(q, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Errorf("IDP non-deterministic: %g vs %g", a.Cost, b.Cost)
+	}
+}
+
+func TestIterationCountReflectedInStats(t *testing.T) {
+	// A 15-relation chain with K=4 needs several iterations; classes
+	// created must exceed a single 4-level DP's worth.
+	q := fixture(t, 15, query.ChainEdges(15))
+	_, stats, err := Optimize(q, Options{K: 4, Balanced: true, Eval: MinRows, BalloonFrac: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One 4-level DP on a 15-chain creates 15+14+13+12 = 54 classes;
+	// multiple iterations must exceed that.
+	if stats.Memo.ClassesCreated <= 54 {
+		t.Errorf("ClassesCreated = %d, want > 54 (multiple iterations)", stats.Memo.ClassesCreated)
+	}
+}

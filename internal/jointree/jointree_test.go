@@ -1,0 +1,164 @@
+package jointree
+
+import (
+	"math/rand"
+	"testing"
+
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/query"
+	"sdpopt/internal/testutil"
+)
+
+func starQuery(t *testing.T, n int) *query.Query {
+	t.Helper()
+	return testutil.MustQuery(testutil.Catalog(n), n, query.StarEdges(n), nil)
+}
+
+func chainQuery(t *testing.T, n int) *query.Query {
+	t.Helper()
+	return testutil.MustQuery(testutil.Catalog(n), n, query.ChainEdges(n), nil)
+}
+
+func TestValid(t *testing.T) {
+	q := starQuery(t, 5) // hub 0, spokes 1-4
+	cases := []struct {
+		perm []int
+		want bool
+	}{
+		{[]int{0, 1, 2, 3, 4}, true},
+		{[]int{1, 0, 2, 3, 4}, true},  // spoke then hub: prefix connected
+		{[]int{1, 2, 0, 3, 4}, false}, // two spokes without the hub
+		{[]int{0, 1, 2, 3}, false},    // wrong length
+		{[]int{0, 1, 1, 2, 3}, false}, // duplicate
+		{[]int{0, 1, 2, 3, 9}, false}, // out of range
+	}
+	for _, c := range cases {
+		if got := Valid(q, c.perm); got != c.want {
+			t.Errorf("Valid(%v) = %v, want %v", c.perm, got, c.want)
+		}
+	}
+}
+
+func TestRandomPermAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, q := range []*query.Query{starQuery(t, 7), chainQuery(t, 8)} {
+		for trial := 0; trial < 100; trial++ {
+			perm := RandomPerm(q, rng)
+			if !Valid(q, perm) {
+				t.Fatalf("RandomPerm produced invalid %v", perm)
+			}
+		}
+	}
+}
+
+func TestRepair(t *testing.T) {
+	q := starQuery(t, 6)
+	// Spokes first: repair must pull the hub forward just enough.
+	repaired := Repair(q, []int{1, 2, 3, 0, 4, 5})
+	if !Valid(q, repaired) {
+		t.Fatalf("Repair produced invalid %v", repaired)
+	}
+	// Repair preserves the relative order of already-valid permutations.
+	valid := []int{0, 3, 1, 5, 2, 4}
+	same := Repair(q, valid)
+	for i := range valid {
+		if same[i] != valid[i] {
+			t.Fatalf("Repair rewrote a valid permutation: %v -> %v", valid, same)
+		}
+	}
+}
+
+func TestBuildMatchesDPOnTwoRelations(t *testing.T) {
+	q := chainQuery(t, 2)
+	m := cost.NewModel(q, cost.DefaultParams())
+	p, err := Build(q, m, []int{0, 1})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	optimal, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two relations the greedy left-deep build explores everything DP
+	// does except interesting-order retention; the cheapest plan agrees.
+	if p.Cost < optimal.Cost*(1-1e-9) {
+		t.Errorf("Build beat DP: %g vs %g", p.Cost, optimal.Cost)
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	q := starQuery(t, 5)
+	m := cost.NewModel(q, cost.DefaultParams())
+	if _, err := Build(q, m, []int{1, 2, 0, 3, 4}); err == nil {
+		t.Error("Build accepted a disconnected prefix")
+	}
+}
+
+func TestBuildNeverBeatsDP(t *testing.T) {
+	q := starQuery(t, 7)
+	m := cost.NewModel(q, cost.DefaultParams())
+	optimal, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		p, err := Build(q, m, RandomPerm(q, rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Cost < optimal.Cost*(1-1e-9) {
+			t.Fatalf("left-deep build %g beat DP %g", p.Cost, optimal.Cost)
+		}
+	}
+}
+
+func TestBuildHandlesOrderBy(t *testing.T) {
+	cat := testutil.Catalog(4)
+	q := testutil.MustQuery(cat, 4, query.ChainEdges(4), &query.OrderSpec{Rel: 0, Col: 0})
+	m := cost.NewModel(q, cost.DefaultParams())
+	p, err := Build(q, m, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OrderEqClass() >= 0 && p.Order != q.OrderEqClass() {
+		t.Errorf("ordered build delivers order %d, want %d", p.Order, q.OrderEqClass())
+	}
+}
+
+func TestNeighborValidAndDifferentiated(t *testing.T) {
+	q := starQuery(t, 8)
+	rng := rand.New(rand.NewSource(3))
+	base := RandomPerm(q, rng)
+	changed := 0
+	for trial := 0; trial < 50; trial++ {
+		nb := Neighbor(q, base, rng)
+		if !Valid(q, nb) {
+			t.Fatalf("Neighbor produced invalid %v", nb)
+		}
+		for i := range nb {
+			if nb[i] != base[i] {
+				changed++
+				break
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("Neighbor never changed the permutation")
+	}
+	// The input must never be mutated.
+	again := append([]int(nil), base...)
+	Neighbor(q, base, rng)
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatal("Neighbor mutated its input")
+		}
+	}
+}

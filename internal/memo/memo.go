@@ -1,0 +1,262 @@
+// Package memo implements the dynamic-programming memo table: one class per
+// join-composite relation (JCR), each retaining its cheapest plan plus the
+// cheapest plan per interesting order, exactly as PostgreSQL's RelOptInfo
+// path lists do.
+//
+// The memo also carries the optimization-overhead accounting the paper
+// reports: a simulated memory model calibrated to PostgreSQL 8.1's per-class
+// and per-path footprint, with a feasibility budget. The paper's "DP is
+// infeasible beyond a 16-relation star on a 1 GB machine" cliff is
+// reproduced by this model rather than by physically exhausting RAM — Go's
+// lean structs would otherwise move the cliff far out (see DESIGN.md,
+// Substitutions).
+package memo
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/plan"
+)
+
+// ErrBudget is returned when an optimization exceeds its simulated memory
+// budget — the analogue of the paper's algorithms running out of physical
+// memory (the "*" entries in its tables).
+var ErrBudget = errors.New("memo: simulated memory budget exceeded")
+
+// Simulated per-object footprints, loosely calibrated to PostgreSQL 8.1's
+// RelOptInfo and Path allocations so that exhaustive DP on a 16-relation
+// star lands near the paper's 326 MB (Table 2.1).
+const (
+	SimClassBytes = 4096
+	SimPathBytes  = 2048
+)
+
+// DefaultBudget is the default feasibility budget: the 1 GB of physical
+// memory on the paper's experimental machines.
+const DefaultBudget = int64(1) << 30
+
+// FV is a JCR feature vector [Rows, Cost, Selectivity] — the three
+// attributes SDP's skyline pruning operates on (paper Figure 2.3).
+type FV struct {
+	Rows, Cost, Sel float64
+}
+
+// Class is one memo entry: a JCR plus its retained plans.
+type Class struct {
+	// Set is the base relations this JCR covers.
+	Set bits.Set
+	// Level is the number of leaves (base relations, or compound relations
+	// in IDP's reduced problems) joined so far; classes enter the DP at
+	// level Len(leaves).
+	Level int
+	// Rows and Sel are the JCR's shared cardinality and selectivity
+	// features; every plan of the class produces the same output.
+	Rows, Sel float64
+	// Best is the cheapest plan for the class.
+	Best *plan.Plan
+	// Ordered maps an order equivalence class to the cheapest plan
+	// delivering that order.
+	Ordered map[int]*plan.Plan
+
+	dead bool
+}
+
+// FeatureVector returns the [R,C,S] vector used by SDP's skyline pruning.
+func (c *Class) FeatureVector() FV {
+	return FV{Rows: c.Rows, Cost: c.Best.Cost, Sel: c.Sel}
+}
+
+// Paths returns the distinct retained plans: Best plus every ordered plan
+// that is not Best itself.
+func (c *Class) Paths() []*plan.Plan {
+	out := make([]*plan.Plan, 0, 1+len(c.Ordered))
+	if c.Best != nil {
+		out = append(out, c.Best)
+	}
+	// Deterministic iteration order for reproducible plan choice.
+	orders := make([]int, 0, len(c.Ordered))
+	for o := range c.Ordered {
+		orders = append(orders, o)
+	}
+	sort.Ints(orders)
+	for _, o := range orders {
+		if p := c.Ordered[o]; p != c.Best {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// numPaths is the retained-path count used for simulated memory.
+func (c *Class) numPaths() int {
+	n := 0
+	if c.Best != nil {
+		n = 1
+	}
+	for _, p := range c.Ordered {
+		if p != c.Best {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats aggregates the optimization overheads the paper's tables report.
+type Stats struct {
+	// ClassesCreated counts JCR classes ever created (including later
+	// pruned ones).
+	ClassesCreated int64
+	// ClassesAlive counts classes currently in the memo.
+	ClassesAlive int64
+	// PathsRetained counts plans currently retained across alive classes.
+	PathsRetained int64
+	// SimBytes is the current simulated memory consumption.
+	SimBytes int64
+	// PeakSimBytes is the high-water mark of SimBytes — the "Memory (in
+	// MB)" column of the paper's overhead tables.
+	PeakSimBytes int64
+}
+
+// PeakMB returns the peak simulated memory in megabytes.
+func (s *Stats) PeakMB() float64 { return float64(s.PeakSimBytes) / (1 << 20) }
+
+// Memo is the DP table.
+type Memo struct {
+	classes map[bits.Set]*Class
+	byLevel [][]*Class
+	// Budget is the simulated-memory feasibility limit in bytes; 0 means
+	// unlimited.
+	Budget int64
+	Stats  Stats
+}
+
+// New returns an empty memo with the given simulated-memory budget
+// (0 = unlimited).
+func New(budget int64) *Memo {
+	return &Memo{classes: map[bits.Set]*Class{}, Budget: budget}
+}
+
+// Get returns the class covering set, or nil.
+func (m *Memo) Get(set bits.Set) *Class {
+	c := m.classes[set]
+	if c == nil || c.dead {
+		return nil
+	}
+	return c
+}
+
+// NewClass creates and registers a class for set at the given leaf level
+// with the shared cardinality features. It fails with ErrBudget when the
+// simulated memory budget is exhausted and with an error on duplicates.
+func (m *Memo) NewClass(set bits.Set, level int, rows, sel float64) (*Class, error) {
+	if set.IsEmpty() {
+		return nil, fmt.Errorf("memo: empty class set")
+	}
+	if existing := m.classes[set]; existing != nil && !existing.dead {
+		return nil, fmt.Errorf("memo: class %v already exists", set)
+	}
+	c := &Class{Set: set, Level: level, Rows: rows, Sel: sel, Ordered: map[int]*plan.Plan{}}
+	m.classes[set] = c
+	for len(m.byLevel) <= level {
+		m.byLevel = append(m.byLevel, nil)
+	}
+	m.byLevel[level] = append(m.byLevel[level], c)
+	m.Stats.ClassesCreated++
+	m.Stats.ClassesAlive++
+	if err := m.addSim(SimClassBytes); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// AddPlan offers plan p to class c, retaining it if it improves the
+// cheapest plan or the cheapest plan for its output order — PostgreSQL's
+// add_path dominance rule restricted to the (cost, order) criteria this
+// model tracks. It reports whether p was retained.
+func (m *Memo) AddPlan(c *Class, p *plan.Plan) (bool, error) {
+	before := c.numPaths()
+	kept := false
+	if c.Best == nil || p.Cost < c.Best.Cost {
+		c.Best = p
+		kept = true
+	}
+	if p.Order != plan.NoOrder {
+		if cur, ok := c.Ordered[p.Order]; !ok || p.Cost < cur.Cost {
+			c.Ordered[p.Order] = p
+			kept = true
+		}
+	}
+	if kept {
+		// A new Best may dominate previously retained ordered paths that
+		// cost more but deliver an order Best also delivers.
+		if c.Best.Order != plan.NoOrder {
+			if cur, ok := c.Ordered[c.Best.Order]; !ok || c.Best.Cost < cur.Cost {
+				c.Ordered[c.Best.Order] = c.Best
+			}
+		}
+	}
+	if d := c.numPaths() - before; d != 0 {
+		m.Stats.PathsRetained += int64(d)
+		if err := m.addSim(int64(d) * SimPathBytes); err != nil {
+			return kept, err
+		}
+	}
+	return kept, nil
+}
+
+// Remove prunes class c from the memo, releasing its simulated memory (the
+// peak is unaffected). SDP calls this for JCRs that lose the skyline.
+func (m *Memo) Remove(c *Class) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	delete(m.classes, c.Set)
+	m.Stats.ClassesAlive--
+	m.Stats.PathsRetained -= int64(c.numPaths())
+	m.Stats.SimBytes -= SimClassBytes + int64(c.numPaths())*SimPathBytes
+}
+
+// Level returns the alive classes created at leaf level k, in creation
+// order.
+func (m *Memo) Level(k int) []*Class {
+	if k < 0 || k >= len(m.byLevel) {
+		return nil
+	}
+	out := make([]*Class, 0, len(m.byLevel[k]))
+	for _, c := range m.byLevel[k] {
+		if !c.dead {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MaxLevel returns the highest leaf level holding any class.
+func (m *Memo) MaxLevel() int { return len(m.byLevel) - 1 }
+
+// Each calls fn for every alive class, in increasing level and creation
+// order.
+func (m *Memo) Each(fn func(*Class)) {
+	for _, lvl := range m.byLevel {
+		for _, c := range lvl {
+			if !c.dead {
+				fn(c)
+			}
+		}
+	}
+}
+
+func (m *Memo) addSim(bytes int64) error {
+	m.Stats.SimBytes += bytes
+	if m.Stats.SimBytes > m.Stats.PeakSimBytes {
+		m.Stats.PeakSimBytes = m.Stats.SimBytes
+	}
+	if m.Budget > 0 && m.Stats.SimBytes > m.Budget {
+		return ErrBudget
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package parse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokComma
+	tokDot
+	tokEq
+	tokLt
+	tokStar
+	tokSemi
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokEq:
+		return "'='"
+	case tokLt:
+		return "'<'"
+	case tokStar:
+		return "'*'"
+	case tokSemi:
+		return "';'"
+	}
+	return "token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits SQL text into tokens. Keywords are returned as identifiers;
+// the parser matches them case-insensitively.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) (*lexer, error) {
+	l := &lexer{src: src}
+	for l.pos < len(src) {
+		c := src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == ',':
+			l.emit(tokComma, ",")
+		case c == '.':
+			l.emit(tokDot, ".")
+		case c == '=':
+			l.emit(tokEq, "=")
+		case c == '<':
+			l.emit(tokLt, "<")
+		case c == '*':
+			l.emit(tokStar, "*")
+		case c == ';':
+			l.emit(tokSemi, ";")
+		case c == '-' && l.pos+1 < len(src) && src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(src) && src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(src) && unicode.IsDigit(rune(src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokNumber, src[start:l.pos], start})
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(src) && (unicode.IsLetter(rune(src[l.pos])) || unicode.IsDigit(rune(src[l.pos])) || src[l.pos] == '_') {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tokIdent, src[start:l.pos], start})
+		default:
+			return nil, fmt.Errorf("parse: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+	l.toks = append(l.toks, token{tokEOF, "", len(src)})
+	return l, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind, text, l.pos})
+	l.pos += len(text)
+}
+
+// isKeyword matches an identifier token against a keyword,
+// case-insensitively.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

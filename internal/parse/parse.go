@@ -1,0 +1,221 @@
+// Package parse builds optimizer queries from SQL text.
+//
+// The supported dialect covers exactly the query class the paper's
+// workloads (and this optimizer) handle — star-schema equi-join queries
+// with local range selections and an optional ORDER BY:
+//
+//	SELECT *
+//	FROM R25 t1, R7 t2, R13 t3
+//	WHERE t1.c4 = t2.c9
+//	  AND t2.c2 = t3.c2
+//	  AND t3.c5 < 100
+//	ORDER BY t1.c4;
+//
+// Tables resolve by name against a catalog; aliases are optional when a
+// table appears once. The output of query.SQL (and the sdpgen tool) always
+// round-trips through this parser.
+package parse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/query"
+)
+
+// SQL parses one query against the catalog.
+func SQL(cat *catalog.Catalog, src string) (*query.Query, error) {
+	l, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{cat: cat, toks: l.toks}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	cat  *catalog.Catalog
+	toks []token
+	i    int
+
+	// aliases maps alias name (lowercased) to query-local relation index.
+	aliases map[string]int
+	rels    []int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	t := p.next()
+	if t.kind != kind {
+		return t, fmt.Errorf("parse: expected %v at offset %d, got %v %q", kind, t.pos, t.kind, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if !isKeyword(t, kw) {
+		return fmt.Errorf("parse: expected %q at offset %d, got %q", kw, t.pos, t.text)
+	}
+	return nil
+}
+
+func (p *parser) query() (*query.Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokStar); err != nil {
+		return nil, fmt.Errorf("parse: only SELECT * is supported: %w", err)
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	if err := p.fromList(); err != nil {
+		return nil, err
+	}
+	var preds []query.Pred
+	var filters []query.Filter
+	if isKeyword(p.peek(), "WHERE") {
+		p.next()
+		var err error
+		preds, filters, err = p.condList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	var orderBy *query.OrderSpec
+	if isKeyword(p.peek(), "ORDER") {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		rel, col, err := p.colRef()
+		if err != nil {
+			return nil, err
+		}
+		orderBy = &query.OrderSpec{Rel: rel, Col: col}
+	}
+	if p.peek().kind == tokSemi {
+		p.next()
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("parse: trailing input at offset %d: %q", t.pos, t.text)
+	}
+	return query.NewFiltered(p.cat, p.rels, preds, filters, orderBy)
+}
+
+func (p *parser) fromList() error {
+	p.aliases = map[string]int{}
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		relIdx, err := p.lookupRelation(name.text)
+		if err != nil {
+			return fmt.Errorf("%w (offset %d)", err, name.pos)
+		}
+		alias := name.text
+		// Optional alias: an identifier that is not a clause keyword.
+		if t := p.peek(); t.kind == tokIdent && !isKeyword(t, "WHERE") && !isKeyword(t, "ORDER") {
+			alias = p.next().text
+		}
+		key := strings.ToLower(alias)
+		if _, dup := p.aliases[key]; dup {
+			return fmt.Errorf("parse: duplicate alias %q (offset %d)", alias, name.pos)
+		}
+		p.aliases[key] = len(p.rels)
+		p.rels = append(p.rels, relIdx)
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) lookupRelation(name string) (int, error) {
+	for i := 0; i < p.cat.NumRelations(); i++ {
+		if strings.EqualFold(p.cat.Relation(i).Name, name) {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("parse: unknown relation %q", name)
+}
+
+func (p *parser) condList() ([]query.Pred, []query.Filter, error) {
+	var preds []query.Pred
+	var filters []query.Filter
+	for {
+		lrel, lcol, err := p.colRef()
+		if err != nil {
+			return nil, nil, err
+		}
+		op := p.next()
+		switch op.kind {
+		case tokEq:
+			rrel, rcol, err := p.colRef()
+			if err != nil {
+				return nil, nil, err
+			}
+			preds = append(preds, query.Pred{LeftRel: lrel, LeftCol: lcol, RightRel: rrel, RightCol: rcol})
+		case tokLt:
+			num, err := p.expect(tokNumber)
+			if err != nil {
+				return nil, nil, err
+			}
+			bound, err := strconv.ParseInt(num.text, 10, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("parse: bad bound %q at offset %d", num.text, num.pos)
+			}
+			filters = append(filters, query.Filter{Rel: lrel, Col: lcol, Bound: bound})
+		default:
+			return nil, nil, fmt.Errorf("parse: expected '=' or '<' at offset %d, got %q", op.pos, op.text)
+		}
+		if !isKeyword(p.peek(), "AND") {
+			return preds, filters, nil
+		}
+		p.next()
+	}
+}
+
+// colRef parses alias '.' column into query-local (rel, col) indexes.
+func (p *parser) colRef() (int, int, error) {
+	alias, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, 0, err
+	}
+	rel, ok := p.aliases[strings.ToLower(alias.text)]
+	if !ok {
+		return 0, 0, fmt.Errorf("parse: unknown alias %q at offset %d", alias.text, alias.pos)
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return 0, 0, err
+	}
+	colTok, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, 0, err
+	}
+	cols := p.cat.Relation(p.rels[rel]).Cols
+	for c := range cols {
+		if strings.EqualFold(cols[c].Name, colTok.text) {
+			return rel, c, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("parse: relation %s has no column %q (offset %d)",
+		p.cat.Relation(p.rels[rel]).Name, colTok.text, colTok.pos)
+}

@@ -1,0 +1,192 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/workload"
+)
+
+func TestParseBasicJoin(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := SQL(cat, `SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c2`)
+	if err != nil {
+		t.Fatalf("SQL: %v", err)
+	}
+	if q.NumRelations() != 2 {
+		t.Fatalf("NumRelations = %d", q.NumRelations())
+	}
+	if q.Rels[0] != 0 || q.Rels[1] != 1 {
+		t.Errorf("Rels = %v", q.Rels)
+	}
+	if len(q.Preds) != 1 {
+		t.Fatalf("Preds = %d", len(q.Preds))
+	}
+	p := q.Preds[0]
+	if p.LeftRel != 0 || p.LeftCol != 0 || p.RightRel != 1 || p.RightCol != 1 {
+		t.Errorf("Pred = %+v", p)
+	}
+}
+
+func TestParseFiltersAndOrder(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := SQL(cat, `
+		SELECT *
+		FROM R5 t1, R6 t2, R7 t3
+		WHERE t1.c1 = t2.c2
+		  AND t2.c3 = t3.c4
+		  AND t1.c5 < 40
+		ORDER BY t1.c1;`)
+	if err != nil {
+		t.Fatalf("SQL: %v", err)
+	}
+	if len(q.Preds) != 2 || len(q.Filters) != 1 {
+		t.Fatalf("preds=%d filters=%d", len(q.Preds), len(q.Filters))
+	}
+	f := q.Filters[0]
+	if f.Rel != 0 || f.Col != 4 || f.Bound != 40 {
+		t.Errorf("filter = %+v", f)
+	}
+	if q.OrderBy == nil || q.OrderBy.Rel != 0 || q.OrderBy.Col != 0 {
+		t.Errorf("orderBy = %+v", q.OrderBy)
+	}
+}
+
+func TestParseCaseInsensitiveAndComments(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := SQL(cat, `-- a comment
+		select * from r1 A, r2 B where A.C1 = B.C1;`)
+	if err != nil {
+		t.Fatalf("SQL: %v", err)
+	}
+	if len(q.Preds) != 1 {
+		t.Fatal("predicate lost")
+	}
+}
+
+func TestParseDefaultAlias(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := SQL(cat, `SELECT * FROM R3, R4 WHERE R3.c1 = R4.c1`)
+	if err != nil {
+		t.Fatalf("SQL: %v", err)
+	}
+	if q.NumRelations() != 2 {
+		t.Fatal("relations lost")
+	}
+}
+
+func TestParseSelfJoinAliases(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := SQL(cat, `SELECT * FROM R3 a, R3 b WHERE a.c1 = b.c2`)
+	if err != nil {
+		t.Fatalf("self-join: %v", err)
+	}
+	if q.Rels[0] != q.Rels[1] {
+		t.Error("aliases should share the catalog relation")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cat := workload.PaperSchema()
+	cases := map[string]string{
+		"not select":        `UPDATE R1 SET x = 1`,
+		"no star":           `SELECT c1 FROM R1`,
+		"unknown relation":  `SELECT * FROM Nope n`,
+		"duplicate alias":   `SELECT * FROM R1 a, R2 a WHERE a.c1 = a.c2`,
+		"unknown alias":     `SELECT * FROM R1 a, R2 b WHERE a.c1 = z.c2`,
+		"unknown column":    `SELECT * FROM R1 a, R2 b WHERE a.nosuch = b.c1`,
+		"bad operator":      `SELECT * FROM R1 a, R2 b WHERE a.c1 > b.c2`,
+		"filter non-number": `SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c1 AND a.c2 < b`,
+		"trailing junk":     `SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c1 ; extra`,
+		"lex error":         `SELECT * FROM R1 a ? R2 b`,
+		"disconnected":      `SELECT * FROM R1 a, R2 b`,
+	}
+	for name, src := range cases {
+		if _, err := SQL(cat, src); err == nil {
+			t.Errorf("%s: accepted %q", name, src)
+		}
+	}
+}
+
+func TestRoundTripGeneratedWorkloads(t *testing.T) {
+	// Everything the workload generator emits as SQL must parse back to an
+	// equivalent query: same relations, predicates, filters and order.
+	cat := workload.PaperSchema()
+	for _, spec := range []workload.Spec{
+		{Cat: cat, Topology: workload.Star, NumRelations: 10, Seed: 3},
+		{Cat: cat, Topology: workload.StarChain, NumRelations: 12, Ordered: true, Seed: 4},
+		{Cat: cat, Topology: workload.Chain, NumRelations: 8, FilterFraction: 0.5, Seed: 5},
+		{Cat: cat, Topology: workload.Clique, NumRelations: 5, Seed: 6},
+	} {
+		qs, err := workload.Instances(spec, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range qs {
+			parsed, err := SQL(cat, q.SQL())
+			if err != nil {
+				t.Fatalf("instance %d failed to re-parse: %v\n%s", i, err, q.SQL())
+			}
+			if parsed.SQL() != q.SQL() {
+				t.Fatalf("round trip diverged:\noriginal:\n%s\nreparsed:\n%s", q.SQL(), parsed.SQL())
+			}
+		}
+	}
+}
+
+func TestParsedQueryOptimizes(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := SQL(cat, `
+		SELECT * FROM R20 f, R3 d1, R5 d2, R8 d3
+		WHERE f.c1 = d1.c2 AND f.c3 = d2.c4 AND f.c5 = d3.c6
+		  AND d1.c7 < 50`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Rels != bits.Full(4) {
+		t.Errorf("plan covers %v", p.Rels)
+	}
+	if got := q.HubRels(); got != bits.Of(0) {
+		t.Errorf("hubs = %v, want the fact table", got)
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	l, err := lex(`a.b = 12, * ; <`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tok := range l.toks {
+		kinds = append(kinds, tok.kind)
+	}
+	want := []tokenKind{tokIdent, tokDot, tokIdent, tokEq, tokNumber, tokComma, tokStar, tokSemi, tokLt, tokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTokenKindStrings(t *testing.T) {
+	for k := tokEOF; k <= tokSemi; k++ {
+		if k.String() == "token" {
+			t.Errorf("kind %d lacks a name", int(k))
+		}
+	}
+	if !strings.Contains(tokEOF.String(), "end") {
+		t.Error("EOF name")
+	}
+}

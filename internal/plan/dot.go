@@ -1,0 +1,35 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the plan tree in Graphviz format, one node per operator
+// annotated with cost and cardinality. relName maps a query-local relation
+// index to its display name.
+func (p *Plan) DOT(relName func(int) string) string {
+	var b strings.Builder
+	b.WriteString("digraph plan {\n  node [shape=box fontname=\"monospace\"];\n")
+	id := 0
+	var walk func(n *Plan) int
+	walk = func(n *Plan) int {
+		me := id
+		id++
+		label := n.Op.String()
+		if n.Op.IsScan() {
+			label += " " + relName(n.Rel)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\ncost=%.1f rows=%.0f\"];\n", me, label, n.Cost, n.Rows)
+		for _, c := range []*Plan{n.Left, n.Right} {
+			if c != nil {
+				child := walk(c)
+				fmt.Fprintf(&b, "  n%d -> n%d;\n", me, child)
+			}
+		}
+		return me
+	}
+	walk(p)
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,205 @@
+// Package plan defines physical query execution plans.
+//
+// A Plan is an immutable operator tree annotated with the estimated total
+// cost, output cardinality, and output ordering. Orderings are identified by
+// join-column equivalence class ids (see query.EqClass); a plan ordered on a
+// class can feed a merge join on any predicate of that class or satisfy an
+// ORDER BY on any of its columns — the classic "interesting orders" of
+// Selinger et al. that the paper's Section 2.1.4 builds on.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"sdpopt/internal/bits"
+)
+
+// Op identifies a physical operator.
+type Op uint8
+
+// Physical operators. IndexNestLoop is a nested-loop join whose inner side
+// re-descends a base-relation index per outer row (a parameterized index
+// scan); its Right child is the IndexScan it repeats.
+const (
+	SeqScan Op = iota
+	IndexScan
+	Sort
+	NestLoop
+	IndexNestLoop
+	HashJoin
+	MergeJoin
+)
+
+// NoOrder marks a plan with no useful output ordering.
+const NoOrder = -1
+
+var opNames = [...]string{
+	SeqScan:       "Seq Scan",
+	IndexScan:     "Index Scan",
+	Sort:          "Sort",
+	NestLoop:      "Nested Loop",
+	IndexNestLoop: "Nested Loop (indexed inner)",
+	HashJoin:      "Hash Join",
+	MergeJoin:     "Merge Join",
+}
+
+// String returns the operator's display name.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// IsJoin reports whether the operator combines two inputs.
+func (o Op) IsJoin() bool {
+	return o == NestLoop || o == IndexNestLoop || o == HashJoin || o == MergeJoin
+}
+
+// IsScan reports whether the operator reads a base relation.
+func (o Op) IsScan() bool { return o == SeqScan || o == IndexScan }
+
+// Plan is a node of a physical plan tree. Plans are immutable once built.
+type Plan struct {
+	Op   Op
+	Rels bits.Set // base relations covered by this subtree
+	// Left and Right are the children: both nil for scans; Right nil for
+	// Sort.
+	Left, Right *Plan
+	// Rel is the query-local base relation index for scan nodes.
+	Rel int
+	// Cost is the estimated total cost in the cost model's units
+	// (PostgreSQL-style: one unit = one sequential page fetch).
+	Cost float64
+	// Rows is the estimated output cardinality.
+	Rows float64
+	// Order is the join-column equivalence class the output is sorted on,
+	// or NoOrder.
+	Order int
+}
+
+// NumJoins returns the number of join operators in the tree.
+func (p *Plan) NumJoins() int {
+	if p == nil {
+		return 0
+	}
+	n := p.Left.NumJoins() + p.Right.NumJoins()
+	if p.Op.IsJoin() {
+		n++
+	}
+	return n
+}
+
+// Validate checks structural invariants of the tree: children partition the
+// node's relation set, scans cover exactly one relation, costs and rows are
+// non-negative and non-decreasing from child to parent where the operator
+// implies it. It is used by tests and fuzzing to catch construction bugs.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return fmt.Errorf("plan: nil node")
+	}
+	switch {
+	case p.Op.IsScan():
+		if p.Left != nil || p.Right != nil {
+			return fmt.Errorf("plan: scan %v has children", p.Op)
+		}
+		if p.Rels.Len() != 1 || !p.Rels.Has(p.Rel) {
+			return fmt.Errorf("plan: scan covers %v but Rel=%d", p.Rels, p.Rel)
+		}
+	case p.Op == Sort:
+		if p.Left == nil || p.Right != nil {
+			return fmt.Errorf("plan: sort must have exactly one child")
+		}
+		if err := p.Left.Validate(); err != nil {
+			return err
+		}
+		if p.Rels != p.Left.Rels {
+			return fmt.Errorf("plan: sort rels %v != child %v", p.Rels, p.Left.Rels)
+		}
+		if p.Order == NoOrder {
+			return fmt.Errorf("plan: sort with no target order")
+		}
+		if p.Rows != p.Left.Rows {
+			return fmt.Errorf("plan: sort changes cardinality %g -> %g", p.Left.Rows, p.Rows)
+		}
+		if p.Cost < p.Left.Cost {
+			return fmt.Errorf("plan: sort cheaper than its input")
+		}
+	case p.Op.IsJoin():
+		if p.Left == nil || p.Right == nil {
+			return fmt.Errorf("plan: join %v missing a child", p.Op)
+		}
+		for _, c := range []*Plan{p.Left, p.Right} {
+			if err := c.Validate(); err != nil {
+				return err
+			}
+		}
+		if !p.Left.Rels.Disjoint(p.Right.Rels) {
+			return fmt.Errorf("plan: join children overlap: %v and %v", p.Left.Rels, p.Right.Rels)
+		}
+		if p.Rels != p.Left.Rels.Union(p.Right.Rels) {
+			return fmt.Errorf("plan: join rels %v != union of children", p.Rels)
+		}
+		if p.Op == IndexNestLoop && p.Right.Op != IndexScan {
+			return fmt.Errorf("plan: indexed nested loop inner is %v, want Index Scan", p.Right.Op)
+		}
+	default:
+		return fmt.Errorf("plan: unknown op %d", int(p.Op))
+	}
+	if p.Cost < 0 || p.Rows < 0 {
+		return fmt.Errorf("plan: negative cost %g or rows %g", p.Cost, p.Rows)
+	}
+	return nil
+}
+
+// Shape returns a compact one-line rendering of the join structure, e.g.
+// "((R1 ⋈ R3) ⋈ R2)". relName maps a query-local relation index to a name.
+func (p *Plan) Shape(relName func(int) string) string {
+	var b strings.Builder
+	p.shape(&b, relName)
+	return b.String()
+}
+
+func (p *Plan) shape(b *strings.Builder, relName func(int) string) {
+	switch {
+	case p.Op.IsScan():
+		b.WriteString(relName(p.Rel))
+	case p.Op == Sort:
+		p.Left.shape(b, relName)
+	default:
+		b.WriteByte('(')
+		p.Left.shape(b, relName)
+		b.WriteString(" ⋈ ")
+		p.Right.shape(b, relName)
+		b.WriteByte(')')
+	}
+}
+
+// Explain renders the tree in a PostgreSQL-EXPLAIN-like indented format.
+func (p *Plan) Explain(relName func(int) string) string {
+	var b strings.Builder
+	p.explain(&b, relName, 0)
+	return b.String()
+}
+
+func (p *Plan) explain(b *strings.Builder, relName func(int) string, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if depth > 0 {
+		indent += "-> "
+	}
+	fmt.Fprintf(b, "%s%s", indent, p.Op)
+	if p.Op.IsScan() {
+		fmt.Fprintf(b, " on %s", relName(p.Rel))
+	}
+	fmt.Fprintf(b, "  (cost=%.2f rows=%.0f", p.Cost, p.Rows)
+	if p.Order != NoOrder {
+		fmt.Fprintf(b, " order=ec%d", p.Order)
+	}
+	b.WriteString(")\n")
+	for _, c := range []*Plan{p.Left, p.Right} {
+		if c != nil {
+			c.explain(b, relName, depth+1)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"sdpopt/internal/bits"
+)
+
+func scan(rel int, cost, rows float64, order int) *Plan {
+	return &Plan{Op: SeqScan, Rels: bits.Single(rel), Rel: rel, Cost: cost, Rows: rows, Order: order}
+}
+
+func idxScan(rel int, cost, rows float64, order int) *Plan {
+	return &Plan{Op: IndexScan, Rels: bits.Single(rel), Rel: rel, Cost: cost, Rows: rows, Order: order}
+}
+
+func join(op Op, l, r *Plan, cost, rows float64, order int) *Plan {
+	return &Plan{Op: op, Rels: l.Rels.Union(r.Rels), Left: l, Right: r, Cost: cost, Rows: rows, Order: order}
+}
+
+func names(i int) string { return []string{"R1", "R2", "R3", "R4"}[i] }
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		SeqScan:   "Seq Scan",
+		IndexScan: "Index Scan",
+		Sort:      "Sort",
+		HashJoin:  "Hash Join",
+		MergeJoin: "Merge Join",
+		Op(99):    "Op(99)",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	joins := []Op{NestLoop, IndexNestLoop, HashJoin, MergeJoin}
+	for _, op := range joins {
+		if !op.IsJoin() || op.IsScan() {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	for _, op := range []Op{SeqScan, IndexScan} {
+		if op.IsJoin() || !op.IsScan() {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	if Sort.IsJoin() || Sort.IsScan() {
+		t.Error("Sort misclassified")
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	l := scan(0, 10, 100, NoOrder)
+	r := idxScan(1, 20, 50, 2)
+	j := join(HashJoin, l, r, 60, 500, NoOrder)
+	s := &Plan{Op: Sort, Rels: j.Rels, Left: j, Cost: 80, Rows: 500, Order: 2}
+	top := join(MergeJoin, s, scan(2, 5, 10, NoOrder), 120, 100, 2)
+	if err := top.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	l := scan(0, 10, 100, NoOrder)
+	r := scan(1, 10, 100, NoOrder)
+	cases := map[string]*Plan{
+		"nil":                nil,
+		"scan with child":    {Op: SeqScan, Rels: bits.Single(0), Rel: 0, Left: l},
+		"scan wrong rels":    {Op: SeqScan, Rels: bits.Of(0, 1), Rel: 0},
+		"scan rel mismatch":  {Op: SeqScan, Rels: bits.Single(1), Rel: 0},
+		"sort no child":      {Op: Sort, Order: 1},
+		"sort two children":  {Op: Sort, Left: l, Right: r, Rels: bits.Of(0, 1), Order: 1},
+		"sort rel mismatch":  {Op: Sort, Left: l, Rels: bits.Of(0, 1), Rows: 100, Cost: 20, Order: 1},
+		"sort without order": {Op: Sort, Left: l, Rels: l.Rels, Rows: 100, Cost: 20, Order: NoOrder},
+		"sort changes rows":  {Op: Sort, Left: l, Rels: l.Rels, Rows: 7, Cost: 20, Order: 1},
+		"sort cheaper":       {Op: Sort, Left: l, Rels: l.Rels, Rows: 100, Cost: 1, Order: 1},
+		"join missing child": {Op: HashJoin, Rels: bits.Of(0, 1), Left: l},
+		"join overlap": {Op: HashJoin, Rels: bits.Of(0), Left: l,
+			Right: scan(0, 5, 5, NoOrder)},
+		"join rels mismatch": {Op: HashJoin, Rels: bits.Of(0, 1, 2), Left: l, Right: r},
+		"inl non-index inner": {Op: IndexNestLoop, Rels: bits.Of(0, 1), Left: l, Right: r,
+			Rows: 1, Cost: 1},
+		"negative cost": {Op: SeqScan, Rels: bits.Single(0), Rel: 0, Cost: -1},
+		"negative rows": {Op: SeqScan, Rels: bits.Single(0), Rel: 0, Rows: -1},
+		"unknown op":    {Op: Op(42)},
+	}
+	for name, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted malformed plan", name)
+		}
+	}
+}
+
+func TestNumJoins(t *testing.T) {
+	l := scan(0, 1, 1, NoOrder)
+	if got := l.NumJoins(); got != 0 {
+		t.Errorf("scan NumJoins = %d", got)
+	}
+	j1 := join(HashJoin, scan(0, 1, 1, NoOrder), scan(1, 1, 1, NoOrder), 3, 1, NoOrder)
+	j2 := join(NestLoop, j1, scan(2, 1, 1, NoOrder), 5, 1, NoOrder)
+	if got := j2.NumJoins(); got != 2 {
+		t.Errorf("NumJoins = %d, want 2", got)
+	}
+	var nilPlan *Plan
+	if got := nilPlan.NumJoins(); got != 0 {
+		t.Errorf("nil NumJoins = %d", got)
+	}
+}
+
+func TestShape(t *testing.T) {
+	j1 := join(HashJoin, scan(0, 1, 1, NoOrder), scan(2, 1, 1, NoOrder), 3, 1, NoOrder)
+	s := &Plan{Op: Sort, Rels: j1.Rels, Left: j1, Cost: 5, Rows: 1, Order: 0}
+	j2 := join(MergeJoin, s, scan(1, 1, 1, NoOrder), 8, 1, 0)
+	if got, want := j2.Shape(names), "((R1 ⋈ R3) ⋈ R2)"; got != want {
+		t.Errorf("Shape = %q, want %q", got, want)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	j := join(IndexNestLoop, scan(0, 10, 100, NoOrder), idxScan(1, 2, 5, 3), 40, 200, NoOrder)
+	out := j.Explain(names)
+	for _, frag := range []string{
+		"Nested Loop (indexed inner)",
+		"-> Seq Scan on R1",
+		"-> Index Scan on R2",
+		"rows=200",
+		"order=ec3",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Explain missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("Explain should have 3 lines:\n%s", out)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	j := join(HashJoin, scan(0, 10, 100, NoOrder), idxScan(1, 2, 5, 3), 40, 200, NoOrder)
+	dot := j.DOT(names)
+	for _, frag := range []string{
+		"digraph plan {",
+		"Hash Join",
+		"Seq Scan R1",
+		"Index Scan R2",
+		"n0 -> n1",
+		"n0 -> n2",
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package quality computes the paper's plan-quality metrics.
+//
+// Each heuristic plan is scored by its cost ratio to the reference optimum
+// (DP's plan, or SDP's when DP is infeasible) and bucketed per the
+// refinement of Kossmann & Stocker's classification used throughout the
+// paper: Ideal (within 1 % of optimal), Good (within 2×), Acceptable
+// (within 10×), Bad (beyond 10×). A batch of ratios is summarized by the
+// bucket distribution, the worst-case ratio W, and ρ — the geometric mean
+// of the ratios — whose ideal value is 1.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bucket classifies one plan's cost ratio to the optimum.
+type Bucket int
+
+// Quality buckets.
+const (
+	Ideal Bucket = iota
+	Good
+	Acceptable
+	Bad
+)
+
+// String returns the paper's one-letter bucket code.
+func (b Bucket) String() string {
+	switch b {
+	case Ideal:
+		return "I"
+	case Good:
+		return "G"
+	case Acceptable:
+		return "A"
+	case Bad:
+		return "B"
+	}
+	return "?"
+}
+
+// Classify buckets a cost ratio (plan cost / optimal cost).
+func Classify(ratio float64) Bucket {
+	switch {
+	case ratio <= 1.01:
+		return Ideal
+	case ratio <= 2:
+		return Good
+	case ratio <= 10:
+		return Acceptable
+	default:
+		return Bad
+	}
+}
+
+// Summary aggregates the ratios of one technique over a query batch: the
+// Plan-Quality columns of the paper's tables.
+type Summary struct {
+	// Count is the number of ratios summarized.
+	Count int
+	// PctIdeal..PctBad are the bucket shares in percent.
+	PctIdeal, PctGood, PctAcceptable, PctBad float64
+	// Worst is W, the worst-case cost ratio.
+	Worst float64
+	// Rho is ρ, the geometric mean of the ratios.
+	Rho float64
+}
+
+// Summarize computes a Summary over cost ratios against an optimal
+// reference (DP). Ratios below 1 indicate a mis-specified reference and are
+// rejected up to floating-point slack.
+func Summarize(ratios []float64) (Summary, error) {
+	return summarize(ratios, true)
+}
+
+// SummarizeRelative computes a Summary against a heuristic reference (the
+// paper treats SDP as the reference when DP is infeasible). Ratios below 1
+// — the compared technique beating the reference — are legal and count as
+// Ideal; they still enter W and ρ at face value.
+func SummarizeRelative(ratios []float64) (Summary, error) {
+	return summarize(ratios, false)
+}
+
+func summarize(ratios []float64, strict bool) (Summary, error) {
+	if len(ratios) == 0 {
+		return Summary{}, fmt.Errorf("quality: no ratios")
+	}
+	var s Summary
+	s.Count = len(ratios)
+	logSum := 0.0
+	counts := map[Bucket]int{}
+	for _, r := range ratios {
+		if r <= 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return Summary{}, fmt.Errorf("quality: invalid ratio %g", r)
+		}
+		if strict && r < 1-1e-6 {
+			return Summary{}, fmt.Errorf("quality: ratio %g below 1 — reference is not optimal", r)
+		}
+		if strict && r < 1 {
+			r = 1
+		}
+		counts[Classify(r)]++
+		logSum += math.Log(r)
+		if r > s.Worst {
+			s.Worst = r
+		}
+	}
+	pct := func(b Bucket) float64 { return 100 * float64(counts[b]) / float64(s.Count) }
+	s.PctIdeal = pct(Ideal)
+	s.PctGood = pct(Good)
+	s.PctAcceptable = pct(Acceptable)
+	s.PctBad = pct(Bad)
+	s.Rho = math.Exp(logSum / float64(s.Count))
+	return s, nil
+}
+
+// Row renders the summary as a paper-style table row:
+// I, G, A, B percentages, W and ρ.
+func (s Summary) Row() string {
+	return fmt.Sprintf("%3.0f %3.0f %3.0f %3.0f  W=%5.2f  rho=%5.3f",
+		s.PctIdeal, s.PctGood, s.PctAcceptable, s.PctBad, s.Worst, s.Rho)
+}
+
+// Header returns the column header matching Row.
+func Header() string {
+	return fmt.Sprintf("%3s %3s %3s %3s  %7s  %9s", "I", "G", "A", "B", "W", "rho")
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// FormatCount renders a plan count in the paper's exponent style, e.g.
+// 830000 -> "8.3E5".
+func FormatCount(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	f := float64(n)
+	exp := int(math.Floor(math.Log10(f)))
+	mant := f / math.Pow(10, float64(exp))
+	out := fmt.Sprintf("%.1fE%d", mant, exp)
+	return strings.Replace(out, ".0E", "E", 1)
+}

@@ -1,0 +1,194 @@
+package quality
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		ratio float64
+		want  Bucket
+	}{
+		{1.0, Ideal},
+		{1.009, Ideal},
+		{1.01, Ideal},
+		{1.011, Good},
+		{1.5, Good},
+		{2.0, Good},
+		{2.001, Acceptable},
+		{9.99, Acceptable},
+		{10.0, Acceptable},
+		{10.01, Bad},
+		{1000, Bad},
+	}
+	for _, c := range cases {
+		if got := Classify(c.ratio); got != c.want {
+			t.Errorf("Classify(%g) = %v, want %v", c.ratio, got, c.want)
+		}
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	cases := map[Bucket]string{Ideal: "I", Good: "G", Acceptable: "A", Bad: "B", Bucket(9): "?"}
+	for b, want := range cases {
+		if got := b.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(b), got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	// 2 ideal, 1 good, 1 acceptable, 1 bad.
+	ratios := []float64{1.0, 1.005, 1.8, 5.0, 12.0}
+	s, err := Summarize(ratios)
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.PctIdeal != 40 || s.PctGood != 20 || s.PctAcceptable != 20 || s.PctBad != 20 {
+		t.Errorf("buckets = %g/%g/%g/%g", s.PctIdeal, s.PctGood, s.PctAcceptable, s.PctBad)
+	}
+	if s.Worst != 12 {
+		t.Errorf("Worst = %g", s.Worst)
+	}
+	wantRho := math.Pow(1.0*1.005*1.8*5.0*12.0, 1.0/5)
+	if math.Abs(s.Rho-wantRho) > 1e-12 {
+		t.Errorf("Rho = %g, want %g", s.Rho, wantRho)
+	}
+}
+
+func TestSummarizeAllIdeal(t *testing.T) {
+	s, err := Summarize([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PctIdeal != 100 || s.Rho != 1 || s.Worst != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeRejectsBadInput(t *testing.T) {
+	for name, in := range map[string][]float64{
+		"empty":     {},
+		"below one": {0.5},
+		"NaN":       {math.NaN()},
+		"Inf":       {math.Inf(1)},
+	} {
+		if _, err := Summarize(in); err == nil {
+			t.Errorf("%s: Summarize accepted %v", name, in)
+		}
+	}
+}
+
+func TestSummarizeToleratesFloatSlack(t *testing.T) {
+	// A ratio a hair below 1 from float noise is clamped, not rejected.
+	s, err := Summarize([]float64{1 - 1e-9})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Rho != 1 {
+		t.Errorf("Rho = %g, want clamped 1", s.Rho)
+	}
+}
+
+func TestRowAndHeaderAlign(t *testing.T) {
+	s, err := Summarize([]float64{1, 1.5, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := s.Row()
+	if !strings.Contains(row, "W=") || !strings.Contains(row, "rho=") {
+		t.Errorf("Row = %q", row)
+	}
+	if Header() == "" {
+		t.Error("empty header")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if got := GeoMean([]float64{5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("GeoMean single = %g", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestFormatCount(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0",
+		830000:  "8.3E5",
+		50000:   "5E4",
+		4500000: "4.5E6",
+		999:     "10E2", // 9.99 rounds to 10.0 at one decimal
+		100:     "1E2",
+		7:       "7E0",
+	}
+	for n, want := range cases {
+		if got := FormatCount(n); got != want {
+			t.Errorf("FormatCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+// Property: ρ lies between the minimum and maximum ratio, and percentages
+// sum to 100.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ratios := make([]float64, len(raw))
+		lo, hi := math.Inf(1), 0.0
+		for i, v := range raw {
+			ratios[i] = 1 + float64(v)/1000
+			lo = math.Min(lo, ratios[i])
+			hi = math.Max(hi, ratios[i])
+		}
+		s, err := Summarize(ratios)
+		if err != nil {
+			return false
+		}
+		if s.Rho < lo-1e-9 || s.Rho > hi+1e-9 {
+			return false
+		}
+		sum := s.PctIdeal + s.PctGood + s.PctAcceptable + s.PctBad
+		return math.Abs(sum-100) < 1e-9 && s.Worst == hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarizeRelativeAllowsBelowOne(t *testing.T) {
+	// A technique occasionally beating the heuristic reference: ratio 0.5
+	// counts as Ideal, enters rho and W at face value.
+	s, err := SummarizeRelative([]float64{0.5, 1.0, 3.0})
+	if err != nil {
+		t.Fatalf("SummarizeRelative: %v", err)
+	}
+	if s.PctIdeal < 66 || s.PctIdeal > 67 {
+		t.Errorf("PctIdeal = %g, want 2/3", s.PctIdeal)
+	}
+	wantRho := math.Pow(0.5*1.0*3.0, 1.0/3)
+	if math.Abs(s.Rho-wantRho) > 1e-12 {
+		t.Errorf("Rho = %g, want %g", s.Rho, wantRho)
+	}
+	if s.Worst != 3 {
+		t.Errorf("Worst = %g", s.Worst)
+	}
+	// Zero and negative ratios remain invalid.
+	for _, bad := range [][]float64{{0}, {-1}, {math.NaN()}} {
+		if _, err := SummarizeRelative(bad); err == nil {
+			t.Errorf("SummarizeRelative accepted %v", bad)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the join graph in Graphviz format: one node per relation
+// (hubs double-circled), one edge per user predicate (implied closure edges
+// dashed), for the kind of figure the paper draws in Figures 1.1 and 2.1.
+func (q *Query) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph joingraph {\n  node [shape=circle];\n")
+	hubs := q.HubRels()
+	for i := range q.Rels {
+		shape := ""
+		if hubs.Has(i) {
+			shape = " shape=doublecircle"
+		}
+		fmt.Fprintf(&b, "  t%d [label=\"%s\"%s];\n", i+1, q.Relation(i).Name, shape)
+	}
+	for _, p := range q.Preds {
+		style := ""
+		if p.Implied {
+			style = " [style=dashed]"
+		}
+		fmt.Fprintf(&b, "  t%d -- t%d%s;\n", p.LeftRel+1, p.RightRel+1, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

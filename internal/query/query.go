@@ -1,0 +1,412 @@
+// Package query models SQL join queries as join graphs.
+//
+// A query is a set of base relations drawn from a catalog, a conjunction of
+// equi-join predicates between their columns, and an optional ORDER BY on a
+// join column. The join graph view (adjacency between relations, hub
+// detection, and the implied-edge closure over shared join columns) is the
+// structure the SDP algorithm reasons about.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/catalog"
+)
+
+// Pred is an equi-join predicate LeftRel.LeftCol = RightRel.RightCol between
+// two query-local relation indexes.
+type Pred struct {
+	LeftRel, LeftCol   int
+	RightRel, RightCol int
+	// Implied marks predicates added by the shared-join-column closure
+	// (R.a=S.b ∧ R.a=T.c ⇒ S.b=T.c) rather than written by the user. The
+	// paper notes that industrial rewriters, including PostgreSQL's, perform
+	// this inclusion, and that the extra edges can create new hubs for SDP.
+	Implied bool
+}
+
+// OrderSpec is a user-requested output order on one relation column. Only
+// orders on join columns are relevant to the optimizer's interesting-order
+// machinery; the workload generator always picks join columns.
+type OrderSpec struct {
+	Rel, Col int
+}
+
+// Filter is a local range selection "column < Bound" on one relation.
+// Column values live in [0, NDV), so under a uniform distribution the
+// filter's selectivity is Bound/NDV. Filters drive access-path selection:
+// a filter on a relation's indexed column turns its index scan into a
+// cheap range scan.
+type Filter struct {
+	Rel, Col int
+	Bound    int64
+}
+
+// Query is an N-relation equi-join query over a catalog.
+type Query struct {
+	Cat *catalog.Catalog
+	// Rels maps query-local relation index -> catalog relation index.
+	Rels []int
+	// Preds are the join predicates, user-written plus implied.
+	Preds []Pred
+	// Filters are local range selections applied at scan time.
+	Filters []Filter
+	// OrderBy, if non-nil, requests sorted output.
+	OrderBy *OrderSpec
+
+	adj     []bits.Set // adjacency bitset per query-local relation
+	eqClass map[colRef]int
+	numEq   int
+	// predsBetween[i] lists predicate indexes incident to relation i.
+	predsByRel [][]int
+}
+
+type colRef struct{ rel, col int }
+
+// New validates and finalizes a filter-free query: it checks indexes,
+// computes the implied-edge closure, builds adjacency, and verifies the
+// join graph is connected (the paper's workloads never require cartesian
+// products).
+func New(cat *catalog.Catalog, rels []int, preds []Pred, orderBy *OrderSpec) (*Query, error) {
+	return NewFiltered(cat, rels, preds, nil, orderBy)
+}
+
+// NewFiltered is New with local range selections.
+func NewFiltered(cat *catalog.Catalog, rels []int, preds []Pred, filters []Filter, orderBy *OrderSpec) (*Query, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("query: no relations")
+	}
+	if len(rels) > bits.MaxRelations {
+		return nil, fmt.Errorf("query: %d relations exceeds the %d-relation limit", len(rels), bits.MaxRelations)
+	}
+	// The same catalog relation may appear several times under different
+	// aliases (the paper's 28-relation chain over a 25-relation schema
+	// requires it); each occurrence is an independent query-local relation.
+	for _, r := range rels {
+		if r < 0 || r >= cat.NumRelations() {
+			return nil, fmt.Errorf("query: catalog relation %d out of range", r)
+		}
+	}
+	q := &Query{Cat: cat, Rels: append([]int(nil), rels...), OrderBy: orderBy}
+	for _, p := range preds {
+		if err := q.checkPred(p); err != nil {
+			return nil, err
+		}
+		if p.LeftRel == p.RightRel {
+			return nil, fmt.Errorf("query: self-join predicate on relation %d", p.LeftRel)
+		}
+		q.Preds = append(q.Preds, p)
+	}
+	if orderBy != nil {
+		if orderBy.Rel < 0 || orderBy.Rel >= len(rels) {
+			return nil, fmt.Errorf("query: ORDER BY relation %d out of range", orderBy.Rel)
+		}
+		if orderBy.Col < 0 || orderBy.Col >= len(cat.Relation(rels[orderBy.Rel]).Cols) {
+			return nil, fmt.Errorf("query: ORDER BY column %d out of range", orderBy.Col)
+		}
+	}
+	for _, f := range filters {
+		if f.Rel < 0 || f.Rel >= len(rels) {
+			return nil, fmt.Errorf("query: filter relation %d out of range", f.Rel)
+		}
+		if f.Col < 0 || f.Col >= len(cat.Relation(rels[f.Rel]).Cols) {
+			return nil, fmt.Errorf("query: filter column %d out of range", f.Col)
+		}
+		if f.Bound < 1 {
+			return nil, fmt.Errorf("query: filter bound %d must be at least 1", f.Bound)
+		}
+		q.Filters = append(q.Filters, f)
+	}
+	q.closeImpliedEdges()
+	q.buildIndexes()
+	if !q.connected() {
+		return nil, fmt.Errorf("query: join graph is disconnected")
+	}
+	return q, nil
+}
+
+func (q *Query) checkPred(p Pred) error {
+	for _, side := range [2][2]int{{p.LeftRel, p.LeftCol}, {p.RightRel, p.RightCol}} {
+		rel, col := side[0], side[1]
+		if rel < 0 || rel >= len(q.Rels) {
+			return fmt.Errorf("query: predicate relation %d out of range", rel)
+		}
+		if col < 0 || col >= len(q.Cat.Relation(q.Rels[rel]).Cols) {
+			return fmt.Errorf("query: predicate column %d out of range for relation %d", col, rel)
+		}
+	}
+	return nil
+}
+
+// closeImpliedEdges computes the transitive closure of equality over join
+// columns. Columns connected by predicates form equivalence classes; every
+// pair of class members in distinct relations becomes a join edge. Edges not
+// present in the original predicate list are appended as Implied.
+func (q *Query) closeImpliedEdges() {
+	// Union-find over column references.
+	parent := map[colRef]colRef{}
+	var find func(colRef) colRef
+	find = func(x colRef) colRef {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b colRef) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, p := range q.Preds {
+		union(colRef{p.LeftRel, p.LeftCol}, colRef{p.RightRel, p.RightCol})
+	}
+	// Group members per class root, deterministically ordered.
+	members := map[colRef][]colRef{}
+	var refs []colRef
+	for x := range parent {
+		refs = append(refs, x)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].rel != refs[j].rel {
+			return refs[i].rel < refs[j].rel
+		}
+		return refs[i].col < refs[j].col
+	})
+	for _, x := range refs {
+		r := find(x)
+		members[r] = append(members[r], x)
+	}
+	// Existing edges (per relation pair per class) so we don't duplicate.
+	type edgeKey struct {
+		a, b colRef
+	}
+	have := map[edgeKey]bool{}
+	norm := func(a, b colRef) edgeKey {
+		if b.rel < a.rel || (b.rel == a.rel && b.col < a.col) {
+			a, b = b, a
+		}
+		return edgeKey{a, b}
+	}
+	for _, p := range q.Preds {
+		have[norm(colRef{p.LeftRel, p.LeftCol}, colRef{p.RightRel, p.RightCol})] = true
+	}
+	// Assign equivalence class ids and add missing edges.
+	q.eqClass = map[colRef]int{}
+	var roots []colRef
+	for r := range members {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := members[roots[i]][0], members[roots[j]][0]
+		if a.rel != b.rel {
+			return a.rel < b.rel
+		}
+		return a.col < b.col
+	})
+	for id, r := range roots {
+		ms := members[r]
+		for _, m := range ms {
+			q.eqClass[m] = id
+		}
+		for i := 0; i < len(ms); i++ {
+			for j := i + 1; j < len(ms); j++ {
+				if ms[i].rel == ms[j].rel {
+					continue
+				}
+				k := norm(ms[i], ms[j])
+				if have[k] {
+					continue
+				}
+				have[k] = true
+				q.Preds = append(q.Preds, Pred{
+					LeftRel: ms[i].rel, LeftCol: ms[i].col,
+					RightRel: ms[j].rel, RightCol: ms[j].col,
+					Implied: true,
+				})
+			}
+		}
+	}
+	q.numEq = len(roots)
+}
+
+func (q *Query) buildIndexes() {
+	n := len(q.Rels)
+	q.adj = make([]bits.Set, n)
+	q.predsByRel = make([][]int, n)
+	for i, p := range q.Preds {
+		q.adj[p.LeftRel] = q.adj[p.LeftRel].Add(p.RightRel)
+		q.adj[p.RightRel] = q.adj[p.RightRel].Add(p.LeftRel)
+		q.predsByRel[p.LeftRel] = append(q.predsByRel[p.LeftRel], i)
+		q.predsByRel[p.RightRel] = append(q.predsByRel[p.RightRel], i)
+	}
+}
+
+func (q *Query) connected() bool {
+	if len(q.Rels) == 1 {
+		return true
+	}
+	reached := bits.Single(0)
+	frontier := bits.Single(0)
+	for !frontier.IsEmpty() {
+		next := bits.Set(0)
+		frontier.Each(func(i int) { next = next.Union(q.adj[i]) })
+		next = next.Diff(reached)
+		reached = reached.Union(next)
+		frontier = next
+	}
+	return reached == bits.Full(len(q.Rels))
+}
+
+// NumRelations returns the number of base relations in the query.
+func (q *Query) NumRelations() int { return len(q.Rels) }
+
+// Relation returns the catalog relation behind query-local index i.
+func (q *Query) Relation(i int) *catalog.Relation {
+	return q.Cat.Relation(q.Rels[i])
+}
+
+// Adjacent returns the relations adjacent to query-local relation i.
+func (q *Query) Adjacent(i int) bits.Set { return q.adj[i] }
+
+// Neighbors returns the relations outside s adjacent to any member of s —
+// the neighbor set of s viewed as a contracted node of the join graph.
+func (q *Query) Neighbors(s bits.Set) bits.Set {
+	var n bits.Set
+	s.Each(func(i int) { n = n.Union(q.adj[i]) })
+	return n.Diff(s)
+}
+
+// Connected reports whether the two disjoint sets are joined by at least one
+// edge, i.e. whether their join avoids a cartesian product.
+func (q *Query) Connected(a, b bits.Set) bool {
+	return q.Neighbors(a).Overlaps(b)
+}
+
+// ConnectedSet reports whether the relations of s form a connected subgraph.
+func (q *Query) ConnectedSet(s bits.Set) bool {
+	if s.IsEmpty() {
+		return false
+	}
+	start := bits.Single(s.Min())
+	reached, frontier := start, start
+	for !frontier.IsEmpty() {
+		var next bits.Set
+		frontier.Each(func(i int) { next = next.Union(q.adj[i].Intersect(s)) })
+		next = next.Diff(reached)
+		reached = reached.Union(next)
+		frontier = next
+	}
+	return reached == s
+}
+
+// PredsBetween returns the indexes into Preds of every predicate with one
+// side in a and the other in b.
+func (q *Query) PredsBetween(a, b bits.Set) []int {
+	var out []int
+	smaller := a
+	if b.Len() < a.Len() {
+		smaller = b
+	}
+	seen := map[int]bool{}
+	smaller.Each(func(i int) {
+		for _, pi := range q.predsByRel[i] {
+			if seen[pi] {
+				continue
+			}
+			p := q.Preds[pi]
+			l, r := bits.Single(p.LeftRel), bits.Single(p.RightRel)
+			if (a.Contains(l) && b.Contains(r)) || (a.Contains(r) && b.Contains(l)) {
+				seen[pi] = true
+				out = append(out, pi)
+			}
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+// PredsWithin returns the indexes of every predicate whose both sides fall
+// inside s.
+func (q *Query) PredsWithin(s bits.Set) []int {
+	var out []int
+	for i, p := range q.Preds {
+		if s.Has(p.LeftRel) && s.Has(p.RightRel) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EqClass returns the join-column equivalence class id of (rel, col), or -1
+// if the column participates in no join predicate. Class ids identify
+// interesting orders: a plan sorted on any member column of a class can feed
+// a merge join on any predicate of that class.
+func (q *Query) EqClass(rel, col int) int {
+	id, ok := q.eqClass[colRef{rel, col}]
+	if !ok {
+		return -1
+	}
+	return id
+}
+
+// NumEqClasses returns the number of join-column equivalence classes.
+func (q *Query) NumEqClasses() int { return q.numEq }
+
+// PredEqClass returns the equivalence class of predicate pi's columns (both
+// sides are in the same class by construction).
+func (q *Query) PredEqClass(pi int) int {
+	p := q.Preds[pi]
+	return q.EqClass(p.LeftRel, p.LeftCol)
+}
+
+// OrderEqClass returns the equivalence class of the ORDER BY column, or -1
+// if the query is unordered or ordered on a non-join column.
+func (q *Query) OrderEqClass() int {
+	if q.OrderBy == nil {
+		return -1
+	}
+	return q.EqClass(q.OrderBy.Rel, q.OrderBy.Col)
+}
+
+// FiltersOn returns the filters applying to query-local relation i.
+func (q *Query) FiltersOn(i int) []Filter {
+	var out []Filter
+	for _, f := range q.Filters {
+		if f.Rel == i {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// HubRels returns the root hubs: base relations adjacent to three or more
+// relations in the join graph.
+func (q *Query) HubRels() bits.Set {
+	var hubs bits.Set
+	for i := range q.Rels {
+		if q.adj[i].Len() >= 3 {
+			hubs = hubs.Add(i)
+		}
+	}
+	return hubs
+}
+
+// IsHub reports whether the JCR s, treated as a single contracted relation,
+// is a hub: it has join edges to three or more relations outside itself.
+// For a singleton this coincides with root-hub membership. Hubs are
+// recomputed per SDP level with exactly this rule (Section 2.1's example:
+// after {1,2} is retained it counts as a hub because it has edges to 3, 4
+// and 5).
+func (q *Query) IsHub(s bits.Set) bool {
+	return q.Neighbors(s).Len() >= 3
+}
+
+// String renders the query as SQL text.
+func (q *Query) String() string { return q.SQL() }

@@ -1,0 +1,438 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/catalog"
+)
+
+// testCatalog returns a small catalog for query construction tests.
+func testCatalog(t *testing.T, n int) *catalog.Catalog {
+	t.Helper()
+	cfg := catalog.DefaultConfig()
+	cfg.NumRelations = n
+	cfg.ColsPerRelation = 24
+	return catalog.MustSynthetic(cfg)
+}
+
+// buildQuery creates a query over rels 0..n-1 with one predicate per edge.
+// Each relation spends a fresh column on every incident edge so that no
+// implied edges arise from shared join columns.
+func buildQuery(t *testing.T, cat *catalog.Catalog, n int, edges []Edge, orderBy *OrderSpec) *Query {
+	t.Helper()
+	rels := make([]int, n)
+	for i := range rels {
+		rels[i] = i
+	}
+	used := make([]int, n)
+	nextCol := func(rel int) int {
+		c := used[rel]
+		used[rel]++
+		return c
+	}
+	preds := make([]Pred, len(edges))
+	for i, e := range edges {
+		preds[i] = Pred{LeftRel: e.A, LeftCol: nextCol(e.A), RightRel: e.B, RightCol: nextCol(e.B)}
+	}
+	q, err := New(cat, rels, preds, orderBy)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return q
+}
+
+func TestNewValidates(t *testing.T) {
+	cat := testCatalog(t, 5)
+	cases := []struct {
+		name  string
+		rels  []int
+		preds []Pred
+		order *OrderSpec
+	}{
+		{"no relations", nil, nil, nil},
+		{"relation out of range", []int{0, 9}, []Pred{{LeftRel: 0, RightRel: 1}}, nil},
+		{"pred rel out of range", []int{0, 1}, []Pred{{LeftRel: 0, RightRel: 5}}, nil},
+		{"pred col out of range", []int{0, 1}, []Pred{{LeftRel: 0, LeftCol: 99, RightRel: 1}}, nil},
+		{"self join", []int{0, 1}, []Pred{{LeftRel: 0, LeftCol: 0, RightRel: 0, RightCol: 1}}, nil},
+		{"disconnected", []int{0, 1, 2}, []Pred{{LeftRel: 0, RightRel: 1}}, nil},
+		{"order rel out of range", []int{0, 1}, []Pred{{LeftRel: 0, RightRel: 1}}, &OrderSpec{Rel: 7}},
+		{"order col out of range", []int{0, 1}, []Pred{{LeftRel: 0, RightRel: 1}}, &OrderSpec{Rel: 0, Col: 99}},
+	}
+	for _, c := range cases {
+		if _, err := New(cat, c.rels, c.preds, c.order); err == nil {
+			t.Errorf("%s: New accepted invalid query", c.name)
+		}
+	}
+}
+
+func TestSingleRelationQuery(t *testing.T) {
+	cat := testCatalog(t, 3)
+	q, err := New(cat, []int{2}, nil, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if q.NumRelations() != 1 {
+		t.Fatalf("NumRelations = %d, want 1", q.NumRelations())
+	}
+	if !q.HubRels().IsEmpty() {
+		t.Error("single relation has hubs")
+	}
+}
+
+func TestAdjacencyAndNeighbors(t *testing.T) {
+	cat := testCatalog(t, 9)
+	q := buildQuery(t, cat, 9, Example9Edges(), nil)
+	if got, want := q.Adjacent(0), bits.Of(1, 2, 3, 4); got != want {
+		t.Errorf("Adjacent(0) = %v, want %v", got, want)
+	}
+	// Neighbors of the contracted JCR {1,2} (paper numbering {1,5,6}... here
+	// indexes {0,4}): adjacency of 0 is {1,2,3,4}, of 4 is {0,5}.
+	if got, want := q.Neighbors(bits.Of(0, 4)), bits.Of(1, 2, 3, 5); got != want {
+		t.Errorf("Neighbors({0,4}) = %v, want %v", got, want)
+	}
+}
+
+func TestConnectedPairs(t *testing.T) {
+	cat := testCatalog(t, 9)
+	q := buildQuery(t, cat, 9, Example9Edges(), nil)
+	if !q.Connected(bits.Of(0), bits.Of(1)) {
+		t.Error("0 and 1 should be connected")
+	}
+	if q.Connected(bits.Of(1), bits.Of(2)) {
+		t.Error("spokes 1 and 2 are not directly connected")
+	}
+	if !q.Connected(bits.Of(0, 1), bits.Of(4, 5)) {
+		t.Error("{0,1} connects to {4,5} via edge 0-4")
+	}
+}
+
+func TestConnectedSet(t *testing.T) {
+	cat := testCatalog(t, 9)
+	q := buildQuery(t, cat, 9, Example9Edges(), nil)
+	cases := []struct {
+		s    bits.Set
+		want bool
+	}{
+		{bits.Of(0), true},
+		{bits.Of(0, 1), true},
+		{bits.Of(1, 2), false},      // two spokes without the hub
+		{bits.Of(0, 4, 5, 6), true}, // hub + chain
+		{bits.Of(7, 8), false},      // two spokes of hub 7
+		{bits.Of(6, 7, 8), true},
+		{bits.Set(0), false}, // empty set is not connected
+	}
+	for _, c := range cases {
+		if got := q.ConnectedSet(c.s); got != c.want {
+			t.Errorf("ConnectedSet(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestHubDetectionExample9(t *testing.T) {
+	cat := testCatalog(t, 9)
+	q := buildQuery(t, cat, 9, Example9Edges(), nil)
+	// Paper: the hub relations of Figure 2.1 are 1 and 7 (indexes 0 and 6).
+	if got, want := q.HubRels(), bits.Of(0, 6); got != want {
+		t.Errorf("HubRels = %v, want %v", got, want)
+	}
+	// Paper: the retained combination 12 (indexes {0,1}) is a composite hub
+	// because it has three join edges, to relations 3, 4 and 5.
+	if !q.IsHub(bits.Of(0, 1)) {
+		t.Error("{1,2} should be a composite hub")
+	}
+	if got, want := q.Neighbors(bits.Of(0, 1)), bits.Of(2, 3, 4); got != want {
+		t.Errorf("Neighbors({1,2}) = %v, want %v", got, want)
+	}
+	// A mid-chain JCR is not a hub.
+	if q.IsHub(bits.Of(4, 5)) {
+		t.Error("{5,6} should not be a hub")
+	}
+}
+
+func TestTopologyGenerators(t *testing.T) {
+	cases := []struct {
+		name     string
+		edges    []Edge
+		n        int
+		numEdges int
+		hubs     []int
+	}{
+		{"chain-5", ChainEdges(5), 5, 4, nil},
+		{"star-6", StarEdges(6), 6, 5, []int{0}},
+		{"cycle-5", CycleEdges(5), 5, 5, nil},
+		{"clique-4", CliqueEdges(4), 4, 6, []int{0, 1, 2, 3}},
+		{"star-chain-15", StarChainEdges(15, 10), 15, 14, []int{0}},
+	}
+	cat := testCatalog(t, 15)
+	for _, c := range cases {
+		if len(c.edges) != c.numEdges {
+			t.Errorf("%s: %d edges, want %d", c.name, len(c.edges), c.numEdges)
+			continue
+		}
+		q := buildQuery(t, cat, c.n, c.edges, nil)
+		if !q.ConnectedSet(bits.Full(c.n)) {
+			t.Errorf("%s: graph disconnected", c.name)
+		}
+		want := bits.Of(c.hubs...)
+		if got := q.HubRels(); got != want {
+			t.Errorf("%s: hubs = %v, want %v", c.name, got, want)
+		}
+	}
+}
+
+func TestStarChainSpokes(t *testing.T) {
+	// Paper's Star-Chain-15: 10 spokes (R2..R11), chain R11..R15.
+	if got := DefaultStarChainSpokes(15); got != 10 {
+		t.Errorf("DefaultStarChainSpokes(15) = %d, want 10", got)
+	}
+	for n := 3; n <= 40; n++ {
+		s := DefaultStarChainSpokes(n)
+		if s < 1 || s > n-1 {
+			t.Errorf("DefaultStarChainSpokes(%d) = %d out of range", n, s)
+		}
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"chain-0":            func() { ChainEdges(0) },
+		"star-1":             func() { StarEdges(1) },
+		"cycle-2":            func() { CycleEdges(2) },
+		"clique-1":           func() { CliqueEdges(1) },
+		"star-chain-2":       func() { StarChainEdges(2, 1) },
+		"star-chain-bad-spk": func() { StarChainEdges(5, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestImpliedEdgeClosure(t *testing.T) {
+	cat := testCatalog(t, 3)
+	// R.a ⋈ S.b and R.a ⋈ T.c directly implies S.b ⋈ T.c (paper §2.1.4).
+	preds := []Pred{
+		{LeftRel: 0, LeftCol: 1, RightRel: 1, RightCol: 2},
+		{LeftRel: 0, LeftCol: 1, RightRel: 2, RightCol: 3},
+	}
+	q, err := New(cat, []int{0, 1, 2}, preds, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if len(q.Preds) != 3 {
+		t.Fatalf("got %d predicates after closure, want 3", len(q.Preds))
+	}
+	imp := q.Preds[2]
+	if !imp.Implied {
+		t.Error("closure edge not marked Implied")
+	}
+	got := bits.Of(imp.LeftRel, imp.RightRel)
+	if got != bits.Of(1, 2) {
+		t.Errorf("implied edge between %v, want {2,3}", got)
+	}
+	// The implied edge turns relation 0's star into a triangle; every
+	// relation now has degree 2, so no hubs.
+	if !q.HubRels().IsEmpty() {
+		t.Errorf("hubs = %v, want none", q.HubRels())
+	}
+	// All three columns share one equivalence class.
+	if q.NumEqClasses() != 1 {
+		t.Errorf("NumEqClasses = %d, want 1", q.NumEqClasses())
+	}
+	for _, ref := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if q.EqClass(ref[0], ref[1]) != 0 {
+			t.Errorf("EqClass(%d,%d) = %d, want 0", ref[0], ref[1], q.EqClass(ref[0], ref[1]))
+		}
+	}
+	if q.EqClass(0, 0) != -1 {
+		t.Error("non-join column should have EqClass -1")
+	}
+}
+
+func TestImpliedClosureCanCreateHubs(t *testing.T) {
+	cat := testCatalog(t, 5)
+	// Chain 0-1-2-3-4 where relation 1's join columns to 0 and 2 are the
+	// same column: the closure adds 0-2, raising deg(0)… actually deg(1)
+	// stays 2 but 0 and 2 gain an edge. Build instead: 1 joins 0, 2, using
+	// col 0 both times, and 2-3, 3-4 on distinct columns. Closure adds 0-2.
+	preds := []Pred{
+		{LeftRel: 1, LeftCol: 0, RightRel: 0, RightCol: 0},
+		{LeftRel: 1, LeftCol: 0, RightRel: 2, RightCol: 1},
+		{LeftRel: 2, LeftCol: 2, RightRel: 3, RightCol: 2},
+		{LeftRel: 3, LeftCol: 3, RightRel: 4, RightCol: 3},
+	}
+	q, err := New(cat, []int{0, 1, 2, 3, 4}, preds, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Implied 0-2 gives relation 2 degree 3: a new hub created by the
+	// rewriter, exactly the opportunity §2.1.4 describes.
+	if got, want := q.HubRels(), bits.Of(2); got != want {
+		t.Errorf("hubs = %v, want %v", got, want)
+	}
+}
+
+func TestPredsBetweenAndWithin(t *testing.T) {
+	cat := testCatalog(t, 4)
+	preds := []Pred{
+		{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0},
+		{LeftRel: 1, LeftCol: 1, RightRel: 2, RightCol: 1},
+		{LeftRel: 2, LeftCol: 2, RightRel: 3, RightCol: 2},
+		{LeftRel: 0, LeftCol: 3, RightRel: 3, RightCol: 3},
+	}
+	q, err := New(cat, []int{0, 1, 2, 3}, preds, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	between := q.PredsBetween(bits.Of(0, 1), bits.Of(2, 3))
+	if len(between) != 2 || between[0] != 1 || between[1] != 3 {
+		t.Errorf("PredsBetween = %v, want [1 3]", between)
+	}
+	within := q.PredsWithin(bits.Of(0, 1, 3))
+	if len(within) != 2 || within[0] != 0 || within[1] != 3 {
+		t.Errorf("PredsWithin = %v, want [0 3]", within)
+	}
+	if got := q.PredsBetween(bits.Of(0), bits.Of(2)); len(got) != 0 {
+		t.Errorf("PredsBetween disconnected pair = %v, want empty", got)
+	}
+}
+
+func TestOrderEqClass(t *testing.T) {
+	cat := testCatalog(t, 3)
+	preds := []Pred{
+		{LeftRel: 0, LeftCol: 1, RightRel: 1, RightCol: 2},
+		{LeftRel: 1, LeftCol: 3, RightRel: 2, RightCol: 4},
+	}
+	q, err := New(cat, []int{0, 1, 2}, preds, &OrderSpec{Rel: 1, Col: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := q.OrderEqClass(); got != q.EqClass(0, 1) {
+		t.Errorf("OrderEqClass = %d, want class of t1.c2 = %d", got, q.EqClass(0, 1))
+	}
+	unordered, err := New(cat, []int{0, 1, 2}, preds, nil)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := unordered.OrderEqClass(); got != -1 {
+		t.Errorf("unordered OrderEqClass = %d, want -1", got)
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	cat := testCatalog(t, 3)
+	preds := []Pred{
+		{LeftRel: 0, LeftCol: 1, RightRel: 1, RightCol: 2},
+		{LeftRel: 0, LeftCol: 1, RightRel: 2, RightCol: 3},
+	}
+	q, err := New(cat, []int{0, 1, 2}, preds, &OrderSpec{Rel: 0, Col: 1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sql := q.SQL()
+	for _, frag := range []string{"SELECT *", "FROM R1 t1, R2 t2, R3 t3", "t1.c2 = t2.c3", "t1.c2 = t3.c4", "ORDER BY t1.c2"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("SQL missing %q:\n%s", frag, sql)
+		}
+	}
+	// Implied predicates (t2.c3 = t3.c4) must not leak into SQL text.
+	if strings.Contains(sql, "t2.c3 = t3.c4") {
+		t.Errorf("SQL leaks implied predicate:\n%s", sql)
+	}
+}
+
+func TestTooManyRelationsRejected(t *testing.T) {
+	cfg := catalog.DefaultConfig()
+	cfg.NumRelations = 70
+	cfg.ColsPerRelation = 2
+	cat := catalog.MustSynthetic(cfg)
+	rels := make([]int, 65)
+	var preds []Pred
+	for i := range rels {
+		rels[i] = i
+		if i > 0 {
+			preds = append(preds, Pred{LeftRel: i - 1, LeftCol: 0, RightRel: i, RightCol: 0})
+		}
+	}
+	if _, err := New(cat, rels, preds, nil); err == nil {
+		t.Error("New accepted a 65-relation query")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	cat := testCatalog(t, 3)
+	preds := []Pred{{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0},
+		{LeftRel: 1, LeftCol: 1, RightRel: 2, RightCol: 1}}
+	filters := []Filter{{Rel: 0, Col: 3, Bound: 10}, {Rel: 0, Col: 4, Bound: 5}, {Rel: 2, Col: 2, Bound: 7}}
+	q, err := NewFiltered(cat, []int{0, 1, 2}, preds, filters, nil)
+	if err != nil {
+		t.Fatalf("NewFiltered: %v", err)
+	}
+	if got := len(q.FiltersOn(0)); got != 2 {
+		t.Errorf("FiltersOn(0) = %d, want 2", got)
+	}
+	if got := len(q.FiltersOn(1)); got != 0 {
+		t.Errorf("FiltersOn(1) = %d, want 0", got)
+	}
+	sql := q.SQL()
+	for _, frag := range []string{"t1.c4 < 10", "t1.c5 < 5", "t3.c3 < 7"} {
+		if !strings.Contains(sql, frag) {
+			t.Errorf("SQL missing filter %q:\n%s", frag, sql)
+		}
+	}
+}
+
+func TestFilterValidation(t *testing.T) {
+	cat := testCatalog(t, 2)
+	preds := []Pred{{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0}}
+	bad := [][]Filter{
+		{{Rel: -1, Col: 0, Bound: 1}},
+		{{Rel: 9, Col: 0, Bound: 1}},
+		{{Rel: 0, Col: 99, Bound: 1}},
+		{{Rel: 0, Col: 0, Bound: 0}},
+	}
+	for i, fs := range bad {
+		if _, err := NewFiltered(cat, []int{0, 1}, preds, fs, nil); err == nil {
+			t.Errorf("case %d: invalid filter accepted", i)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	cat := testCatalog(t, 9)
+	q := buildQuery(t, cat, 9, Example9Edges(), nil)
+	dot := q.DOT()
+	for _, frag := range []string{
+		"graph joingraph {",
+		"doublecircle", // hubs highlighted
+		"t1 -- t2",
+		"t7 -- t9",
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q:\n%s", frag, dot)
+		}
+	}
+	// Exactly one doublecircle per hub (relations 1 and 7).
+	if got := strings.Count(dot, "doublecircle"); got != 2 {
+		t.Errorf("DOT has %d hub nodes, want 2", got)
+	}
+	// Implied edges are dashed.
+	preds := []Pred{
+		{LeftRel: 0, LeftCol: 1, RightRel: 1, RightCol: 2},
+		{LeftRel: 0, LeftCol: 1, RightRel: 2, RightCol: 3},
+	}
+	qi, err := New(cat, []int{0, 1, 2}, preds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(qi.DOT(), "style=dashed") {
+		t.Error("implied edge not dashed in DOT")
+	}
+}

@@ -1,0 +1,52 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SQL renders the query as executable SQL text, using per-query aliases so
+// the same catalog relation could appear in several queries of a workload.
+// Implied predicates are omitted — they are an optimizer-internal closure,
+// not user syntax.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT *\nFROM ")
+	for i, r := range q.Rels {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s t%d", q.Cat.Relation(r).Name, i+1)
+	}
+	first := true
+	for _, p := range q.Preds {
+		if p.Implied {
+			continue
+		}
+		if first {
+			b.WriteString("\nWHERE ")
+			first = false
+		} else {
+			b.WriteString("\n  AND ")
+		}
+		fmt.Fprintf(&b, "t%d.%s = t%d.%s",
+			p.LeftRel+1, q.Relation(p.LeftRel).Cols[p.LeftCol].Name,
+			p.RightRel+1, q.Relation(p.RightRel).Cols[p.RightCol].Name)
+	}
+	for _, f := range q.Filters {
+		if first {
+			b.WriteString("\nWHERE ")
+			first = false
+		} else {
+			b.WriteString("\n  AND ")
+		}
+		fmt.Fprintf(&b, "t%d.%s < %d",
+			f.Rel+1, q.Relation(f.Rel).Cols[f.Col].Name, f.Bound)
+	}
+	if q.OrderBy != nil {
+		fmt.Fprintf(&b, "\nORDER BY t%d.%s",
+			q.OrderBy.Rel+1, q.Relation(q.OrderBy.Rel).Cols[q.OrderBy.Col].Name)
+	}
+	b.WriteString(";")
+	return b.String()
+}

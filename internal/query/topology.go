@@ -1,0 +1,103 @@
+package query
+
+import "fmt"
+
+// Edge is an undirected join-graph edge between two query-local relation
+// indexes.
+type Edge struct{ A, B int }
+
+// ChainEdges returns the edges of an n-relation chain: 0–1–2–…–(n-1). A
+// chain has no hubs, so SDP applies no pruning at all to it.
+func ChainEdges(n int) []Edge {
+	mustAtLeast(n, 1, "chain")
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return edges
+}
+
+// StarEdges returns the edges of an n-relation star with relation 0 at the
+// hub and relations 1..n-1 as spokes.
+func StarEdges(n int) []Edge {
+	mustAtLeast(n, 2, "star")
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i < n; i++ {
+		edges = append(edges, Edge{0, i})
+	}
+	return edges
+}
+
+// CycleEdges returns the edges of an n-relation cycle.
+func CycleEdges(n int) []Edge {
+	mustAtLeast(n, 3, "cycle")
+	edges := ChainEdges(n)
+	return append(edges, Edge{n - 1, 0})
+}
+
+// CliqueEdges returns the edges of an n-relation clique: every pair joined.
+func CliqueEdges(n int) []Edge {
+	mustAtLeast(n, 2, "clique")
+	var edges []Edge
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, Edge{i, j})
+		}
+	}
+	return edges
+}
+
+// StarChainEdges returns the paper's Star-Chain topology (Figure 1.1):
+// relation 0 star-joins with relations 1..spokes, and the last spoke
+// continues into a chain through relations spokes+1..n-1. With n=15 and
+// spokes=10 this is exactly the paper's Star-Chain-15, which it notes is
+// structurally similar to TPC-H queries 8 and 9.
+func StarChainEdges(n, spokes int) []Edge {
+	mustAtLeast(n, 3, "star-chain")
+	if spokes < 1 || spokes > n-1 {
+		panic(fmt.Sprintf("query: star-chain spokes %d out of range [1,%d]", spokes, n-1))
+	}
+	edges := make([]Edge, 0, n-1)
+	for i := 1; i <= spokes; i++ {
+		edges = append(edges, Edge{0, i})
+	}
+	for i := spokes; i+1 < n; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	return edges
+}
+
+// DefaultStarChainSpokes is the spoke count used for an n-relation
+// Star-Chain when the paper does not pin one down. It reproduces the
+// paper's 15-relation shape exactly (10 spokes, 4 chain hops) and keeps the
+// same roughly 5:2 spoke-to-chain proportion as n grows.
+func DefaultStarChainSpokes(n int) int {
+	s := (2*(n-1) + 2) / 3
+	if s < 1 {
+		s = 1
+	}
+	if s > n-1 {
+		s = n - 1
+	}
+	return s
+}
+
+// Example9Edges is the fixed nine-relation join graph of the paper's
+// Figure 2.1: relation 1 (index 0) is a four-way hub over relations 2–5,
+// a chain runs 5–6–7, and relation 7 (index 6) is a three-way hub over 6, 8
+// and 9. Its root hubs are relations 1 and 7, as in the paper.
+func Example9Edges() []Edge {
+	return []Edge{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, // 1-2, 1-3, 1-4, 1-5
+		{4, 5}, // 5-6
+		{5, 6}, // 6-7
+		{6, 7}, // 7-8
+		{6, 8}, // 7-9
+	}
+}
+
+func mustAtLeast(n, min int, kind string) {
+	if n < min {
+		panic(fmt.Sprintf("query: %s needs at least %d relations, got %d", kind, min, n))
+	}
+}

@@ -1,0 +1,186 @@
+// Package randomized implements the randomized join-order search
+// algorithms the paper's introduction cites as the non-DP alternative:
+// Iterative Improvement (II) and Simulated Annealing (SA), in the style of
+// Swami/Gupta and Ioannidis/Kang.
+//
+// Both operate on left-deep join trees represented as prefix-connected
+// permutations (see internal/jointree), with the classic swap/relocate
+// move set. II restarts from random solutions and descends to local
+// minima; SA walks the same neighborhood under a geometric cooling
+// schedule with Metropolis acceptance.
+package randomized
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/jointree"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Algorithm selects the randomized search strategy.
+type Algorithm int
+
+// Randomized strategies.
+const (
+	// II is Iterative Improvement: repeated random-restart local descent.
+	II Algorithm = iota
+	// SA is Simulated Annealing with a geometric cooling schedule.
+	SA
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if a == SA {
+		return "SA"
+	}
+	return "II"
+}
+
+// Options configures a randomized run.
+type Options struct {
+	Algorithm Algorithm
+	// Budget is the number of candidate plans the search may cost; it
+	// plays the role DP's memory budget plays, bounding effort. 0 selects
+	// a default proportional to the query size.
+	Budget int64
+	// Seed drives the random walk; runs are deterministic in it.
+	Seed int64
+	// StartTemp and Cooling parameterize SA: the initial temperature as a
+	// fraction of the first solution's cost, and the geometric cooling
+	// factor per stage. Zero values select the classic 0.1 and 0.95.
+	StartTemp, Cooling float64
+	// Model supplies costing; if nil a fresh default model is created.
+	Model *cost.Model
+}
+
+// DefaultOptions returns an II configuration with defaults.
+func DefaultOptions() Options { return Options{Algorithm: II} }
+
+// Optimize runs the configured randomized search on q.
+func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
+	model := opts.Model
+	if model == nil {
+		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	started := time.Now()
+	costedAtStart := model.PlansCosted
+	budget := opts.Budget
+	if budget == 0 {
+		// Effort comparable to the DP heuristics: a few thousand plan
+		// costings per relation.
+		budget = int64(q.NumRelations()) * 4000
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	over := func() bool { return model.PlansCosted-costedAtStart >= budget }
+
+	build := func(perm []int) (*plan.Plan, error) { return jointree.Build(q, model, perm) }
+
+	var best *plan.Plan
+	consider := func(p *plan.Plan) {
+		if best == nil || p.Cost < best.Cost {
+			best = p
+		}
+	}
+
+	var err error
+	switch opts.Algorithm {
+	case II:
+		err = iterativeImprovement(q, rng, build, consider, over)
+	case SA:
+		st, cool := opts.StartTemp, opts.Cooling
+		if st == 0 {
+			st = 0.1
+		}
+		if cool == 0 {
+			cool = 0.95
+		}
+		err = simulatedAnnealing(q, rng, build, consider, over, st, cool)
+	default:
+		err = fmt.Errorf("randomized: unknown algorithm %d", int(opts.Algorithm))
+	}
+	stats := dp.Stats{
+		Memo: memo.Stats{
+			// The walk keeps O(1) solutions; report a nominal footprint.
+			PeakSimBytes: int64(q.NumRelations()) * memo.SimPathBytes,
+		},
+		PlansCosted: model.PlansCosted - costedAtStart,
+		Elapsed:     time.Since(started),
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return best, stats, nil
+}
+
+func iterativeImprovement(
+	q *query.Query, rng *rand.Rand,
+	build func([]int) (*plan.Plan, error),
+	consider func(*plan.Plan), over func() bool,
+) error {
+	n := q.NumRelations()
+	for !over() {
+		cur := jointree.RandomPerm(q, rng)
+		curPlan, err := build(cur)
+		if err != nil {
+			return err
+		}
+		consider(curPlan)
+		// Descend: accept improving neighbors until a streak of failures
+		// suggests a local minimum.
+		fails := 0
+		for fails < 3*n && !over() {
+			cand := jointree.Neighbor(q, cur, rng)
+			candPlan, err := build(cand)
+			if err != nil {
+				return err
+			}
+			if candPlan.Cost < curPlan.Cost {
+				cur, curPlan = cand, candPlan
+				consider(curPlan)
+				fails = 0
+			} else {
+				fails++
+			}
+		}
+	}
+	return nil
+}
+
+func simulatedAnnealing(
+	q *query.Query, rng *rand.Rand,
+	build func([]int) (*plan.Plan, error),
+	consider func(*plan.Plan), over func() bool,
+	startTempFrac, cooling float64,
+) error {
+	cur := jointree.RandomPerm(q, rng)
+	curPlan, err := build(cur)
+	if err != nil {
+		return err
+	}
+	consider(curPlan)
+	temp := startTempFrac * curPlan.Cost
+	stage := 8 * q.NumRelations()
+	for !over() && temp > 1e-6*curPlan.Cost {
+		for i := 0; i < stage && !over(); i++ {
+			cand := jointree.Neighbor(q, cur, rng)
+			candPlan, err := build(cand)
+			if err != nil {
+				return err
+			}
+			delta := candPlan.Cost - curPlan.Cost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				cur, curPlan = cand, candPlan
+				consider(curPlan)
+			}
+		}
+		temp *= cooling
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package randomized
+
+import (
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/query"
+	"sdpopt/internal/testutil"
+)
+
+func fixture(t *testing.T, n int, edges []query.Edge) *query.Query {
+	t.Helper()
+	return testutil.MustQuery(testutil.Catalog(n), n, edges, nil)
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if II.String() != "II" || SA.String() != "SA" {
+		t.Error("algorithm names")
+	}
+}
+
+func TestBothAlgorithmsProduceValidPlans(t *testing.T) {
+	q := fixture(t, 10, query.StarChainEdges(10, 6))
+	for _, alg := range []Algorithm{II, SA} {
+		p, stats, err := Optimize(q, Options{Algorithm: alg, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v: invalid plan: %v", alg, err)
+		}
+		if p.Rels != bits.Full(10) {
+			t.Fatalf("%v: covers %v", alg, p.Rels)
+		}
+		if stats.PlansCosted <= 0 {
+			t.Errorf("%v: no plans costed", alg)
+		}
+	}
+}
+
+func TestNeverBeatsDP(t *testing.T) {
+	q := fixture(t, 9, query.StarEdges(9))
+	optimal, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{II, SA} {
+		for seed := int64(0); seed < 3; seed++ {
+			p, _, err := Optimize(q, Options{Algorithm: alg, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Cost < optimal.Cost*(1-1e-9) {
+				t.Fatalf("%v seed %d: %g beat DP %g", alg, seed, p.Cost, optimal.Cost)
+			}
+		}
+	}
+}
+
+func TestBudgetBoundsEffort(t *testing.T) {
+	q := fixture(t, 12, query.StarEdges(12))
+	_, small, err := Optimize(q, Options{Algorithm: II, Budget: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, large, err := Optimize(q, Options{Algorithm: II, Budget: 40000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget overshoot is bounded by one descent step's costing.
+	if small.PlansCosted > 2000+1000 {
+		t.Errorf("small budget costed %d", small.PlansCosted)
+	}
+	if large.PlansCosted <= small.PlansCosted {
+		t.Errorf("larger budget did not increase effort: %d vs %d", large.PlansCosted, small.PlansCosted)
+	}
+}
+
+func TestMoreBudgetNeverHurts(t *testing.T) {
+	// The incumbent is monotone in budget for a fixed seed: the larger run
+	// sees a superset of the candidate stream.
+	q := fixture(t, 11, query.StarChainEdges(11, 7))
+	var prev float64
+	for i, budget := range []int64{3000, 30000} {
+		p, _, err := Optimize(q, Options{Algorithm: II, Budget: budget, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && p.Cost > prev*(1+1e-9) {
+			t.Errorf("budget %d worsened the plan: %g -> %g", budget, prev, p.Cost)
+		}
+		prev = p.Cost
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	q := fixture(t, 10, query.StarEdges(10))
+	for _, alg := range []Algorithm{II, SA} {
+		a, _, err := Optimize(q, Options{Algorithm: alg, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := Optimize(q, Options{Algorithm: alg, Seed: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cost != b.Cost {
+			t.Errorf("%v not deterministic in seed", alg)
+		}
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	q := fixture(t, 5, query.ChainEdges(5))
+	if _, _, err := Optimize(q, Options{Algorithm: Algorithm(9)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

@@ -1,0 +1,226 @@
+// Package skyline computes skylines (maximal vectors) over small numeric
+// feature vectors.
+//
+// SDP prunes join-composite relations by keeping only those on a skyline of
+// the feature vector [Rows, Cost, Selectivity] (all minimized). The paper
+// assumes "fast techniques for computing skyline functions" from the skyline
+// literature; this package provides the standard ones — a linear-scan
+// O(n log n) algorithm for two dimensions, block-nested-loop (BNL) and
+// sort-filter-skyline (SFS) for general dimension — plus the k-dominant
+// ("strong") skyline the paper's future-work section points at.
+//
+// Dominance is the standard strict form: a dominates b when a is no worse in
+// every dimension and strictly better in at least one. Duplicated points do
+// not dominate each other, so exact ties all survive. (The paper's formula
+// uses non-strict ≤ throughout, which taken literally would let duplicates
+// eliminate one another; we use the standard definition.)
+package skyline
+
+import "sort"
+
+// Dominates reports whether a dominates b: a[j] ≤ b[j] for every dimension
+// and a[j] < b[j] for at least one. Smaller is better in every dimension.
+// It panics if the vectors have different lengths.
+func Dominates(a, b []float64) bool {
+	if len(a) != len(b) {
+		panic("skyline: dimension mismatch")
+	}
+	strict := false
+	for j := range a {
+		if a[j] > b[j] {
+			return false
+		}
+		if a[j] < b[j] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// BNL computes the skyline with a block-nested-loop over all pairs and
+// returns a survivor mask. O(n²) worst case but simple and allocation-light;
+// fine for the partition sizes SDP sees.
+func BNL(pts [][]float64) []bool {
+	out := make([]bool, len(pts))
+	for i := range pts {
+		out[i] = true
+		for j := range pts {
+			if j != i && Dominates(pts[j], pts[i]) {
+				out[i] = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SFS computes the skyline with sort-filter-skyline: points are visited in
+// ascending order of a monotone score (the coordinate sum), so a point can
+// only be dominated by one already in the window. Returns a survivor mask
+// aligned with pts.
+func SFS(pts [][]float64) []bool {
+	n := len(pts)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sum := func(p []float64) float64 {
+		s := 0.0
+		for _, v := range p {
+			s += v
+		}
+		return s
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sum(pts[idx[a]]) < sum(pts[idx[b]]) })
+	out := make([]bool, n)
+	var window []int
+	for _, i := range idx {
+		dominated := false
+		for _, w := range window {
+			if Dominates(pts[w], pts[i]) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out[i] = true
+			window = append(window, i)
+		}
+	}
+	return out
+}
+
+// TwoD computes the skyline of two-dimensional points in O(n log n): sweep
+// in ascending first coordinate and keep the running minimum of the second.
+// It panics if any point is not two-dimensional.
+func TwoD(pts [][]float64) []bool {
+	n := len(pts)
+	idx := make([]int, n)
+	for i := range idx {
+		if len(pts[i]) != 2 {
+			panic("skyline: TwoD requires 2-dimensional points")
+		}
+		idx[i] = i
+	}
+	// Sort by (x, y); within equal x, smaller y first.
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := pts[idx[a]], pts[idx[b]]
+		if pa[0] != pb[0] {
+			return pa[0] < pb[0]
+		}
+		return pa[1] < pb[1]
+	})
+	out := make([]bool, n)
+	bestY := 0.0
+	haveBest := false
+	// A point survives unless some point with smaller-or-equal x has
+	// strictly smaller y, or equal y with strictly smaller x. Handling ties
+	// exactly: group by x; within a group, points with y == groupMinY
+	// survive if groupMinY < bestY-so-far OR they tie the global best
+	// exactly (duplicates survive).
+	i := 0
+	for i < n {
+		j := i
+		x := pts[idx[i]][0]
+		for j < n && pts[idx[j]][0] == x {
+			j++
+		}
+		groupMin := pts[idx[i]][1]
+		for k := i; k < j; k++ {
+			y := pts[idx[k]][1]
+			switch {
+			case y > groupMin:
+				// dominated within the group (same x, larger y)
+			case haveBest && y > bestY:
+				// dominated by an earlier point (smaller x, smaller y)
+			case haveBest && y == bestY:
+				// Equal y with strictly larger x: dominated, unless this
+				// x-group contains the earlier point's exact duplicate —
+				// impossible here since x strictly increased. Dominated.
+			default:
+				out[idx[k]] = true
+			}
+		}
+		if !haveBest || groupMin < bestY {
+			bestY, haveBest = groupMin, true
+		}
+		i = j
+	}
+	return out
+}
+
+// Of computes the skyline with the best algorithm for the dimensionality:
+// the O(n log n) sweep for 2-D, SFS otherwise.
+func Of(pts [][]float64) []bool {
+	if len(pts) == 0 {
+		return nil
+	}
+	if len(pts[0]) == 2 {
+		return TwoD(pts)
+	}
+	return SFS(pts)
+}
+
+// KDominates reports whether a k-dominates b: a is no worse than b in at
+// least k dimensions and strictly better in at least one of those. With
+// k = len(a) this reduces to ordinary dominance.
+func KDominates(a, b []float64, k int) bool {
+	if len(a) != len(b) {
+		panic("skyline: dimension mismatch")
+	}
+	noWorse, strict := 0, false
+	for j := range a {
+		if a[j] <= b[j] {
+			noWorse++
+			if a[j] < b[j] {
+				strict = true
+			}
+		}
+	}
+	return noWorse >= k && strict
+}
+
+// KDominant computes the k-dominant ("strong") skyline: points not
+// k-dominated by any other point. This is the stronger pruning function the
+// paper's conclusion flags as future work. Note that k-dominance is not
+// transitive, so the result can be empty even for non-empty input.
+func KDominant(pts [][]float64, k int) []bool {
+	out := make([]bool, len(pts))
+	for i := range pts {
+		out[i] = true
+		for j := range pts {
+			if j != i && KDominates(pts[j], pts[i], k) {
+				out[i] = false
+				break
+			}
+		}
+	}
+	return out
+}
+
+// DisjunctivePairwise computes SDP's Option-2 pruning function: for each
+// listed pair of dimensions it computes the 2-D skyline of the projected
+// points, and a point survives if it is on at least one of those skylines
+// (paper Section 2.1.3, Table 2.2).
+func DisjunctivePairwise(pts [][]float64, pairs [][2]int) []bool {
+	out := make([]bool, len(pts))
+	if len(pts) == 0 {
+		return out
+	}
+	proj := make([][]float64, len(pts))
+	for _, pr := range pairs {
+		for i, p := range pts {
+			proj[i] = []float64{p[pr[0]], p[pr[1]]}
+		}
+		for i, ok := range TwoD(proj) {
+			if ok {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// RCSPairs are the attribute pairs of SDP's disjunctive skyline over the
+// [Rows, Cost, Selectivity] feature vector: RC, CS and RS.
+var RCSPairs = [][2]int{{0, 1}, {1, 2}, {0, 2}}

@@ -1,0 +1,231 @@
+// Package tpch models the TPC-H benchmark schema and the join graphs of
+// its classic multi-way queries as optimizer workloads.
+//
+// The paper grounds its Star-Chain template in TPC-H: "this join graph is
+// structurally similar to Queries 8 and 9 of the TPC-H benchmark". This
+// package provides the real thing — the eight TPC-H relations with
+// scale-factor-accurate cardinalities and distinct counts, and the join
+// graphs (plus the headline selections, as range filters) of queries 2, 5,
+// 8, 9 and 10 — so the optimizers can be compared on the industry-standard
+// shapes the paper's motivation cites. Q8 references NATION twice, through
+// the customer and the supplier side, exercising relation aliasing.
+package tpch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/query"
+)
+
+// Relation indexes within the TPC-H catalog.
+const (
+	Region = iota
+	Nation
+	Supplier
+	Customer
+	Part
+	Partsupp
+	Orders
+	Lineitem
+)
+
+// orderdateNDV is the number of distinct order dates in TPC-H (seven
+// years of data, 1992-01-01 .. 1998-12-31 minus the tail).
+const orderdateNDV = 2406
+
+// Schema builds the TPC-H catalog at the given scale factor (SF 1 is the
+// canonical 6-million-row LINEITEM). Only the columns the modeled queries
+// touch are materialized; primary keys are the indexed columns.
+func Schema(sf float64) (*catalog.Catalog, error) {
+	if sf <= 0 {
+		return nil, fmt.Errorf("tpch: scale factor %g must be positive", sf)
+	}
+	r := func(x float64) float64 { return math.Max(1, math.Round(x)) }
+	mk := func(name string, rows float64, idx int, cols ...catalog.Column) catalog.Relation {
+		for i := range cols {
+			if cols[i].NDV > rows {
+				cols[i].NDV = rows
+			}
+			if cols[i].Width == 0 {
+				cols[i].Width = 8
+			}
+		}
+		return catalog.Relation{Name: name, Rows: rows, Cols: cols, IndexCol: idx, IndexCorr: 0.95}
+	}
+	col := func(name string, ndv float64) catalog.Column {
+		return catalog.Column{Name: name, NDV: r(ndv), Width: 8}
+	}
+
+	nSupp := r(10_000 * sf)
+	nCust := r(150_000 * sf)
+	nPart := r(200_000 * sf)
+	nPsupp := r(800_000 * sf)
+	nOrd := r(1_500_000 * sf)
+	nLine := r(6_000_000 * sf)
+
+	cat := &catalog.Catalog{Rels: []catalog.Relation{
+		Region: mk("region", 5, 0,
+			col("r_regionkey", 5), col("r_name", 5)),
+		Nation: mk("nation", 25, 0,
+			col("n_nationkey", 25), col("n_regionkey", 5), col("n_name", 25)),
+		Supplier: mk("supplier", nSupp, 0,
+			col("s_suppkey", nSupp), col("s_nationkey", 25)),
+		Customer: mk("customer", nCust, 0,
+			col("c_custkey", nCust), col("c_nationkey", 25), col("c_mktsegment", 5)),
+		Part: mk("part", nPart, 0,
+			col("p_partkey", nPart), col("p_type", 150), col("p_size", 50), col("p_name", nPart/5)),
+		Partsupp: mk("partsupp", nPsupp, 0,
+			col("ps_partkey", nPart), col("ps_suppkey", nSupp), col("ps_supplycost", 100_000)),
+		Orders: mk("orders", nOrd, 0,
+			col("o_orderkey", nOrd), col("o_custkey", nCust), col("o_orderdate", orderdateNDV)),
+		Lineitem: mk("lineitem", nLine, 0,
+			col("l_orderkey", nOrd), col("l_partkey", nPart), col("l_suppkey", nSupp),
+			col("l_shipdate", orderdateNDV+120), col("l_quantity", 50)),
+	}}
+	return cat, nil
+}
+
+// queryDef declares one TPC-H query's join graph over catalog relations.
+type queryDef struct {
+	// rels lists the participating catalog relations; repeats are aliases.
+	rels []int
+	// joins are equi-join predicates as (fromIdx, fromCol, toIdx, toCol)
+	// over positions in rels.
+	joins [][4]int
+	// filters are range selections as (relIdx, col, selectivity) — the
+	// bound is derived from the column's NDV.
+	filters []filterDef
+}
+
+type filterDef struct {
+	rel, col int
+	sel      float64
+}
+
+// column positions per relation, by the Schema layout above.
+const (
+	rRegionkey = 0
+	nNationkey = 0
+	nRegionkey = 1
+	sSuppkey   = 0
+	sNationkey = 1
+	cCustkey   = 0
+	cNationkey = 1
+	pPartkey   = 0
+	pType      = 1
+	pName      = 3
+	psPartkey  = 0
+	psSuppkey  = 1
+	oOrderkey  = 0
+	oCustkey   = 1
+	oOrderdate = 2
+	lOrderkey  = 0
+	lPartkey   = 1
+	lSuppkey   = 2
+)
+
+var queries = map[string]queryDef{
+	// Q2: parts with their suppliers in a region (minus the correlated
+	// subquery): PART ⋈ PARTSUPP ⋈ SUPPLIER ⋈ NATION ⋈ REGION, p_size and
+	// region selections.
+	"Q2": {
+		rels: []int{Part, Partsupp, Supplier, Nation, Region},
+		joins: [][4]int{
+			{0, pPartkey, 1, psPartkey},
+			{1, psSuppkey, 2, sSuppkey},
+			{2, sNationkey, 3, nNationkey},
+			{3, nRegionkey, 4, rRegionkey},
+		},
+		filters: []filterDef{{0, pType, 1.0 / 150}, {4, rRegionkey, 1.0 / 5}},
+	},
+	// Q5: local supplier volume: CUSTOMER ⋈ ORDERS ⋈ LINEITEM ⋈ SUPPLIER
+	// ⋈ NATION ⋈ REGION, one region, one order year.
+	"Q5": {
+		rels: []int{Customer, Orders, Lineitem, Supplier, Nation, Region},
+		joins: [][4]int{
+			{0, cCustkey, 1, oCustkey},
+			{1, oOrderkey, 2, lOrderkey},
+			{2, lSuppkey, 3, sSuppkey},
+			{0, cNationkey, 4, nNationkey},
+			{3, sNationkey, 4, nNationkey},
+			{4, nRegionkey, 5, rRegionkey},
+		},
+		filters: []filterDef{{5, rRegionkey, 1.0 / 5}, {1, oOrderdate, 1.0 / 7}},
+	},
+	// Q8: national market share — the paper's star-chain exemplar. NATION
+	// appears twice: n1 via the customer chain, n2 via the supplier.
+	"Q8": {
+		rels: []int{Part, Lineitem, Supplier, Orders, Customer, Nation, Nation, Region},
+		joins: [][4]int{
+			{0, pPartkey, 1, lPartkey},
+			{2, sSuppkey, 1, lSuppkey},
+			{1, lOrderkey, 3, oOrderkey},
+			{3, oCustkey, 4, cCustkey},
+			{4, cNationkey, 5, nNationkey}, // n1 (customer nation)
+			{5, nRegionkey, 7, rRegionkey},
+			{2, sNationkey, 6, nNationkey}, // n2 (supplier nation)
+		},
+		filters: []filterDef{
+			{7, rRegionkey, 1.0 / 5},
+			{3, oOrderdate, 2.0 / 7}, // two order years
+			{0, pType, 1.0 / 150},
+		},
+	},
+	// Q9: product type profit: PART ⋈ PARTSUPP ⋈ LINEITEM ⋈ SUPPLIER ⋈
+	// ORDERS ⋈ NATION, part-name selection.
+	"Q9": {
+		rels: []int{Part, Partsupp, Lineitem, Supplier, Orders, Nation},
+		joins: [][4]int{
+			{0, pPartkey, 2, lPartkey},
+			{1, psPartkey, 2, lPartkey},
+			{1, psSuppkey, 2, lSuppkey},
+			{3, sSuppkey, 2, lSuppkey},
+			{2, lOrderkey, 4, oOrderkey},
+			{3, sNationkey, 5, nNationkey},
+		},
+		filters: []filterDef{{0, pName, 1.0 / 17}},
+	},
+	// Q10: returned items: CUSTOMER ⋈ ORDERS ⋈ LINEITEM ⋈ NATION, one
+	// order quarter.
+	"Q10": {
+		rels: []int{Customer, Orders, Lineitem, Nation},
+		joins: [][4]int{
+			{0, cCustkey, 1, oCustkey},
+			{1, oOrderkey, 2, lOrderkey},
+			{0, cNationkey, 3, nNationkey},
+		},
+		filters: []filterDef{{1, oOrderdate, 1.0 / 28}},
+	},
+}
+
+// Names lists the modeled queries in canonical order.
+func Names() []string {
+	out := make([]string, 0, len(queries))
+	for name := range queries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Query builds the named TPC-H query against a Schema catalog.
+func Query(cat *catalog.Catalog, name string) (*query.Query, error) {
+	def, ok := queries[name]
+	if !ok {
+		return nil, fmt.Errorf("tpch: unknown query %q (have %v)", name, Names())
+	}
+	preds := make([]query.Pred, len(def.joins))
+	for i, j := range def.joins {
+		preds[i] = query.Pred{LeftRel: j[0], LeftCol: j[1], RightRel: j[2], RightCol: j[3]}
+	}
+	filters := make([]query.Filter, len(def.filters))
+	for i, f := range def.filters {
+		ndv := cat.Relation(def.rels[f.rel]).Cols[f.col].NDV
+		bound := int64(math.Max(1, math.Round(f.sel*ndv)))
+		filters[i] = query.Filter{Rel: f.rel, Col: f.col, Bound: bound}
+	}
+	return query.NewFiltered(cat, def.rels, preds, filters, nil)
+}

@@ -1,0 +1,166 @@
+package tpch
+
+import (
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/core"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/idp"
+)
+
+func TestSchemaCardinalities(t *testing.T) {
+	cat, err := Schema(1)
+	if err != nil {
+		t.Fatalf("Schema: %v", err)
+	}
+	cases := []struct {
+		rel  int
+		name string
+		rows float64
+	}{
+		{Region, "region", 5},
+		{Nation, "nation", 25},
+		{Supplier, "supplier", 10_000},
+		{Customer, "customer", 150_000},
+		{Part, "part", 200_000},
+		{Partsupp, "partsupp", 800_000},
+		{Orders, "orders", 1_500_000},
+		{Lineitem, "lineitem", 6_000_000},
+	}
+	for _, c := range cases {
+		rel := cat.Relation(c.rel)
+		if rel.Name != c.name || rel.Rows != c.rows {
+			t.Errorf("relation %d = %s/%g, want %s/%g", c.rel, rel.Name, rel.Rows, c.name, c.rows)
+		}
+		for _, col := range rel.Cols {
+			if col.NDV > rel.Rows {
+				t.Errorf("%s.%s NDV %g exceeds rows %g", rel.Name, col.Name, col.NDV, rel.Rows)
+			}
+		}
+	}
+}
+
+func TestSchemaScaleFactor(t *testing.T) {
+	small, err := Schema(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := small.Relation(Lineitem).Rows; got != 60_000 {
+		t.Errorf("SF 0.01 lineitem rows = %g, want 60000", got)
+	}
+	// Fixed-size relations do not scale.
+	if got := small.Relation(Nation).Rows; got != 25 {
+		t.Errorf("SF 0.01 nation rows = %g, want 25", got)
+	}
+	if _, err := Schema(0); err == nil {
+		t.Error("SF 0 accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("Names = %v", names)
+	}
+	// Sorted and complete.
+	want := []string{"Q10", "Q2", "Q5", "Q8", "Q9"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestUnknownQuery(t *testing.T) {
+	cat, _ := Schema(1)
+	if _, err := Query(cat, "Q99"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestQueriesBuildAndShape(t *testing.T) {
+	cat, err := Schema(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := map[string]struct {
+		rels    int
+		hubs    int
+		filters int
+	}{
+		"Q2":  {5, 0, 2}, // pure chain part-partsupp-supplier-nation-region
+		"Q5":  {6, 2, 2}, // nation and (via implied edge) customer/supplier region
+		"Q8":  {8, 1, 3}, // lineitem at the center — the star-chain exemplar
+		"Q9":  {6, 1, 1}, // lineitem hub
+		"Q10": {4, 0, 1},
+	}
+	for name, want := range shapes {
+		q, err := Query(cat, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := q.NumRelations(); got != want.rels {
+			t.Errorf("%s relations = %d, want %d", name, got, want.rels)
+		}
+		if got := len(q.Filters); got != want.filters {
+			t.Errorf("%s filters = %d, want %d", name, got, want.filters)
+		}
+		if got := q.HubRels().Len(); got < want.hubs {
+			t.Errorf("%s hubs = %d, want at least %d", name, got, want.hubs)
+		}
+	}
+	// Q8's aliasing: nation appears twice, as distinct query relations
+	// over the same catalog relation.
+	q8, err := Query(cat, "Q8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q8.Rels[5] != Nation || q8.Rels[6] != Nation {
+		t.Errorf("Q8 nation aliases = %d,%d", q8.Rels[5], q8.Rels[6])
+	}
+	// Lineitem is Q8's hub (part, supplier, orders spokes).
+	if !q8.HubRels().Has(1) {
+		t.Errorf("Q8 hubs = %v, want lineitem (index 1)", q8.HubRels())
+	}
+}
+
+func TestAllQueriesOptimize(t *testing.T) {
+	cat, err := Schema(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		q, err := Query(cat, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		optimal, _, err := dp.Optimize(q, dp.Options{})
+		if err != nil {
+			t.Fatalf("%s DP: %v", name, err)
+		}
+		if err := optimal.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if optimal.Rels != bits.Full(q.NumRelations()) {
+			t.Fatalf("%s: plan covers %v", name, optimal.Rels)
+		}
+		sdpPlan, _, err := core.Optimize(q, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s SDP: %v", name, err)
+		}
+		if sdpPlan.Cost < optimal.Cost*(1-1e-9) {
+			t.Errorf("%s: SDP beat DP", name)
+		}
+		if ratio := sdpPlan.Cost / optimal.Cost; ratio > 2 {
+			t.Errorf("%s: SDP ratio %.3f beyond Good", name, ratio)
+		}
+		idpPlan, _, err := idp.Optimize(q, idp.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s IDP: %v", name, err)
+		}
+		if idpPlan.Cost < optimal.Cost*(1-1e-9) {
+			t.Errorf("%s: IDP beat DP", name)
+		}
+	}
+}

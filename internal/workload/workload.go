@@ -1,0 +1,372 @@
+// Package workload generates the paper's experimental query workloads.
+//
+// The paper creates millions of query instances by combinatorially
+// enumerating relation choices over a 25-relation schema — e.g. the
+// 15-relation pure-star template instantiates C(24,14) ≈ 2 M queries with
+// the largest relation fixed at the hub, "as is usually the case in data
+// warehousing applications". Since its tables report percentage
+// distributions, this package samples a configurable number of instances
+// per template with a deterministic seed (full enumeration is just a larger
+// Instances count away).
+//
+// Column assignment follows Section 3.1: spoke relations join the hub on
+// the spokes' indexed columns; chain relations join their left neighbor on
+// an indexed column. Every relation spends each column on at most one
+// predicate per query, so no unintended implied edges perturb the topology.
+// Ordered variants add an ORDER BY on a randomly chosen join column.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sdpopt/internal/bits"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/query"
+)
+
+// Topology identifies a join-graph template.
+type Topology int
+
+// Join-graph templates evaluated in the paper. Custom instantiates the
+// explicit edge list in Spec.Edges (used for the paper's fixed Figure 2.1
+// example graph).
+const (
+	Chain Topology = iota
+	Star
+	Cycle
+	Clique
+	StarChain
+	Custom
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Chain:
+		return "Chain"
+	case Star:
+		return "Star"
+	case Cycle:
+		return "Cycle"
+	case Clique:
+		return "Clique"
+	case StarChain:
+		return "Star-Chain"
+	case Custom:
+		return "Custom"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// PaperSchema returns the paper's base schema: 25 relations with uniform
+// column value distributions.
+func PaperSchema() *catalog.Catalog {
+	return catalog.MustSynthetic(catalog.DefaultConfig())
+}
+
+// SkewedSchema returns the base schema with half the columns exponentially
+// skewed.
+func SkewedSchema() *catalog.Catalog {
+	return catalog.MustSynthetic(catalog.SkewedConfig())
+}
+
+// ExtendedSchema returns the enlarged schema used by the maximum-scaleup
+// experiment.
+func ExtendedSchema(numRelations int) *catalog.Catalog {
+	return catalog.MustSynthetic(catalog.ExtendedConfig(numRelations))
+}
+
+// Spec describes one workload: a topology template instantiated over a
+// catalog.
+type Spec struct {
+	Cat *catalog.Catalog
+	// Topology selects the join-graph template.
+	Topology Topology
+	// NumRelations is the template size N.
+	NumRelations int
+	// Spokes is the star-spoke count for StarChain; 0 selects the paper's
+	// default proportion (10 spokes at N=15).
+	Spokes int
+	// Ordered adds an ORDER BY on a random join column to every instance.
+	Ordered bool
+	// Edges is the explicit edge list for the Custom topology; edge
+	// endpoints are query-local indexes in [0, NumRelations).
+	Edges []query.Edge
+	// FilterFraction is the probability each relation receives a local
+	// range filter on a random column with random selectivity.
+	FilterFraction float64
+	// Seed drives all sampling.
+	Seed int64
+}
+
+// Instances generates count query instances of the spec. Generation is
+// deterministic in (spec, count).
+func Instances(spec Spec, count int) ([]*query.Query, error) {
+	if spec.Cat == nil {
+		return nil, fmt.Errorf("workload: nil catalog")
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("workload: count %d < 1", count)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	out := make([]*query.Query, 0, count)
+	for i := 0; i < count; i++ {
+		q, err := instance(spec, rng)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// One generates a single instance (convenience for the single-query
+// experiments such as Table 2.1).
+func One(spec Spec) (*query.Query, error) {
+	qs, err := Instances(spec, 1)
+	if err != nil {
+		return nil, err
+	}
+	return qs[0], nil
+}
+
+// Enumerate produces instances by walking the relation combinations in
+// lexicographic order instead of sampling — the paper's "combinatorial
+// enumeration of the relational choices" (it reports C(24,14) ≈ 2 M
+// instances for Star-15). limit caps the walk; 0 enumerates everything.
+// Column assignment still draws from the spec's seed, so enumeration is
+// deterministic. Only Star and StarChain support enumeration (the hub is
+// pinned to the largest relation, the combination selects the rest);
+// other topologies return an error.
+func Enumerate(spec Spec, limit int) ([]*query.Query, error) {
+	if spec.Cat == nil {
+		return nil, fmt.Errorf("workload: nil catalog")
+	}
+	if spec.Topology != Star && spec.Topology != StarChain {
+		return nil, fmt.Errorf("workload: enumeration supports Star and StarChain, not %v", spec.Topology)
+	}
+	n := spec.NumRelations
+	if n < 2 || n > spec.Cat.NumRelations() {
+		return nil, fmt.Errorf("workload: cannot enumerate %d relations from a %d-relation schema", n, spec.Cat.NumRelations())
+	}
+	hub := spec.Cat.LargestRelation()
+	pool := make([]int, 0, spec.Cat.NumRelations()-1)
+	for i := 0; i < spec.Cat.NumRelations(); i++ {
+		if i != hub {
+			pool = append(pool, i)
+		}
+	}
+	k := n - 1
+	comb := make([]int, k)
+	for i := range comb {
+		comb[i] = i
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	var edges []query.Edge
+	if spec.Topology == Star {
+		edges = query.StarEdges(n)
+	} else {
+		spokes := spec.Spokes
+		if spokes == 0 {
+			spokes = query.DefaultStarChainSpokes(n)
+		}
+		edges = query.StarChainEdges(n, spokes)
+	}
+	var out []*query.Query
+	for {
+		rels := make([]int, 0, n)
+		rels = append(rels, hub)
+		for _, ci := range comb {
+			rels = append(rels, pool[ci])
+		}
+		preds, err := assignColumns(spec.Cat, rels, edges, rng)
+		if err != nil {
+			return nil, err
+		}
+		q, err := query.New(spec.Cat, rels, preds, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
+		if limit > 0 && len(out) >= limit {
+			return out, nil
+		}
+		// Advance the combination in lexicographic order.
+		i := k - 1
+		for i >= 0 && comb[i] == len(pool)-k+i {
+			i--
+		}
+		if i < 0 {
+			return out, nil
+		}
+		comb[i]++
+		for j := i + 1; j < k; j++ {
+			comb[j] = comb[j-1] + 1
+		}
+	}
+}
+
+func instance(spec Spec, rng *rand.Rand) (*query.Query, error) {
+	n := spec.NumRelations
+	cat := spec.Cat
+	if n < 2 {
+		return nil, fmt.Errorf("workload: NumRelations %d < 2", n)
+	}
+	if n > bits.MaxRelations {
+		return nil, fmt.Errorf("workload: %d relations exceeds the %d-relation query limit", n, bits.MaxRelations)
+	}
+
+	var rels []int
+	var edges []query.Edge
+	switch spec.Topology {
+	case Chain:
+		rels = sample(rng, cat.NumRelations(), n, -1)
+		edges = query.ChainEdges(n)
+	case Cycle:
+		rels = sample(rng, cat.NumRelations(), n, -1)
+		edges = query.CycleEdges(n)
+	case Clique:
+		rels = sample(rng, cat.NumRelations(), n, -1)
+		edges = query.CliqueEdges(n)
+	case Star:
+		hub := cat.LargestRelation()
+		rels = append([]int{hub}, sample(rng, cat.NumRelations(), n-1, hub)...)
+		edges = query.StarEdges(n)
+	case StarChain:
+		hub := cat.LargestRelation()
+		rels = append([]int{hub}, sample(rng, cat.NumRelations(), n-1, hub)...)
+		spokes := spec.Spokes
+		if spokes == 0 {
+			spokes = query.DefaultStarChainSpokes(n)
+		}
+		edges = query.StarChainEdges(n, spokes)
+	case Custom:
+		if len(spec.Edges) == 0 {
+			return nil, fmt.Errorf("workload: Custom topology needs Edges")
+		}
+		rels = sample(rng, cat.NumRelations(), n, -1)
+		edges = spec.Edges
+	default:
+		return nil, fmt.Errorf("workload: unknown topology %d", int(spec.Topology))
+	}
+
+	preds, err := assignColumns(cat, rels, edges, rng)
+	if err != nil {
+		return nil, err
+	}
+	var orderBy *query.OrderSpec
+	if spec.Ordered {
+		p := preds[rng.Intn(len(preds))]
+		if rng.Intn(2) == 0 {
+			orderBy = &query.OrderSpec{Rel: p.LeftRel, Col: p.LeftCol}
+		} else {
+			orderBy = &query.OrderSpec{Rel: p.RightRel, Col: p.RightCol}
+		}
+	}
+	var filters []query.Filter
+	if spec.FilterFraction > 0 {
+		for i := 0; i < n; i++ {
+			if rng.Float64() >= spec.FilterFraction {
+				continue
+			}
+			rel := cat.Relation(rels[i])
+			col := rng.Intn(len(rel.Cols))
+			ndv := int64(rel.Cols[col].NDV)
+			if ndv < 2 {
+				continue
+			}
+			// Bound uniform in [1, ndv): selectivity spans (0, 1).
+			filters = append(filters, query.Filter{Rel: i, Col: col, Bound: 1 + rng.Int63n(ndv-1)})
+		}
+	}
+	return query.NewFiltered(cat, rels, preds, filters, orderBy)
+}
+
+// sample draws k relation indexes from [0, n), excluding skip (pass -1 for
+// no exclusion). Draws are distinct while the pool lasts; a k beyond the
+// pool size reuses relations under fresh aliases, as the paper's
+// 28-relation chains over the 25-relation schema do.
+func sample(rng *rand.Rand, n, k int, skip int) []int {
+	pool := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i != skip {
+			pool = append(pool, i)
+		}
+	}
+	out := make([]int, 0, k)
+	for len(out) < k {
+		rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+		take := k - len(out)
+		if take > len(pool) {
+			take = len(pool)
+		}
+		out = append(out, pool[:take]...)
+	}
+	return out
+}
+
+// assignColumns maps each topology edge to a join predicate. The edge's
+// second endpoint joins on its indexed column when still unused (the
+// paper's indexed spoke/chain joins); other column needs draw randomly from
+// the relation's unused columns.
+func assignColumns(cat *catalog.Catalog, rels []int, edges []query.Edge, rng *rand.Rand) ([]query.Pred, error) {
+	used := make([]map[int]bool, len(rels))
+	for i := range used {
+		used[i] = map[int]bool{}
+	}
+	randomCol := func(local int) (int, error) {
+		rel := cat.Relation(rels[local])
+		free := make([]int, 0, len(rel.Cols))
+		for c := range rel.Cols {
+			if !used[local][c] {
+				free = append(free, c)
+			}
+		}
+		if len(free) == 0 {
+			return 0, fmt.Errorf("workload: relation %s has no free columns", rel.Name)
+		}
+		return free[rng.Intn(len(free))], nil
+	}
+	indexedOrRandom := func(local int) (int, error) {
+		idx := cat.Relation(rels[local]).IndexCol
+		if !used[local][idx] {
+			return idx, nil
+		}
+		return randomCol(local)
+	}
+	preds := make([]query.Pred, len(edges))
+	for i, e := range edges {
+		ca, err := randomCol(e.A)
+		if err != nil {
+			return nil, err
+		}
+		used[e.A][ca] = true
+		cb, err := indexedOrRandom(e.B)
+		if err != nil {
+			return nil, err
+		}
+		used[e.B][cb] = true
+		preds[i] = query.Pred{LeftRel: e.A, LeftCol: ca, RightRel: e.B, RightCol: cb}
+	}
+	return preds, nil
+}
+
+// Example9 returns the paper's fixed nine-relation example (Figure 2.1)
+// instantiated over the given catalog with relations 0..8 and deterministic
+// column assignment.
+func Example9(cat *catalog.Catalog) (*query.Query, error) {
+	if cat.NumRelations() < 9 {
+		return nil, fmt.Errorf("workload: Example9 needs 9 relations, schema has %d", cat.NumRelations())
+	}
+	rng := rand.New(rand.NewSource(29))
+	rels := make([]int, 9)
+	for i := range rels {
+		rels[i] = i
+	}
+	preds, err := assignColumns(cat, rels, query.Example9Edges(), rng)
+	if err != nil {
+		return nil, err
+	}
+	return query.New(cat, rels, preds, nil)
+}

@@ -1,0 +1,366 @@
+package workload
+
+import (
+	"fmt"
+
+	"sdpopt/internal/catalog"
+	"testing"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/query"
+)
+
+func TestTopologyString(t *testing.T) {
+	cases := map[Topology]string{
+		Chain: "Chain", Star: "Star", Cycle: "Cycle", Clique: "Clique",
+		StarChain: "Star-Chain", Topology(9): "Topology(9)",
+	}
+	for topo, want := range cases {
+		if got := topo.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(topo), got, want)
+		}
+	}
+}
+
+func TestStarInstancesShape(t *testing.T) {
+	cat := PaperSchema()
+	qs, err := Instances(Spec{Cat: cat, Topology: Star, NumRelations: 15, Seed: 42}, 20)
+	if err != nil {
+		t.Fatalf("Instances: %v", err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("got %d instances", len(qs))
+	}
+	hub := cat.LargestRelation()
+	for i, q := range qs {
+		if q.NumRelations() != 15 {
+			t.Fatalf("instance %d has %d relations", i, q.NumRelations())
+		}
+		// Hub is the largest relation, at query-local index 0.
+		if q.Rels[0] != hub {
+			t.Errorf("instance %d hub = catalog rel %d, want %d", i, q.Rels[0], hub)
+		}
+		if got, want := q.HubRels(), bits.Of(0); got != want {
+			t.Errorf("instance %d hubs = %v, want %v", i, got, want)
+		}
+		// Spokes join the hub on their indexed columns.
+		for _, p := range q.Preds {
+			if p.Implied {
+				t.Errorf("instance %d has an implied edge — topology perturbed", i)
+			}
+			spoke, spokeCol := p.RightRel, p.RightCol
+			if idx := q.Relation(spoke).IndexCol; spokeCol != idx {
+				t.Errorf("instance %d: spoke %d joins on column %d, want indexed %d", i, spoke, spokeCol, idx)
+			}
+		}
+	}
+}
+
+func TestStarChainInstancesShape(t *testing.T) {
+	cat := PaperSchema()
+	qs, err := Instances(Spec{Cat: cat, Topology: StarChain, NumRelations: 15, Seed: 7}, 10)
+	if err != nil {
+		t.Fatalf("Instances: %v", err)
+	}
+	for i, q := range qs {
+		// One hub (the star center) with 10 spokes; the chain adds no hubs.
+		if got, want := q.HubRels(), bits.Of(0); got != want {
+			t.Errorf("instance %d hubs = %v, want %v", i, got, want)
+		}
+		if got := q.Adjacent(0).Len(); got != 10 {
+			t.Errorf("instance %d hub degree = %d, want 10", i, got)
+		}
+		if len(q.Preds) != 14 {
+			t.Errorf("instance %d has %d predicates, want 14", i, len(q.Preds))
+		}
+	}
+}
+
+func TestChainCycleCliqueInstances(t *testing.T) {
+	cat := PaperSchema()
+	for _, tc := range []struct {
+		topo  Topology
+		n     int
+		hubs  int
+		edges int
+	}{
+		{Chain, 8, 0, 7},
+		{Cycle, 8, 0, 8},
+		{Clique, 6, 6, 15},
+	} {
+		q, err := One(Spec{Cat: cat, Topology: tc.topo, NumRelations: tc.n, Seed: 3})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.topo, err)
+		}
+		if got := q.HubRels().Len(); got != tc.hubs {
+			t.Errorf("%v: %d hubs, want %d", tc.topo, got, tc.hubs)
+		}
+		if got := len(q.Preds); got != tc.edges {
+			t.Errorf("%v: %d preds, want %d", tc.topo, got, tc.edges)
+		}
+	}
+}
+
+func TestOrderedVariant(t *testing.T) {
+	cat := PaperSchema()
+	qs, err := Instances(Spec{Cat: cat, Topology: Star, NumRelations: 10, Ordered: true, Seed: 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		if q.OrderBy == nil {
+			t.Fatalf("instance %d not ordered", i)
+		}
+		// The order column must be a join column (that is the paper's
+		// relevant case).
+		if q.OrderEqClass() < 0 {
+			t.Errorf("instance %d ordered on a non-join column", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cat := PaperSchema()
+	spec := Spec{Cat: cat, Topology: StarChain, NumRelations: 12, Seed: 99}
+	a, err := Instances(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Instances(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].SQL() != b[i].SQL() {
+			t.Fatalf("instance %d differs across identical seeds", i)
+		}
+	}
+	spec.Seed = 100
+	c, err := Instances(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i].SQL() != c[i].SQL() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestInstancesVary(t *testing.T) {
+	cat := PaperSchema()
+	qs, err := Instances(Spec{Cat: cat, Topology: Star, NumRelations: 15, Seed: 1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, q := range qs {
+		distinct[q.SQL()] = true
+	}
+	if len(distinct) < 2 {
+		t.Error("all sampled instances identical")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cat := PaperSchema()
+	cases := []struct {
+		name string
+		spec Spec
+		n    int
+	}{
+		{"nil catalog", Spec{Topology: Star, NumRelations: 5}, 1},
+		{"zero count", Spec{Cat: cat, Topology: Star, NumRelations: 5}, 0},
+		{"too few rels", Spec{Cat: cat, Topology: Star, NumRelations: 1}, 1},
+		{"too many rels", Spec{Cat: cat, Topology: Star, NumRelations: 65}, 1},
+		{"bad topology", Spec{Cat: cat, Topology: Topology(42), NumRelations: 5}, 1},
+	}
+	for _, c := range cases {
+		if _, err := Instances(c.spec, c.n); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestExtendedSchemaSupportsBigStars(t *testing.T) {
+	cat := ExtendedSchema(50)
+	q, err := One(Spec{Cat: cat, Topology: Star, NumRelations: 45, Seed: 13})
+	if err != nil {
+		t.Fatalf("45-relation star: %v", err)
+	}
+	if q.NumRelations() != 45 {
+		t.Fatalf("got %d relations", q.NumRelations())
+	}
+	if got := q.Adjacent(0).Len(); got != 44 {
+		t.Errorf("hub degree = %d, want 44", got)
+	}
+}
+
+func TestExample9(t *testing.T) {
+	cat := PaperSchema()
+	q, err := Example9(cat)
+	if err != nil {
+		t.Fatalf("Example9: %v", err)
+	}
+	if got, want := q.HubRels(), bits.Of(0, 6); got != want {
+		t.Errorf("hubs = %v, want %v (relations 1 and 7)", got, want)
+	}
+	if len(q.Preds) != len(query.Example9Edges()) {
+		t.Errorf("preds = %d, want %d", len(q.Preds), len(query.Example9Edges()))
+	}
+	// Deterministic: two calls agree.
+	q2, err := Example9(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SQL() != q2.SQL() {
+		t.Error("Example9 not deterministic")
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	if got := PaperSchema().NumRelations(); got != 25 {
+		t.Errorf("PaperSchema relations = %d", got)
+	}
+	skewed := SkewedSchema()
+	any := false
+	for i := range skewed.Rels {
+		for j := range skewed.Rels[i].Cols {
+			if skewed.Rels[i].Cols[j].Skew > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		t.Error("SkewedSchema has no skewed columns")
+	}
+}
+
+func TestCustomTopology(t *testing.T) {
+	cat := PaperSchema()
+	spec := Spec{Cat: cat, Topology: Custom, NumRelations: 9, Edges: query.Example9Edges(), Seed: 4}
+	qs, err := Instances(spec, 5)
+	if err != nil {
+		t.Fatalf("Instances: %v", err)
+	}
+	for i, q := range qs {
+		if got, want := q.HubRels(), bits.Of(0, 6); got != want {
+			t.Errorf("instance %d hubs = %v, want %v", i, got, want)
+		}
+	}
+	// Relations vary across instances even though edges are fixed.
+	if qs[0].SQL() == qs[1].SQL() && qs[1].SQL() == qs[2].SQL() {
+		t.Error("custom instances do not vary")
+	}
+	// Custom without edges is rejected.
+	if _, err := Instances(Spec{Cat: cat, Topology: Custom, NumRelations: 9, Seed: 4}, 1); err == nil {
+		t.Error("Custom without Edges accepted")
+	}
+}
+
+func TestFilterFraction(t *testing.T) {
+	cat := PaperSchema()
+	qs, err := Instances(Spec{Cat: cat, Topology: Star, NumRelations: 10,
+		FilterFraction: 0.8, Seed: 12}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, q := range qs {
+		total += len(q.Filters)
+		for _, f := range q.Filters {
+			ndv := int64(q.Relation(f.Rel).Cols[f.Col].NDV)
+			if f.Bound < 1 || f.Bound >= ndv {
+				t.Errorf("filter bound %d outside [1, %d)", f.Bound, ndv)
+			}
+		}
+	}
+	// ~0.8 · 10 relations · 10 instances = ~80 filters expected.
+	if total < 40 || total > 100 {
+		t.Errorf("total filters = %d, want around 80", total)
+	}
+	// Zero fraction produces none.
+	q0, err := One(Spec{Cat: cat, Topology: Star, NumRelations: 10, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q0.Filters) != 0 {
+		t.Error("unexpected filters with zero FilterFraction")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	cfg := catalog.DefaultConfig()
+	cfg.NumRelations = 7
+	cat := catalog.MustSynthetic(cfg)
+	// Star-4 from a 7-relation schema: hub pinned, C(6,3) = 20 instances.
+	qs, err := Enumerate(Spec{Cat: cat, Topology: Star, NumRelations: 4, Seed: 1}, 0)
+	if err != nil {
+		t.Fatalf("Enumerate: %v", err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("enumerated %d instances, want C(6,3)=20", len(qs))
+	}
+	hub := cat.LargestRelation()
+	seen := map[string]bool{}
+	for _, q := range qs {
+		if q.Rels[0] != hub {
+			t.Fatalf("hub = %d, want %d", q.Rels[0], hub)
+		}
+		key := fmt.Sprint(q.Rels)
+		if seen[key] {
+			t.Fatalf("duplicate combination %v", q.Rels)
+		}
+		seen[key] = true
+	}
+	// Limit caps the walk.
+	few, err := Enumerate(Spec{Cat: cat, Topology: Star, NumRelations: 4, Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(few) != 5 {
+		t.Fatalf("limited enumeration = %d", len(few))
+	}
+	// Deterministic.
+	again, err := Enumerate(Spec{Cat: cat, Topology: Star, NumRelations: 4, Seed: 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range few {
+		if few[i].SQL() != again[i].SQL() {
+			t.Fatal("enumeration not deterministic")
+		}
+	}
+}
+
+func TestEnumerateStarChain(t *testing.T) {
+	cfg := catalog.DefaultConfig()
+	cfg.NumRelations = 8
+	cat := catalog.MustSynthetic(cfg)
+	qs, err := Enumerate(Spec{Cat: cat, Topology: StarChain, NumRelations: 5, Seed: 2}, 10)
+	if err != nil {
+		t.Fatalf("Enumerate star-chain: %v", err)
+	}
+	for _, q := range qs {
+		if got := q.HubRels().Len(); got != 1 {
+			t.Fatalf("hubs = %d", got)
+		}
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	cat := PaperSchema()
+	if _, err := Enumerate(Spec{Topology: Star, NumRelations: 4}, 0); err == nil {
+		t.Error("nil catalog accepted")
+	}
+	if _, err := Enumerate(Spec{Cat: cat, Topology: Chain, NumRelations: 4}, 0); err == nil {
+		t.Error("chain enumeration accepted")
+	}
+	if _, err := Enumerate(Spec{Cat: cat, Topology: Star, NumRelations: 99}, 0); err == nil {
+		t.Error("oversized enumeration accepted")
+	}
+}
