@@ -8,6 +8,7 @@
 //	sdpexplain -topology star -rels 20 -ordered        # DP will report *
 //	sdpexplain -sql 'SELECT * FROM R20 f, R3 d WHERE f.c1 = d.c2'
 //	sdpexplain -topology star -rels 8 -dot | dot -Tsvg > plans.svg
+//	sdpexplain -topology star -rels 12 -levels         # per-level trace table
 package main
 
 import (
@@ -29,16 +30,17 @@ func main() {
 	budgetMB := flag.Int64("budget", 1024, "memory budget in MB")
 	skewed := flag.Bool("skewed", false, "use the skewed schema")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT (join graph + each plan) instead of text")
+	levels := flag.Bool("levels", false, "print a per-level enumeration trace table for each technique")
 	sqlText := flag.String("sql", "", "optimize this SQL text instead of a generated query")
 	flag.Parse()
 
-	if err := run(*topo, *rels, *seed, *ordered, *budgetMB<<20, *skewed, *dot, *sqlText); err != nil {
+	if err := run(*topo, *rels, *seed, *ordered, *budgetMB<<20, *skewed, *dot, *levels, *sqlText); err != nil {
 		fmt.Fprintln(os.Stderr, "sdpexplain:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoName string, rels int, seed int64, ordered bool, budget int64, skewed, dot bool, sqlText string) error {
+func run(topoName string, rels int, seed int64, ordered bool, budget int64, skewed, dot, levels bool, sqlText string) error {
 	cat := sdpopt.PaperSchema()
 	if skewed {
 		cat = sdpopt.SkewedSchema()
@@ -75,6 +77,13 @@ func run(topoName string, rels int, seed int64, ordered bool, budget int64, skew
 		fmt.Println()
 	}
 
+	var sink *sdpopt.TraceMemSink
+	if levels {
+		sink = &sdpopt.TraceMemSink{}
+		sdpopt.SetDefaultObserver(sdpopt.NewObserver(sink))
+		defer sdpopt.SetDefaultObserver(nil)
+	}
+
 	type alg struct {
 		name string
 		run  func() (*sdpopt.Plan, sdpopt.Stats, error)
@@ -94,9 +103,15 @@ func run(topoName string, rels int, seed int64, ordered bool, budget int64, skew
 		{"SDP", func() (*sdpopt.Plan, sdpopt.Stats, error) { return sdpopt.OptimizeSDP(q, sdpOpts) }},
 	}
 	var refCost float64
+	seen := 0
 	for _, a := range algs {
 		p, stats, err := a.run()
 		fmt.Printf("=== %s ===\n", a.name)
+		if sink != nil {
+			events := sink.Events()
+			printLevels(events[seen:])
+			seen = len(events)
+		}
 		if errors.Is(err, sdpopt.ErrBudget) {
 			fmt.Printf("* infeasible: exceeds the %d MB budget (peak %.1f MB)\n\n", budget>>20, stats.Memo.PeakMB())
 			continue
@@ -118,4 +133,42 @@ func run(topoName string, rels int, seed int64, ordered bool, budget int64, skew
 		fmt.Println(sdpopt.Explain(q, p))
 	}
 	return nil
+}
+
+// printLevels renders one technique's per-level enumeration trace. IDP
+// traces show each restart's levels in sequence.
+func printLevels(events []sdpopt.TraceEvent) {
+	printed := false
+	for _, e := range events {
+		if e.Type != sdpopt.EvLevel {
+			continue
+		}
+		if !printed {
+			printed = true
+			fmt.Printf("%6s %9s %9s %12s %9s %8s %12s\n",
+				"Level", "Created", "Pruned", "PlansCosted", "Alive", "SimMB", "Time")
+		}
+		fmt.Printf("%6d %9d %9d %12d %9d %8.1f %12v\n",
+			attrInt(e.Attrs, "level"), attrInt(e.Attrs, "classes_created"),
+			attrInt(e.Attrs, "classes_pruned"), attrInt(e.Attrs, "plans_costed"),
+			attrInt(e.Attrs, "classes_alive"),
+			float64(attrInt(e.Attrs, "sim_bytes"))/(1<<20),
+			time.Duration(attrInt(e.Attrs, "dur_ns")).Round(time.Microsecond))
+	}
+	if printed {
+		fmt.Println()
+	}
+}
+
+// attrInt reads a numeric event attribute of either integer width.
+func attrInt(attrs map[string]any, key string) int64 {
+	switch v := attrs[key].(type) {
+	case int:
+		return int64(v)
+	case int64:
+		return v
+	case float64:
+		return int64(v)
+	}
+	return 0
 }

@@ -5,10 +5,14 @@
 //	sdplab list                          # show every experiment id
 //	sdplab run -exp tab1.1               # reproduce Table 1.1
 //	sdplab run -exp all -instances 100   # full paper-scale reproduction
+//	sdplab run -exp tab3.3 -trace out.jsonl -metrics :8080
+//	sdplab bench                         # write BENCH_<date>.json
 //
 // Flags tune the sample size (-instances), the RNG seed (-seed), the
 // simulated memory budget in MB (-budget), and the skewed-schema variant
-// (-skewed).
+// (-skewed). -trace streams optimizer events to a JSONL file (summarize
+// with sdptrace); -metrics serves Prometheus /metrics, expvar and pprof
+// for the lifetime of the run.
 package main
 
 import (
@@ -35,6 +39,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "bench":
+		if err := benchCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -44,7 +53,37 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sdplab list
-  sdplab run -exp <id|all> [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W]`)
+  sdplab run -exp <id|all> [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W]
+             [-trace FILE.jsonl] [-metrics ADDR]
+  sdplab bench [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W] [-out DIR]`)
+}
+
+// enableObservability installs the process-wide observer from the -trace
+// and -metrics flags. It returns a flush function for the trace sink.
+func enableObservability(tracePath, metricsAddr string) (func() error, error) {
+	flush := func() error { return nil }
+	if tracePath == "" && metricsAddr == "" {
+		return flush, nil
+	}
+	var sinks []sdpopt.TraceSink
+	if tracePath != "" {
+		sink, err := sdpopt.OpenTraceJSONL(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		sinks = append(sinks, sink)
+		flush = sink.Close
+	}
+	ob := sdpopt.NewObserver(sinks...)
+	sdpopt.SetDefaultObserver(ob)
+	if metricsAddr != "" {
+		addr, err := ob.Registry.Serve(metricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "[metrics, expvar and pprof on http://%s]\n", addr)
+	}
+	return flush, nil
 }
 
 func runCmd(args []string) error {
@@ -55,11 +94,17 @@ func runCmd(args []string) error {
 	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
 	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
 	workers := fs.Int("workers", 1, "concurrent optimizations (keep 1 for timing-faithful overhead tables)")
+	tracePath := fs.String("trace", "", "stream optimizer events to this JSONL file")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *exp == "" {
 		return fmt.Errorf("missing -exp (try 'sdplab list')")
+	}
+	flush, err := enableObservability(*tracePath, *metricsAddr)
+	if err != nil {
+		return err
 	}
 	cfg := sdpopt.ExperimentConfig{
 		Instances: *instances,
@@ -79,10 +124,48 @@ func runCmd(args []string) error {
 		start := time.Now()
 		out, err := sdpopt.RunExperiment(id, cfg)
 		if err != nil {
+			flush()
 			return fmt.Errorf("%s: %w", id, err)
 		}
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if err := flush(); err != nil {
+		return err
+	}
+	if *tracePath != "" {
+		fmt.Fprintf(os.Stderr, "[trace written to %s; summarize with: sdptrace %s]\n", *tracePath, *tracePath)
+	}
 	return nil
+}
+
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	instances := fs.Int("instances", 0, "instances per workload (0 = bench default)")
+	seed := fs.Int64("seed", 42, "workload sampling seed")
+	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
+	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
+	workers := fs.Int("workers", 1, "concurrent optimizations")
+	out := fs.String("out", ".", "directory for the BENCH_<date>.json report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := sdpopt.ExperimentConfig{
+		Instances: *instances,
+		Seed:      *seed,
+		Budget:    *budgetMB << 20,
+		Skewed:    *skewed,
+		Workers:   *workers,
+	}
+	start := time.Now()
+	r, err := sdpopt.RunBench(cfg, time.Now())
+	if err != nil {
+		return err
+	}
+	path, err := r.WriteFile(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[bench completed in %v, report: %s]\n", time.Since(start).Round(time.Millisecond), path)
+	return r.WriteJSON(os.Stdout)
 }

@@ -1,0 +1,54 @@
+// Command sdptrace summarizes a JSONL optimizer trace written by
+// `sdplab run -trace` (or any TraceJSONLSink): effort per technique, the
+// top enumeration levels by time, and skyline pruning efficacy per RC/CS/RS
+// criterion.
+//
+// Usage:
+//
+//	sdplab run -exp tab1.2 -trace out.jsonl
+//	sdptrace out.jsonl
+//	sdptrace -top 10 out.jsonl
+//	sdptrace -raw out.jsonl        # dump decoded events instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sdpopt"
+)
+
+func main() {
+	top := flag.Int("top", 5, "number of levels in the top-levels-by-time table")
+	raw := flag.Bool("raw", false, "print each decoded event instead of the summary")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sdptrace [-top N] [-raw] <trace.jsonl>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *top, *raw); err != nil {
+		fmt.Fprintln(os.Stderr, "sdptrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, top int, raw bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	records, err := sdpopt.ReadTraceJSONL(f)
+	if err != nil {
+		return err
+	}
+	if raw {
+		for _, r := range records {
+			fmt.Printf("%v\n", map[string]any(r))
+		}
+		return nil
+	}
+	fmt.Print(sdpopt.SummarizeTrace(records).Render(top))
+	return nil
+}

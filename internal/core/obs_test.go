@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"sdpopt/internal/obs"
+	"sdpopt/internal/query"
+)
+
+func TestObservedPartitionEvents(t *testing.T) {
+	sink := &obs.MemSink{}
+	ob := obs.New(sink)
+	q := fixture(t, 9, query.StarEdges(9), nil)
+	opts := DefaultOptions()
+	opts.Obs = ob
+	if _, _, err := Optimize(q, opts); err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+
+	parts := sink.ByType(obs.EvSDPPartition)
+	if len(parts) == 0 {
+		t.Fatal("no sdp.partition events on a 9-relation star")
+	}
+	for _, e := range parts {
+		size, _ := e.Attrs["size"].(int)
+		surv, _ := e.Attrs["survivors"].(int)
+		if size <= 0 || surv <= 0 || surv > size {
+			t.Fatalf("partition event attrs out of range: %v", e.Attrs)
+		}
+		// Under Option2, each survivor is on at least one pairwise skyline,
+		// so the per-criterion counts must bound the union count.
+		rc, _ := e.Attrs["rc"].(int)
+		cs, _ := e.Attrs["cs"].(int)
+		rs, _ := e.Attrs["rs"].(int)
+		if rc+cs+rs < surv {
+			t.Fatalf("criterion counts %d+%d+%d cannot cover %d survivors", rc, cs, rs, surv)
+		}
+	}
+
+	levels := sink.ByType(obs.EvSDPLevel)
+	if len(levels) == 0 {
+		t.Fatal("no sdp.level events")
+	}
+	for _, e := range levels {
+		if _, ok := e.Payload.(*LevelTrace); !ok {
+			t.Fatalf("sdp.level payload is %T, want *LevelTrace", e.Payload)
+		}
+	}
+
+	cand := ob.Counter(obs.MSkylineCandidates).Value()
+	all := ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "all")).Value()
+	if cand == 0 || all == 0 || all > cand {
+		t.Errorf("skyline counters: candidates=%d survivors=%d", cand, all)
+	}
+	rc := ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "RC")).Value()
+	if rc == 0 || rc > cand {
+		t.Errorf("RC survivor counter = %d (candidates %d)", rc, cand)
+	}
+}
+
+func TestTraceViaEventsMatchesDirectTrace(t *testing.T) {
+	// The legacy Trace is fed by the event stream; with or without an
+	// explicit observer it must record the same pruning.
+	q := fixture(t, 9, query.StarEdges(9), nil)
+
+	optsA := DefaultOptions()
+	optsA.Trace = &Trace{}
+	if _, _, err := Optimize(q, optsA); err != nil {
+		t.Fatalf("Optimize with Trace: %v", err)
+	}
+
+	optsB := DefaultOptions()
+	optsB.Trace = &Trace{}
+	optsB.Obs = obs.New(&obs.MemSink{})
+	if _, _, err := Optimize(q, optsB); err != nil {
+		t.Fatalf("Optimize with Trace+Obs: %v", err)
+	}
+
+	a, b := optsA.Trace, optsB.Trace
+	if len(a.Levels) == 0 || len(a.Levels) != len(b.Levels) {
+		t.Fatalf("trace levels: %d vs %d (want equal, nonzero)", len(a.Levels), len(b.Levels))
+	}
+	for i := range a.Levels {
+		la, lb := a.Levels[i], b.Levels[i]
+		if la.Level != lb.Level || len(la.Pruned) != len(lb.Pruned) || len(la.Survivors) != len(lb.Survivors) {
+			t.Errorf("level %d traces differ: %d/%d pruned, %d/%d survivors",
+				la.Level, len(la.Pruned), len(lb.Pruned), len(la.Survivors), len(lb.Survivors))
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 	"sdpopt/internal/skyline"
@@ -120,8 +121,13 @@ type Options struct {
 	// Model supplies costing; if nil a fresh default model is created.
 	Model *cost.Model
 	// Trace, if non-nil, records per-level pruning decisions (the
-	// walkthrough of the paper's Figure 2.2).
+	// walkthrough of the paper's Figure 2.2). It is populated by consuming
+	// the obs event stream: every pruning decision is emitted as an
+	// "sdp.level" event whose payload a trace sink folds into this struct.
 	Trace *Trace
+	// Obs receives metrics and trace events; nil falls back to the process
+	// default observer.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper's adopted configuration: root-hub
@@ -131,10 +137,24 @@ func DefaultOptions() Options {
 	return Options{Partitioning: RootHub, Skyline: Option2, Scope: Local}
 }
 
-// Trace records what SDP pruned at each level.
+// Trace records what SDP pruned at each level. It is a thin consumer of
+// the obs event stream: an internal sink appends one LevelTrace per
+// "sdp.level" event, so the same decisions feed JSONL traces, metrics and
+// this in-process walkthrough without divergence.
 type Trace struct {
 	Levels []LevelTrace
 }
+
+// traceSink folds sdp.level event payloads into a Trace.
+type traceSink struct{ t *Trace }
+
+func (s *traceSink) Emit(e obs.Event) {
+	if lt, ok := e.Payload.(*LevelTrace); ok && lt != nil {
+		s.t.Levels = append(s.t.Levels, *lt)
+	}
+}
+
+func (s *traceSink) Close() error { return nil }
 
 // LevelTrace is one level's pruning record.
 type LevelTrace struct {
@@ -158,13 +178,22 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	if model == nil {
 		model = cost.NewModel(q, cost.DefaultParams())
 	}
+	ob := obs.Or(opts.Obs)
+	if opts.Trace != nil {
+		// The legacy SDPTrace rides the event stream: attach a sink that
+		// folds sdp.level payloads back into the caller's Trace.
+		ob = ob.WithSinks(&traceSink{t: opts.Trace})
+	}
 	started := time.Now()
 	costedAtStart := model.PlansCosted
-	s := &sdp{q: q, opts: opts}
+	s := newSDP(q, opts, ob)
+	done := dp.ObserveRun(ob, "SDP", q)
 	e, err := dp.NewEngine(q, dp.BaseLeaves(q), dp.Options{
 		Budget: opts.Budget,
 		Model:  model,
 		Hook:   s.hook,
+		Obs:    ob,
+		Label:  "SDP",
 	})
 	stats := func() dp.Stats {
 		st := dp.Stats{PlansCosted: model.PlansCosted - costedAtStart, Elapsed: time.Since(started)}
@@ -173,19 +202,37 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 		}
 		return st
 	}
-	if err != nil {
-		return nil, stats(), err
+	if err == nil {
+		err = e.Run(q.NumRelations())
 	}
-	if err := e.Run(q.NumRelations()); err != nil {
-		return nil, stats(), err
+	var p *plan.Plan
+	if err == nil {
+		p, err = e.Finalize()
 	}
-	p, err := e.Finalize()
-	return p, stats(), err
+	st := stats()
+	done(st, p, err)
+	return p, st, err
 }
 
 type sdp struct {
 	q    *query.Query
 	opts Options
+	ob   *obs.Observer
+
+	// Resolved metric handles (nil when telemetry is off).
+	cCand, cSurvAll, cSurvRC, cSurvCS, cSurvRS *obs.Counter
+}
+
+func newSDP(q *query.Query, opts Options, ob *obs.Observer) *sdp {
+	s := &sdp{q: q, opts: opts, ob: ob}
+	if ob != nil {
+		s.cCand = ob.Counter(obs.MSkylineCandidates)
+		s.cSurvAll = ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "all"))
+		s.cSurvRC = ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "RC"))
+		s.cSurvCS = ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "CS"))
+		s.cSurvRS = ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "RS"))
+	}
+	return s
 }
 
 // hook is the per-level pruning filter installed into the DP engine.
@@ -208,8 +255,8 @@ func (s *sdp) hook(level int, m *memo.Memo, created []*memo.Class) error {
 // pruneGlobal applies the skyline to the level's whole output — the
 // ablation the paper uses to demonstrate that localized pruning matters.
 func (s *sdp) pruneGlobal(level int, m *memo.Memo, created []*memo.Class) {
-	mask := s.skylineMask(created)
-	tr := s.newLevelTrace(level)
+	mask := s.observedMask(level, "global", created)
+	tr := s.levelTrace(level)
 	if tr != nil {
 		tr.Partitions["global"] = setsOf(created)
 	}
@@ -225,6 +272,7 @@ func (s *sdp) pruneGlobal(level int, m *memo.Memo, created []*memo.Class) {
 		}
 		m.Remove(c)
 	}
+	s.emitLevel(tr, len(created), 0)
 }
 
 // pruneLocal applies the paper's SDP pruning: split into PruneGroup and
@@ -257,7 +305,7 @@ func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
 	}
 
 	partitions := s.partition(pruneGroup, hubParents)
-	tr := s.newLevelTrace(level)
+	tr := s.levelTrace(level)
 	if tr != nil {
 		tr.PruneGroup = setsOf(pruneGroup)
 		tr.FreeGroup = setsOf(freeGroup)
@@ -275,7 +323,7 @@ func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
 	labels := sortedLabels(partitions)
 	for _, label := range labels {
 		part := partitions[label]
-		mask := s.skylineMask(part)
+		mask := s.observedMask(level, label, part)
 		for i, c := range part {
 			if !seen[c.Set] {
 				seen[c.Set] = true
@@ -296,7 +344,7 @@ func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
 
 	// Interesting-order partitions can only rescue, never kill: their
 	// survivors are unioned into the level's survivor output.
-	s.applyOrderPartitions(pruneGroup, survive, tr)
+	s.applyOrderPartitions(level, pruneGroup, survive, tr)
 
 	// Guard: if the cross-partition veto rule emptied some partition
 	// entirely, resurrect that partition's cheapest member so every hub
@@ -334,6 +382,7 @@ func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
 		}
 		m.Remove(c)
 	}
+	s.emitLevel(tr, len(pruneGroup), len(freeGroup))
 }
 
 // hubParents returns the sets of the previous level's surviving classes
@@ -383,7 +432,7 @@ func (s *sdp) partition(pruneGroup []*memo.Class, hubParents []bits.Set) map[str
 // interesting join column (a column in the ORDER BY's equivalence class),
 // containing every PruneGroup JCR that does not include that relation, and
 // unions the skyline survivors into the survivor set.
-func (s *sdp) applyOrderPartitions(pruneGroup []*memo.Class, survive map[bits.Set]bool, tr *LevelTrace) {
+func (s *sdp) applyOrderPartitions(level int, pruneGroup []*memo.Class, survive map[bits.Set]bool, tr *LevelTrace) {
 	ec := s.q.OrderEqClass()
 	if ec < 0 {
 		return
@@ -401,10 +450,11 @@ func (s *sdp) applyOrderPartitions(pruneGroup []*memo.Class, survive map[bits.Se
 		if len(part) == 0 {
 			continue
 		}
+		label := fmt.Sprintf("order:%d", r+1)
 		if tr != nil {
-			tr.Partitions[fmt.Sprintf("order:%d", r+1)] = setsOf(part)
+			tr.Partitions[label] = setsOf(part)
 		}
-		mask := s.skylineMask(part)
+		mask := s.observedMask(level, label, part)
 		for i, c := range part {
 			if mask[i] {
 				survive[c.Set] = true
@@ -424,14 +474,54 @@ func (s *sdp) relHasOrderColumn(r, ec int) bool {
 	return false
 }
 
-// skylineMask computes the survivor mask of a group of classes under the
-// configured skyline option.
-func (s *sdp) skylineMask(classes []*memo.Class) []bool {
-	pts := make([][]float64, len(classes))
-	for i, c := range classes {
-		fv := c.FeatureVector()
-		pts[i] = []float64{fv.Rows, fv.Cost, fv.Sel}
+// observedMask computes the survivor mask of one skyline partition and
+// reports it: candidate/survivor counters (per RC/CS/RS criterion under
+// Option 2, reusing the pairwise masks the pruning computes anyway) and an
+// "sdp.partition" event. With telemetry off it is exactly the bare mask.
+func (s *sdp) observedMask(level int, label string, classes []*memo.Class) []bool {
+	pts := featurePoints(classes)
+	if s.ob == nil {
+		return s.maskOf(pts)
 	}
+	var mask []bool
+	var pairMasks [][]bool
+	if s.opts.Skyline == Option2 {
+		mask, pairMasks = skyline.DisjunctivePairwiseMasks(pts, skyline.RCSPairs)
+	} else {
+		mask = s.maskOf(pts)
+	}
+	surv := countTrue(mask)
+	s.cCand.Add(int64(len(classes)))
+	s.cSurvAll.Add(int64(surv))
+	var attrs map[string]any
+	if s.ob.Tracing() {
+		attrs = map[string]any{
+			"tech":      "SDP",
+			"level":     level,
+			"label":     label,
+			"size":      len(classes),
+			"survivors": surv,
+		}
+	}
+	for i, c := range []*obs.Counter{s.cSurvRC, s.cSurvCS, s.cSurvRS} {
+		if pairMasks == nil {
+			break
+		}
+		n := countTrue(pairMasks[i])
+		c.Add(int64(n))
+		if attrs != nil {
+			attrs[strings.ToLower(skyline.RCSNames[i])] = n
+		}
+	}
+	if attrs != nil {
+		s.ob.Emit(obs.EvSDPPartition, attrs)
+	}
+	return mask
+}
+
+// maskOf computes the survivor mask over feature points under the
+// configured skyline option.
+func (s *sdp) maskOf(pts [][]float64) []bool {
 	switch s.opts.Skyline {
 	case Option1:
 		return skyline.SFS(pts)
@@ -450,16 +540,53 @@ func (s *sdp) skylineMask(classes []*memo.Class) []bool {
 	}
 }
 
-func (s *sdp) newLevelTrace(level int) *LevelTrace {
-	if s.opts.Trace == nil {
+func featurePoints(classes []*memo.Class) [][]float64 {
+	pts := make([][]float64, len(classes))
+	for i, c := range classes {
+		fv := c.FeatureVector()
+		pts[i] = []float64{fv.Rows, fv.Cost, fv.Sel}
+	}
+	return pts
+}
+
+func countTrue(mask []bool) int {
+	n := 0
+	for _, ok := range mask {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// levelTrace starts the per-level pruning record carried as the sdp.level
+// event payload — built only when a trace consumer is listening.
+func (s *sdp) levelTrace(level int) *LevelTrace {
+	if !s.ob.Tracing() {
 		return nil
 	}
-	s.opts.Trace.Levels = append(s.opts.Trace.Levels, LevelTrace{
+	return &LevelTrace{
 		Level:      level,
 		Partitions: map[string][]bits.Set{},
 		Features:   map[bits.Set]memo.FV{},
-	})
-	return &s.opts.Trace.Levels[len(s.opts.Trace.Levels)-1]
+	}
+}
+
+// emitLevel closes one pruning level: the "sdp.level" event carries summary
+// counts for serialized consumers and the full LevelTrace as the in-process
+// payload the legacy SDPTrace is built from.
+func (s *sdp) emitLevel(tr *LevelTrace, pruneGroup, freeGroup int) {
+	if tr == nil {
+		return
+	}
+	s.ob.EmitPayload(obs.EvSDPLevel, map[string]any{
+		"tech":        "SDP",
+		"level":       tr.Level,
+		"prune_group": pruneGroup,
+		"free_group":  freeGroup,
+		"survivors":   len(tr.Survivors),
+		"pruned":      len(tr.Pruned),
+	}, tr)
 }
 
 func setsOf(classes []*memo.Class) []bits.Set {

@@ -16,12 +16,14 @@
 package dp
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"sdpopt/internal/bits"
 	"sdpopt/internal/cost"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
@@ -56,6 +58,14 @@ type Options struct {
 	// Every connected set still materializes (a connected graph always has
 	// a non-cut leaf to peel), but with fewer candidate plans per class.
 	LeftDeepOnly bool
+	// Obs receives metrics and trace events; nil falls back to the process
+	// default observer (obs.Default), which is itself nil — telemetry off —
+	// unless a CLI enabled it.
+	Obs *obs.Observer
+	// Label names the technique driving this engine in emitted telemetry
+	// ("DP" when empty); IDP and SDP pass their own names so per-level
+	// spans attribute effort to the right strategy.
+	Label string
 }
 
 // Stats aggregates the overhead metrics of one optimization, matching the
@@ -80,6 +90,12 @@ type Engine struct {
 
 	costedAtStart int64
 	started       time.Time
+
+	// Telemetry handles, resolved once at construction; all nil-safe.
+	ob     *obs.Observer
+	label  string
+	mLevel *obs.Histogram
+	cPlans *obs.Counter
 }
 
 // NewEngine prepares an engine and seeds level 1 of the memo. The leaves
@@ -88,6 +104,11 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 	model := opts.Model
 	if model == nil {
 		model = cost.NewModel(q, cost.DefaultParams())
+	}
+	ob := obs.Or(opts.Obs)
+	label := opts.Label
+	if label == "" {
+		label = "DP"
 	}
 	e := &Engine{
 		Q:             q,
@@ -98,7 +119,12 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 		leftDeep:      opts.LeftDeepOnly,
 		costedAtStart: model.PlansCosted,
 		started:       time.Now(),
+		ob:            ob,
+		label:         label,
+		mLevel:        ob.Histogram(obs.MLevelSeconds),
+		cPlans:        ob.Counter(obs.MPlansCosted),
 	}
+	e.Memo.Observe(ob)
 	var covered bits.Set
 	for _, l := range leaves {
 		if l.Set.IsEmpty() {
@@ -115,7 +141,11 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 	if covered != bits.Full(q.NumRelations()) {
 		return nil, fmt.Errorf("dp: leaves cover %v, want all %d relations", covered, q.NumRelations())
 	}
-	if err := e.seedLevel1(); err != nil {
+	lvStart := time.Now()
+	prevCosted := model.PlansCosted
+	err := e.seedLevel1()
+	e.observeLevel(1, lvStart, prevCosted, len(leaves), err)
+	if err != nil {
 		// Return the engine so callers can still read overhead stats (a
 		// budget abort is a reportable outcome, not a programming error).
 		return e, err
@@ -162,22 +192,65 @@ func (e *Engine) NumLeaves() int { return len(e.leaves) }
 
 // Run executes enumeration levels 2..toLevel (capped at the leaf count).
 // On a budget error the memo is left as-is and memo.ErrBudget is returned.
+// Each level — enumeration plus hook (SDP pruning) — is one observed span.
 func (e *Engine) Run(toLevel int) error {
 	if toLevel > len(e.leaves) {
 		toLevel = len(e.leaves)
 	}
 	for k := 2; k <= toLevel; k++ {
+		lvStart := time.Now()
+		prevCosted := e.Model.PlansCosted
 		created, err := e.runLevel(k)
+		if err == nil && e.hook != nil {
+			err = e.hook(k, e.Memo, created)
+		}
+		e.observeLevel(k, lvStart, prevCosted, len(created), err)
 		if err != nil {
 			return err
 		}
-		if e.hook != nil {
-			if err := e.hook(k, e.Memo, created); err != nil {
-				return err
-			}
-		}
 	}
 	return nil
+}
+
+// observeLevel closes one enumeration level's span: the level-duration
+// histogram, the plans-costed counter, and a "level" event with the level's
+// creation, pruning and costing counts. A budget abort additionally bumps
+// the abort counter and emits "budget.abort". No-op when telemetry is off.
+func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, created int, err error) {
+	if e.ob == nil {
+		return
+	}
+	d := time.Since(started)
+	e.mLevel.Observe(d)
+	costed := e.Model.PlansCosted - prevCosted
+	e.cPlans.Add(costed)
+	if e.ob.Tracing() {
+		attrs := map[string]any{
+			"tech":            e.label,
+			"level":           k,
+			"dur_ns":          int64(d),
+			"classes_created": created,
+			"classes_pruned":  created - len(e.Memo.Level(k)),
+			"plans_costed":    costed,
+			"classes_alive":   e.Memo.Stats.ClassesAlive,
+			"sim_bytes":       e.Memo.Stats.SimBytes,
+		}
+		if err != nil {
+			attrs["err"] = err.Error()
+		}
+		e.ob.Emit(obs.EvLevel, attrs)
+	}
+	if errors.Is(err, memo.ErrBudget) {
+		e.ob.Counter(obs.MBudgetAborts).Add(1)
+		if e.ob.Tracing() {
+			e.ob.Emit(obs.EvBudgetAbort, map[string]any{
+				"tech":      e.label,
+				"level":     k,
+				"sim_bytes": e.Memo.Stats.SimBytes,
+				"budget":    e.Memo.Budget,
+			})
+		}
+	}
 }
 
 func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
@@ -285,20 +358,72 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
+// ObserveRun opens an optimization span for the named technique: it emits
+// "optimize.start" and returns a closure that, given the run's outcome,
+// emits "optimize.end" and records the per-technique duration histogram and
+// completion counter. DP, IDP and SDP all report through this single path,
+// which is what makes their effort comparable. The closure is a no-op when
+// telemetry is off.
+func ObserveRun(ob *obs.Observer, tech string, q *query.Query) func(Stats, *plan.Plan, error) {
+	if ob == nil {
+		return func(Stats, *plan.Plan, error) {}
+	}
+	if ob.Tracing() {
+		ob.Emit(obs.EvOptimizeStart, map[string]any{"tech": tech, "rels": q.NumRelations()})
+	}
+	return func(st Stats, p *plan.Plan, err error) {
+		ob.Histogram(obs.Label(obs.MOptimizeSeconds, "tech", tech)).Observe(st.Elapsed)
+		ob.Counter(obs.Label(obs.MOptimizations, "tech", tech)).Add(1)
+		if !ob.Tracing() {
+			return
+		}
+		attrs := map[string]any{
+			"tech":            tech,
+			"rels":            q.NumRelations(),
+			"dur_ns":          int64(st.Elapsed),
+			"plans_costed":    st.PlansCosted,
+			"classes_created": st.Memo.ClassesCreated,
+			"peak_sim_bytes":  st.Memo.PeakSimBytes,
+		}
+		if p != nil {
+			attrs["cost"] = p.Cost
+		}
+		if err != nil {
+			attrs["err"] = err.Error()
+		}
+		ob.Emit(obs.EvOptimizeEnd, attrs)
+	}
+}
+
 // Optimize runs exhaustive DP over the query's base relations and returns
 // the optimal plan with overhead statistics. This is the paper's "DP"
-// baseline.
+// baseline. Stats.Elapsed is populated on every path, including validation
+// errors and budget aborts, so aborted runs still report their wall time.
 func Optimize(q *query.Query, opts Options) (*plan.Plan, Stats, error) {
-	e, err := NewEngine(q, BaseLeaves(q), opts)
-	if err != nil {
-		if e != nil {
+	started := time.Now()
+	label := opts.Label
+	if label == "" {
+		label = "DP"
+		if opts.LeftDeepOnly {
+			label = "DP/LD"
+		}
+		opts.Label = label
+	}
+	done := ObserveRun(obs.Or(opts.Obs), label, q)
+	p, st, err := func() (*plan.Plan, Stats, error) {
+		e, err := NewEngine(q, BaseLeaves(q), opts)
+		if err != nil {
+			if e != nil {
+				return nil, e.Stats(), err
+			}
+			return nil, Stats{Elapsed: time.Since(started)}, err
+		}
+		if err := e.Run(q.NumRelations()); err != nil {
 			return nil, e.Stats(), err
 		}
-		return nil, Stats{}, err
-	}
-	if err := e.Run(q.NumRelations()); err != nil {
-		return nil, e.Stats(), err
-	}
-	p, err := e.Finalize()
-	return p, e.Stats(), err
+		p, err := e.Finalize()
+		return p, e.Stats(), err
+	}()
+	done(st, p, err)
+	return p, st, err
 }

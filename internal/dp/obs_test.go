@@ -1,0 +1,97 @@
+package dp
+
+import (
+	"errors"
+	"testing"
+
+	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
+)
+
+func TestElapsedOnBudgetAbort(t *testing.T) {
+	q := starQuery(t, 8)
+	_, stats, err := Optimize(q, Options{Budget: 64 * 1024})
+	if !errors.Is(err, memo.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not populated on budget abort")
+	}
+}
+
+func TestElapsedOnSeedLevelAbort(t *testing.T) {
+	// A budget smaller than one class aborts inside NewEngine's level-1
+	// seeding; the stats must still carry wall time.
+	q := chainQuery(t, 3)
+	_, stats, err := Optimize(q, Options{Budget: 1})
+	if !errors.Is(err, memo.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not populated on seed-level abort")
+	}
+}
+
+func TestObserveRunMetricsAndEvents(t *testing.T) {
+	sink := &obs.MemSink{}
+	ob := obs.New(sink)
+	q := chainQuery(t, 5)
+	_, stats, err := Optimize(q, Options{Obs: ob})
+	if err != nil {
+		t.Fatalf("Optimize: %v", err)
+	}
+	if got := ob.Counter(obs.MPlansCosted).Value(); got != stats.PlansCosted {
+		t.Errorf("plans-costed counter = %d, stats say %d", got, stats.PlansCosted)
+	}
+	if got := ob.Counter(obs.MClassesCreated).Value(); got != stats.Memo.ClassesCreated {
+		t.Errorf("classes-created counter = %d, stats say %d", got, stats.Memo.ClassesCreated)
+	}
+	if got := ob.Counter(obs.Label(obs.MOptimizations, "tech", "DP")).Value(); got != 1 {
+		t.Errorf("optimizations{tech=DP} = %d, want 1", got)
+	}
+	if got := ob.Gauge(obs.MMemoPeakSimBytes).Value(); got != stats.Memo.PeakSimBytes {
+		t.Errorf("peak gauge = %d, stats say %d", got, stats.Memo.PeakSimBytes)
+	}
+	if n := ob.Histogram(obs.MLevelSeconds).Count(); n != 5 {
+		t.Errorf("level histogram count = %d, want 5", n)
+	}
+	if n := len(sink.ByType(obs.EvOptimizeStart)); n != 1 {
+		t.Errorf("optimize.start events = %d, want 1", n)
+	}
+	ends := sink.ByType(obs.EvOptimizeEnd)
+	if len(ends) != 1 {
+		t.Fatalf("optimize.end events = %d, want 1", len(ends))
+	}
+	if tech := ends[0].Attrs["tech"]; tech != "DP" {
+		t.Errorf("optimize.end tech = %v, want DP", tech)
+	}
+	levels := sink.ByType(obs.EvLevel)
+	if len(levels) != 5 {
+		t.Fatalf("level events = %d, want 5", len(levels))
+	}
+	for i, e := range levels {
+		if got := e.Attrs["level"]; got != i+1 {
+			t.Errorf("level event %d has level %v, want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestBudgetAbortEvent(t *testing.T) {
+	sink := &obs.MemSink{}
+	ob := obs.New(sink)
+	q := starQuery(t, 8)
+	_, _, err := Optimize(q, Options{Budget: 64 * 1024, Obs: ob})
+	if !errors.Is(err, memo.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if got := ob.Counter(obs.MBudgetAborts).Value(); got != 1 {
+		t.Errorf("budget-aborts counter = %d, want 1", got)
+	}
+	aborts := sink.ByType(obs.EvBudgetAbort)
+	if len(aborts) != 1 {
+		t.Fatalf("budget.abort events = %d, want 1", len(aborts))
+	}
+	if got := aborts[0].Attrs["budget"]; got != int64(64*1024) {
+		t.Errorf("budget.abort budget attr = %v (%T), want 65536", got, got)
+	}
+}

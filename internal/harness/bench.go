@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// BenchTech is one technique's aggregate overheads in a benchmark batch —
+// the machine-readable form of one OverheadTable row.
+type BenchTech struct {
+	Name            string  `json:"name"`
+	Feasible        bool    `json:"feasible"`
+	MeanTimeSeconds float64 `json:"mean_time_seconds"`
+	MeanPlansCosted float64 `json:"mean_plans_costed"`
+	PeakMemMB       float64 `json:"peak_mem_mb"`
+	// Rho is the geometric-mean plan-cost ratio to the reference (0 when
+	// infeasible).
+	Rho float64 `json:"rho"`
+	// WorstRatio is the worst-case plan-cost ratio to the reference (0
+	// when infeasible).
+	WorstRatio float64 `json:"worst_ratio"`
+}
+
+// BenchBatch is one workload's benchmark outcome.
+type BenchBatch struct {
+	Graph      string      `json:"graph"`
+	Instances  int         `json:"instances"`
+	Reference  string      `json:"reference"`
+	Techniques []BenchTech `json:"techniques"`
+}
+
+// BenchReport is the schema of the BENCH_<date>.json files `sdplab bench`
+// emits: per-technique plans-costed / time / peak simulated memory over a
+// fixed workload set, for regression tracking across commits.
+type BenchReport struct {
+	Date      string       `json:"date"`
+	Seed      int64        `json:"seed"`
+	Instances int          `json:"instances"`
+	Batches   []BenchBatch `json:"batches"`
+}
+
+// benchBatch converts a harness batch into its benchmark record.
+func benchBatch(b *Batch) BenchBatch {
+	out := BenchBatch{Graph: b.Graph, Instances: b.Instances, Reference: b.Reference}
+	for _, o := range b.Outcomes {
+		t := BenchTech{
+			Name:            o.Name,
+			Feasible:        o.Feasible,
+			MeanTimeSeconds: o.MeanTime.Seconds(),
+			MeanPlansCosted: o.MeanCosted,
+			PeakMemMB:       o.PeakMemMB,
+		}
+		if o.Feasible {
+			t.Rho = o.Summary.Rho
+			t.WorstRatio = o.Summary.Worst
+		}
+		out.Techniques = append(out.Techniques, t)
+	}
+	return out
+}
+
+// Bench runs the benchmark workload set — the paper's two main overhead
+// configurations (Star-Chain-15 with DP as reference, Star-17 beyond DP's
+// feasibility) — and returns the machine-readable report.
+func Bench(c Config, date time.Time) (*BenchReport, error) {
+	r := &BenchReport{Date: date.Format("2006-01-02"), Seed: c.Seed, Instances: c.Instances}
+	for _, run := range []struct {
+		batch func() (*Batch, error)
+	}{
+		{func() (*Batch, error) { return c.starChainBatch(15, 5, true, false) }},
+		{func() (*Batch, error) { return c.starBatch(17, 5, false, false) }},
+	} {
+		b, err := run.batch()
+		if err != nil {
+			return nil, err
+		}
+		r.Batches = append(r.Batches, benchBatch(b))
+	}
+	return r, nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to BENCH_<date>.json in dir and returns the
+// path.
+func (r *BenchReport) WriteFile(dir string) (string, error) {
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, r.Date)
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	return path, f.Close()
+}

@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"sdpopt/internal/obs"
+	"sdpopt/internal/workload"
+)
+
+// TestRunBatchWorkersRace drives the worker pool with parallelism and a
+// live observer so `go test -race` exercises the concurrent paths: the
+// jobs channel, the shared result matrix, and the registry's atomic
+// counters/gauges fed from every worker at once.
+func TestRunBatchWorkersRace(t *testing.T) {
+	sink := &obs.MemSink{}
+	ob := obs.New(sink)
+	obs.SetDefault(ob)
+	defer obs.SetDefault(nil)
+
+	cat := workload.PaperSchema()
+	qs, err := workload.Instances(workload.Spec{Cat: cat, Topology: workload.StarChain, NumRelations: 8, Seed: 7}, 6)
+	if err != nil {
+		t.Fatalf("workload: %v", err)
+	}
+	techs := []Technique{TechDP(0), TechIDP(4, 0), TechSDP(0)}
+	b, err := RunBatchWorkers("race", qs, techs, "DP", 4)
+	if err != nil {
+		t.Fatalf("RunBatchWorkers: %v", err)
+	}
+	if len(b.Outcomes) != 3 {
+		t.Fatalf("outcomes = %d, want 3", len(b.Outcomes))
+	}
+	for _, o := range b.Outcomes {
+		if !o.Feasible || len(o.Ratios) != len(qs) {
+			t.Errorf("%s: feasible=%v ratios=%d", o.Name, o.Feasible, len(o.Ratios))
+		}
+	}
+
+	// All 3×6 instances must be observed, and the queue must drain.
+	if n := len(sink.ByType(obs.EvInstance)); n != 3*6 {
+		t.Errorf("instance events = %d, want 18", n)
+	}
+	if len(sink.ByType(obs.EvBatchStart)) != 1 || len(sink.ByType(obs.EvBatchEnd)) != 1 {
+		t.Error("batch start/end events missing")
+	}
+	if d := ob.Gauge(obs.MQueueDepth).Value(); d != 0 {
+		t.Errorf("queue depth after batch = %d, want 0", d)
+	}
+	if got := ob.Counter(obs.MBatches).Value(); got != 1 {
+		t.Errorf("batches counter = %d, want 1", got)
+	}
+	for _, tech := range []string{"DP", "IDP(4)", "SDP"} {
+		h := ob.Histogram(obs.Label(obs.MTechniqueSeconds, "tech", tech))
+		if h.Count() != 6 {
+			t.Errorf("%s technique histogram count = %d, want 6", tech, h.Count())
+		}
+	}
+}
+
+func TestBenchReport(t *testing.T) {
+	c := Config{Instances: 2, Seed: 11}
+	r, err := Bench(c, time.Date(2026, 8, 5, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatalf("Bench: %v", err)
+	}
+	if r.Date != "2026-08-05" || len(r.Batches) != 2 {
+		t.Fatalf("report = %+v", r)
+	}
+	dir := t.TempDir()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if want := dir + "/BENCH_2026-08-05.json"; path != want {
+		t.Errorf("path = %q, want %q", path, want)
+	}
+	for _, b := range r.Batches {
+		if len(b.Techniques) == 0 {
+			t.Errorf("batch %s has no techniques", b.Graph)
+		}
+		for _, tech := range b.Techniques {
+			if tech.Feasible && (tech.MeanPlansCosted <= 0 || tech.MeanTimeSeconds <= 0) {
+				t.Errorf("%s/%s: empty overheads %+v", b.Graph, tech.Name, tech)
+			}
+		}
+	}
+}

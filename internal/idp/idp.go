@@ -21,6 +21,7 @@ import (
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
@@ -83,6 +84,9 @@ type Options struct {
 	Budget int64
 	// Model supplies costing; if nil a fresh default model is created.
 	Model *cost.Model
+	// Obs selects the observer for metrics and trace events; nil falls back
+	// to the process-wide default (obs.Default), which is off by default.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper's representative configuration:
@@ -101,44 +105,77 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	if model == nil {
 		model = cost.NewModel(q, cost.DefaultParams())
 	}
-	started := time.Now()
-	costedAtStart := model.PlansCosted
-	leaves := dp.BaseLeaves(q)
-	var agg memo.Stats
+	ob := obs.Or(opts.Obs)
+	label := fmt.Sprintf("IDP(%d)", opts.K)
+	cIters := ob.Counter(obs.MIDPIterations)
+	done := dp.ObserveRun(ob, label, q)
+	p, st, err := func() (*plan.Plan, dp.Stats, error) {
+		started := time.Now()
+		costedAtStart := model.PlansCosted
+		leaves := dp.BaseLeaves(q)
+		var agg memo.Stats
 
-	for {
-		block := opts.K
-		if opts.Balanced {
-			block = balancedBlock(len(leaves), opts.K)
-		}
-		e, err := dp.NewEngine(q, leaves, dp.Options{Budget: opts.Budget, Model: model})
-		if err != nil {
-			if e != nil {
-				accumulate(&agg, e.Memo.Stats)
+		for iter := 1; ; iter++ {
+			iterStart := time.Now()
+			block := opts.K
+			if opts.Balanced {
+				block = balancedBlock(len(leaves), opts.K)
 			}
-			return nil, finish(agg, model, costedAtStart, started), err
-		}
-		if len(leaves) <= block {
-			// Final iteration: DP runs to the top.
-			if err := e.Run(len(leaves)); err != nil {
+			emitIter := func() {
+				cIters.Add(1)
+				if ob.Tracing() {
+					ob.Emit(obs.EvIDPIteration, map[string]any{
+						"tech":   label,
+						"iter":   iter,
+						"leaves": len(leaves),
+						"block":  block,
+						"dur_ns": time.Since(iterStart).Nanoseconds(),
+					})
+				}
+			}
+			e, err := dp.NewEngine(q, leaves, dp.Options{Budget: opts.Budget, Model: model, Obs: ob, Label: label})
+			if err != nil {
+				if e != nil {
+					accumulate(&agg, e.Memo.Stats)
+				}
+				return nil, finish(agg, model, costedAtStart, started), err
+			}
+			if len(leaves) <= block {
+				// Final iteration: DP runs to the top.
+				if err := e.Run(len(leaves)); err != nil {
+					accumulate(&agg, e.Memo.Stats)
+					return nil, finish(agg, model, costedAtStart, started), err
+				}
+				p, err := e.Finalize()
+				accumulate(&agg, e.Memo.Stats)
+				emitIter()
+				return p, finish(agg, model, costedAtStart, started), err
+			}
+			if err := e.Run(block); err != nil {
 				accumulate(&agg, e.Memo.Stats)
 				return nil, finish(agg, model, costedAtStart, started), err
 			}
-			p, err := e.Finalize()
+			chosen, cands, short, err := selectSubplan(q, model, e.Memo, leaves, block, opts)
 			accumulate(&agg, e.Memo.Stats)
-			return p, finish(agg, model, costedAtStart, started), err
+			if err != nil {
+				return nil, finish(agg, model, costedAtStart, started), err
+			}
+			emitIter()
+			if ob.Tracing() {
+				ob.Emit(obs.EvIDPCommit, map[string]any{
+					"tech":        label,
+					"iter":        iter,
+					"set":         chosen.Set.String(),
+					"set_size":    chosen.Set.Len(),
+					"candidates":  cands,
+					"shortlisted": short,
+				})
+			}
+			leaves = commit(leaves, chosen)
 		}
-		if err := e.Run(block); err != nil {
-			accumulate(&agg, e.Memo.Stats)
-			return nil, finish(agg, model, costedAtStart, started), err
-		}
-		chosen, err := selectSubplan(q, model, e.Memo, leaves, block, opts)
-		accumulate(&agg, e.Memo.Stats)
-		if err != nil {
-			return nil, finish(agg, model, costedAtStart, started), err
-		}
-		leaves = commit(leaves, chosen)
-	}
+	}()
+	done(st, p, err)
+	return p, st, err
 }
 
 // balancedBlock picks this iteration's block size so that the remaining
@@ -162,17 +199,17 @@ func balancedBlock(remaining, k int) int {
 // selectSubplan implements the hybrid evaluation: shortlist the top
 // BalloonFrac of size-block classes under opts.Eval, balloon each to a
 // complete plan greedily, and return the class whose completion is
-// cheapest.
-func selectSubplan(q *query.Query, model *cost.Model, m *memo.Memo, leaves []dp.Leaf, block int, opts Options) (*memo.Class, error) {
+// cheapest, along with the candidate and shortlist sizes for reporting.
+func selectSubplan(q *query.Query, model *cost.Model, m *memo.Memo, leaves []dp.Leaf, block int, opts Options) (*memo.Class, int, int, error) {
 	cands := m.Level(block)
 	if len(cands) == 0 {
-		return nil, fmt.Errorf("idp: no candidate subplans at level %d", block)
+		return nil, 0, 0, fmt.Errorf("idp: no candidate subplans at level %d", block)
 	}
 	sort.SliceStable(cands, func(a, b int) bool {
 		return opts.Eval.score(cands[a]) < opts.Eval.score(cands[b])
 	})
 	if opts.BalloonFrac <= 0 {
-		return cands[0], nil
+		return cands[0], len(cands), 1, nil
 	}
 	short := int(math.Ceil(opts.BalloonFrac * float64(len(cands))))
 	if short < 1 {
@@ -190,7 +227,7 @@ func selectSubplan(q *query.Query, model *cost.Model, m *memo.Memo, leaves []dp.
 			best = c
 		}
 	}
-	return best, nil
+	return best, len(cands), short, nil
 }
 
 // balloon greedily extends class c's best plan to a complete plan: at each

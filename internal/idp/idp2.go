@@ -9,6 +9,7 @@ import (
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
@@ -28,6 +29,16 @@ func Optimize2(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	if model == nil {
 		model = cost.NewModel(q, cost.DefaultParams())
 	}
+	ob := obs.Or(opts.Obs)
+	label := fmt.Sprintf("IDP2(%d)", opts.K)
+	cIters := ob.Counter(obs.MIDPIterations)
+	done := dp.ObserveRun(ob, label, q)
+	p, st, err := optimize2(q, opts, model, ob, label, cIters)
+	done(st, p, err)
+	return p, st, err
+}
+
+func optimize2(q *query.Query, opts Options, model *cost.Model, ob *obs.Observer, label string, cIters *obs.Counter) (*plan.Plan, dp.Stats, error) {
 	started := time.Now()
 	costedAtStart := model.PlansCosted
 	var agg memo.Stats
@@ -72,10 +83,11 @@ func Optimize2(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	// maximal subtrees spanning ≤ K relations and re-plans the best
 	// improvement via exhaustive DP over the subtree's leaves.
 	improved := true
-	for improved {
+	for iter := 1; improved; iter++ {
 		improved = false
+		iterStart := time.Now()
 		for _, sub := range subtreesUpTo(current, opts.K) {
-			replanned, stats, err := replanSubtree(q, model, current, sub, opts.Budget)
+			replanned, stats, err := replanSubtree(q, model, ob, current, sub, opts.Budget)
 			accumulate(&agg, stats)
 			if err != nil {
 				return nil, finish(agg, model, costedAtStart, started), err
@@ -85,6 +97,15 @@ func Optimize2(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 				improved = true
 				break // restart subtree enumeration on the new plan
 			}
+		}
+		cIters.Add(1)
+		if ob.Tracing() {
+			ob.Emit(obs.EvIDPIteration, map[string]any{
+				"tech":     label,
+				"iter":     iter,
+				"improved": improved,
+				"dur_ns":   time.Since(iterStart).Nanoseconds(),
+			})
 		}
 	}
 
@@ -139,13 +160,13 @@ func subtreesUpTo(p *plan.Plan, k int) []*plan.Plan {
 
 // replanSubtree re-optimizes the base relations under sub with exhaustive
 // DP and splices the optimal subplan into a rebuilt tree.
-func replanSubtree(q *query.Query, model *cost.Model, root, sub *plan.Plan, budget int64) (*plan.Plan, memo.Stats, error) {
+func replanSubtree(q *query.Query, model *cost.Model, ob *obs.Observer, root, sub *plan.Plan, budget int64) (*plan.Plan, memo.Stats, error) {
 	leaves := make([]dp.Leaf, 0, q.NumRelations())
 	sub.Rels.Each(func(i int) { leaves = append(leaves, dp.Leaf{Set: bits.Single(i)}) })
 	// DP over only the subtree's relations: treat them as the whole
 	// problem by building a sub-engine on the same query but restricted
 	// leaves. The engine requires full coverage, so run a raw DPsize here.
-	best, stats, err := dpOverSubset(q, model, sub.Rels, budget)
+	best, stats, err := dpOverSubset(q, model, ob, sub.Rels, budget)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -153,8 +174,9 @@ func replanSubtree(q *query.Query, model *cost.Model, root, sub *plan.Plan, budg
 }
 
 // dpOverSubset runs exhaustive DPsize over just the relations in set.
-func dpOverSubset(q *query.Query, model *cost.Model, set bits.Set, budget int64) (*plan.Plan, memo.Stats, error) {
+func dpOverSubset(q *query.Query, model *cost.Model, ob *obs.Observer, set bits.Set, budget int64) (*plan.Plan, memo.Stats, error) {
 	m := memo.New(budget)
+	m.Observe(ob)
 	mk := func(s bits.Set, level int) (*memo.Class, error) {
 		rows := model.SetRows(s)
 		return m.NewClass(s, level, rows, model.Selectivity(s, rows))

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"sdpopt/internal/bits"
+	"sdpopt/internal/obs"
 	"sdpopt/internal/plan"
 )
 
@@ -131,12 +132,32 @@ type Memo struct {
 	// unlimited.
 	Budget int64
 	Stats  Stats
+
+	// Metric handles, resolved once by Observe; nil (a no-op) by default.
+	// The gauges aggregate across every live memo sharing the registry, so
+	// a metrics endpoint sees total alive classes and simulated bytes of
+	// all concurrent optimizations.
+	cCreated, cPruned   *obs.Counter
+	gAlive, gSim, gPeak *obs.Gauge
 }
 
 // New returns an empty memo with the given simulated-memory budget
 // (0 = unlimited).
 func New(budget int64) *Memo {
 	return &Memo{classes: map[bits.Set]*Class{}, Budget: budget}
+}
+
+// Observe registers the memo's class/memory accounting with o's metrics
+// registry. A nil observer keeps telemetry off (the default).
+func (m *Memo) Observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	m.cCreated = o.Counter(obs.MClassesCreated)
+	m.cPruned = o.Counter(obs.MClassesPruned)
+	m.gAlive = o.Gauge(obs.MMemoAlive)
+	m.gSim = o.Gauge(obs.MMemoSimBytes)
+	m.gPeak = o.Gauge(obs.MMemoPeakSimBytes)
 }
 
 // Get returns the class covering set, or nil.
@@ -166,6 +187,8 @@ func (m *Memo) NewClass(set bits.Set, level int, rows, sel float64) (*Class, err
 	m.byLevel[level] = append(m.byLevel[level], c)
 	m.Stats.ClassesCreated++
 	m.Stats.ClassesAlive++
+	m.cCreated.Add(1)
+	m.gAlive.Add(1)
 	if err := m.addSim(SimClassBytes); err != nil {
 		return nil, err
 	}
@@ -218,6 +241,9 @@ func (m *Memo) Remove(c *Class) {
 	m.Stats.ClassesAlive--
 	m.Stats.PathsRetained -= int64(c.numPaths())
 	m.Stats.SimBytes -= SimClassBytes + int64(c.numPaths())*SimPathBytes
+	m.cPruned.Add(1)
+	m.gAlive.Add(-1)
+	m.gSim.Add(-(SimClassBytes + int64(c.numPaths())*SimPathBytes))
 }
 
 // Level returns the alive classes created at leaf level k, in creation
@@ -255,6 +281,7 @@ func (m *Memo) addSim(bytes int64) error {
 	if m.Stats.SimBytes > m.Stats.PeakSimBytes {
 		m.Stats.PeakSimBytes = m.Stats.SimBytes
 	}
+	m.gPeak.SetMax(m.gSim.Add(bytes))
 	if m.Budget > 0 && m.Stats.SimBytes > m.Budget {
 		return ErrBudget
 	}

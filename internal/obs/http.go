@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the registry and the Go runtime
+// profiling surface:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/debug/vars   expvar (cmdline, memstats)
+//	/debug/pprof  net/http/pprof profiles (heap, cpu, goroutine, ...)
+//
+// pprof and expvar are wired explicitly onto a private mux so the endpoint
+// works regardless of http.DefaultServeMux state.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		fmt.Fprint(w, "sdpopt observability endpoint\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}
+
+// Serve starts an HTTP server for the registry on addr (e.g. ":8080") in a
+// background goroutine, returning the bound address — useful with ":0".
+// The server lives until process exit; it exists to watch long experiment
+// runs live, not to be managed.
+func (r *Registry) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}

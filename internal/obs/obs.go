@@ -1,0 +1,156 @@
+// Package obs is the optimizer's observability layer: an atomic-counter
+// metrics Registry (counters, gauges, duration histograms) plus a span-style
+// Tracer emitting structured events to pluggable sinks (JSONL files for
+// offline analysis, in-memory buffers for tests and CLI trace tables).
+//
+// Every number the paper's tables report — plans costed, memo memory,
+// optimization time, pruning counts — flows through this package, so
+// DP, IDP and SDP are measured uniformly. The design constraint is that
+// observability must cost nothing when off: all types are nil-safe, and the
+// disabled path through an Observer, metric handle, or Tracer is a single
+// nil-check. Engine layers resolve their metric handles once per run, never
+// per event.
+//
+// The package depends only on the standard library and is imported by every
+// engine layer (memo, dp, core, idp, harness) and the CLIs.
+package obs
+
+import "sync/atomic"
+
+// Observer bundles a metrics registry and a tracer. Engine options carry an
+// optional *Observer; a nil observer (the default) disables all telemetry.
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+// New returns an observer over a fresh registry and the given sinks.
+func New(sinks ...Sink) *Observer {
+	return &Observer{Registry: NewRegistry(), Tracer: NewTracer(sinks...)}
+}
+
+// Counter resolves a counter from the observer's registry. Nil-safe.
+func (o *Observer) Counter(name string) *Counter {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Counter(name)
+}
+
+// Gauge resolves a gauge from the observer's registry. Nil-safe.
+func (o *Observer) Gauge(name string) *Gauge {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Gauge(name)
+}
+
+// Histogram resolves a duration histogram from the observer's registry.
+// Nil-safe.
+func (o *Observer) Histogram(name string) *Histogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.Histogram(name)
+}
+
+// Emit sends one trace event. Nil-safe.
+func (o *Observer) Emit(typ string, attrs map[string]any) {
+	if o == nil {
+		return
+	}
+	o.Tracer.Emit(typ, attrs)
+}
+
+// EmitPayload is Emit with an in-process payload. Nil-safe.
+func (o *Observer) EmitPayload(typ string, attrs map[string]any, payload any) {
+	if o == nil {
+		return
+	}
+	o.Tracer.EmitPayload(typ, attrs, payload)
+}
+
+// Tracing reports whether events would actually be recorded — engine layers
+// use it to skip building attribute maps on the disabled path.
+func (o *Observer) Tracing() bool { return o != nil && o.Tracer != nil }
+
+// WithSinks returns an observer that shares o's registry but additionally
+// delivers events to the given sinks. Works on a nil receiver (yielding an
+// observer with only the new sinks).
+func (o *Observer) WithSinks(sinks ...Sink) *Observer {
+	if o == nil {
+		return &Observer{Registry: nil, Tracer: NewTracer(sinks...)}
+	}
+	all := sinks
+	if o.Tracer != nil {
+		all = append(append([]Sink{}, o.Tracer.sinks...), sinks...)
+	}
+	return &Observer{Registry: o.Registry, Tracer: NewTracer(all...)}
+}
+
+// defaultObs is the process-wide observer, nil until a CLI enables
+// telemetry (mirroring expvar's and Prometheus's global default). Engine
+// layers fall back to it when their options carry no explicit observer, so
+// flag-level enablement reaches every nested optimization without threading
+// an observer through each constructor signature.
+var defaultObs atomic.Pointer[Observer]
+
+// SetDefault installs the process-wide default observer (nil to disable).
+func SetDefault(o *Observer) {
+	defaultObs.Store(o)
+}
+
+// Default returns the process-wide observer, or nil when telemetry is off.
+func Default() *Observer {
+	return defaultObs.Load()
+}
+
+// Or returns o if non-nil, else the process default. Engine constructors
+// call it once per run.
+func Or(o *Observer) *Observer {
+	if o != nil {
+		return o
+	}
+	return Default()
+}
+
+// Metric names. Counters end in _total; gauges and histograms are labeled
+// where noted (see Label).
+const (
+	// MOptimizations counts completed optimizations, labeled tech=.
+	MOptimizations = "sdpopt_optimizations_total"
+	// MPlansCosted counts candidate plans costed across all runs.
+	MPlansCosted = "sdpopt_plans_costed_total"
+	// MClassesCreated counts memo classes (JCRs) ever created.
+	MClassesCreated = "sdpopt_memo_classes_created_total"
+	// MClassesPruned counts classes removed by SDP pruning.
+	MClassesPruned = "sdpopt_memo_classes_pruned_total"
+	// MMemoAlive gauges currently alive memo classes.
+	MMemoAlive = "sdpopt_memo_classes_alive"
+	// MMemoSimBytes gauges current simulated memo memory.
+	MMemoSimBytes = "sdpopt_memo_sim_bytes"
+	// MMemoPeakSimBytes gauges the simulated-memory high-water mark.
+	MMemoPeakSimBytes = "sdpopt_memo_peak_sim_bytes"
+	// MBudgetAborts counts optimizations aborted by the memory budget.
+	MBudgetAborts = "sdpopt_budget_aborts_total"
+	// MOptimizeSeconds is the per-optimization duration histogram,
+	// labeled tech=.
+	MOptimizeSeconds = "sdpopt_optimize_seconds"
+	// MLevelSeconds is the per-enumeration-level duration histogram.
+	MLevelSeconds = "sdpopt_level_seconds"
+	// MSkylineSurvivors counts PruneGroup JCRs surviving a skyline
+	// partition, labeled criterion= (RC, CS, RS, all).
+	MSkylineSurvivors = "sdpopt_skyline_survivors_total"
+	// MSkylineCandidates counts PruneGroup JCRs entering skyline
+	// partitions.
+	MSkylineCandidates = "sdpopt_skyline_candidates_total"
+	// MIDPIterations counts IDP restart iterations.
+	MIDPIterations = "sdpopt_idp_iterations_total"
+	// MQueueDepth gauges the harness worker-pool queue depth.
+	MQueueDepth = "sdpopt_harness_queue_depth"
+	// MBatches counts harness batches run.
+	MBatches = "sdpopt_harness_batches_total"
+	// MTechniqueSeconds is the harness per-instance optimization duration,
+	// labeled tech=.
+	MTechniqueSeconds = "sdpopt_technique_seconds"
+)

@@ -1,0 +1,271 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	// Every operation on a nil observer, registry, tracer, or metric handle
+	// must be a no-op — this is the disabled path the engines ride.
+	var o *Observer
+	o.Counter("x").Add(1)
+	o.Gauge("y").Set(5)
+	o.Gauge("y").SetMax(9)
+	o.Histogram("z").Observe(time.Second)
+	o.Emit(EvLevel, map[string]any{"level": 2})
+	if o.Tracing() {
+		t.Fatal("nil observer reports tracing enabled")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry handed out a live handle")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Tracer
+	tr.Emit("x", nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryCountersGaugesHistograms(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("sdpopt_plans_costed_total")
+	c.Add(3)
+	c.Add(4)
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	if r.Counter("sdpopt_plans_costed_total") != c {
+		t.Fatal("counter handle not stable across resolves")
+	}
+	g := r.Gauge("sdpopt_memo_classes_alive")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(5)
+	if g.Value() != 7 {
+		t.Fatal("SetMax lowered the gauge")
+	}
+	g.SetMax(12)
+	if g.Value() != 12 {
+		t.Fatal("SetMax did not raise the gauge")
+	}
+	h := r.Histogram("sdpopt_level_seconds")
+	h.Observe(2 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+	h.Observe(10 * time.Minute) // beyond the last bucket: overflow slot
+	if h.Count() != 3 {
+		t.Fatalf("hist count = %d, want 3", h.Count())
+	}
+	if h.Sum() <= 10*time.Minute {
+		t.Fatalf("hist sum = %v too small", h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sdpopt_plans_costed_total").Add(42)
+	r.Gauge("sdpopt_memo_classes_alive").Set(7)
+	r.Histogram(Label("sdpopt_optimize_seconds", "tech", "SDP")).Observe(3 * time.Millisecond)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE sdpopt_plans_costed_total counter",
+		"sdpopt_plans_costed_total 42",
+		"# TYPE sdpopt_memo_classes_alive gauge",
+		"sdpopt_memo_classes_alive 7",
+		"# TYPE sdpopt_optimize_seconds histogram",
+		`sdpopt_optimize_seconds_bucket{tech="SDP",le="+Inf"} 1`,
+		`sdpopt_optimize_seconds_count{tech="SDP"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("m"); got != "m" {
+		t.Fatalf("Label() = %q", got)
+	}
+	if got := Label("m", "tech", "IDP(7)"); got != `m{tech="IDP(7)"}` {
+		t.Fatalf("Label() = %q", got)
+	}
+	if got := Label("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Fatalf("Label() = %q", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	tr.Emit(EvLevel, map[string]any{"level": 3, "classes_created": 12, "tech": "DP"})
+	tr.EmitPayload(EvSDPLevel, map[string]any{"level": 3, "pruned": 4}, struct{ x int }{1})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[0].Ev() != EvLevel || recs[0].Num("classes_created") != 12 || recs[0].Str("tech") != "DP" {
+		t.Fatalf("bad first record: %v", recs[0])
+	}
+	// The payload must stay in-process, never serialized.
+	if _, ok := recs[1]["Payload"]; ok {
+		t.Fatal("payload leaked into JSONL")
+	}
+	if recs[1].Num("pruned") != 4 {
+		t.Fatalf("bad second record: %v", recs[1])
+	}
+}
+
+func TestMemSinkAndWithSinks(t *testing.T) {
+	base := New()
+	mem := &MemSink{}
+	o := base.WithSinks(mem)
+	if o.Registry != base.Registry {
+		t.Fatal("WithSinks must share the registry")
+	}
+	o.Emit(EvOptimizeStart, map[string]any{"tech": "SDP"})
+	o.Emit(EvOptimizeEnd, map[string]any{"tech": "SDP"})
+	if got := len(mem.ByType(EvOptimizeEnd)); got != 1 {
+		t.Fatalf("mem sink saw %d optimize.end events, want 1", got)
+	}
+	// Nil base: events still flow to the extra sink.
+	var nilObs *Observer
+	mem2 := &MemSink{}
+	o2 := nilObs.WithSinks(mem2)
+	o2.Emit(EvLevel, nil)
+	if len(mem2.Events()) != 1 {
+		t.Fatal("WithSinks on nil observer dropped the event")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := NewTracer(sink)
+	tr.Emit(EvOptimizeEnd, map[string]any{
+		"tech": "SDP", "dur_ns": int64(2e6), "plans_costed": 100,
+		"classes_created": 20, "peak_sim_bytes": 1 << 20})
+	tr.Emit(EvOptimizeEnd, map[string]any{
+		"tech": "DP", "dur_ns": int64(5e6), "plans_costed": 900,
+		"classes_created": 80, "peak_sim_bytes": 2 << 20, "err": "memo: simulated memory budget exceeded"})
+	tr.Emit(EvLevel, map[string]any{"tech": "SDP", "level": 2, "dur_ns": int64(1e6), "classes_created": 8, "plans_costed": 40})
+	tr.Emit(EvLevel, map[string]any{"tech": "SDP", "level": 3, "dur_ns": int64(3e6), "classes_created": 12, "plans_costed": 60})
+	tr.Emit(EvSDPPartition, map[string]any{"level": 3, "label": "hub:1", "size": 10, "survivors": 6, "rc": 4, "cs": 3, "rs": 5})
+	tr.Emit(EvSDPLevel, map[string]any{"level": 3, "pruned": 4})
+	tr.Close()
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summarize(recs)
+	if len(s.Techniques) != 2 {
+		t.Fatalf("techniques = %d, want 2", len(s.Techniques))
+	}
+	dp := s.Techniques[0]
+	if dp.Tech != "DP" || dp.Aborts != 1 || dp.PlansCosted != 900 {
+		t.Fatalf("bad DP summary: %+v", dp)
+	}
+	if len(s.Levels) != 2 || s.Levels[1].Level != 3 || s.Levels[1].Classes != 12 {
+		t.Fatalf("bad level summary: %+v", s.Levels)
+	}
+	var rc *CriterionSummary
+	for i := range s.Criteria {
+		if s.Criteria[i].Criterion == "RC" {
+			rc = &s.Criteria[i]
+		}
+	}
+	if rc == nil || rc.Candidates != 10 || rc.Survivors != 4 {
+		t.Fatalf("bad RC criterion: %+v", s.Criteria)
+	}
+	out := s.Render(5)
+	for _, want := range []string{"Effort per technique", "Top 2 levels by time", "Skyline pruning efficacy", "RC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sdpopt_plans_costed_total").Add(5)
+	addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "sdpopt_plans_costed_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Error("/debug/vars missing memstats")
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Error("/debug/pprof/ missing profile index")
+	}
+}
+
+// TestRegistryRace hammers shared handles from many goroutines; run with
+// -race this proves the registry is safe under concurrent engine runs.
+func TestRegistryRace(t *testing.T) {
+	r := NewRegistry()
+	mem := &MemSink{}
+	tr := NewTracer(mem)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				r.Counter(MPlansCosted).Add(1)
+				r.Gauge(MMemoAlive).Add(1)
+				r.Gauge(MMemoPeakSimBytes).SetMax(int64(j))
+				r.Histogram(MLevelSeconds).Observe(time.Duration(j))
+				tr.Emit(EvLevel, map[string]any{"level": j % 10})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(MPlansCosted).Value(); got != 4000 {
+		t.Fatalf("counter = %d, want 4000", got)
+	}
+	if got := len(mem.Events()); got != 4000 {
+		t.Fatalf("events = %d, want 4000", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

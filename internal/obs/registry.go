@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is a concurrency-safe metrics registry. Metric handles are
+// resolved once by name (Counter / Gauge / Histogram) and then updated with
+// atomic operations, so concurrent engine runs share one registry without
+// locking on the hot path. All methods are nil-safe: a nil *Registry hands
+// out nil handles, whose update methods are a single nil-check — the
+// near-zero disabled path.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by d. No-op on a nil counter.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Set/Add store int64 values
+// (bytes, object counts); SetMax retains the maximum, for peak tracking.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Set stores v. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d and returns the new value (0 on a nil gauge).
+func (g *Gauge) Add(d int64) int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Add(d)
+}
+
+// SetMax raises the gauge to v if v is larger — a monotone high-water mark.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets are the duration histogram upper bounds: exponential from 1 µs
+// to ~68 s (factor 4), covering everything from a single enumeration level
+// to a full paper-scale batch.
+var histBuckets = func() []time.Duration {
+	var b []time.Duration
+	for d := time.Microsecond; d < 2*time.Minute; d *= 4 {
+		b = append(b, d)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket duration histogram with atomic counters. The
+// last bucket slot is the +Inf overflow.
+type Histogram struct {
+	name    string
+	buckets [16]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+func init() {
+	if len(histBuckets) >= 16 {
+		panic("obs: histogram bucket array too small")
+	}
+}
+
+// Observe records one duration. No-op on a nil histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(histBuckets) && d > histBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed duration (0 for nil).
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load())
+}
+
+// Counter resolves (creating on first use) the named counter. Nil-safe.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge resolves (creating on first use) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram resolves (creating on first use) the named duration histogram.
+// Nil-safe.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{name: name}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Label formats a metric name with label pairs in Prometheus exposition
+// syntax, e.g. Label("sdpopt_technique_seconds", "tech", "SDP") →
+// `sdpopt_technique_seconds{tech="SDP"}`. The labeled string is itself the
+// registry key, so labeled series are independent metrics.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", kv[i], kv[i+1])
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// splitLabeled separates a registry key into its base name and the label
+// block (with braces), if any.
+func splitLabeled(key string) (base, labels string) {
+	if i := strings.IndexByte(key, '{'); i >= 0 {
+		return key[:i], key[i:]
+	}
+	return key, ""
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket/_sum/_count series with seconds-valued buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
+	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+
+	typed := map[string]bool{}
+	header := func(key, kind string) {
+		base, _ := splitLabeled(key)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+		}
+	}
+	for _, c := range counters {
+		header(c.name, "counter")
+		if _, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value()); err != nil {
+			return err
+		}
+	}
+	for _, g := range gauges {
+		header(g.name, "gauge")
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value()); err != nil {
+			return err
+		}
+	}
+	for _, h := range hists {
+		header(h.name, "histogram")
+		base, labels := splitLabeled(h.name)
+		cum := int64(0)
+		for i, ub := range histBuckets {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", base+"_bucket", mergeLE(labels, ub.Seconds()), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(histBuckets)].Load()
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", base+"_bucket", mergeLE(labels, math.Inf(1)), cum); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s%s %g\n", base+"_sum", labels, h.Sum().Seconds())
+		fmt.Fprintf(w, "%s%s %d\n", base+"_count", labels, h.Count())
+	}
+	return nil
+}
+
+// mergeLE inserts the le="..." bucket label into an existing label block
+// ("" or "{k=\"v\"}").
+func mergeLE(labels string, ub float64) string {
+	le := fmt.Sprintf("le=%q", formatLE(ub))
+	if labels == "" {
+		return "{" + le + "}"
+	}
+	return labels[:len(labels)-1] + "," + le + "}"
+}
+
+func formatLE(ub float64) string {
+	if math.IsInf(ub, 1) {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%g", ub)
+}

@@ -221,6 +221,35 @@ func DisjunctivePairwise(pts [][]float64, pairs [][2]int) []bool {
 	return out
 }
 
+// DisjunctivePairwiseMasks is DisjunctivePairwise additionally returning
+// each pair's projected 2-D skyline mask, in pairs order. The observability
+// layer reports per-criterion (RC/CS/RS) pruning efficacy from these
+// without recomputing the skylines.
+func DisjunctivePairwiseMasks(pts [][]float64, pairs [][2]int) ([]bool, [][]bool) {
+	out := make([]bool, len(pts))
+	masks := make([][]bool, len(pairs))
+	if len(pts) == 0 {
+		return out, masks
+	}
+	proj := make([][]float64, len(pts))
+	for pi, pr := range pairs {
+		for i, p := range pts {
+			proj[i] = []float64{p[pr[0]], p[pr[1]]}
+		}
+		m := TwoD(proj)
+		masks[pi] = m
+		for i, ok := range m {
+			if ok {
+				out[i] = true
+			}
+		}
+	}
+	return out, masks
+}
+
 // RCSPairs are the attribute pairs of SDP's disjunctive skyline over the
 // [Rows, Cost, Selectivity] feature vector: RC, CS and RS.
 var RCSPairs = [][2]int{{0, 1}, {1, 2}, {0, 2}}
+
+// RCSNames names RCSPairs in order, for per-criterion reporting.
+var RCSNames = []string{"RC", "CS", "RS"}

@@ -18,6 +18,9 @@
 package sdpopt
 
 import (
+	"io"
+	"time"
+
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/core"
 	"sdpopt/internal/dp"
@@ -27,6 +30,7 @@ import (
 	"sdpopt/internal/harness"
 	"sdpopt/internal/idp"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
 	"sdpopt/internal/parse"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/quality"
@@ -150,13 +154,16 @@ type DPOptions struct {
 	// Budget is the simulated-memory feasibility limit in bytes
 	// (0 = unlimited).
 	Budget int64
+	// Obs receives metrics and trace events; nil falls back to the
+	// process-wide default observer (see SetDefaultObserver).
+	Obs *Observer
 }
 
 // OptimizeDP finds the optimal plan by exhaustive dynamic programming —
 // the paper's DP baseline. It fails with ErrBudget beyond the feasibility
 // cliff (a ~17-relation star under the default 1 GB budget).
 func OptimizeDP(q *Query, opts DPOptions) (*Plan, Stats, error) {
-	return dp.Optimize(q, dp.Options{Budget: opts.Budget})
+	return dp.Optimize(q, dp.Options{Budget: opts.Budget, Obs: opts.Obs})
 }
 
 // IDPOptions configures Iterative Dynamic Programming.
@@ -344,4 +351,74 @@ func TPCHQueryNames() []string { return tpch.Names() }
 // limit instances (0 = all). Star and StarChain only.
 func EnumerateInstances(spec WorkloadSpec, limit int) ([]*Query, error) {
 	return workload.Enumerate(spec, limit)
+}
+
+// Observability. An Observer bundles a metrics registry with an event
+// tracer; every optimizer layer reports through it when one is installed
+// (telemetry is off — and free — by default).
+type (
+	// Observer bundles a metrics registry and an event tracer.
+	Observer = obs.Observer
+	// MetricsRegistry holds atomic counters, gauges and duration
+	// histograms, and renders Prometheus text exposition.
+	MetricsRegistry = obs.Registry
+	// TraceEvent is one structured optimizer event.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events.
+	TraceSink = obs.Sink
+	// TraceMemSink buffers events in memory (tests, CLI tables).
+	TraceMemSink = obs.MemSink
+	// TraceJSONLSink appends events to a JSONL stream.
+	TraceJSONLSink = obs.JSONLSink
+	// TraceRecord is one decoded JSONL trace line.
+	TraceRecord = obs.Record
+	// TraceSummary aggregates a trace: effort per technique, time per
+	// level, pruning efficacy per skyline criterion.
+	TraceSummary = obs.TraceSummary
+)
+
+// Trace event types.
+const (
+	EvOptimizeStart = obs.EvOptimizeStart
+	EvOptimizeEnd   = obs.EvOptimizeEnd
+	EvLevel         = obs.EvLevel
+	EvBudgetAbort   = obs.EvBudgetAbort
+	EvSDPLevel      = obs.EvSDPLevel
+	EvSDPPartition  = obs.EvSDPPartition
+	EvIDPIteration  = obs.EvIDPIteration
+	EvIDPCommit     = obs.EvIDPCommit
+	EvBatchStart    = obs.EvBatchStart
+	EvBatchEnd      = obs.EvBatchEnd
+	EvInstance      = obs.EvInstance
+)
+
+// NewObserver returns an observer over a fresh metrics registry delivering
+// events to the given sinks (none = metrics only).
+func NewObserver(sinks ...TraceSink) *Observer { return obs.New(sinks...) }
+
+// SetDefaultObserver installs the process-wide observer every optimization
+// without an explicit one reports to (nil disables telemetry, the default).
+func SetDefaultObserver(o *Observer) { obs.SetDefault(o) }
+
+// DefaultObserver returns the process-wide observer, or nil.
+func DefaultObserver() *Observer { return obs.Default() }
+
+// OpenTraceJSONL opens (creating or truncating) a JSONL trace sink at path.
+func OpenTraceJSONL(path string) (*TraceJSONLSink, error) { return obs.OpenJSONL(path) }
+
+// ReadTraceJSONL decodes a JSONL trace stream written by a TraceJSONLSink.
+func ReadTraceJSONL(r io.Reader) ([]TraceRecord, error) { return obs.ReadJSONL(r) }
+
+// SummarizeTrace aggregates decoded trace records; render the result with
+// TraceSummary.Render.
+func SummarizeTrace(records []TraceRecord) *TraceSummary { return obs.Summarize(records) }
+
+// BenchReport is the machine-readable benchmark result `sdplab bench`
+// writes as BENCH_<date>.json.
+type BenchReport = harness.BenchReport
+
+// RunBench runs the benchmark workload set and returns the per-technique
+// overhead report, stamped with date.
+func RunBench(cfg ExperimentConfig, date time.Time) (*BenchReport, error) {
+	return harness.Bench(cfg, date)
 }
