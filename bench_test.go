@@ -6,6 +6,7 @@
 package sdpopt_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -258,6 +259,60 @@ func BenchmarkEnumerationOnly(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkOptimizeCached measures the plan cache's three serving regimes
+// on a Star-10 SDP optimization: miss (cleared cache, each iteration pays
+// optimization plus insertion), hit (warmed cache, each iteration is a
+// lookup), and contention (parallel goroutines hammering one warmed key —
+// the shard-lock hot path).
+func BenchmarkOptimizeCached(b *testing.B) {
+	q := benchQueries(b, sdpopt.Star, 10)[0]
+	ctx := context.Background()
+	b.Run("miss", func(b *testing.B) {
+		pc := sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pc.Clear()
+			if _, _, cached, err := sdpopt.OptimizeCached(ctx, pc, q, "sdp", 0); err != nil {
+				b.Fatal(err)
+			} else if cached {
+				b.Fatal("cleared cache served a hit")
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		pc := sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{})
+		if _, _, _, err := sdpopt.OptimizeCached(ctx, pc, q, "sdp", 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, cached, err := sdpopt.OptimizeCached(ctx, pc, q, "sdp", 0); err != nil {
+				b.Fatal(err)
+			} else if !cached {
+				b.Fatal("warmed cache missed")
+			}
+		}
+	})
+	b.Run("contention", func(b *testing.B) {
+		pc := sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{})
+		if _, _, _, err := sdpopt.OptimizeCached(ctx, pc, q, "sdp", 0); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, cached, err := sdpopt.OptimizeCached(ctx, pc, q, "sdp", 0); err != nil {
+					b.Fatal(err)
+				} else if !cached {
+					b.Fatal("warmed cache missed")
+				}
+			}
+		})
+	})
 }
 
 // Comparison of all optimizer families (DP, IDP, SDP, GOO, II, SA, GEQO).

@@ -44,6 +44,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "serve":
+		if err := serveCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -54,8 +59,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sdplab list
   sdplab run -exp <id|all> [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W]
-             [-trace FILE.jsonl] [-metrics ADDR]
-  sdplab bench [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W] [-out DIR]`)
+             [-cache N] [-trace FILE.jsonl] [-metrics ADDR]
+  sdplab bench [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W] [-cache N] [-out DIR]
+  sdplab serve [-addr ADDR] [-catalog FILE.json] [-skewed] [-cache N] [-shards N]
+             [-max-concurrent N] [-queue N] [-budget MB] [-timeout D] [-trace FILE.jsonl]`)
 }
 
 // enableObservability installs the process-wide observer from the -trace
@@ -94,6 +101,7 @@ func runCmd(args []string) error {
 	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
 	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
 	workers := fs.Int("workers", 1, "concurrent optimizations (keep 1 for timing-faithful overhead tables)")
+	cacheEntries := fs.Int("cache", 0, "route optimizations through a plan cache of this capacity (0 = off; skews timing tables)")
 	tracePath := fs.String("trace", "", "stream optimizer events to this JSONL file")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +121,9 @@ func runCmd(args []string) error {
 		Skewed:    *skewed,
 		Workers:   *workers,
 	}
+	if *cacheEntries > 0 {
+		cfg.Cache = sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{MaxEntries: *cacheEntries, Obs: sdpopt.DefaultObserver()})
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = ids[:0]
@@ -130,6 +141,11 @@ func runCmd(args []string) error {
 		fmt.Println(out)
 		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
+	if cfg.Cache != nil {
+		ct := cfg.Cache.Counts()
+		fmt.Fprintf(os.Stderr, "[plan cache: %d entries, %d hits, %d misses, %d evictions, %.0f%% hit rate]\n",
+			ct.Entries, ct.Hits, ct.Misses, ct.Evictions, 100*ct.HitRate())
+	}
 	if err := flush(); err != nil {
 		return err
 	}
@@ -146,6 +162,7 @@ func benchCmd(args []string) error {
 	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
 	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
 	workers := fs.Int("workers", 1, "concurrent optimizations")
+	cacheEntries := fs.Int("cache", 0, "route batch optimizations through a plan cache of this capacity (0 = off)")
 	out := fs.String("out", ".", "directory for the BENCH_<date>.json report")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -156,6 +173,9 @@ func benchCmd(args []string) error {
 		Budget:    *budgetMB << 20,
 		Skewed:    *skewed,
 		Workers:   *workers,
+	}
+	if *cacheEntries > 0 {
+		cfg.Cache = sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{MaxEntries: *cacheEntries})
 	}
 	start := time.Now()
 	r, err := sdpopt.RunBench(cfg, time.Now())

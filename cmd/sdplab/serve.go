@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sdpopt"
+)
+
+// serveCmd runs the optimizer as a service: an HTTP JSON API over a plan
+// cache, with admission control and the observability surface on the same
+// listener. It blocks until SIGINT/SIGTERM, then drains gracefully.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	catalogPath := fs.String("catalog", "", "catalog JSON file (empty = the paper's base schema)")
+	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema (ignored with -catalog)")
+	cacheEntries := fs.Int("cache", 1024, "plan-cache capacity in entries (0 disables caching)")
+	shards := fs.Int("shards", 0, "plan-cache shard count (0 = default 16)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "concurrent optimizations (0 = default 8)")
+	maxQueue := fs.Int("queue", 0, "admission queue depth before 429 shedding (0 = 2×max-concurrent)")
+	budgetMB := fs.Int64("budget", 0, "default memory budget in MB (0 = the paper's 1024)")
+	timeout := fs.Duration("timeout", 0, "per-optimization deadline cap (0 = 30s)")
+	tracePath := fs.String("trace", "", "stream optimizer events to this JSONL file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cat := sdpopt.PaperSchema()
+	switch {
+	case *catalogPath != "":
+		f, err := os.Open(*catalogPath)
+		if err != nil {
+			return err
+		}
+		cat, err = sdpopt.ReadCatalogJSON(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", *catalogPath, err)
+		}
+	case *skewed:
+		cat = sdpopt.SkewedSchema()
+	}
+
+	var sinks []sdpopt.TraceSink
+	flush := func() error { return nil }
+	if *tracePath != "" {
+		sink, err := sdpopt.OpenTraceJSONL(*tracePath)
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, sink)
+		flush = sink.Close
+	}
+	ob := sdpopt.NewObserver(sinks...)
+	sdpopt.SetDefaultObserver(ob)
+
+	var cache *sdpopt.PlanCache
+	if *cacheEntries > 0 {
+		cache = sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{
+			MaxEntries: *cacheEntries,
+			Shards:     *shards,
+			Obs:        ob,
+		})
+	}
+	srv, err := sdpopt.NewServer(sdpopt.ServerOptions{
+		Cat:           cat,
+		Cache:         cache,
+		Obs:           ob,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		Budget:        *budgetMB << 20,
+		Timeout:       *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sdplab serve on http://%s\n", bound)
+	fmt.Fprintf(os.Stderr, "  POST /optimize   {\"sql\": \"SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c1\"}\n")
+	fmt.Fprintf(os.Stderr, "  GET  /healthz    liveness, admission and cache state\n")
+	fmt.Fprintf(os.Stderr, "  GET  /catalog    schema statistics and version\n")
+	fmt.Fprintf(os.Stderr, "  GET  /metrics    Prometheus exposition (plus /debug/vars, /debug/pprof)\n")
+	fmt.Fprintf(os.Stderr, "  catalog version %s, cache %d entries, techniques %v\n",
+		sdpopt.CatalogFingerprint(cat), *cacheEntries, sdpopt.Techniques())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Fprintln(os.Stderr, "sdplab serve: draining...")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		flush()
+		return err
+	}
+	if cache != nil {
+		ct := cache.Counts()
+		fmt.Fprintf(os.Stderr, "sdplab serve: cache %d entries, %d hits, %d misses, %d dedups (%.0f%% hit rate)\n",
+			ct.Entries, ct.Hits, ct.Misses, ct.Dedups, 100*ct.HitRate())
+	}
+	return flush()
+}

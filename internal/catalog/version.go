@@ -1,0 +1,26 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Fingerprint returns a stable hex digest of the catalog's schema and
+// statistics — the "catalog version" stamped into plan-cache keys. Any
+// change to a relation's cardinality, a column's statistics, or the index
+// placement yields a new fingerprint, so plans optimized against stale
+// statistics can never be served after an ANALYZE-style refresh: the new
+// version simply stops matching the old keys (see internal/plancache).
+//
+// The digest is computed over the canonical JSON encoding (struct field
+// order is fixed by the Go type, map-free), so it is deterministic across
+// processes and runs.
+func (c *Catalog) Fingerprint() string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Encoding a value composed of structs, slices and scalars cannot fail.
+	_ = enc.Encode(c)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16])
+}

@@ -29,6 +29,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -118,6 +119,9 @@ type Options struct {
 	Scope        Scope
 	// Budget is the simulated-memory feasibility limit (0 = unlimited).
 	Budget int64
+	// Ctx, if non-nil, bounds the optimization; cancellation aborts with
+	// dp.ErrCanceled (see dp.Options.Ctx).
+	Ctx context.Context
 	// Model supplies costing; if nil a fresh default model is created.
 	Model *cost.Model
 	// Trace, if non-nil, records per-level pruning decisions (the
@@ -190,6 +194,7 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	done := dp.ObserveRun(ob, "SDP", q)
 	e, err := dp.NewEngine(q, dp.BaseLeaves(q), dp.Options{
 		Budget: opts.Budget,
+		Ctx:    opts.Ctx,
 		Model:  model,
 		Hook:   s.hook,
 		Obs:    ob,

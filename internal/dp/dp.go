@@ -16,6 +16,7 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -27,6 +28,17 @@ import (
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
+
+// ErrCanceled reports that an optimization was abandoned because its
+// context was canceled or its deadline expired. It is deliberately distinct
+// from memo.ErrBudget: a budget abort is a property of the query (the
+// paper's infeasible "*" outcome, worth reporting and even caching a
+// partial answer for), while cancellation is a property of the caller (a
+// serving deadline), so the two map to different responses — the HTTP layer
+// returns 504 for cancellation and a 200 budget report for ErrBudget. The
+// returned error also wraps the context's cause, so errors.Is(err,
+// context.DeadlineExceeded) works too. Test with errors.Is.
+var ErrCanceled = errors.New("dp: optimization canceled")
 
 // Leaf is one input node of the enumeration. Plans nil means the leaf is a
 // single base relation whose access paths the engine generates; otherwise
@@ -47,6 +59,11 @@ type Options struct {
 	// Budget is the simulated-memory feasibility limit in bytes
 	// (0 = unlimited). Exceeding it aborts with memo.ErrBudget.
 	Budget int64
+	// Ctx, if non-nil, bounds the optimization: the engine polls it at
+	// every enumeration step and aborts with ErrCanceled (wrapping the
+	// context cause) once it is done. This is how serving deadlines reach
+	// the search without a second abort mechanism alongside the budget.
+	Ctx context.Context
 	// Hook, if non-nil, runs after every level.
 	Hook LevelHook
 	// Model supplies costing; if nil a fresh model with default parameters
@@ -84,6 +101,7 @@ type Engine struct {
 	Q        *query.Query
 	Model    *cost.Model
 	Memo     *memo.Memo
+	ctx      context.Context
 	leaves   []Leaf
 	hook     LevelHook
 	leftDeep bool
@@ -114,6 +132,7 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 		Q:             q,
 		Model:         model,
 		Memo:          memo.New(opts.Budget),
+		ctx:           opts.Ctx,
 		leaves:        leaves,
 		hook:          opts.Hook,
 		leftDeep:      opts.LeftDeepOnly,
@@ -190,6 +209,28 @@ func (e *Engine) seedLevel1() error {
 // NumLeaves returns the size of the enumeration (its top level).
 func (e *Engine) NumLeaves() int { return len(e.leaves) }
 
+// CtxErr polls ctx (nil allowed), returning nil while it is live and an
+// error wrapping both ErrCanceled and the context cause once it is done.
+// Every optimizer layer that honors deadlines funnels through this one
+// helper so errors.Is(err, ErrCanceled) identifies cancellation uniformly.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+	default:
+		return nil
+	}
+}
+
+// checkCtx polls the engine's context, turning cancellation into
+// ErrCanceled. The Stats counters stay valid on this path — callers return
+// e.Stats() exactly as on a budget abort, so a canceled run still reports
+// its wall time, classes created and plans costed up to the abort point.
+func (e *Engine) checkCtx() error { return CtxErr(e.ctx) }
+
 // Run executes enumeration levels 2..toLevel (capped at the leaf count).
 // On a budget error the memo is left as-is and memo.ErrBudget is returned.
 // Each level — enumeration plus hook (SDP pruning) — is one observed span.
@@ -198,6 +239,9 @@ func (e *Engine) Run(toLevel int) error {
 		toLevel = len(e.leaves)
 	}
 	for k := 2; k <= toLevel; k++ {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		lvStart := time.Now()
 		prevCosted := e.Model.PlansCosted
 		created, err := e.runLevel(k)
@@ -264,6 +308,12 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 		left := e.Memo.Level(i)
 		right := e.Memo.Level(j)
 		for ai, a := range left {
+			// Poll per left class: frequent enough that a deadline lands
+			// within milliseconds even on hub-heavy levels, cheap enough
+			// (one channel select) to vanish against join costing.
+			if err := e.checkCtx(); err != nil {
+				return created, err
+			}
 			bs := right
 			if i == j {
 				bs = right[ai+1:] // each unordered pair once

@@ -6,6 +6,9 @@ import (
 	"io"
 	"os"
 	"time"
+
+	"sdpopt/internal/plancache"
+	"sdpopt/internal/workload"
 )
 
 // BenchTech is one technique's aggregate overheads in a benchmark batch —
@@ -40,6 +43,25 @@ type BenchReport struct {
 	Seed      int64        `json:"seed"`
 	Instances int          `json:"instances"`
 	Batches   []BenchBatch `json:"batches"`
+	// Cache reports the plan-cache cold/warm comparison (see CacheBench).
+	Cache *CacheBench `json:"cache,omitempty"`
+}
+
+// CacheBench measures what the plan cache buys a serving deployment: one
+// cold pass over a workload (every instance a miss) followed by one warm
+// pass (every instance a hit), same queries, same technique.
+type CacheBench struct {
+	Graph           string  `json:"graph"`
+	Technique       string  `json:"technique"`
+	Instances       int     `json:"instances"`
+	ColdMeanSeconds float64 `json:"cold_mean_seconds"`
+	WarmMeanSeconds float64 `json:"warm_mean_seconds"`
+	// Speedup is cold/warm mean time — the factor a repeated query shape
+	// is served faster.
+	Speedup float64 `json:"speedup"`
+	Hits    int64   `json:"hits"`
+	Misses  int64   `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
 }
 
 // benchBatch converts a harness batch into its benchmark record.
@@ -79,7 +101,61 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		}
 		r.Batches = append(r.Batches, benchBatch(b))
 	}
+	cb, err := benchCache(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Cache = cb
 	return r, nil
+}
+
+// benchCache runs the cold/warm plan-cache comparison: SDP over
+// Star-Chain-15, one pass filling a fresh cache, one pass served from it.
+func benchCache(c Config) (*CacheBench, error) {
+	spec := c.schema()
+	spec.Topology = workload.StarChain
+	spec.NumRelations = 15
+	qs, err := workload.Instances(*spec, c.instances(5))
+	if err != nil {
+		return nil, err
+	}
+	pc := plancache.New(plancache.Options{})
+	techs := CachedTechniques(pc, spec.Cat, []Technique{TechSDP(c.budget())})
+	tech := techs[0]
+	pass := func() (time.Duration, error) {
+		var total time.Duration
+		for _, q := range qs {
+			started := time.Now()
+			if _, _, err := tech.Run(q); err != nil {
+				return 0, err
+			}
+			total += time.Since(started)
+		}
+		return total / time.Duration(len(qs)), nil
+	}
+	cold, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	warm, err := pass()
+	if err != nil {
+		return nil, err
+	}
+	ct := pc.Counts()
+	out := &CacheBench{
+		Graph:           "Star-Chain-15",
+		Technique:       tech.Name,
+		Instances:       len(qs),
+		ColdMeanSeconds: cold.Seconds(),
+		WarmMeanSeconds: warm.Seconds(),
+		Hits:            ct.Hits,
+		Misses:          ct.Misses,
+		HitRate:         ct.HitRate(),
+	}
+	if warm > 0 {
+		out.Speedup = float64(cold) / float64(warm)
+	}
+	return out, nil
 }
 
 // WriteJSON renders the report as indented JSON.

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"time"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/plancache"
+	"sdpopt/internal/query"
+)
+
+// CachedTechniques wraps each technique so its optimizations go through the
+// plan cache, keyed by canonical query fingerprint × technique name ×
+// catalog version. On a hit or dedup the returned stats are replaced with
+// the lookup's wall time (PlansCosted and memory zero — nothing was
+// enumerated), so batch timing tables measure what serving actually paid
+// rather than replaying the original miss's cost.
+func CachedTechniques(pc *plancache.Cache, cat *catalog.Catalog, techs []Technique) []Technique {
+	if pc == nil {
+		return techs
+	}
+	version := cat.Fingerprint()
+	out := make([]Technique, len(techs))
+	for i, t := range techs {
+		t := t
+		out[i] = Technique{Name: t.Name, Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+			started := time.Now()
+			key := plancache.Key{
+				Fingerprint:    q.Fingerprint(),
+				Technique:      t.Name,
+				CatalogVersion: version,
+			}
+			p, st, src, err := pc.Do(key, func() (*plan.Plan, dp.Stats, error) {
+				return t.Run(q)
+			})
+			if err == nil && src != plancache.Miss {
+				st = dp.Stats{Elapsed: time.Since(started)}
+			}
+			return p, st, err
+		}}
+	}
+	return out
+}
+
+// cached applies the config's plan cache to techs (no-op when unset).
+func (c Config) cached(cat *catalog.Catalog, techs []Technique) []Technique {
+	return CachedTechniques(c.Cache, cat, techs)
+}

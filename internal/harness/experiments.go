@@ -49,7 +49,7 @@ func (c Config) starChainBatch(n, defInstances int, refDP, ordered bool) (*Batch
 	if ordered {
 		graph = "Ord-" + graph
 	}
-	b, err := RunBatchWorkers(graph, qs, techs, ref, c.workers())
+	b, err := RunBatchWorkers(graph, qs, c.cached(spec.Cat, techs), ref, c.workers())
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +79,7 @@ func (c Config) starBatch(n, defInstances int, refDP, ordered bool) (*Batch, err
 	if ordered {
 		graph = "Ord-" + graph
 	}
-	b, err := RunBatchWorkers(graph, qs, techs, ref, c.workers())
+	b, err := RunBatchWorkers(graph, qs, c.cached(spec.Cat, techs), ref, c.workers())
 	if err != nil {
 		return nil, err
 	}

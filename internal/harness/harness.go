@@ -21,6 +21,7 @@ import (
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
 	"sdpopt/internal/plan"
+	"sdpopt/internal/plancache"
 	"sdpopt/internal/quality"
 	"sdpopt/internal/query"
 	"sdpopt/internal/workload"
@@ -42,6 +43,14 @@ type Config struct {
 	// Parallel runs keep all results identical but inflate the per-instance
 	// wall-time measurements under CPU contention.
 	Workers int
+	// Cache, if non-nil, routes every optimization through the plan cache
+	// (keyed by fingerprint × technique × catalog version), so repeated
+	// query shapes within and across batches are served without
+	// re-enumeration. Cached instances report the lookup's wall time and
+	// zero enumeration work, which skews the overhead tables toward what a
+	// serving deployment would pay — leave unset for paper-faithful
+	// measurements.
+	Cache *plancache.Cache
 }
 
 func (c Config) workers() int {

@@ -13,6 +13,7 @@
 package idp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -82,6 +83,9 @@ type Options struct {
 	BalloonFrac float64
 	// Budget is the simulated-memory feasibility limit (0 = unlimited).
 	Budget int64
+	// Ctx, if non-nil, bounds the optimization; cancellation aborts with
+	// dp.ErrCanceled (see dp.Options.Ctx).
+	Ctx context.Context
 	// Model supplies costing; if nil a fresh default model is created.
 	Model *cost.Model
 	// Obs selects the observer for metrics and trace events; nil falls back
@@ -133,7 +137,7 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 					})
 				}
 			}
-			e, err := dp.NewEngine(q, leaves, dp.Options{Budget: opts.Budget, Model: model, Obs: ob, Label: label})
+			e, err := dp.NewEngine(q, leaves, dp.Options{Budget: opts.Budget, Ctx: opts.Ctx, Model: model, Obs: ob, Label: label})
 			if err != nil {
 				if e != nil {
 					accumulate(&agg, e.Memo.Stats)

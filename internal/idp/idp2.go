@@ -57,6 +57,9 @@ func optimize2(q *query.Query, opts Options, model *cost.Model, ob *obs.Observer
 		nodes = append(nodes, best)
 	}
 	for len(nodes) > 1 {
+		if err := dp.CtxErr(opts.Ctx); err != nil {
+			return nil, finish(agg, model, costedAtStart, started), err
+		}
 		bi, bj := -1, -1
 		bestRows := math.Inf(1)
 		for i := 0; i < len(nodes); i++ {
@@ -87,6 +90,9 @@ func optimize2(q *query.Query, opts Options, model *cost.Model, ob *obs.Observer
 		improved = false
 		iterStart := time.Now()
 		for _, sub := range subtreesUpTo(current, opts.K) {
+			if err := dp.CtxErr(opts.Ctx); err != nil {
+				return nil, finish(agg, model, costedAtStart, started), err
+			}
 			replanned, stats, err := replanSubtree(q, model, ob, current, sub, opts.Budget)
 			accumulate(&agg, stats)
 			if err != nil {

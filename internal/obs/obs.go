@@ -153,4 +153,34 @@ const (
 	// MTechniqueSeconds is the harness per-instance optimization duration,
 	// labeled tech=.
 	MTechniqueSeconds = "sdpopt_technique_seconds"
+
+	// Plan-cache metrics (see internal/plancache).
+
+	// MCacheHits counts plan-cache lookups served from a stored entry.
+	MCacheHits = "sdpopt_plancache_hits_total"
+	// MCacheMisses counts lookups that ran the underlying optimization.
+	MCacheMisses = "sdpopt_plancache_misses_total"
+	// MCacheDedup counts lookups coalesced onto another caller's in-flight
+	// optimization of the same key (singleflight waiters).
+	MCacheDedup = "sdpopt_plancache_dedup_total"
+	// MCacheEvictions counts LRU evictions.
+	MCacheEvictions = "sdpopt_plancache_evictions_total"
+	// MCacheInvalidated counts entries dropped by explicit invalidation.
+	MCacheInvalidated = "sdpopt_plancache_invalidated_total"
+	// MCacheEntries gauges currently cached plans.
+	MCacheEntries = "sdpopt_plancache_entries"
+
+	// Serving-layer metrics (see internal/server).
+
+	// MServerRequests counts HTTP requests, labeled route= and code=.
+	MServerRequests = "sdpopt_server_requests_total"
+	// MServerInFlight gauges optimizations currently executing.
+	MServerInFlight = "sdpopt_server_in_flight"
+	// MServerQueue gauges requests admitted but waiting for a slot.
+	MServerQueue = "sdpopt_server_queue_depth"
+	// MServerShed counts requests rejected with 429 by admission control.
+	MServerShed = "sdpopt_server_shed_total"
+	// MServerSeconds is the end-to-end /optimize latency histogram,
+	// labeled source= (hit, dedup, miss, uncached).
+	MServerSeconds = "sdpopt_server_seconds"
 )

@@ -1,0 +1,49 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"sdpopt/internal/workload"
+)
+
+// FuzzSQL throws arbitrary byte strings at the parser. The invariants: the
+// parser never panics; errors carry a "line:col" position; and any input it
+// accepts yields a query whose SQL rendering re-parses to the same
+// canonical fingerprint (parse∘render is idempotent on the accepted set).
+func FuzzSQL(f *testing.F) {
+	cat := workload.PaperSchema()
+	seeds := []string{
+		"SELECT * FROM R1",
+		"SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c1",
+		"SELECT * FROM R1 a, R2 b, R3 c WHERE a.c1 = b.c1 AND b.c2 = c.c2 AND a.c3 < 100 ORDER BY a.c1;",
+		"select * from r1 x, r1 y where x.c1 = y.c1 -- self join\n",
+		"SELECT * FROM",
+		"SELECT * FROM R1 a WHERE a.c1 = ",
+		"SELECT * FROM NoSuchTable",
+		"SELECT * FROM R1 a WHERE a.nope < 3",
+		"SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c1 AND a.c1 < 99999999999999999999",
+		"SELECT * FROM R1 ?",
+		"\n\n  SELECT\t* FROM R1 a,\nR2 b WHERE a.c1=b.c1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := SQL(cat, src)
+		if err != nil {
+			if msg := err.Error(); strings.Contains(msg, "offset") {
+				t.Fatalf("error still reports byte offsets, want line:col: %q", msg)
+			}
+			return
+		}
+		rendered := q.SQL()
+		q2, err := SQL(cat, rendered)
+		if err != nil {
+			t.Fatalf("rendered SQL does not re-parse: %v\ninput: %q\nrendered: %q", err, src, rendered)
+		}
+		if q.Fingerprint() != q2.Fingerprint() {
+			t.Fatalf("round-trip changed the fingerprint\ninput: %q\nrendered: %q", src, rendered)
+		}
+	})
+}

@@ -96,7 +96,7 @@ func lex(src string) (*lexer, error) {
 			}
 			l.toks = append(l.toks, token{tokIdent, src[start:l.pos], start})
 		default:
-			return nil, fmt.Errorf("parse: unexpected character %q at offset %d", c, l.pos)
+			return nil, fmt.Errorf("parse: unexpected character %q at %s", c, lineCol(src, l.pos))
 		}
 	}
 	l.toks = append(l.toks, token{tokEOF, "", len(src)})

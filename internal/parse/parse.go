@@ -31,7 +31,7 @@ func SQL(cat *catalog.Catalog, src string) (*query.Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{cat: cat, toks: l.toks}
+	p := &parser{cat: cat, src: src, toks: l.toks}
 	q, err := p.query()
 	if err != nil {
 		return nil, err
@@ -41,6 +41,7 @@ func SQL(cat *catalog.Catalog, src string) (*query.Query, error) {
 
 type parser struct {
 	cat  *catalog.Catalog
+	src  string
 	toks []token
 	i    int
 
@@ -50,6 +51,9 @@ type parser struct {
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
+
+// at renders a token offset as "line:col" for error messages.
+func (p *parser) at(off int) string { return lineCol(p.src, off) }
 
 func (p *parser) next() token {
 	t := p.toks[p.i]
@@ -62,7 +66,7 @@ func (p *parser) next() token {
 func (p *parser) expect(kind tokenKind) (token, error) {
 	t := p.next()
 	if t.kind != kind {
-		return t, fmt.Errorf("parse: expected %v at offset %d, got %v %q", kind, t.pos, t.kind, t.text)
+		return t, fmt.Errorf("parse: expected %v at %s, got %v %q", kind, p.at(t.pos), t.kind, t.text)
 	}
 	return t, nil
 }
@@ -70,7 +74,7 @@ func (p *parser) expect(kind tokenKind) (token, error) {
 func (p *parser) expectKeyword(kw string) error {
 	t := p.next()
 	if !isKeyword(t, kw) {
-		return fmt.Errorf("parse: expected %q at offset %d, got %q", kw, t.pos, t.text)
+		return fmt.Errorf("parse: expected %q at %s, got %q", kw, p.at(t.pos), t.text)
 	}
 	return nil
 }
@@ -114,7 +118,7 @@ func (p *parser) query() (*query.Query, error) {
 		p.next()
 	}
 	if t := p.peek(); t.kind != tokEOF {
-		return nil, fmt.Errorf("parse: trailing input at offset %d: %q", t.pos, t.text)
+		return nil, fmt.Errorf("parse: trailing input at %s: %q", p.at(t.pos), t.text)
 	}
 	return query.NewFiltered(p.cat, p.rels, preds, filters, orderBy)
 }
@@ -128,7 +132,7 @@ func (p *parser) fromList() error {
 		}
 		relIdx, err := p.lookupRelation(name.text)
 		if err != nil {
-			return fmt.Errorf("%w (offset %d)", err, name.pos)
+			return fmt.Errorf("%w (at %s)", err, p.at(name.pos))
 		}
 		alias := name.text
 		// Optional alias: an identifier that is not a clause keyword.
@@ -137,7 +141,7 @@ func (p *parser) fromList() error {
 		}
 		key := strings.ToLower(alias)
 		if _, dup := p.aliases[key]; dup {
-			return fmt.Errorf("parse: duplicate alias %q (offset %d)", alias, name.pos)
+			return fmt.Errorf("parse: duplicate alias %q at %s", alias, p.at(name.pos))
 		}
 		p.aliases[key] = len(p.rels)
 		p.rels = append(p.rels, relIdx)
@@ -180,11 +184,11 @@ func (p *parser) condList() ([]query.Pred, []query.Filter, error) {
 			}
 			bound, err := strconv.ParseInt(num.text, 10, 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("parse: bad bound %q at offset %d", num.text, num.pos)
+				return nil, nil, fmt.Errorf("parse: bad bound %q at %s", num.text, p.at(num.pos))
 			}
 			filters = append(filters, query.Filter{Rel: lrel, Col: lcol, Bound: bound})
 		default:
-			return nil, nil, fmt.Errorf("parse: expected '=' or '<' at offset %d, got %q", op.pos, op.text)
+			return nil, nil, fmt.Errorf("parse: expected '=' or '<' at %s, got %q", p.at(op.pos), op.text)
 		}
 		if !isKeyword(p.peek(), "AND") {
 			return preds, filters, nil
@@ -201,7 +205,7 @@ func (p *parser) colRef() (int, int, error) {
 	}
 	rel, ok := p.aliases[strings.ToLower(alias.text)]
 	if !ok {
-		return 0, 0, fmt.Errorf("parse: unknown alias %q at offset %d", alias.text, alias.pos)
+		return 0, 0, fmt.Errorf("parse: unknown alias %q at %s", alias.text, p.at(alias.pos))
 	}
 	if _, err := p.expect(tokDot); err != nil {
 		return 0, 0, err
@@ -216,6 +220,6 @@ func (p *parser) colRef() (int, int, error) {
 			return rel, c, nil
 		}
 	}
-	return 0, 0, fmt.Errorf("parse: relation %s has no column %q (offset %d)",
-		p.cat.Relation(p.rels[rel]).Name, colTok.text, colTok.pos)
+	return 0, 0, fmt.Errorf("parse: relation %s has no column %q (at %s)",
+		p.cat.Relation(p.rels[rel]).Name, colTok.text, p.at(colTok.pos))
 }

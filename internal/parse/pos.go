@@ -1,0 +1,20 @@
+package parse
+
+import "fmt"
+
+// lineCol renders a byte offset into src as a 1-based "line:col" position,
+// the form editors and psql speak. Columns count bytes since the last
+// newline — the dialect is ASCII, so bytes and characters coincide.
+func lineCol(src string, off int) string {
+	if off > len(src) {
+		off = len(src)
+	}
+	line, last := 1, -1
+	for i := 0; i < off; i++ {
+		if src[i] == '\n' {
+			line++
+			last = i
+		}
+	}
+	return fmt.Sprintf("%d:%d", line, off-last)
+}

@@ -1,0 +1,56 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"sdpopt/internal/workload"
+)
+
+func TestLineCol(t *testing.T) {
+	src := "ab\ncd\n\nef"
+	cases := []struct {
+		off  int
+		want string
+	}{
+		{0, "1:1"},
+		{1, "1:2"},
+		{2, "1:3"}, // the newline itself still belongs to line 1
+		{3, "2:1"},
+		{5, "2:3"},
+		{6, "3:1"},
+		{7, "4:1"},
+		{9, "4:3"},
+		{99, "4:3"}, // clamped to end of input
+	}
+	for _, c := range cases {
+		if got := lineCol(src, c.off); got != c.want {
+			t.Errorf("lineCol(%d) = %q, want %q", c.off, got, c.want)
+		}
+	}
+}
+
+// TestErrorPositions pins the user-visible position format: multi-line
+// inputs must report the line and column of the offending token.
+func TestErrorPositions(t *testing.T) {
+	cat := workload.PaperSchema()
+	cases := []struct {
+		sql    string
+		wantAt string
+	}{
+		{"SELECT * FROM R1 a WHERE a.c0 ? 3", "1:31"},
+		{"SELECT *\nFROM R1 a\nWHERE a.nope < 3", "3:9"},
+		{"SELECT *\nFROM R1 a, NoSuchTable b", "2:12"},
+		{"SELECT * FROM R1 a WHERE b.c0 = a.c0", "1:26"},
+	}
+	for _, c := range cases {
+		_, err := SQL(cat, c.sql)
+		if err == nil {
+			t.Errorf("%q: expected error", c.sql)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantAt) {
+			t.Errorf("%q: error %q does not mention position %s", c.sql, err, c.wantAt)
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical returns a stable canonical encoding of the query's semantics.
+// Two queries receive the same encoding exactly when they describe the same
+// optimization problem, regardless of how they were written:
+//
+//   - Relation order is normalized: the FROM list is relabeled by a
+//     canonical ordering of the join graph (color refinement with
+//     individualization), so "FROM R1 a, R2 b" and "FROM R2 x, R1 y" with
+//     correspondingly renumbered predicates encode identically.
+//   - Predicate order and orientation are normalized: the encoding is built
+//     from the join-column equivalence classes of the implied-edge closure,
+//     so "a.c1 = b.c2" vs "b.c2 = a.c1", any predicate ordering, and
+//     user-written predicates that the closure would have implied anyway
+//     all collapse to one form.
+//   - Filter constants are normalized: multiple bounds on one column keep
+//     the minimum (c < 100 AND c < 200 ≡ c < 100), and bounds at or above
+//     the column's domain size are dropped (they select every row).
+//   - ORDER BY on a join column is normalized to its equivalence class:
+//     sorting the join result on t1.c4 and on t2.c9 is the same output
+//     order when c4 = c9 is a join predicate.
+//
+// The encoding is deliberately collision-free: every semantic feature of
+// the query (catalog relations, join structure, filters, output order)
+// appears in it, so distinct queries cannot share an encoding. Use
+// Fingerprint for a fixed-width digest suitable as a cache key.
+func (q *Query) Canonical() string {
+	c := newCanonicalizer(q)
+	return c.run()
+}
+
+// Fingerprint returns a fixed-width hex digest of Canonical() — the
+// plan-cache key component identifying the query (see internal/plancache
+// for the full key composition: fingerprint × technique × catalog version).
+func (q *Query) Fingerprint() string {
+	sum := sha256.Sum256([]byte(q.Canonical()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// searchBudget caps the number of complete orderings the canonical search
+// may encode. Tie groups only survive refinement when relations are truly
+// symmetric (same catalog relation, same filters, same join neighborhood),
+// so real workloads branch rarely; the cap bounds adversarial self-join
+// cliques. Within budget the result is the exact lexicographic minimum and
+// therefore order-insensitive; past it the search keeps the best ordering
+// found, which still canonicalizes every symmetric tie.
+const searchBudget = 4096
+
+// canonEdge is one closed join predicate viewed from relation "from":
+// from.myCol joins to.otherCol.
+type canonEdge struct {
+	myCol, otherCol, to int
+}
+
+type canonicalizer struct {
+	q     *Query
+	n     int
+	edges [][]canonEdge
+	// filters is the normalized filter set: per relation, the minimum bound
+	// per column, with no-op bounds (≥ domain size) removed.
+	filters []map[int]int64
+
+	budget  int
+	best    string
+	bestSet bool
+}
+
+func newCanonicalizer(q *Query) *canonicalizer {
+	n := len(q.Rels)
+	c := &canonicalizer{q: q, n: n, budget: searchBudget}
+	c.edges = make([][]canonEdge, n)
+	for _, p := range q.Preds {
+		c.edges[p.LeftRel] = append(c.edges[p.LeftRel], canonEdge{p.LeftCol, p.RightCol, p.RightRel})
+		c.edges[p.RightRel] = append(c.edges[p.RightRel], canonEdge{p.RightCol, p.LeftCol, p.LeftRel})
+	}
+	c.filters = make([]map[int]int64, n)
+	for _, f := range q.Filters {
+		ndv := q.Relation(f.Rel).Cols[f.Col].NDV
+		if float64(f.Bound) >= ndv {
+			continue // column values live in [0, NDV): the filter is a no-op
+		}
+		if c.filters[f.Rel] == nil {
+			c.filters[f.Rel] = map[int]int64{}
+		}
+		if cur, ok := c.filters[f.Rel][f.Col]; !ok || f.Bound < cur {
+			c.filters[f.Rel][f.Col] = f.Bound
+		}
+	}
+	return c
+}
+
+func (c *canonicalizer) run() string {
+	colors := c.refine(c.initialColors())
+	c.search(colors, make([]int, 0, c.n))
+	return c.best
+}
+
+// initialColors seeds the refinement with every relation-local semantic
+// feature: the catalog relation behind the alias, its normalized filters,
+// and — only for an ORDER BY on a non-join column, where the relation
+// identity matters — the requested order.
+func (c *canonicalizer) initialColors() []int {
+	sigs := make([]string, c.n)
+	for i := 0; i < c.n; i++ {
+		var fs []string
+		for col, bound := range c.filters[i] {
+			fs = append(fs, fmt.Sprintf("%d<%d", col, bound))
+		}
+		sort.Strings(fs)
+		ob := ""
+		if o := c.q.OrderBy; o != nil && o.Rel == i && c.q.OrderEqClass() < 0 {
+			ob = fmt.Sprintf("|o%d", o.Col)
+		}
+		sigs[i] = fmt.Sprintf("r%d|%s%s", c.q.Rels[i], strings.Join(fs, ","), ob)
+	}
+	return rankStrings(sigs)
+}
+
+// refine runs Weisfeiler-Leman color refinement to a fixed point: each
+// round extends a relation's color with the sorted multiset of its join
+// edges (column pair plus neighbor color) and re-ranks. Ranks are assigned
+// by sorted signature, so they are invariant under input permutation.
+func (c *canonicalizer) refine(colors []int) []int {
+	distinct := countDistinct(colors)
+	for {
+		sigs := make([]string, c.n)
+		for i := 0; i < c.n; i++ {
+			parts := make([]string, len(c.edges[i]))
+			for k, e := range c.edges[i] {
+				parts[k] = fmt.Sprintf("%d.%d.%d", e.myCol, e.otherCol, colors[e.to])
+			}
+			sort.Strings(parts)
+			sigs[i] = fmt.Sprintf("%d|%s", colors[i], strings.Join(parts, ","))
+		}
+		next := rankStrings(sigs)
+		nd := countDistinct(next)
+		if nd == distinct {
+			return next
+		}
+		colors, distinct = next, nd
+	}
+}
+
+// search explores canonical orderings: repeatedly take the minimal color
+// among unplaced relations; a singleton class is placed directly, a tie
+// group branches on each member (individualize, re-refine, recurse). The
+// lexicographically smallest complete encoding wins.
+func (c *canonicalizer) search(colors []int, prefix []int) {
+	if len(prefix) == c.n {
+		enc := c.encode(prefix)
+		if !c.bestSet || enc < c.best {
+			c.best, c.bestSet = enc, true
+		}
+		c.budget--
+		return
+	}
+	placed := make(map[int]bool, len(prefix))
+	for _, i := range prefix {
+		placed[i] = true
+	}
+	minColor, cands := -1, []int(nil)
+	for i := 0; i < c.n; i++ {
+		if placed[i] {
+			continue
+		}
+		switch {
+		case minColor < 0 || colors[i] < minColor:
+			minColor, cands = colors[i], []int{i}
+		case colors[i] == minColor:
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 1 {
+		c.search(colors, append(prefix, cands[0]))
+		return
+	}
+	for _, pick := range cands {
+		if c.bestSet && c.budget <= 0 {
+			return
+		}
+		next := make([]int, c.n)
+		copy(next, colors)
+		// A fresh color above every rank individualizes the pick; refinement
+		// then propagates the distinction through its neighborhood.
+		next[pick] = c.n + len(prefix)
+		c.search(c.refine(next), append(prefix, pick))
+	}
+}
+
+// encode renders the full semantic encoding under the given relation
+// ordering: perm[new] = old query-local index.
+func (c *canonicalizer) encode(perm []int) string {
+	inv := make([]int, c.n)
+	for newIdx, old := range perm {
+		inv[old] = newIdx
+	}
+	var sb strings.Builder
+	sb.WriteString("q1|R:")
+	for newIdx, old := range perm {
+		if newIdx > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%d", c.q.Rels[old])
+	}
+	// Join structure: the equivalence classes of the implied-edge closure,
+	// each a sorted member list of relabeled (relation, column) references.
+	classes := c.classStrings(inv)
+	sb.WriteString("|J:")
+	sb.WriteString(strings.Join(classes, ";"))
+	// Normalized filters.
+	var fs []string
+	for old, m := range c.filters {
+		for col, bound := range m {
+			fs = append(fs, fmt.Sprintf("%d.%d<%d", inv[old], col, bound))
+		}
+	}
+	sort.Strings(fs)
+	sb.WriteString("|F:")
+	sb.WriteString(strings.Join(fs, ";"))
+	sb.WriteString("|O:")
+	switch o := c.q.OrderBy; {
+	case o == nil:
+		sb.WriteByte('-')
+	case c.q.OrderEqClass() >= 0:
+		// Ordering on a join column: any member of the class delivers the
+		// same output order, so the class itself is the canonical target.
+		sb.WriteString(c.classString(c.q.OrderEqClass(), inv))
+	default:
+		fmt.Fprintf(&sb, "%d.%d", inv[o.Rel], o.Col)
+	}
+	return sb.String()
+}
+
+// classStrings renders every join-column equivalence class under the
+// relabeling, sorted.
+func (c *canonicalizer) classStrings(inv []int) []string {
+	out := make([]string, 0, c.q.numEq)
+	for id := 0; id < c.q.numEq; id++ {
+		out = append(out, c.classString(id, inv))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (c *canonicalizer) classString(id int, inv []int) string {
+	var ms []string
+	for ref, cls := range c.q.eqClass {
+		if cls == id {
+			ms = append(ms, fmt.Sprintf("%d.%d", inv[ref.rel], ref.col))
+		}
+	}
+	sort.Strings(ms)
+	return strings.Join(ms, ",")
+}
+
+// rankStrings maps each signature to the rank of its value among the
+// sorted distinct signatures — a permutation-invariant relabeling.
+func rankStrings(sigs []string) []int {
+	uniq := append([]string(nil), sigs...)
+	sort.Strings(uniq)
+	rank := make(map[string]int, len(uniq))
+	for _, s := range uniq {
+		if _, ok := rank[s]; !ok {
+			rank[s] = len(rank)
+		}
+	}
+	out := make([]int, len(sigs))
+	for i, s := range sigs {
+		out[i] = rank[s]
+	}
+	return out
+}
+
+func countDistinct(colors []int) int {
+	seen := map[int]bool{}
+	for _, c := range colors {
+		seen[c] = true
+	}
+	return len(seen)
+}

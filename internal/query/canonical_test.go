@@ -1,0 +1,252 @@
+package query_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sdpopt/internal/query"
+	"sdpopt/internal/workload"
+)
+
+// permuted rebuilds q with its relation list shuffled by perm (perm[i] is
+// the new position of old relation i), remapping predicates, filters and
+// ORDER BY accordingly — a semantically identical query written in a
+// different order.
+func permuted(t *testing.T, q *query.Query, perm []int, shufflePreds func([]query.Pred)) *query.Query {
+	t.Helper()
+	rels := make([]int, len(q.Rels))
+	for i, r := range q.Rels {
+		rels[perm[i]] = r
+	}
+	var preds []query.Pred
+	for _, p := range q.Preds {
+		if p.Implied {
+			continue // query.New recomputes the closure
+		}
+		preds = append(preds, query.Pred{
+			LeftRel: perm[p.LeftRel], LeftCol: p.LeftCol,
+			RightRel: perm[p.RightRel], RightCol: p.RightCol,
+		})
+	}
+	if shufflePreds != nil {
+		shufflePreds(preds)
+	}
+	var filters []query.Filter
+	for _, f := range q.Filters {
+		filters = append(filters, query.Filter{Rel: perm[f.Rel], Col: f.Col, Bound: f.Bound})
+	}
+	var ob *query.OrderSpec
+	if q.OrderBy != nil {
+		ob = &query.OrderSpec{Rel: perm[q.OrderBy.Rel], Col: q.OrderBy.Col}
+	}
+	q2, err := query.NewFiltered(q.Cat, rels, preds, filters, ob)
+	if err != nil {
+		t.Fatalf("permuted query rejected: %v", err)
+	}
+	return q2
+}
+
+// TestCanonicalOrderInsensitive is the core fingerprint property: shuffling
+// relation order, predicate order, and predicate orientation must not
+// change the canonical encoding.
+func TestCanonicalOrderInsensitive(t *testing.T) {
+	cat := workload.PaperSchema()
+	rng := rand.New(rand.NewSource(7))
+	for _, topo := range []workload.Topology{workload.Chain, workload.Star, workload.Cycle, workload.StarChain} {
+		qs, err := workload.Instances(workload.Spec{
+			Cat: cat, Topology: topo, NumRelations: 9,
+			Ordered: true, FilterFraction: 0.5, Seed: int64(topo) + 1,
+		}, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			want := q.Canonical()
+			for trial := 0; trial < 4; trial++ {
+				perm := rng.Perm(len(q.Rels))
+				q2 := permuted(t, q, perm, func(ps []query.Pred) {
+					rng.Shuffle(len(ps), func(i, j int) { ps[i], ps[j] = ps[j], ps[i] })
+					// Also flip predicate orientation: A=B vs B=A.
+					for i := range ps {
+						if rng.Intn(2) == 0 {
+							ps[i].LeftRel, ps[i].RightRel = ps[i].RightRel, ps[i].LeftRel
+							ps[i].LeftCol, ps[i].RightCol = ps[i].RightCol, ps[i].LeftCol
+						}
+					}
+				})
+				if got := q2.Canonical(); got != want {
+					t.Fatalf("topology %v instance %d trial %d: canonical changed under permutation %v\nwant %s\ngot  %s",
+						topo, qi, trial, perm, want, got)
+				}
+				if q.Fingerprint() != q2.Fingerprint() {
+					t.Fatalf("fingerprints differ for identical queries")
+				}
+			}
+		}
+	}
+}
+
+// TestCanonicalImpliedClosure: writing the transitive predicate explicitly
+// (A=B, B=C, A=C) must fingerprint identically to leaving it implied.
+func TestCanonicalImpliedClosure(t *testing.T) {
+	cat := workload.PaperSchema()
+	base := []query.Pred{
+		{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0},
+		{LeftRel: 1, LeftCol: 0, RightRel: 2, RightCol: 0},
+	}
+	withClosure := append(append([]query.Pred{}, base...),
+		query.Pred{LeftRel: 0, LeftCol: 0, RightRel: 2, RightCol: 0})
+	rels := []int{1, 2, 3}
+	q1, err := query.New(cat, rels, base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := query.New(cat, rels, withClosure, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Canonical() != q2.Canonical() {
+		t.Fatalf("implied vs explicit closure differ:\n%s\n%s", q1.Canonical(), q2.Canonical())
+	}
+}
+
+// TestCanonicalFilterNormalization: duplicate bounds collapse to the
+// minimum, and bounds at or above the column's NDV (which select
+// everything) are dropped.
+func TestCanonicalFilterNormalization(t *testing.T) {
+	cat := workload.PaperSchema()
+	rels := []int{1, 2}
+	preds := []query.Pred{{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0}}
+	mk := func(filters []query.Filter) *query.Query {
+		q, err := query.NewFiltered(cat, rels, preds, filters, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	ndv := cat.Relation(1).Cols[1].NDV
+
+	// Two bounds on one column ≡ the tighter one alone.
+	a := mk([]query.Filter{{Rel: 0, Col: 1, Bound: 50}, {Rel: 0, Col: 1, Bound: 10}})
+	b := mk([]query.Filter{{Rel: 0, Col: 1, Bound: 10}})
+	if a.Canonical() != b.Canonical() {
+		t.Errorf("min-bound collapse failed:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+
+	// A bound covering the whole domain ≡ no filter.
+	c := mk([]query.Filter{{Rel: 0, Col: 1, Bound: int64(ndv) + 100}})
+	d := mk(nil)
+	if c.Canonical() != d.Canonical() {
+		t.Errorf("no-op filter not dropped:\n%s\n%s", c.Canonical(), d.Canonical())
+	}
+
+	// A selective bound must NOT equal no filter.
+	if b.Canonical() == d.Canonical() {
+		t.Error("selective filter vanished from the encoding")
+	}
+}
+
+// TestCanonicalOrderByEqClass: ordering on any member of a join-column
+// equivalence class is the same interesting order, so the fingerprint must
+// coincide; ordering on a non-join column must not.
+func TestCanonicalOrderByEqClass(t *testing.T) {
+	cat := workload.PaperSchema()
+	rels := []int{1, 2, 3}
+	preds := []query.Pred{
+		{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0},
+		{LeftRel: 1, LeftCol: 0, RightRel: 2, RightCol: 0},
+	}
+	mk := func(ob *query.OrderSpec) *query.Query {
+		q, err := query.New(cat, rels, preds, ob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	onA := mk(&query.OrderSpec{Rel: 0, Col: 0})
+	onC := mk(&query.OrderSpec{Rel: 2, Col: 0})
+	if onA.Canonical() != onC.Canonical() {
+		t.Errorf("ORDER BY on equivalent join columns differ:\n%s\n%s", onA.Canonical(), onC.Canonical())
+	}
+	plain := mk(nil)
+	if onA.Canonical() == plain.Canonical() {
+		t.Error("ORDER BY vanished from the encoding")
+	}
+	nonJoin := mk(&query.OrderSpec{Rel: 0, Col: 5})
+	if nonJoin.Canonical() == onA.Canonical() || nonJoin.Canonical() == plain.Canonical() {
+		t.Error("non-join-column ORDER BY not distinguished")
+	}
+}
+
+// TestCanonicalCollisionFree: across a varied generated workload, equal
+// fingerprints must only occur for queries whose canonical encodings are
+// equal, and the encoding must separate queries that differ in cheap
+// semantic invariants (relation multiset, predicate count, filters, order).
+func TestCanonicalCollisionFree(t *testing.T) {
+	cat := workload.PaperSchema()
+	type qinfo struct {
+		canon string
+		inv   string
+	}
+	byFP := map[string]qinfo{}
+	total, distinct := 0, 0
+	for _, topo := range []workload.Topology{workload.Chain, workload.Star, workload.Cycle, workload.Clique, workload.StarChain} {
+		for _, n := range []int{4, 7, 10} {
+			qs, err := workload.Instances(workload.Spec{
+				Cat: cat, Topology: topo, NumRelations: n,
+				Ordered: topo != workload.Clique, FilterFraction: 0.4,
+				Seed: int64(100*int(topo) + n),
+			}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range qs {
+				total++
+				// Cheap semantic invariants any two equal queries share.
+				rels := append([]int{}, q.Rels...)
+				sort.Ints(rels)
+				inv := fmt.Sprintf("%v|p%d|f%d|o%v", rels, len(q.Preds), len(q.Filters), q.OrderBy != nil)
+				fp := q.Fingerprint()
+				if prev, ok := byFP[fp]; ok {
+					if prev.canon != q.Canonical() {
+						t.Fatalf("fingerprint collision: same digest, different canonical forms\n%s\n%s", prev.canon, q.Canonical())
+					}
+					if prev.inv != inv {
+						t.Fatalf("canonical collision: different invariants %q vs %q share encoding %s", prev.inv, inv, q.Canonical())
+					}
+				} else {
+					byFP[fp] = qinfo{canon: q.Canonical(), inv: inv}
+					distinct++
+				}
+			}
+		}
+	}
+	// The generator samples varied shapes; near-total distinctness is the
+	// expected outcome (identical draws may legitimately repeat).
+	if distinct < total*3/4 {
+		t.Fatalf("only %d/%d distinct fingerprints — encoding is collapsing distinct queries", distinct, total)
+	}
+}
+
+// TestCanonicalDeterministic: repeated calls are stable (the search is
+// budgeted, but within one query it must always land on the same leaf).
+func TestCanonicalDeterministic(t *testing.T) {
+	cat := workload.PaperSchema()
+	qs, err := workload.Instances(workload.Spec{
+		Cat: cat, Topology: workload.StarChain, NumRelations: 12,
+		Ordered: true, FilterFraction: 0.5, Seed: 42,
+	}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		first := q.Canonical()
+		for i := 0; i < 3; i++ {
+			if got := q.Canonical(); got != first {
+				t.Fatalf("canonical not deterministic:\n%s\n%s", first, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"sdpopt/internal/core"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/genetic"
+	"sdpopt/internal/greedy"
+	"sdpopt/internal/idp"
+	"sdpopt/internal/obs"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+	"sdpopt/internal/randomized"
+)
+
+// Techniques lists the optimizer names accepted by Optimize (and the
+// /optimize endpoint's "technique" field). The empty name selects "sdp".
+func Techniques() []string {
+	return []string{"sdp", "dp", "dp/ld", "idp", "idp2", "greedy", "genetic", "ii", "sa"}
+}
+
+// KnownTechnique reports whether name is a valid technique selector.
+func KnownTechnique(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, t := range Techniques() {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Optimize dispatches one optimization by technique name, threading the
+// context's deadline into the engines' cancellation path (dp.ErrCanceled)
+// and budget into their memory-feasibility path (memo.ErrBudget). The
+// heuristics without an incremental abort point (greedy, genetic, ii, sa)
+// check the context once up front — they finish in milliseconds, so a
+// mid-run poll would never fire before completion anyway.
+func Optimize(ctx context.Context, technique string, q *query.Query, budget int64, ob *obs.Observer) (*plan.Plan, dp.Stats, error) {
+	switch technique {
+	case "", "sdp":
+		opts := core.DefaultOptions()
+		opts.Budget = budget
+		opts.Ctx = ctx
+		opts.Obs = ob
+		return core.Optimize(q, opts)
+	case "dp":
+		return dp.Optimize(q, dp.Options{Budget: budget, Ctx: ctx, Obs: ob})
+	case "dp/ld":
+		return dp.Optimize(q, dp.Options{Budget: budget, Ctx: ctx, LeftDeepOnly: true, Obs: ob})
+	case "idp":
+		opts := idp.DefaultOptions()
+		opts.Budget = budget
+		opts.Ctx = ctx
+		opts.Obs = ob
+		return idp.Optimize(q, opts)
+	case "idp2":
+		opts := idp.DefaultOptions()
+		opts.Budget = budget
+		opts.Ctx = ctx
+		opts.Obs = ob
+		return idp.Optimize2(q, opts)
+	case "greedy":
+		if err := dp.CtxErr(ctx); err != nil {
+			return nil, dp.Stats{}, err
+		}
+		return greedy.Optimize(q, greedy.Options{})
+	case "genetic":
+		if err := dp.CtxErr(ctx); err != nil {
+			return nil, dp.Stats{}, err
+		}
+		return genetic.Optimize(q, genetic.Options{})
+	case "ii":
+		if err := dp.CtxErr(ctx); err != nil {
+			return nil, dp.Stats{}, err
+		}
+		return randomized.Optimize(q, randomized.Options{Algorithm: randomized.II})
+	case "sa":
+		if err := dp.CtxErr(ctx); err != nil {
+			return nil, dp.Stats{}, err
+		}
+		return randomized.Optimize(q, randomized.Options{Algorithm: randomized.SA})
+	}
+	return nil, dp.Stats{}, fmt.Errorf("server: unknown technique %q (valid: %v)", technique, Techniques())
+}

@@ -1,0 +1,456 @@
+// Package server exposes the optimizer as a service: an HTTP JSON API that
+// accepts SQL (or an explicit query-JSON shape), dispatches to any of the
+// repository's optimization techniques, and serves repeated query shapes
+// from a plan cache keyed by canonical fingerprint.
+//
+// The serving layer adds the production concerns the library deliberately
+// leaves out:
+//
+//   - admission control — a semaphore bounds concurrently executing
+//     optimizations, a queue-depth limit bounds waiting ones, and overflow
+//     is shed with 429 instead of letting join enumeration (whose memory
+//     and CPU appetite grows super-polynomially with query size) pile up;
+//   - deadlines — a per-request timeout becomes a context deadline threaded
+//     into the engines' cancellation path, mapped to 504, distinct from the
+//     paper's memory-budget abort, which is a well-defined optimizer
+//     outcome and maps to 200 with budget_exceeded set;
+//   - caching — results are keyed by fingerprint × technique × catalog
+//     version (see internal/plancache), so only the first arrival of a
+//     query shape pays for enumeration;
+//   - observability — requests, sheds, in-flight and queue gauges, and a
+//     latency histogram split by cache source flow through internal/obs and
+//     are exposed on the same listener at /metrics.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
+	"sdpopt/internal/parse"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/plancache"
+	"sdpopt/internal/query"
+)
+
+// maxBodyBytes bounds /optimize request bodies; query descriptions are
+// small, so anything larger is a client error, not a big query.
+const maxBodyBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Cat is the schema the server optimizes against. Required.
+	Cat *catalog.Catalog
+	// Cache, if non-nil, serves repeated fingerprints without
+	// re-optimizing.
+	Cache *plancache.Cache
+	// Obs receives server and cache telemetry; when set, its registry is
+	// also mounted on the server's listener (/metrics, /debug/...).
+	Obs *obs.Observer
+	// MaxConcurrent bounds optimizations executing at once (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an execution slot (default
+	// 2×MaxConcurrent); beyond it requests are shed with 429.
+	MaxQueue int
+	// Budget is the default memory-feasibility budget per optimization
+	// (default memo.DefaultBudget, the paper's 1 GB); requests may lower
+	// or raise it via budget_mb.
+	Budget int64
+	// Timeout caps every optimization's wall time (default 30s); requests
+	// may shorten it via timeout_ms but never exceed it.
+	Timeout time.Duration
+}
+
+// Server is the optimizer-as-a-service HTTP layer. Construct with New.
+type Server struct {
+	cat        *catalog.Catalog
+	catVersion string
+	cache      *plancache.Cache
+	ob         *obs.Observer
+	budget     int64
+	timeout    time.Duration
+	maxQueue   int
+
+	sem      chan struct{} // executing-slot semaphore
+	pending  atomic.Int64  // executing + queued
+	inFlight atomic.Int64
+
+	gInFlight *obs.Gauge
+	gQueue    *obs.Gauge
+	cShed     *obs.Counter
+
+	httpSrv *http.Server
+}
+
+// New validates opts and builds a server.
+func New(opts Options) (*Server, error) {
+	if opts.Cat == nil {
+		return nil, errors.New("server: Options.Cat is required")
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 8
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 2 * opts.MaxConcurrent
+	}
+	if opts.Budget == 0 {
+		opts.Budget = memo.DefaultBudget
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 30 * time.Second
+	}
+	s := &Server{
+		cat:        opts.Cat,
+		catVersion: opts.Cat.Fingerprint(),
+		cache:      opts.Cache,
+		ob:         opts.Obs,
+		budget:     opts.Budget,
+		timeout:    opts.Timeout,
+		maxQueue:   opts.MaxQueue,
+		sem:        make(chan struct{}, opts.MaxConcurrent),
+	}
+	if s.ob != nil {
+		s.gInFlight = s.ob.Gauge(obs.MServerInFlight)
+		s.gQueue = s.ob.Gauge(obs.MServerQueue)
+		s.cShed = s.ob.Counter(obs.MServerShed)
+	}
+	return s, nil
+}
+
+// OptimizeRequest is the POST /optimize body. Exactly one of SQL and Query
+// must be set.
+type OptimizeRequest struct {
+	// SQL is a SELECT over catalog relations (see internal/parse for the
+	// accepted dialect).
+	SQL string `json:"sql,omitempty"`
+	// Query is the explicit join-graph shape, for clients that already
+	// hold a structural representation.
+	Query *QuerySpec `json:"query,omitempty"`
+	// Technique selects the optimizer (see Techniques); empty means "sdp".
+	Technique string `json:"technique,omitempty"`
+	// BudgetMB overrides the server's memory-feasibility budget, in MB.
+	BudgetMB int64 `json:"budget_mb,omitempty"`
+	// TimeoutMS shortens the server's optimization deadline, in ms.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache bypasses the plan cache for this request (no lookup, no
+	// fill).
+	NoCache bool `json:"no_cache,omitempty"`
+	// Explain includes the full EXPLAIN rendering in the response.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// QuerySpec is the query-JSON shape: catalog relation indexes joined by
+// equi-join predicates over query-local indexes, plus optional filters and
+// ORDER BY — a direct serialization of query.New's arguments.
+type QuerySpec struct {
+	Rels    []int        `json:"rels"`
+	Preds   []PredSpec   `json:"preds"`
+	Filters []FilterSpec `json:"filters,omitempty"`
+	OrderBy *OrderSpec   `json:"order_by,omitempty"`
+}
+
+// PredSpec is one equi-join predicate between query-local relations.
+type PredSpec struct {
+	LeftRel  int `json:"left_rel"`
+	LeftCol  int `json:"left_col"`
+	RightRel int `json:"right_rel"`
+	RightCol int `json:"right_col"`
+}
+
+// FilterSpec is one local range selection "col < bound".
+type FilterSpec struct {
+	Rel   int   `json:"rel"`
+	Col   int   `json:"col"`
+	Bound int64 `json:"bound"`
+}
+
+// OrderSpec requests sorted output on one relation column.
+type OrderSpec struct {
+	Rel int `json:"rel"`
+	Col int `json:"col"`
+}
+
+// StatsJSON is the optimization-overhead block of an OptimizeResponse.
+type StatsJSON struct {
+	ElapsedNS      int64   `json:"elapsed_ns"`
+	PlansCosted    int64   `json:"plans_costed"`
+	PeakSimMB      float64 `json:"peak_sim_mb"`
+	ClassesCreated int64   `json:"classes_created"`
+}
+
+// OptimizeResponse is the POST /optimize reply.
+type OptimizeResponse struct {
+	Technique      string `json:"technique"`
+	Fingerprint    string `json:"fingerprint"`
+	CatalogVersion string `json:"catalog_version"`
+	// Source reports how the result was produced: "hit", "dedup", "miss",
+	// or "uncached" (cache bypassed or absent).
+	Source  string   `json:"source"`
+	Cached  bool     `json:"cached"`
+	Rels    []string `json:"rels,omitempty"`
+	Cost    float64  `json:"cost,omitempty"`
+	Shape   string   `json:"shape,omitempty"`
+	Explain string   `json:"explain,omitempty"`
+	// BudgetExceeded marks the paper's infeasible ("*") outcome: the
+	// optimization exceeded its memory budget. The request itself
+	// succeeded (HTTP 200) — infeasibility is a measured result.
+	BudgetExceeded bool       `json:"budget_exceeded,omitempty"`
+	Error          string     `json:"error,omitempty"`
+	Stats          *StatsJSON `json:"stats,omitempty"`
+	ServerNS       int64      `json:"server_ns"`
+}
+
+// Handler returns the server's HTTP routes: POST /optimize, GET /healthz,
+// GET /catalog, and — when an observer is configured — the observability
+// surface (/metrics, /debug/vars, /debug/pprof/).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/optimize", s.handleOptimize)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/catalog", s.handleCatalog)
+	if s.ob != nil && s.ob.Registry != nil {
+		oh := s.ob.Registry.Handler()
+		mux.Handle("/metrics", oh)
+		mux.Handle("/debug/", oh)
+	}
+	return mux
+}
+
+// Start listens on addr (":0" for an ephemeral port) and serves in a
+// background goroutine, returning the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.httpSrv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully stops a Started server: the listener closes
+// immediately, in-flight requests run to completion or until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Shutdown(ctx)
+}
+
+// InFlight returns the number of optimizations currently executing.
+func (s *Server) InFlight() int { return int(s.inFlight.Load()) }
+
+// Queued returns the number of admitted requests waiting for a slot.
+func (s *Server) Queued() int {
+	q := int(s.pending.Load()) - int(s.inFlight.Load())
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"status":          "ok",
+		"catalog_version": s.catVersion,
+		"in_flight":       s.InFlight(),
+		"queued":          s.Queued(),
+		"cache_entries":   s.cache.Len(),
+		"techniques":      Techniques(),
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, r, http.StatusOK, map[string]any{
+		"version": s.catVersion,
+		"catalog": s.cat,
+	})
+}
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.failf(w, r, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req OptimizeRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.failf(w, r, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !KnownTechnique(req.Technique) {
+		s.failf(w, r, http.StatusBadRequest, "unknown technique %q (valid: %v)", req.Technique, Techniques())
+		return
+	}
+	q, err := s.buildQuery(&req)
+	if err != nil {
+		s.failf(w, r, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Admission: bound executing + queued; shed the rest before they tie
+	// up a connection waiting for a slot that is many optimizations away.
+	pending := s.pending.Add(1)
+	if pending > int64(cap(s.sem)+s.maxQueue) {
+		s.pending.Add(-1)
+		s.cShed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		s.failf(w, r, http.StatusTooManyRequests, "server saturated: %d executing, %d queued", cap(s.sem), s.maxQueue)
+		return
+	}
+	s.gQueue.Set(s.pending.Load() - s.inFlight.Load())
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		s.pending.Add(-1)
+		s.failf(w, r, statusClientGone, "client gone while queued")
+		return
+	}
+	s.gInFlight.Set(s.inFlight.Add(1))
+	s.gQueue.Set(s.pending.Load() - s.inFlight.Load())
+	defer func() {
+		<-s.sem
+		s.gInFlight.Set(s.inFlight.Add(-1))
+		s.pending.Add(-1)
+		s.gQueue.Set(s.pending.Load() - s.inFlight.Load())
+	}()
+
+	// Deadline: the request may shorten the server cap, never exceed it.
+	timeout := s.timeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	budget := s.budget
+	if req.BudgetMB > 0 {
+		budget = req.BudgetMB << 20
+	}
+
+	technique := req.Technique
+	if technique == "" {
+		technique = "sdp"
+	}
+	resp := &OptimizeResponse{
+		Technique:      technique,
+		Fingerprint:    q.Fingerprint(),
+		CatalogVersion: s.catVersion,
+		Source:         "uncached",
+	}
+
+	best, stats, src, err := s.run(ctx, technique, q, budget, &req, resp.Fingerprint)
+	resp.Source = src
+
+	code := http.StatusOK
+	switch {
+	case err == nil:
+		resp.Cached = src == plancache.Hit.String() || src == plancache.Dedup.String()
+		resp.Cost = best.Cost
+		name := func(i int) string { return q.Relation(i).Name }
+		resp.Shape = best.Shape(name)
+		if req.Explain {
+			resp.Explain = best.Explain(name)
+		}
+		for i := range q.Rels {
+			resp.Rels = append(resp.Rels, name(i))
+		}
+	case errors.Is(err, memo.ErrBudget):
+		// The paper's infeasible outcome: a valid measurement, not a
+		// serving failure.
+		resp.BudgetExceeded = true
+		resp.Error = err.Error()
+	case errors.Is(err, dp.ErrCanceled):
+		code = http.StatusGatewayTimeout
+		resp.Error = err.Error()
+	default:
+		code = http.StatusInternalServerError
+		resp.Error = err.Error()
+	}
+	resp.Stats = &StatsJSON{
+		ElapsedNS:      stats.Elapsed.Nanoseconds(),
+		PlansCosted:    stats.PlansCosted,
+		PeakSimMB:      float64(stats.Memo.PeakSimBytes) / (1 << 20),
+		ClassesCreated: stats.Memo.ClassesCreated,
+	}
+	resp.ServerNS = time.Since(started).Nanoseconds()
+	if h := s.ob.Histogram(obs.Label(obs.MServerSeconds, "source", src)); h != nil {
+		h.Observe(time.Since(started))
+	}
+	s.writeJSON(w, r, code, resp)
+}
+
+// run executes (or serves from cache) one optimization, returning the
+// cache-source label.
+func (s *Server) run(ctx context.Context, technique string, q *query.Query, budget int64, req *OptimizeRequest, fp string) (*plan.Plan, dp.Stats, string, error) {
+	if s.cache == nil || req.NoCache {
+		p, st, err := Optimize(ctx, technique, q, budget, s.ob)
+		return p, st, "uncached", err
+	}
+	key := plancache.Key{Fingerprint: fp, Technique: technique, CatalogVersion: s.catVersion}
+	p, st, src, err := s.cache.Do(key, func() (*plan.Plan, dp.Stats, error) {
+		return Optimize(ctx, technique, q, budget, s.ob)
+	})
+	return p, st, src.String(), err
+}
+
+// buildQuery materializes the request's query from SQL or the explicit
+// shape.
+func (s *Server) buildQuery(req *OptimizeRequest) (*query.Query, error) {
+	switch {
+	case req.SQL != "" && req.Query != nil:
+		return nil, errors.New("request carries both sql and query; send one")
+	case req.SQL != "":
+		return parse.SQL(s.cat, req.SQL)
+	case req.Query != nil:
+		spec := req.Query
+		preds := make([]query.Pred, len(spec.Preds))
+		for i, p := range spec.Preds {
+			preds[i] = query.Pred{LeftRel: p.LeftRel, LeftCol: p.LeftCol, RightRel: p.RightRel, RightCol: p.RightCol}
+		}
+		filters := make([]query.Filter, len(spec.Filters))
+		for i, f := range spec.Filters {
+			filters[i] = query.Filter{Rel: f.Rel, Col: f.Col, Bound: f.Bound}
+		}
+		var ob *query.OrderSpec
+		if spec.OrderBy != nil {
+			ob = &query.OrderSpec{Rel: spec.OrderBy.Rel, Col: spec.OrderBy.Col}
+		}
+		return query.NewFiltered(s.cat, spec.Rels, preds, filters, ob)
+	}
+	return nil, errors.New("request carries neither sql nor query")
+}
+
+// statusClientGone is 499, nginx's "client closed request" — the client
+// disconnected while queued, so no response will be read anyway.
+const statusClientGone = 499
+
+func (s *Server) failf(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	s.writeJSON(w, r, code, map[string]any{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, r *http.Request, code int, v any) {
+	if c := s.ob.Counter(obs.Label(obs.MServerRequests, "route", r.URL.Path, "code", strconv.Itoa(code))); c != nil {
+		c.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

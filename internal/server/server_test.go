@@ -1,0 +1,383 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdpopt/internal/obs"
+	"sdpopt/internal/plancache"
+	"sdpopt/internal/workload"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Cat == nil {
+		opts.Cat = workload.PaperSchema()
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postOptimize(t *testing.T, url string, req OptimizeRequest) (int, *OptimizeResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out OptimizeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("bad response body: %v", err)
+	}
+	return resp.StatusCode, &out
+}
+
+const testSQL = "SELECT * FROM R1 a, R2 b, R3 c WHERE a.c1 = b.c1 AND b.c2 = c.c2 AND c.c3 < 100 ORDER BY a.c1"
+
+func TestOptimizeSQLMissThenHit(t *testing.T) {
+	ob := obs.New()
+	cache := plancache.New(plancache.Options{Obs: ob})
+	_, ts := newTestServer(t, Options{Cache: cache, Obs: ob})
+
+	code, first := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, Explain: true})
+	if code != http.StatusOK {
+		t.Fatalf("first request: code %d, error %q", code, first.Error)
+	}
+	if first.Source != "miss" || first.Cached || first.Cost <= 0 || first.Shape == "" || first.Explain == "" {
+		t.Fatalf("first response: %+v", first)
+	}
+	if first.Technique != "sdp" {
+		t.Fatalf("default technique = %q, want sdp", first.Technique)
+	}
+
+	code, second := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL})
+	if code != http.StatusOK || second.Source != "hit" || !second.Cached {
+		t.Fatalf("second response: code %d, %+v", code, second)
+	}
+	if second.Fingerprint != first.Fingerprint || second.Cost != first.Cost {
+		t.Fatalf("hit diverges from miss: %+v vs %+v", second, first)
+	}
+
+	// The repeated query must be observable as a hit in /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		obs.MCacheHits + " 1",
+		obs.MCacheMisses + " 1",
+		obs.MCacheEntries + " 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestOptimizeQueryJSON(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := OptimizeRequest{
+		Technique: "dp",
+		Query: &QuerySpec{
+			Rels: []int{1, 2, 3},
+			Preds: []PredSpec{
+				{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0},
+				{LeftRel: 1, LeftCol: 1, RightRel: 2, RightCol: 1},
+			},
+			Filters: []FilterSpec{{Rel: 2, Col: 2, Bound: 100}},
+			OrderBy: &OrderSpec{Rel: 0, Col: 0},
+		},
+	}
+	code, resp := postOptimize(t, ts.URL, req)
+	if code != http.StatusOK || resp.Cost <= 0 || resp.Source != "uncached" {
+		t.Fatalf("code %d, %+v", code, resp)
+	}
+	if len(resp.Rels) != 3 {
+		t.Fatalf("rels = %v", resp.Rels)
+	}
+}
+
+// The SQL and query-JSON spellings of the same query must share a
+// fingerprint (and therefore a cache entry).
+func TestSQLAndJSONShareFingerprint(t *testing.T) {
+	ob := obs.New()
+	cache := plancache.New(plancache.Options{Obs: ob})
+	_, ts := newTestServer(t, Options{Cache: cache, Obs: ob})
+
+	_, viaSQL := postOptimize(t, ts.URL, OptimizeRequest{SQL: "SELECT * FROM R1 a, R2 b WHERE a.c1 = b.c1"})
+	_, viaJSON := postOptimize(t, ts.URL, OptimizeRequest{Query: &QuerySpec{
+		Rels:  []int{1, 0}, // R2, R1 — reversed order: fingerprinting must not care
+		Preds: []PredSpec{{LeftRel: 1, LeftCol: 0, RightRel: 0, RightCol: 0}},
+	}})
+	if viaSQL.Fingerprint != viaJSON.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", viaSQL.Fingerprint, viaJSON.Fingerprint)
+	}
+	if viaJSON.Source != "hit" {
+		t.Fatalf("JSON spelling source = %q, want hit", viaJSON.Source)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name     string
+		req      OptimizeRequest
+		wantCode int
+		wantMsg  string
+	}{
+		{"bad sql position", OptimizeRequest{SQL: "SELECT *\nFROM R1 a\nWHERE a.nope < 3"}, 400, "3:9"},
+		{"unknown technique", OptimizeRequest{SQL: testSQL, Technique: "quantum"}, 400, "unknown technique"},
+		{"neither sql nor query", OptimizeRequest{}, 400, "neither"},
+		{"both sql and query", OptimizeRequest{SQL: testSQL, Query: &QuerySpec{Rels: []int{1}}}, 400, "both"},
+		{"bad query shape", OptimizeRequest{Query: &QuerySpec{Rels: []int{1, 2}}}, 400, ""},
+	}
+	for _, c := range cases {
+		code, resp := postOptimize(t, ts.URL, c.req)
+		if code != c.wantCode {
+			t.Errorf("%s: code %d, want %d (%+v)", c.name, code, c.wantCode, resp)
+			continue
+		}
+		if c.wantMsg != "" && !strings.Contains(resp.Error, c.wantMsg) {
+			t.Errorf("%s: error %q does not contain %q", c.name, resp.Error, c.wantMsg)
+		}
+	}
+}
+
+func TestTimeoutMaps504(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	// Exhaustive DP on a 15-relation star takes far longer than 1 ms.
+	qs, err := workload.Instances(workload.Spec{
+		Cat: workload.PaperSchema(), Topology: workload.Star, NumRelations: 15, Seed: 3,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, resp := postOptimize(t, ts.URL, OptimizeRequest{
+		SQL: qs[0].SQL(), Technique: "dp", TimeoutMS: 1, NoCache: true,
+	})
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code %d (%+v), want 504", code, resp)
+	}
+	if !strings.Contains(resp.Error, "canceled") {
+		t.Fatalf("error %q does not mention cancellation", resp.Error)
+	}
+}
+
+func TestBudgetAbortIs200(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	qs, err := workload.Instances(workload.Spec{
+		Cat: workload.PaperSchema(), Topology: workload.Star, NumRelations: 15, Seed: 3,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB is far below DP's appetite on a 15-star: the paper's
+	// infeasible outcome, reported as a successful measurement.
+	code, resp := postOptimize(t, ts.URL, OptimizeRequest{
+		SQL: qs[0].SQL(), Technique: "dp", BudgetMB: 1, NoCache: true,
+	})
+	if code != http.StatusOK || !resp.BudgetExceeded {
+		t.Fatalf("code %d, %+v; want 200 with budget_exceeded", code, resp)
+	}
+	if resp.Stats == nil || resp.Stats.ClassesCreated == 0 {
+		t.Fatalf("budget abort lost its stats: %+v", resp.Stats)
+	}
+}
+
+// TestShedding saturates a 1-slot, 0-queue server with a slow request and
+// verifies the next request is shed with 429.
+func TestShedding(t *testing.T) {
+	ob := obs.New()
+	s, ts := newTestServer(t, Options{MaxConcurrent: 1, MaxQueue: 1, Obs: ob})
+
+	qs, err := workload.Instances(workload.Spec{
+		Cat: workload.PaperSchema(), Topology: workload.Star, NumRelations: 14, Seed: 5,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := OptimizeRequest{SQL: qs[0].SQL(), Technique: "dp", TimeoutMS: 2000, NoCache: true}
+
+	var wg sync.WaitGroup
+	results := make([]int, 6)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, _ := postOptimize(t, ts.URL, slow)
+			results[i] = code
+		}(i)
+		// Stagger so the first request holds the slot before the rest pile
+		// up; poll the server's own admission state rather than sleeping.
+		if i == 0 {
+			deadline := time.Now().Add(5 * time.Second)
+			for s.InFlight() == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	wg.Wait()
+
+	shed := 0
+	for _, code := range results {
+		if code == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	// Capacity is 1 executing + 1 queued; of 6 requests at least 4 must be
+	// shed (exact counts depend on completion timing).
+	if shed < 4 {
+		t.Fatalf("results %v: %d shed, want >= 4", results, shed)
+	}
+}
+
+// TestConcurrentSingleflight fires identical requests at once and verifies
+// exactly one underlying optimization ran, via the obs counters.
+func TestConcurrentSingleflight(t *testing.T) {
+	ob := obs.New()
+	cache := plancache.New(plancache.Options{Obs: ob})
+	_, ts := newTestServer(t, Options{Cache: cache, Obs: ob, MaxConcurrent: 16, MaxQueue: 32})
+
+	const n = 12
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	sources := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			code, resp := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL})
+			codes[i], sources[i] = code, resp.Source
+		}(i)
+	}
+	wg.Wait()
+
+	for i, code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request %d: code %d (source %q)", i, code, sources[i])
+		}
+	}
+	ct := cache.Counts()
+	if ct.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 (counts %+v, sources %v)", ct.Misses, ct, sources)
+	}
+	if ct.Hits+ct.Dedups != n-1 {
+		t.Fatalf("hits %d + dedups %d != %d", ct.Hits, ct.Dedups, n-1)
+	}
+	// MOptimizations counts completed engine runs; the singleflight must
+	// have let exactly one through. Sum the labeled series off /metrics.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	optimizations := 0
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, obs.MOptimizations) {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%g", &v); err == nil {
+				optimizations += int(v)
+			}
+		}
+	}
+	if optimizations != 1 {
+		t.Fatalf("underlying optimizations = %d, want exactly 1\n%s", optimizations, metrics)
+	}
+}
+
+func TestHealthzAndCatalog(t *testing.T) {
+	cache := plancache.New(plancache.Options{})
+	s, ts := newTestServer(t, Options{Cache: cache})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status         string   `json:"status"`
+		CatalogVersion string   `json:"catalog_version"`
+		Techniques     []string `json:"techniques"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Status != "ok" || health.CatalogVersion == "" || len(health.Techniques) == 0 {
+		t.Fatalf("healthz: %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cat struct {
+		Version string          `json:"version"`
+		Catalog json.RawMessage `json:"catalog"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cat.Version != health.CatalogVersion || len(cat.Catalog) < 2 {
+		t.Fatalf("catalog: version %q, %d bytes", cat.Version, len(cat.Catalog))
+	}
+	_ = s
+}
+
+func TestStartShutdown(t *testing.T) {
+	cache := plancache.New(plancache.Options{})
+	s, err := New(Options{Cat: workload.PaperSchema(), Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz over Start: %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("server still answering after Shutdown")
+	}
+}
+
+// TestAllTechniques smoke-tests every dispatch arm over HTTP.
+func TestAllTechniques(t *testing.T) {
+	cache := plancache.New(plancache.Options{})
+	_, ts := newTestServer(t, Options{Cache: cache})
+	for _, tech := range Techniques() {
+		code, resp := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, Technique: tech})
+		if code != http.StatusOK || resp.Cost <= 0 {
+			t.Errorf("technique %q: code %d, %+v", tech, code, resp)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 package sdpopt
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -154,6 +155,11 @@ type DPOptions struct {
 	// Budget is the simulated-memory feasibility limit in bytes
 	// (0 = unlimited).
 	Budget int64
+	// Ctx, if non-nil, bounds the optimization: cancellation or an expired
+	// deadline aborts the enumeration with ErrCanceled (distinct from the
+	// budget's ErrBudget — a deadline is a serving concern, a budget a
+	// feasibility measurement).
+	Ctx context.Context
 	// Obs receives metrics and trace events; nil falls back to the
 	// process-wide default observer (see SetDefaultObserver).
 	Obs *Observer
@@ -163,7 +169,7 @@ type DPOptions struct {
 // the paper's DP baseline. It fails with ErrBudget beyond the feasibility
 // cliff (a ~17-relation star under the default 1 GB budget).
 func OptimizeDP(q *Query, opts DPOptions) (*Plan, Stats, error) {
-	return dp.Optimize(q, dp.Options{Budget: opts.Budget, Obs: opts.Obs})
+	return dp.Optimize(q, dp.Options{Budget: opts.Budget, Ctx: opts.Ctx, Obs: opts.Obs})
 }
 
 // IDPOptions configures Iterative Dynamic Programming.

@@ -1,0 +1,97 @@
+// Optimizer-as-a-service surface: canonical query fingerprinting, the plan
+// cache, and the HTTP serving layer. See internal/plancache and
+// internal/server for the mechanics; DESIGN.md ("Plan cache and serving")
+// for the rationale.
+
+package sdpopt
+
+import (
+	"context"
+	"io"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/plancache"
+	"sdpopt/internal/server"
+)
+
+// Plan cache and serving types.
+type (
+	// PlanCache is a sharded LRU of optimization results keyed by
+	// canonical query fingerprint × technique × catalog version, with
+	// singleflight deduplication of concurrent misses.
+	PlanCache = plancache.Cache
+	// PlanCacheOptions configures a PlanCache.
+	PlanCacheOptions = plancache.Options
+	// PlanCacheKey identifies one cache entry.
+	PlanCacheKey = plancache.Key
+	// PlanCacheCounts is a snapshot of the cache counters.
+	PlanCacheCounts = plancache.Counts
+	// Server is the HTTP serving layer: POST /optimize, GET /healthz,
+	// GET /catalog, plus the observability surface when configured.
+	Server = server.Server
+	// ServerOptions configures a Server (catalog, cache, admission
+	// control, default budget and timeout).
+	ServerOptions = server.Options
+)
+
+// ErrCanceled reports an optimization aborted by context cancellation or
+// deadline — the serving-path abort, distinct from ErrBudget (the paper's
+// memory-feasibility abort). Test with errors.Is; the context cause
+// (e.g. context.DeadlineExceeded) is wrapped and also matchable.
+var ErrCanceled = dp.ErrCanceled
+
+// NewPlanCache builds a plan cache (zero options: 1024 entries, 16
+// shards, no telemetry).
+func NewPlanCache(opts PlanCacheOptions) *PlanCache { return plancache.New(opts) }
+
+// NewServer builds the optimizer service; start it with Server.Start or
+// mount Server.Handler in an existing mux.
+func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
+
+// Techniques lists the technique names OptimizeCached and the server's
+// /optimize endpoint accept ("" selects "sdp").
+func Techniques() []string { return server.Techniques() }
+
+// CanonicalQuery returns q's canonical encoding: a stable string
+// normalizing relation order, predicate order and orientation, implied
+// predicates, filter constants, and ORDER BY targets, so semantically
+// identical queries encode identically.
+func CanonicalQuery(q *Query) string { return q.Canonical() }
+
+// QueryFingerprint digests the canonical encoding into a fixed-size hex
+// key — the plan cache's query component.
+func QueryFingerprint(q *Query) string { return q.Fingerprint() }
+
+// CatalogFingerprint digests the catalog statistics — the plan cache's
+// version component. Any statistics change yields a new version, silently
+// invalidating all cached plans built against the old one.
+func CatalogFingerprint(c *Catalog) string { return c.Fingerprint() }
+
+// ReadCatalogJSON loads a catalog written by Catalog.WriteJSON, validating
+// the statistics' basic invariants.
+func ReadCatalogJSON(r io.Reader) (*Catalog, error) { return catalog.ReadJSON(r) }
+
+// OptimizeCached optimizes q with the named technique (see Techniques)
+// through the cache: a repeated fingerprint is served without
+// re-enumeration, and concurrent misses on one fingerprint run exactly one
+// optimization. The boolean reports whether the result came from cache.
+// Budget 0 selects DefaultBudget; ctx cancellation aborts an actual
+// optimization with ErrCanceled but never invalidates cached entries.
+func OptimizeCached(ctx context.Context, pc *PlanCache, q *Query, technique string, budget int64) (*Plan, Stats, bool, error) {
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	if technique == "" {
+		technique = "sdp"
+	}
+	key := PlanCacheKey{
+		Fingerprint:    q.Fingerprint(),
+		Technique:      technique,
+		CatalogVersion: q.Cat.Fingerprint(),
+	}
+	p, st, src, err := pc.Do(key, func() (*Plan, Stats, error) {
+		return server.Optimize(ctx, technique, q, budget, nil)
+	})
+	return p, st, src != plancache.Miss, err
+}
