@@ -12,8 +12,11 @@ import (
 
 // CachedTechniques wraps each technique so its optimizations go through the
 // plan cache, keyed by canonical query fingerprint × technique name ×
-// catalog version. On a hit or dedup the returned stats are replaced with
-// the lookup's wall time (PlansCosted and memory zero — nothing was
+// catalog version. Plans are cached in the canonical query frame and
+// relabeled into each instance's own relation numbering, so a hit from an
+// equivalent but differently-ordered instance references the right
+// relations. On a hit or dedup the returned stats are replaced with the
+// lookup's wall time (PlansCosted and memory zero — nothing was
 // enumerated), so batch timing tables measure what serving actually paid
 // rather than replaying the original miss's cost.
 func CachedTechniques(pc *plancache.Cache, cat *catalog.Catalog, techs []Technique) []Technique {
@@ -26,18 +29,26 @@ func CachedTechniques(pc *plancache.Cache, cat *catalog.Catalog, techs []Techniq
 		t := t
 		out[i] = Technique{Name: t.Name, Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
 			started := time.Now()
+			cn := q.Canon()
 			key := plancache.Key{
 				Fingerprint:    q.Fingerprint(),
 				Technique:      t.Name,
 				CatalogVersion: version,
 			}
 			p, st, src, err := pc.Do(key, func() (*plan.Plan, dp.Stats, error) {
-				return t.Run(q)
+				p, st, err := t.Run(q)
+				if err != nil {
+					return nil, st, err
+				}
+				return p.Remap(cn.RelTo, cn.EqTo), st, nil
 			})
-			if err == nil && src != plancache.Miss {
+			if err != nil {
+				return nil, st, err
+			}
+			if src != plancache.Miss {
 				st = dp.Stats{Elapsed: time.Since(started)}
 			}
-			return p, st, err
+			return p.Remap(cn.RelFrom, cn.EqFrom), st, nil
 		}}
 	}
 	return out

@@ -183,4 +183,8 @@ const (
 	// MServerSeconds is the end-to-end /optimize latency histogram,
 	// labeled source= (hit, dedup, miss, uncached).
 	MServerSeconds = "sdpopt_server_seconds"
+	// MServerCanonTruncated counts requests whose canonical-labeling search
+	// exhausted its budget (query.Canon().Truncated): their fingerprints
+	// may differ across equivalent spellings, degrading cache hit rate.
+	MServerCanonTruncated = "sdpopt_server_canonical_truncated_total"
 )

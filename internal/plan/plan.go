@@ -79,6 +79,31 @@ type Plan struct {
 	Order int
 }
 
+// Remap returns a copy of the tree with every query-local relation index
+// translated through relMap (relMap[old] = new) and every output-order
+// equivalence class through orderMap (NoOrder is preserved). Both maps must
+// be permutations covering the tree's indexes. Plans are immutable, so
+// translating between query frames — e.g. the plan cache's canonical frame
+// and a requester's local frame — always copies.
+func (p *Plan) Remap(relMap, orderMap []int) *Plan {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.Left = p.Left.Remap(relMap, orderMap)
+	cp.Right = p.Right.Remap(relMap, orderMap)
+	var rels bits.Set
+	p.Rels.Each(func(i int) { rels = rels.Add(relMap[i]) })
+	cp.Rels = rels
+	if p.Op.IsScan() {
+		cp.Rel = relMap[p.Rel]
+	}
+	if p.Order != NoOrder {
+		cp.Order = orderMap[p.Order]
+	}
+	return &cp
+}
+
 // NumJoins returns the number of join operators in the tree.
 func (p *Plan) NumJoins() int {
 	if p == nil {

@@ -156,3 +156,43 @@ func TestDOT(t *testing.T) {
 		}
 	}
 }
+
+// TestRemap: scan relation indexes, relation bitsets, and order classes all
+// translate through the maps; NoOrder survives; the original tree is
+// untouched; and remapping through the inverse maps is the identity.
+func TestRemap(t *testing.T) {
+	p := join(HashJoin,
+		join(MergeJoin, idxScan(0, 1, 10, 0), scan(2, 2, 20, NoOrder), 5, 30, 0),
+		scan(1, 3, 15, 1),
+		10, 50, NoOrder)
+	relMap := []int{2, 0, 1}  // old -> new
+	orderMap := []int{1, 0}   // old class -> new class
+	name := func(i int) string { return []string{"A", "B", "C"}[i] }
+
+	got := p.Remap(relMap, orderMap)
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s := got.Shape(name); s != "((C ⋈ B) ⋈ A)" {
+		t.Fatalf("remapped shape %q, want ((C ⋈ B) ⋈ A)", s)
+	}
+	if got.Left.Left.Rel != 2 || got.Left.Left.Order != 1 {
+		t.Fatalf("inner scan: rel %d order %d, want 2/1", got.Left.Left.Rel, got.Left.Left.Order)
+	}
+	if got.Left.Right.Order != NoOrder || got.Order != NoOrder {
+		t.Fatal("NoOrder not preserved")
+	}
+	if got.Right.Rel != 0 || got.Right.Order != 0 {
+		t.Fatalf("outer scan: rel %d order %d, want 0/0", got.Right.Rel, got.Right.Order)
+	}
+	if got.Rels != bits.Full(3) || got.Left.Rels != bits.Single(2).Add(1) {
+		t.Fatalf("rels bitsets not remapped: %v / %v", got.Rels, got.Left.Rels)
+	}
+	if p.Left.Left.Rel != 0 || p.Shape(name) != "((A ⋈ C) ⋈ B)" {
+		t.Fatal("Remap mutated its receiver")
+	}
+	back := got.Remap([]int{1, 2, 0}, orderMap) // inverses of relMap/orderMap
+	if back.Shape(name) != p.Shape(name) || back.Left.Left.Order != 0 || back.Rels != p.Rels {
+		t.Fatalf("inverse remap is not the identity: %s", back.Shape(name))
+	}
+}

@@ -20,6 +20,14 @@
 //     entry silently stops matching; Invalidate reclaims their memory
 //     eagerly.
 //
+// The cache stores plans exactly as compute returned them. A fingerprint
+// covers every equivalent spelling of a query, whose query-local relation
+// indexes and order-class ids differ — so callers serving entries across
+// spellings must have compute return plans in the canonical query frame
+// and relabel each retrieved plan into the requester's frame
+// (query.Canon + plan.Remap; see internal/server and sdpopt.OptimizeCached
+// for the pattern).
+//
 // Errors are never cached: a failed optimization (budget abort,
 // cancellation) is reported to every coalesced waiter of that flight and
 // retried by the next caller. All counters are mirrored to an optional

@@ -33,8 +33,39 @@ import (
 // appears in it, so distinct queries cannot share an encoding. Use
 // Fingerprint for a fixed-width digest suitable as a cache key.
 func (q *Query) Canonical() string {
-	c := newCanonicalizer(q)
-	return c.run()
+	return q.Canon().Encoding
+}
+
+// Canon is a query's canonical frame: the stable encoding plus the
+// relabelings connecting the query's local relation indexes and join-column
+// equivalence class ids to their canonical counterparts. Two equivalent
+// spellings of one query share an Encoding, and their maps translate
+// query-local references through the shared canonical frame — which is how
+// a plan cached under one spelling is relabeled for another (see
+// internal/server).
+type Canon struct {
+	// Encoding is the canonical encoding (see Canonical).
+	Encoding string
+	// RelTo maps a query-local relation index to its canonical position;
+	// RelFrom is the inverse (RelFrom[RelTo[i]] == i).
+	RelTo, RelFrom []int
+	// EqTo maps a join-column equivalence class id (see EqClass) to its
+	// canonical rank; EqFrom is the inverse.
+	EqTo, EqFrom []int
+	// Truncated reports that the labeling search exhausted searchBudget
+	// before proving the chosen ordering minimal. The encoding is still a
+	// faithful description of this query, but equivalent spellings may land
+	// on different encodings — a cache hit-rate loss, never a wrong answer.
+	Truncated bool
+}
+
+// Canon returns the query's canonical frame, computed once and memoized
+// (queries are immutable after construction).
+func (q *Query) Canon() *Canon {
+	q.canonOnce.Do(func() {
+		q.canon = newCanonicalizer(q).run()
+	})
+	return q.canon
 }
 
 // Fingerprint returns a fixed-width hex digest of Canonical() — the
@@ -46,12 +77,17 @@ func (q *Query) Fingerprint() string {
 }
 
 // searchBudget caps the number of complete orderings the canonical search
-// may encode. Tie groups only survive refinement when relations are truly
-// symmetric (same catalog relation, same filters, same join neighborhood),
-// so real workloads branch rarely; the cap bounds adversarial self-join
-// cliques. Within budget the result is the exact lexicographic minimum and
-// therefore order-insensitive; past it the search keeps the best ordering
-// found, which still canonicalizes every symmetric tie.
+// may encode. Tie groups only survive refinement when relations share every
+// refined invariant (same catalog relation, same filters, same join
+// neighborhood), so real workloads branch rarely; the cap bounds
+// adversarial self-join cliques. Within budget the result is the exact
+// lexicographic minimum and therefore order-insensitive. Past it the search
+// keeps the best ordering found so far — but DFS order depends on input
+// relation order and WL refinement is incomplete (tie groups can contain
+// non-symmetric relations), so a truncated search may give equivalent
+// spellings of one query different encodings. That degrades cache hit rate,
+// never correctness: each encoding still faithfully describes its query.
+// Truncation is reported via Canon().Truncated so servers can count it.
 const searchBudget = 4096
 
 // canonEdge is one closed join predicate viewed from relation "from":
@@ -68,9 +104,11 @@ type canonicalizer struct {
 	// per column, with no-op bounds (≥ domain size) removed.
 	filters []map[int]int64
 
-	budget  int
-	best    string
-	bestSet bool
+	budget    int
+	best      string
+	bestPerm  []int // bestPerm[canonical position] = query-local index
+	bestSet   bool
+	truncated bool
 }
 
 func newCanonicalizer(q *Query) *canonicalizer {
@@ -97,10 +135,35 @@ func newCanonicalizer(q *Query) *canonicalizer {
 	return c
 }
 
-func (c *canonicalizer) run() string {
+func (c *canonicalizer) run() *Canon {
 	colors := c.refine(c.initialColors())
 	c.search(colors, make([]int, 0, c.n))
-	return c.best
+	cn := &Canon{Encoding: c.best, RelFrom: c.bestPerm, Truncated: c.truncated}
+	cn.RelTo = make([]int, c.n)
+	for canonIdx, local := range cn.RelFrom {
+		cn.RelTo[local] = canonIdx
+	}
+	// Equivalence classes rank by their rendering under the winning
+	// relabeling — exactly the strings the encoding's J: section sorts, so
+	// equivalent spellings that share an Encoding agree on the ranks.
+	// Distinct classes have disjoint member sets, hence distinct strings.
+	strs := make([]string, c.q.numEq)
+	for id := range strs {
+		strs[id] = c.classString(id, cn.RelTo)
+	}
+	sorted := append([]string(nil), strs...)
+	sort.Strings(sorted)
+	rank := make(map[string]int, len(sorted))
+	for i, s := range sorted {
+		rank[s] = i
+	}
+	cn.EqTo = make([]int, c.q.numEq)
+	cn.EqFrom = make([]int, c.q.numEq)
+	for id, s := range strs {
+		cn.EqTo[id] = rank[s]
+		cn.EqFrom[rank[s]] = id
+	}
+	return cn
 }
 
 // initialColors seeds the refinement with every relation-local semantic
@@ -158,6 +221,7 @@ func (c *canonicalizer) search(colors []int, prefix []int) {
 		enc := c.encode(prefix)
 		if !c.bestSet || enc < c.best {
 			c.best, c.bestSet = enc, true
+			c.bestPerm = append([]int(nil), prefix...)
 		}
 		c.budget--
 		return
@@ -184,6 +248,7 @@ func (c *canonicalizer) search(colors []int, prefix []int) {
 	}
 	for _, pick := range cands {
 		if c.bestSet && c.budget <= 0 {
+			c.truncated = true
 			return
 		}
 		next := make([]int, c.n)

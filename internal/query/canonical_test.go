@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 
 	"sdpopt/internal/query"
@@ -246,6 +247,70 @@ func TestCanonicalDeterministic(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			if got := q.Canonical(); got != first {
 				t.Fatalf("canonical not deterministic:\n%s\n%s", first, got)
+			}
+		}
+	}
+}
+
+// TestCanonFrameAlignsAcrossSpellings: Canon()'s relabelings are the bridge
+// the plan cache relies on — translating query-local relation indexes and
+// equivalence class ids through the canonical frame must line equivalent
+// spellings up exactly: same catalog relation behind every canonical
+// position, same join-column member set behind every canonical class rank.
+func TestCanonFrameAlignsAcrossSpellings(t *testing.T) {
+	cat := workload.PaperSchema()
+	rng := rand.New(rand.NewSource(11))
+	eqMembers := func(q *query.Query, cn *query.Canon, rank int) string {
+		id := cn.EqFrom[rank]
+		var ms []string
+		for rel := 0; rel < q.NumRelations(); rel++ {
+			for col := range q.Relation(rel).Cols {
+				if q.EqClass(rel, col) == id {
+					ms = append(ms, fmt.Sprintf("%d.%d", cn.RelTo[rel], col))
+				}
+			}
+		}
+		sort.Strings(ms)
+		return strings.Join(ms, ",")
+	}
+	for _, topo := range []workload.Topology{workload.Chain, workload.Star, workload.StarChain} {
+		qs, err := workload.Instances(workload.Spec{
+			Cat: cat, Topology: topo, NumRelations: 8,
+			Ordered: true, FilterFraction: 0.5, Seed: int64(topo) + 31,
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range qs {
+			cn := q.Canon()
+			for i := range cn.RelTo {
+				if cn.RelFrom[cn.RelTo[i]] != i {
+					t.Fatalf("instance %d: RelTo/RelFrom are not inverses at %d", qi, i)
+				}
+			}
+			for id := range cn.EqTo {
+				if cn.EqFrom[cn.EqTo[id]] != id {
+					t.Fatalf("instance %d: EqTo/EqFrom are not inverses at %d", qi, id)
+				}
+			}
+			q2 := permuted(t, q, rng.Perm(len(q.Rels)), nil)
+			cn2 := q2.Canon()
+			if cn.Encoding != cn2.Encoding {
+				t.Fatalf("instance %d: equivalent spellings disagree on encoding", qi)
+			}
+			for pos := range cn.RelFrom {
+				if q.Rels[cn.RelFrom[pos]] != q2.Rels[cn2.RelFrom[pos]] {
+					t.Fatalf("instance %d: canonical position %d backs catalog relation %d vs %d",
+						qi, pos, q.Rels[cn.RelFrom[pos]], q2.Rels[cn2.RelFrom[pos]])
+				}
+			}
+			if q.NumEqClasses() != q2.NumEqClasses() {
+				t.Fatalf("instance %d: class counts differ", qi)
+			}
+			for rank := 0; rank < q.NumEqClasses(); rank++ {
+				if a, b := eqMembers(q, cn, rank), eqMembers(q2, cn2, rank); a != b {
+					t.Fatalf("instance %d: canonical class %d has members {%s} vs {%s}", qi, rank, a, b)
+				}
 			}
 		}
 	}

@@ -10,6 +10,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"sdpopt/internal/bits"
 	"sdpopt/internal/catalog"
@@ -61,6 +62,11 @@ type Query struct {
 	numEq   int
 	// predsBetween[i] lists predicate indexes incident to relation i.
 	predsByRel [][]int
+
+	// canon memoizes the canonical frame (see Canon); queries are
+	// immutable after construction, so it is computed at most once.
+	canonOnce sync.Once
+	canon     *Canon
 }
 
 type colRef struct{ rel, col int }

@@ -13,10 +13,15 @@
 //   - deadlines — a per-request timeout becomes a context deadline threaded
 //     into the engines' cancellation path, mapped to 504, distinct from the
 //     paper's memory-budget abort, which is a well-defined optimizer
-//     outcome and maps to 200 with budget_exceeded set;
+//     outcome and maps to 200 with budget_exceeded set; cache-filling
+//     computes are shared property and run detached from the triggering
+//     request, under the server-wide timeout and default budget;
 //   - caching — results are keyed by fingerprint × technique × catalog
 //     version (see internal/plancache), so only the first arrival of a
-//     query shape pays for enumeration;
+//     query shape pays for enumeration; plans are stored in the canonical
+//     query frame and relabeled into each requester's relation numbering,
+//     so a hit from an equivalently-shaped but differently-ordered spelling
+//     still names the right relations;
 //   - observability — requests, sheds, in-flight and queue gauges, and a
 //     latency histogram split by cache source flow through internal/obs and
 //     are exposed on the same listener at /metrics.
@@ -64,10 +69,15 @@ type Options struct {
 	MaxQueue int
 	// Budget is the default memory-feasibility budget per optimization
 	// (default memo.DefaultBudget, the paper's 1 GB); requests may lower
-	// or raise it via budget_mb.
+	// or raise it via budget_mb. Cache-filling computes always run under
+	// this default — a budget_mb override routes the request down the
+	// uncached path (see OptimizeRequest.BudgetMB).
 	Budget int64
 	// Timeout caps every optimization's wall time (default 30s); requests
-	// may shorten it via timeout_ms but never exceed it.
+	// may shorten it via timeout_ms but never exceed it. The shortened
+	// deadline applies to uncached optimizations only: a cache-filling
+	// compute is shared property and always runs under the full Timeout,
+	// detached from the request that happened to trigger it.
 	Timeout time.Duration
 }
 
@@ -139,8 +149,16 @@ type OptimizeRequest struct {
 	// Technique selects the optimizer (see Techniques); empty means "sdp".
 	Technique string `json:"technique,omitempty"`
 	// BudgetMB overrides the server's memory-feasibility budget, in MB.
+	// Overriding takes the uncached path (no lookup, no fill): cached
+	// entries are always computed under the server's default budget, so
+	// identical requests get identical outcomes regardless of which budget
+	// an earlier caller happened to use.
 	BudgetMB int64 `json:"budget_mb,omitempty"`
-	// TimeoutMS shortens the server's optimization deadline, in ms.
+	// TimeoutMS shortens the server's optimization deadline, in ms. The
+	// shortened deadline binds uncached optimizations only; a request that
+	// triggers or joins a shared cache-filling compute waits for that
+	// compute, which runs under the server-wide timeout — one caller's
+	// short deadline never poisons the entry served to coalesced waiters.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache bypasses the plan cache for this request (no lookup, no
 	// fill).
@@ -347,6 +365,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	if technique == "" {
 		technique = "sdp"
 	}
+	// Canonicalization (and the fingerprint digested from it) runs here,
+	// inside the admission slot, so its bounded labeling search counts
+	// against MaxConcurrent like any other per-request CPU work.
+	cn := q.Canon()
+	if cn.Truncated {
+		if c := s.ob.Counter(obs.MServerCanonTruncated); c != nil {
+			c.Add(1)
+		}
+	}
 	resp := &OptimizeResponse{
 		Technique:      technique,
 		Fingerprint:    q.Fingerprint(),
@@ -354,7 +381,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Source:         "uncached",
 	}
 
-	best, stats, src, err := s.run(ctx, technique, q, budget, &req, resp.Fingerprint)
+	best, stats, src, err := s.run(ctx, technique, q, budget, &req)
 	resp.Source = src
 
 	code := http.StatusOK
@@ -397,16 +424,41 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 
 // run executes (or serves from cache) one optimization, returning the
 // cache-source label.
-func (s *Server) run(ctx context.Context, technique string, q *query.Query, budget int64, req *OptimizeRequest, fp string) (*plan.Plan, dp.Stats, string, error) {
-	if s.cache == nil || req.NoCache {
+//
+// The uncached path (no cache configured, no_cache set, or a budget_mb
+// override) runs under the request's own deadline and budget. The cached
+// path treats the compute as shared property: it runs under a context
+// detached from the request that happened to arrive first — bounded by the
+// server-wide timeout — and under the server default budget, so one
+// caller's short deadline or unusual budget never determines the outcome
+// served to coalesced waiters and later hits.
+//
+// Cached plans are stored in the query's canonical frame: a hit may come
+// from a semantically equivalent but differently-ordered spelling, whose
+// query-local relation indexes and order-class ids mean different relations
+// than the requester's. Each compute relabels its plan into the canonical
+// frame before the cache stores it, and every result is relabeled back into
+// the requesting query's frame before rendering.
+func (s *Server) run(ctx context.Context, technique string, q *query.Query, budget int64, req *OptimizeRequest) (*plan.Plan, dp.Stats, string, error) {
+	if s.cache == nil || req.NoCache || budget != s.budget {
 		p, st, err := Optimize(ctx, technique, q, budget, s.ob)
 		return p, st, "uncached", err
 	}
-	key := plancache.Key{Fingerprint: fp, Technique: technique, CatalogVersion: s.catVersion}
+	cn := q.Canon()
+	key := plancache.Key{Fingerprint: q.Fingerprint(), Technique: technique, CatalogVersion: s.catVersion}
 	p, st, src, err := s.cache.Do(key, func() (*plan.Plan, dp.Stats, error) {
-		return Optimize(ctx, technique, q, budget, s.ob)
+		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.timeout)
+		defer cancel()
+		p, st, err := Optimize(cctx, technique, q, s.budget, s.ob)
+		if err != nil {
+			return nil, st, err
+		}
+		return p.Remap(cn.RelTo, cn.EqTo), st, nil
 	})
-	return p, st, src.String(), err
+	if err != nil {
+		return nil, st, src.String(), err
+	}
+	return p.Remap(cn.RelFrom, cn.EqFrom), st, src.String(), nil
 }
 
 // buildQuery materializes the request's query from SQL or the explicit

@@ -381,3 +381,108 @@ func TestAllTechniques(t *testing.T) {
 		}
 	}
 }
+
+// TestCacheHitRelabelsAcrossSpellings: a cache hit may come from a
+// semantically equivalent spelling whose query-local relation numbering
+// differs from the requester's. The served plan must name the requesting
+// query's relations. Relabeling preserves the catalog relation behind every
+// leaf, so the hit must render exactly the caching spelling's Shape —
+// before the fix it rendered the cacher's indexes under the requester's
+// names, misattributing every scan.
+func TestCacheHitRelabelsAcrossSpellings(t *testing.T) {
+	cache := plancache.New(plancache.Options{})
+	_, ts := newTestServer(t, Options{Cache: cache})
+
+	// Warm the cache with the SQL spelling: relation order R1, R2, R3.
+	code, warm := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, Explain: true})
+	if code != http.StatusOK || warm.Source != "miss" {
+		t.Fatalf("warmup: code %d, %+v", code, warm)
+	}
+
+	// The same query with its relation list reversed: R3, R2, R1.
+	reversed := OptimizeRequest{Explain: true, Query: &QuerySpec{
+		Rels: []int{2, 1, 0},
+		Preds: []PredSpec{
+			{LeftRel: 2, LeftCol: 0, RightRel: 1, RightCol: 0},
+			{LeftRel: 1, LeftCol: 1, RightRel: 0, RightCol: 1},
+		},
+		Filters: []FilterSpec{{Rel: 0, Col: 2, Bound: 100}},
+		OrderBy: &OrderSpec{Rel: 2, Col: 0},
+	}}
+	code, hit := postOptimize(t, ts.URL, reversed)
+	if code != http.StatusOK || hit.Source != "hit" {
+		t.Fatalf("reversed spelling: code %d, %+v", code, hit)
+	}
+	if hit.Fingerprint != warm.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", hit.Fingerprint, warm.Fingerprint)
+	}
+	if hit.Shape != warm.Shape {
+		t.Fatalf("hit misattributes relations:\nhit    %s\ncached %s", hit.Shape, warm.Shape)
+	}
+	if hit.Cost != warm.Cost {
+		t.Fatalf("hit cost %g != cached cost %g", hit.Cost, warm.Cost)
+	}
+	// Equivalence-class ids are query-local too: the two spellings assign
+	// the classes {a.c1, b.c1} and {b.c2, c.c2} opposite ids (query.New
+	// numbers classes by their lowest (rel, col) member), so the hit's
+	// EXPLAIN must be the warm EXPLAIN with ec0 and ec1 exchanged.
+	wantExplain := strings.NewReplacer("order=ec0", "order=ecX", "order=ec1", "order=ec0").Replace(warm.Explain)
+	wantExplain = strings.ReplaceAll(wantExplain, "order=ecX", "order=ec1")
+	if hit.Explain != wantExplain {
+		t.Fatalf("hit EXPLAIN not relabeled into the requester's classes:\n%s\nwant\n%s", hit.Explain, wantExplain)
+	}
+	if len(hit.Rels) != 3 || hit.Rels[0] != "R3" || hit.Rels[2] != "R1" {
+		t.Fatalf("rels not in the requester's order: %v", hit.Rels)
+	}
+}
+
+// TestCachedComputeDetachedFromRequestDeadline: a cache-filling compute is
+// shared property — the triggering caller's tiny timeout_ms must not abort
+// it (previously the flight inherited that deadline, 504ing every waiter
+// and leaving nothing cached).
+func TestCachedComputeDetachedFromRequestDeadline(t *testing.T) {
+	cache := plancache.New(plancache.Options{})
+	_, ts := newTestServer(t, Options{Cache: cache})
+	qs, err := workload.Instances(workload.Spec{
+		Cat: workload.PaperSchema(), Topology: workload.Star, NumRelations: 12, Seed: 3,
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive DP on a 12-star needs ~half a second, far beyond 1 ms; the
+	// detached compute still runs to completion under the server-wide cap.
+	code, resp := postOptimize(t, ts.URL, OptimizeRequest{
+		SQL: qs[0].SQL(), Technique: "dp", TimeoutMS: 1,
+	})
+	if code != http.StatusOK || resp.Source != "miss" || resp.Cost <= 0 {
+		t.Fatalf("short-deadline filler: code %d, %+v", code, resp)
+	}
+	code, resp = postOptimize(t, ts.URL, OptimizeRequest{SQL: qs[0].SQL(), Technique: "dp"})
+	if code != http.StatusOK || resp.Source != "hit" {
+		t.Fatalf("follow-up: code %d, source %q — the filler's result was not cached", code, resp.Source)
+	}
+}
+
+// TestBudgetOverrideBypassesCache: budget_mb overrides neither read nor
+// write cache entries, so a response can never depend on which budget an
+// earlier caller happened to use.
+func TestBudgetOverrideBypassesCache(t *testing.T) {
+	cache := plancache.New(plancache.Options{})
+	_, ts := newTestServer(t, Options{Cache: cache})
+
+	code, warm := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL})
+	if code != http.StatusOK || warm.Source != "miss" {
+		t.Fatalf("warmup: code %d, %+v", code, warm)
+	}
+	code, over := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, BudgetMB: 64})
+	if code != http.StatusOK || over.Source != "uncached" {
+		t.Fatalf("override: code %d, source %q, want uncached", code, over.Source)
+	}
+	code, again := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL})
+	if code != http.StatusOK || again.Source != "hit" {
+		t.Fatalf("post-override: code %d, source %q, want hit", code, again.Source)
+	}
+	if ct := cache.Counts(); ct.Entries != 1 || ct.Misses != 1 {
+		t.Fatalf("override touched the cache: %+v", ct)
+	}
+}

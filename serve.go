@@ -78,6 +78,15 @@ func ReadCatalogJSON(r io.Reader) (*Catalog, error) { return catalog.ReadJSON(r)
 // optimization. The boolean reports whether the result came from cache.
 // Budget 0 selects DefaultBudget; ctx cancellation aborts an actual
 // optimization with ErrCanceled but never invalidates cached entries.
+//
+// Plans are cached in the query's canonical frame and relabeled into each
+// caller's query-local relation numbering, so a hit served to an
+// equivalent-but-differently-ordered spelling still references the right
+// relations. Two caveats relative to the HTTP server's stricter serving
+// semantics: ctx and budget belong to whichever call runs the compute, so
+// coalesced and later callers share that call's outcome — use one budget
+// per cache (the budget is not part of the key) and bypass the cache for
+// feasibility probes under unusual budgets.
 func OptimizeCached(ctx context.Context, pc *PlanCache, q *Query, technique string, budget int64) (*Plan, Stats, bool, error) {
 	if budget == 0 {
 		budget = DefaultBudget
@@ -85,13 +94,21 @@ func OptimizeCached(ctx context.Context, pc *PlanCache, q *Query, technique stri
 	if technique == "" {
 		technique = "sdp"
 	}
+	cn := q.Canon()
 	key := PlanCacheKey{
 		Fingerprint:    q.Fingerprint(),
 		Technique:      technique,
 		CatalogVersion: q.Cat.Fingerprint(),
 	}
 	p, st, src, err := pc.Do(key, func() (*Plan, Stats, error) {
-		return server.Optimize(ctx, technique, q, budget, nil)
+		p, st, err := server.Optimize(ctx, technique, q, budget, nil)
+		if err != nil {
+			return nil, st, err
+		}
+		return p.Remap(cn.RelTo, cn.EqTo), st, nil
 	})
-	return p, st, src != plancache.Miss, err
+	if err != nil {
+		return nil, st, src != plancache.Miss, err
+	}
+	return p.Remap(cn.RelFrom, cn.EqFrom), st, src != plancache.Miss, nil
 }
