@@ -162,6 +162,25 @@ func BenchmarkOptimizeDPChain(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeParallelStar measures the level-synchronous parallel
+// engine against its sequential baseline on a 15-relation star. Plans are
+// identical by contract at every worker count, so the interesting number is
+// wall time — expect ~1× on a single core and scaling with GOMAXPROCS
+// beyond it.
+func BenchmarkOptimizeParallelStar(b *testing.B) {
+	q := benchQueries(b, sdpopt.Star, 15)[0]
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := sdpopt.OptimizeDP(q, sdpopt.DPOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOptimizeSDPStar measures SDP on the hub-heavy workloads it was
 // designed for.
 func BenchmarkOptimizeSDPStar(b *testing.B) {

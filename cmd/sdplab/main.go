@@ -58,11 +58,16 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   sdplab list
-  sdplab run -exp <id|all> [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W]
-             [-cache N] [-trace FILE.jsonl] [-metrics ADDR]
-  sdplab bench [-instances N] [-seed S] [-budget MB] [-skewed] [-workers W] [-cache N] [-out DIR]
-  sdplab serve [-addr ADDR] [-catalog FILE.json] [-skewed] [-cache N] [-shards N]
-             [-max-concurrent N] [-queue N] [-budget MB] [-timeout D] [-trace FILE.jsonl]`)
+  sdplab run -exp <id|all> [-instances N] [-seed S] [-budget MB] [-skewed] [-parallel P]
+             [-workers W] [-cache N] [-trace FILE.jsonl] [-metrics ADDR]
+  sdplab bench [-instances N] [-seed S] [-budget MB] [-skewed] [-parallel P] [-workers W]
+             [-cache N] [-out DIR]
+  sdplab serve [-addr ADDR] [-catalog FILE.json] [-skewed] [-workers W] [-cache N] [-shards N]
+             [-max-concurrent N] [-queue N] [-budget MB] [-timeout D] [-trace FILE.jsonl]
+
+-parallel runs P optimizations concurrently (harness throughput); -workers
+splits each optimization's enumeration across W cores (plan-identical,
+latency only).`)
 }
 
 // enableObservability installs the process-wide observer from the -trace
@@ -100,7 +105,8 @@ func runCmd(args []string) error {
 	seed := fs.Int64("seed", 42, "workload sampling seed")
 	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
 	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
-	workers := fs.Int("workers", 1, "concurrent optimizations (keep 1 for timing-faithful overhead tables)")
+	parallel := fs.Int("parallel", 1, "concurrent optimizations (keep 1 for timing-faithful overhead tables)")
+	workers := fs.Int("workers", 1, "enumeration workers per optimization (>1 = parallel engine; plan-identical)")
 	cacheEntries := fs.Int("cache", 0, "route optimizations through a plan cache of this capacity (0 = off; skews timing tables)")
 	tracePath := fs.String("trace", "", "stream optimizer events to this JSONL file")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
@@ -115,11 +121,12 @@ func runCmd(args []string) error {
 		return err
 	}
 	cfg := sdpopt.ExperimentConfig{
-		Instances: *instances,
-		Seed:      *seed,
-		Budget:    *budgetMB << 20,
-		Skewed:    *skewed,
-		Workers:   *workers,
+		Instances:   *instances,
+		Seed:        *seed,
+		Budget:      *budgetMB << 20,
+		Skewed:      *skewed,
+		Workers:     *parallel,
+		EnumWorkers: *workers,
 	}
 	if *cacheEntries > 0 {
 		cfg.Cache = sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{MaxEntries: *cacheEntries, Obs: sdpopt.DefaultObserver()})
@@ -161,18 +168,20 @@ func benchCmd(args []string) error {
 	seed := fs.Int64("seed", 42, "workload sampling seed")
 	budgetMB := fs.Int64("budget", 0, "memory budget in MB (0 = the paper's 1024)")
 	skewed := fs.Bool("skewed", false, "use the exponentially-skewed schema")
-	workers := fs.Int("workers", 1, "concurrent optimizations")
+	parallel := fs.Int("parallel", 1, "concurrent optimizations")
+	workers := fs.Int("workers", 1, "enumeration workers per optimization (>1 = parallel engine; plan-identical)")
 	cacheEntries := fs.Int("cache", 0, "route batch optimizations through a plan cache of this capacity (0 = off)")
 	out := fs.String("out", ".", "directory for the BENCH_<date>.json report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := sdpopt.ExperimentConfig{
-		Instances: *instances,
-		Seed:      *seed,
-		Budget:    *budgetMB << 20,
-		Skewed:    *skewed,
-		Workers:   *workers,
+		Instances:   *instances,
+		Seed:        *seed,
+		Budget:      *budgetMB << 20,
+		Skewed:      *skewed,
+		Workers:     *parallel,
+		EnumWorkers: *workers,
 	}
 	if *cacheEntries > 0 {
 		cfg.Cache = sdpopt.NewPlanCache(sdpopt.PlanCacheOptions{MaxEntries: *cacheEntries})

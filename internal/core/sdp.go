@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"sdpopt/internal/bits"
@@ -40,6 +41,7 @@ import (
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/pardp"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 	"sdpopt/internal/skyline"
@@ -117,6 +119,13 @@ type Options struct {
 	Partitioning Partitioning
 	Skyline      SkylineOption
 	Scope        Scope
+	// Workers selects the enumeration engine: 0 or 1 runs the sequential DP
+	// substrate, >1 the level-synchronous parallel engine (internal/pardp)
+	// with that many workers. Results are bit-for-bit identical either way —
+	// pardp's determinism contract. When parallel, the per-level skyline
+	// masks of independent hub partitions are also computed concurrently at
+	// the level barrier.
+	Workers int
 	// Budget is the simulated-memory feasibility limit (0 = unlimited).
 	Budget int64
 	// Ctx, if non-nil, bounds the optimization; cancellation aborts with
@@ -192,27 +201,57 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	costedAtStart := model.PlansCosted
 	s := newSDP(q, opts, ob)
 	done := dp.ObserveRun(ob, "SDP", q)
-	e, err := dp.NewEngine(q, dp.BaseLeaves(q), dp.Options{
-		Budget: opts.Budget,
-		Ctx:    opts.Ctx,
-		Model:  model,
-		Hook:   s.hook,
-		Obs:    ob,
-		Label:  "SDP",
-	})
+	// Both engines run the same DPsize semantics with s.hook at every level
+	// barrier; which one carries the search is just a Workers knob.
+	var eng interface {
+		Run(toLevel int) error
+		Finalize() (*plan.Plan, error)
+	}
+	var memoStats func() memo.Stats
+	var err error
+	if opts.Workers > 1 {
+		pe, perr := pardp.NewEngine(q, dp.BaseLeaves(q), pardp.Options{
+			Workers: opts.Workers,
+			Budget:  opts.Budget,
+			Ctx:     opts.Ctx,
+			Model:   model,
+			Hook:    s.hook,
+			Obs:     ob,
+			Label:   "SDP",
+		})
+		err = perr
+		if pe != nil {
+			eng = pe
+			memoStats = func() memo.Stats { return pe.Memo().Stats }
+		}
+	} else {
+		de, derr := dp.NewEngine(q, dp.BaseLeaves(q), dp.Options{
+			Budget: opts.Budget,
+			Ctx:    opts.Ctx,
+			Model:  model,
+			Hook:   s.hook,
+			Obs:    ob,
+			Label:  "SDP",
+		})
+		err = derr
+		if de != nil {
+			eng = de
+			memoStats = func() memo.Stats { return de.Memo.Stats }
+		}
+	}
 	stats := func() dp.Stats {
 		st := dp.Stats{PlansCosted: model.PlansCosted - costedAtStart, Elapsed: time.Since(started)}
-		if e != nil {
-			st.Memo = e.Memo.Stats
+		if memoStats != nil {
+			st.Memo = memoStats()
 		}
 		return st
 	}
 	if err == nil {
-		err = e.Run(q.NumRelations())
+		err = eng.Run(q.NumRelations())
 	}
 	var p *plan.Plan
 	if err == nil {
-		p, err = e.Finalize()
+		p, err = eng.Finalize()
 	}
 	st := stats()
 	done(st, p, err)
@@ -322,13 +361,18 @@ func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
 		}
 	}
 
-	// A JCR must survive in every hub partition it appears in.
+	// A JCR must survive in every hub partition it appears in. The skyline
+	// masks of distinct partitions are independent, so with a parallel
+	// engine they are computed concurrently — SDP's reduce at the level
+	// barrier — and then reported (counters, events) in sorted-label order,
+	// keeping telemetry byte-identical to the sequential run.
+	labels := sortedLabels(partitions)
+	masks := s.partitionMasks(level, labels, partitions)
 	survive := map[bits.Set]bool{}
 	seen := map[bits.Set]bool{}
-	labels := sortedLabels(partitions)
 	for _, label := range labels {
 		part := partitions[label]
-		mask := s.observedMask(level, label, part)
+		mask := masks[label]
 		for i, c := range part {
 			if !seen[c.Set] {
 				seen[c.Set] = true
@@ -479,24 +523,75 @@ func (s *sdp) relHasOrderColumn(r, ec int) bool {
 	return false
 }
 
-// observedMask computes the survivor mask of one skyline partition and
-// reports it: candidate/survivor counters (per RC/CS/RS criterion under
-// Option 2, reusing the pairwise masks the pruning computes anyway) and an
-// "sdp.partition" event. With telemetry off it is exactly the bare mask.
-func (s *sdp) observedMask(level int, label string, classes []*memo.Class) []bool {
-	pts := featurePoints(classes)
-	if s.ob == nil {
-		return s.maskOf(pts)
+// partitionMasks computes the skyline mask of every partition, keyed by
+// label. Partitions are independent, so when the run is parallel
+// (Options.Workers > 1) and there is more than one, the masks are computed
+// concurrently; reporting still happens sequentially in the caller's sorted
+// label order so counters and events stay byte-identical to the sequential
+// engine's.
+func (s *sdp) partitionMasks(level int, labels []string, partitions map[string][]*memo.Class) map[string][]bool {
+	masks := make(map[string][]bool, len(labels))
+	if s.opts.Workers > 1 && len(labels) > 1 {
+		type res struct {
+			mask  []bool
+			pairs [][]bool
+		}
+		results := make([]res, len(labels))
+		sem := make(chan struct{}, s.opts.Workers)
+		var wg sync.WaitGroup
+		for li, label := range labels {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(li int, part []*memo.Class) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				m, pm := s.computeMask(part)
+				results[li] = res{m, pm}
+			}(li, partitions[label])
+		}
+		wg.Wait()
+		for li, label := range labels {
+			masks[label] = results[li].mask
+			s.reportMask(level, label, len(partitions[label]), results[li].mask, results[li].pairs)
+		}
+		return masks
 	}
-	var mask []bool
-	var pairMasks [][]bool
-	if s.opts.Skyline == Option2 {
-		mask, pairMasks = skyline.DisjunctivePairwiseMasks(pts, skyline.RCSPairs)
-	} else {
-		mask = s.maskOf(pts)
+	for _, label := range labels {
+		masks[label] = s.observedMask(level, label, partitions[label])
+	}
+	return masks
+}
+
+// observedMask computes the survivor mask of one skyline partition and
+// reports it. With telemetry off it is exactly the bare mask.
+func (s *sdp) observedMask(level int, label string, classes []*memo.Class) []bool {
+	mask, pairMasks := s.computeMask(classes)
+	s.reportMask(level, label, len(classes), mask, pairMasks)
+	return mask
+}
+
+// computeMask is the pure half: the survivor mask under the configured
+// skyline option, plus the per-criterion pairwise masks when telemetry will
+// want them (Option 2 with an observer attached — they fall out of the
+// pruning computation anyway).
+func (s *sdp) computeMask(classes []*memo.Class) ([]bool, [][]bool) {
+	pts := featurePoints(classes)
+	if s.ob != nil && s.opts.Skyline == Option2 {
+		mask, pairMasks := skyline.DisjunctivePairwiseMasks(pts, skyline.RCSPairs)
+		return mask, pairMasks
+	}
+	return s.maskOf(pts), nil
+}
+
+// reportMask is the telemetry half: candidate/survivor counters (per
+// RC/CS/RS criterion under Option 2) and an "sdp.partition" event. Call in
+// sorted-label order only.
+func (s *sdp) reportMask(level int, label string, size int, mask []bool, pairMasks [][]bool) {
+	if s.ob == nil {
+		return
 	}
 	surv := countTrue(mask)
-	s.cCand.Add(int64(len(classes)))
+	s.cCand.Add(int64(size))
 	s.cSurvAll.Add(int64(surv))
 	var attrs map[string]any
 	if s.ob.Tracing() {
@@ -504,7 +599,7 @@ func (s *sdp) observedMask(level int, label string, classes []*memo.Class) []boo
 			"tech":      "SDP",
 			"level":     level,
 			"label":     label,
-			"size":      len(classes),
+			"size":      size,
 			"survivors": surv,
 		}
 	}
@@ -521,7 +616,6 @@ func (s *sdp) observedMask(level int, label string, classes []*memo.Class) []boo
 	if attrs != nil {
 		s.ob.Emit(obs.EvSDPPartition, attrs)
 	}
-	return mask
 }
 
 // maskOf computes the survivor mask over feature points under the

@@ -9,8 +9,10 @@ import (
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 	"sdpopt/internal/testutil"
+	"sdpopt/internal/workload"
 )
 
 func fixture(t *testing.T, n int, edges []query.Edge, order *query.OrderSpec) *query.Query {
@@ -394,5 +396,75 @@ func TestTraceString(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("trace rendering missing %q:\n%s", frag, out)
 		}
+	}
+}
+
+func TestParallelSDPMatchesSequential(t *testing.T) {
+	// The parallel engine's determinism contract extends through SDP: hub
+	// detection, skyline pruning and the chosen plan are identical, and so is
+	// the pruning telemetry (traces, skyline counters).
+	cat := workload.PaperSchema()
+	for _, spec := range []workload.Spec{
+		{Cat: cat, Topology: workload.Star, NumRelations: 15, Seed: 1},
+		{Cat: cat, Topology: workload.StarChain, NumRelations: 17, Seed: 2},
+		{Cat: cat, Topology: workload.Star, NumRelations: 12, Ordered: true, Seed: 3},
+	} {
+		qs, err := workload.Instances(spec, 2)
+		if err != nil {
+			t.Fatalf("Instances: %v", err)
+		}
+		for qi, q := range qs {
+			var seqTrace Trace
+			seqOpts := DefaultOptions()
+			seqOpts.Trace = &seqTrace
+			want, wantStats, err := Optimize(q, seqOpts)
+			if err != nil {
+				t.Fatalf("%v q%d sequential: %v", spec.Topology, qi, err)
+			}
+			for _, workers := range []int{2, 4} {
+				var parTrace Trace
+				parOpts := DefaultOptions()
+				parOpts.Workers = workers
+				parOpts.Trace = &parTrace
+				got, gotStats, err := Optimize(q, parOpts)
+				if err != nil {
+					t.Fatalf("%v q%d w=%d: %v", spec.Topology, qi, workers, err)
+				}
+				if plan.Compare(want, got) != 0 {
+					t.Errorf("%v q%d w=%d: plan diverged (cost %g vs %g)",
+						spec.Topology, qi, workers, want.Cost, got.Cost)
+				}
+				if wantStats.PlansCosted != gotStats.PlansCosted {
+					t.Errorf("%v q%d w=%d: PlansCosted %d != %d",
+						spec.Topology, qi, workers, wantStats.PlansCosted, gotStats.PlansCosted)
+				}
+				if wantStats.Memo.ClassesCreated != gotStats.Memo.ClassesCreated {
+					t.Errorf("%v q%d w=%d: ClassesCreated %d != %d",
+						spec.Topology, qi, workers, wantStats.Memo.ClassesCreated, gotStats.Memo.ClassesCreated)
+				}
+				if seqStr, parStr := seqTrace.String(), parTrace.String(); seqStr != parStr {
+					t.Errorf("%v q%d w=%d: pruning trace diverged:\nseq:\n%s\npar:\n%s",
+						spec.Topology, qi, workers, seqStr, parStr)
+				}
+			}
+		}
+	}
+}
+
+func TestParallelSDPBudgetAbort(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := workload.One(workload.Spec{Cat: cat, Topology: workload.Star, NumRelations: 17, Seed: 4})
+	if err != nil {
+		t.Fatalf("One: %v", err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	opts.Budget = 128 * 1024
+	_, st, err := Optimize(q, opts)
+	if !errors.Is(err, memo.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if st.Elapsed <= 0 {
+		t.Error("Elapsed not populated on parallel budget abort")
 	}
 }

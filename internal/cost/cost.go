@@ -90,6 +90,17 @@ func NewModel(q *query.Query, params Params) *Model {
 	return m
 }
 
+// Fork returns a copy of the model for one parallel enumeration worker: the
+// precomputed per-query statistics are shared (they are read-only after
+// NewModel, so sharing is race-free), while PlansCosted restarts at zero so
+// workers count without synchronizing. The parallel engine folds the forks'
+// counts back into the parent at each level barrier.
+func (m *Model) Fork() *Model {
+	cp := *m
+	cp.PlansCosted = 0
+	return &cp
+}
+
 // FilterSel estimates a range filter's selectivity from the column's
 // value distribution (ANALYZE-style: the CDF a histogram encodes), so
 // skewed columns — where most rows carry small values — estimate

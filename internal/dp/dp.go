@@ -19,6 +19,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
+	"strconv"
 	"time"
 
 	"sdpopt/internal/bits"
@@ -50,9 +52,17 @@ type Leaf struct {
 }
 
 // LevelHook runs after each enumeration level with the classes newly
-// created at that level. It may prune classes from the memo (SDP) and may
-// abort the optimization by returning an error.
+// created at that level, in canonical set order (the sequential and
+// parallel engines present the identical slice, so hook decisions — SDP's
+// pruning — are engine-independent). It may prune classes from the memo
+// (SDP) and may abort the optimization by returning an error.
 type LevelHook func(level int, m *memo.Memo, created []*memo.Class) error
+
+// SortClasses orders classes canonically by relation set — the order level
+// hooks observe in both the sequential and the parallel engine.
+func SortClasses(cs []*memo.Class) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Set < cs[j].Set })
+}
 
 // Options configures an engine run.
 type Options struct {
@@ -110,9 +120,10 @@ type Engine struct {
 	started       time.Time
 
 	// Telemetry handles, resolved once at construction; all nil-safe.
+	// (The per-level histogram is labeled by level and resolved per level —
+	// a handful of lookups per run, not per event.)
 	ob     *obs.Observer
 	label  string
-	mLevel *obs.Histogram
 	cPlans *obs.Counter
 }
 
@@ -140,7 +151,6 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 		started:       time.Now(),
 		ob:            ob,
 		label:         label,
-		mLevel:        ob.Histogram(obs.MLevelSeconds),
 		cPlans:        ob.Counter(obs.MPlansCosted),
 	}
 	e.Memo.Observe(ob)
@@ -199,7 +209,9 @@ func (e *Engine) seedLevel1() error {
 		}
 	}
 	if e.hook != nil {
-		if err := e.hook(1, e.Memo, e.Memo.Level(1)); err != nil {
+		created := e.Memo.Level(1)
+		SortClasses(created)
+		if err := e.hook(1, e.Memo, created); err != nil {
 			return err
 		}
 	}
@@ -246,6 +258,7 @@ func (e *Engine) Run(toLevel int) error {
 		prevCosted := e.Model.PlansCosted
 		created, err := e.runLevel(k)
 		if err == nil && e.hook != nil {
+			SortClasses(created)
 			err = e.hook(k, e.Memo, created)
 		}
 		e.observeLevel(k, lvStart, prevCosted, len(created), err)
@@ -265,7 +278,9 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, create
 		return
 	}
 	d := time.Since(started)
-	e.mLevel.Observe(d)
+	// Labeled per level so sequential level profiles line up against the
+	// parallel engine's in sdptrace and on /metrics.
+	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
 	costed := e.Model.PlansCosted - prevCosted
 	e.cPlans.Add(costed)
 	if e.ob.Tracing() {
@@ -393,7 +408,7 @@ func (e *Engine) Finalize() (*plan.Plan, error) {
 		return best, nil
 	}
 	sorted := e.Model.SortPlan(best, ec)
-	if pre, ok := cls.Ordered[ec]; ok && pre.Cost < sorted.Cost {
+	if pre, ok := cls.Ordered[ec]; ok && plan.Less(pre, sorted) {
 		return pre, nil
 	}
 	return sorted, nil

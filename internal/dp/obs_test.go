@@ -2,6 +2,7 @@ package dp
 
 import (
 	"errors"
+	"strconv"
 	"testing"
 
 	"sdpopt/internal/memo"
@@ -52,8 +53,12 @@ func TestObserveRunMetricsAndEvents(t *testing.T) {
 	if got := ob.Gauge(obs.MMemoPeakSimBytes).Value(); got != stats.Memo.PeakSimBytes {
 		t.Errorf("peak gauge = %d, stats say %d", got, stats.Memo.PeakSimBytes)
 	}
-	if n := ob.Histogram(obs.MLevelSeconds).Count(); n != 5 {
-		t.Errorf("level histogram count = %d, want 5", n)
+	// One labeled histogram per level, one observation each.
+	for k := 1; k <= 5; k++ {
+		name := obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))
+		if n := ob.Histogram(name).Count(); n != 1 {
+			t.Errorf("histogram %s count = %d, want 1", name, n)
+		}
 	}
 	if n := len(sink.ByType(obs.EvOptimizeStart)); n != 1 {
 		t.Errorf("optimize.start events = %d, want 1", n)

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"sdpopt/internal/plancache"
@@ -42,9 +44,46 @@ type BenchReport struct {
 	Date      string       `json:"date"`
 	Seed      int64        `json:"seed"`
 	Instances int          `json:"instances"`
+	Host      BenchHost    `json:"host"`
 	Batches   []BenchBatch `json:"batches"`
 	// Cache reports the plan-cache cold/warm comparison (see CacheBench).
 	Cache *CacheBench `json:"cache,omitempty"`
+	// Parallel reports the enumeration-worker scaling curve (see
+	// ParallelBench).
+	Parallel *ParallelBench `json:"parallel,omitempty"`
+}
+
+// BenchHost records the machine the report was produced on — without it the
+// parallel scaling numbers are uninterpretable (a 1-CPU container cannot
+// show a speedup no matter how good the engine is).
+type BenchHost struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// ParallelBench is the scaling curve of the level-synchronous parallel
+// enumeration engine: the same technique over the same workload at
+// increasing enumeration-worker counts. Speedups are self-relative to the
+// 1-worker point; Identical confirms the determinism contract held (every
+// point produced bit-for-bit the 1-worker plans).
+type ParallelBench struct {
+	Graph     string          `json:"graph"`
+	Relations int             `json:"relations"`
+	Technique string          `json:"technique"`
+	Instances int             `json:"instances"`
+	Points    []ParallelPoint `json:"points"`
+}
+
+// ParallelPoint is one worker count's measurement in a ParallelBench.
+type ParallelPoint struct {
+	Workers     int     `json:"workers"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	// Speedup is the 1-worker mean time over this point's — self-relative,
+	// so 1.0 at workers=1 by construction.
+	Speedup float64 `json:"speedup"`
+	// Identical reports that every instance's plan cost matched the
+	// 1-worker run's bit-for-bit.
+	Identical bool `json:"identical"`
 }
 
 // CacheBench measures what the plan cache buys a serving deployment: one
@@ -88,7 +127,12 @@ func benchBatch(b *Batch) BenchBatch {
 // configurations (Star-Chain-15 with DP as reference, Star-17 beyond DP's
 // feasibility) — and returns the machine-readable report.
 func Bench(c Config, date time.Time) (*BenchReport, error) {
-	r := &BenchReport{Date: date.Format("2006-01-02"), Seed: c.Seed, Instances: c.Instances}
+	r := &BenchReport{
+		Date:      date.Format("2006-01-02"),
+		Seed:      c.Seed,
+		Instances: c.Instances,
+		Host:      BenchHost{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)},
+	}
 	for _, run := range []struct {
 		batch func() (*Batch, error)
 	}{
@@ -106,7 +150,66 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Cache = cb
+	pb, err := benchParallel(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Parallel = pb
 	return r, nil
+}
+
+// benchParallel measures the parallel enumeration engine's scaling curve:
+// SDP over Star-17 at 1/2/4/8 enumeration workers, each point timed over
+// the same instances and checked plan-identical to the 1-worker baseline.
+func benchParallel(c Config) (*ParallelBench, error) {
+	const n = 17
+	spec := c.schema()
+	spec.Topology = workload.Star
+	spec.NumRelations = n
+	qs, err := workload.Instances(*spec, c.instances(3))
+	if err != nil {
+		return nil, err
+	}
+	budget := c.budget()
+	out := &ParallelBench{
+		Graph:     fmt.Sprintf("Star-%d", n),
+		Relations: n,
+		Technique: "SDP",
+		Instances: len(qs),
+	}
+	var baseline []float64
+	var baseMean float64
+	for _, w := range []int{1, 2, 4, 8} {
+		tech := TechSDP(budget, w)
+		var total time.Duration
+		costs := make([]float64, 0, len(qs))
+		for _, q := range qs {
+			started := time.Now()
+			p, _, err := tech.Run(q)
+			if err != nil {
+				return nil, fmt.Errorf("parallel bench (%d workers): %w", w, err)
+			}
+			total += time.Since(started)
+			costs = append(costs, p.Cost)
+		}
+		mean := (total / time.Duration(len(qs))).Seconds()
+		pt := ParallelPoint{Workers: w, MeanSeconds: mean, Identical: true}
+		if baseline == nil {
+			baseline = costs
+			baseMean = mean
+		} else {
+			for i := range costs {
+				if math.Float64bits(costs[i]) != math.Float64bits(baseline[i]) {
+					pt.Identical = false
+				}
+			}
+		}
+		if mean > 0 {
+			pt.Speedup = baseMean / mean
+		}
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
 }
 
 // benchCache runs the cold/warm plan-cache comparison: SDP over

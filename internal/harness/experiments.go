@@ -39,10 +39,11 @@ func (c Config) starChainBatch(n, defInstances int, refDP, ordered bool) (*Batch
 		return nil, err
 	}
 	budget := c.budget()
-	techs := []Technique{TechIDP(7, budget), TechIDP(4, budget), TechSDP(budget)}
+	ew := c.enumWorkers()
+	techs := []Technique{TechIDP(7, budget), TechIDP(4, budget), TechSDP(budget, ew)}
 	ref := "SDP"
 	if refDP {
-		techs = append([]Technique{TechDP(budget)}, techs...)
+		techs = append([]Technique{TechDP(budget, ew)}, techs...)
 		ref = "DP"
 	}
 	graph := fmt.Sprintf("Star-Chain-%d", n)
@@ -69,10 +70,11 @@ func (c Config) starBatch(n, defInstances int, refDP, ordered bool) (*Batch, err
 		return nil, err
 	}
 	budget := c.budget()
-	techs := []Technique{TechIDP(7, budget), TechIDP(4, budget), TechSDP(budget)}
+	ew := c.enumWorkers()
+	techs := []Technique{TechIDP(7, budget), TechIDP(4, budget), TechSDP(budget, ew)}
 	ref := "SDP"
 	if refDP {
-		techs = append([]Technique{TechDP(budget)}, techs...)
+		techs = append([]Technique{TechDP(budget, ew)}, techs...)
 		ref = "DP"
 	}
 	graph := fmt.Sprintf("Star-%d", n)

@@ -20,6 +20,7 @@ import (
 	"sdpopt/internal/idp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/pardp"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/plancache"
 	"sdpopt/internal/quality"
@@ -43,6 +44,13 @@ type Config struct {
 	// Parallel runs keep all results identical but inflate the per-instance
 	// wall-time measurements under CPU contention.
 	Workers int
+	// EnumWorkers is the enumeration worker count inside each DP-substrate
+	// optimization (0 or 1 = the sequential engine, >1 = the parallel
+	// engine, internal/pardp). Orthogonal to Workers: that knob runs many
+	// optimizations at once, this one splits each optimization's level
+	// enumeration across cores. Results are bit-for-bit identical either
+	// way.
+	EnumWorkers int
 	// Cache, if non-nil, routes every optimization through the plan cache
 	// (keyed by fingerprint × technique × catalog version), so repeated
 	// query shapes within and across batches are served without
@@ -58,6 +66,13 @@ func (c Config) workers() int {
 		return 1
 	}
 	return c.Workers
+}
+
+func (c Config) enumWorkers() int {
+	if c.EnumWorkers < 1 {
+		return 1
+	}
+	return c.EnumWorkers
 }
 
 func (c Config) budget() int64 {
@@ -89,11 +104,25 @@ type Technique struct {
 }
 
 // Standard technique constructors. Each closes over the budget so
-// infeasibility surfaces as memo.ErrBudget.
+// infeasibility surfaces as memo.ErrBudget. The optional trailing workers
+// argument (at most one) selects the parallel enumeration engine when >1 —
+// plan-identical to the sequential default, it only changes wall time.
+
+// enumWorkersOf folds the optional variadic workers argument.
+func enumWorkersOf(workers []int) int {
+	if len(workers) == 0 {
+		return 1
+	}
+	return workers[0]
+}
 
 // TechDP is exhaustive dynamic programming.
-func TechDP(budget int64) Technique {
+func TechDP(budget int64, workers ...int) Technique {
+	w := enumWorkersOf(workers)
 	return Technique{Name: "DP", Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+		if w > 1 {
+			return pardp.Optimize(q, pardp.Options{Workers: w, Budget: budget})
+		}
 		return dp.Optimize(q, dp.Options{Budget: budget})
 	}}
 }
@@ -109,15 +138,19 @@ func TechIDP(k int, budget int64) Technique {
 }
 
 // TechSDP is SDP with the paper's default configuration.
-func TechSDP(budget int64) Technique {
-	return TechSDPVariant("SDP", core.DefaultOptions(), budget)
+func TechSDP(budget int64, workers ...int) Technique {
+	return TechSDPVariant("SDP", core.DefaultOptions(), budget, workers...)
 }
 
 // TechSDPVariant is SDP with explicit options, for the ablations.
-func TechSDPVariant(name string, opts core.Options, budget int64) Technique {
+func TechSDPVariant(name string, opts core.Options, budget int64, workers ...int) Technique {
+	w := enumWorkersOf(workers)
 	return Technique{Name: name, Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
 		opts := opts
 		opts.Budget = budget
+		if w > 1 {
+			opts.Workers = w
+		}
 		return core.Optimize(q, opts)
 	}}
 }

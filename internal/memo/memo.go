@@ -198,16 +198,20 @@ func (m *Memo) NewClass(set bits.Set, level int, rows, sel float64) (*Class, err
 // AddPlan offers plan p to class c, retaining it if it improves the
 // cheapest plan or the cheapest plan for its output order — PostgreSQL's
 // add_path dominance rule restricted to the (cost, order) criteria this
-// model tracks. It reports whether p was retained.
+// model tracks. It reports whether p was retained. Cost ties break on
+// plan.Compare's canonical structural order, so the retained plans are a
+// function of the candidate set alone, not of arrival order — the
+// determinism contract the parallel engine's staging table (Sharded)
+// replicates.
 func (m *Memo) AddPlan(c *Class, p *plan.Plan) (bool, error) {
 	before := c.numPaths()
 	kept := false
-	if c.Best == nil || p.Cost < c.Best.Cost {
+	if c.Best == nil || better(p, c.Best) {
 		c.Best = p
 		kept = true
 	}
 	if p.Order != plan.NoOrder {
-		if cur, ok := c.Ordered[p.Order]; !ok || p.Cost < cur.Cost {
+		if cur, ok := c.Ordered[p.Order]; !ok || better(p, cur) {
 			c.Ordered[p.Order] = p
 			kept = true
 		}
@@ -216,7 +220,7 @@ func (m *Memo) AddPlan(c *Class, p *plan.Plan) (bool, error) {
 		// A new Best may dominate previously retained ordered paths that
 		// cost more but deliver an order Best also delivers.
 		if c.Best.Order != plan.NoOrder {
-			if cur, ok := c.Ordered[c.Best.Order]; !ok || c.Best.Cost < cur.Cost {
+			if cur, ok := c.Ordered[c.Best.Order]; !ok || better(c.Best, cur) {
 				c.Ordered[c.Best.Order] = c.Best
 			}
 		}
@@ -228,6 +232,17 @@ func (m *Memo) AddPlan(c *Class, p *plan.Plan) (bool, error) {
 		}
 	}
 	return kept, nil
+}
+
+// better is plan.Less with the cost comparison inlined: it runs once per
+// candidate plan on the enumeration hot path, where cost ties are rare
+// enough that the structural tie-break (plan.Compare's canonical order —
+// the determinism contract) stays off the fast path.
+func better(p, cur *plan.Plan) bool {
+	if p.Cost != cur.Cost {
+		return p.Cost < cur.Cost
+	}
+	return plan.Less(p, cur)
 }
 
 // Remove prunes class c from the memo, releasing its simulated memory (the

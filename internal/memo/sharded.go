@@ -1,0 +1,171 @@
+package memo
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"sdpopt/internal/bits"
+	"sdpopt/internal/plan"
+)
+
+// numShards is the stripe count of the Sharded staging table. 64 stripes
+// keep the expected collision probability low for any plausible worker
+// count while the whole shard array still fits in a few cache lines of
+// mutex state.
+const numShards = 64
+
+// Sharded is a mutex-striped concurrent staging table for one enumeration
+// level of the parallel engine (internal/pardp). Workers publish candidate
+// classes and plans into it while a level runs; at the level barrier the
+// engine drains it — in canonical set order — into the real Memo.
+//
+// The table enforces the same dominance rule as Memo.AddPlan with the same
+// plan.Compare tie-breaking, so the staged winners are a function of the
+// candidate set alone: whatever interleaving the workers ran under, draining
+// reproduces exactly the class contents the sequential engine would have
+// built. Staging keeps the Memo itself single-threaded — its budget
+// accounting, level table and statistics never need a lock.
+type Sharded struct {
+	shards    [numShards]mapShard
+	contended atomic.Int64
+}
+
+type mapShard struct {
+	mu sync.Mutex
+	m  map[bits.Set]*Staged
+}
+
+// NewSharded returns an empty staging table.
+func NewSharded() *Sharded {
+	s := &Sharded{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[bits.Set]*Staged)
+	}
+	return s
+}
+
+// Staged is one candidate class accumulating in the staging table.
+type Staged struct {
+	// Set is the base relations the candidate class covers.
+	Set bits.Set
+	// Rows and Sel are the class's shared cardinality features, computed by
+	// whichever worker first saw the set (canonical per set — see
+	// cost.SetRows — so any worker computes the same values).
+	Rows, Sel float64
+
+	mu      sync.Mutex
+	best    *plan.Plan
+	ordered map[int]*plan.Plan
+}
+
+// shardOf spreads sets across stripes with a Fibonacci multiplicative hash;
+// the high bits select the shard.
+func shardOf(set bits.Set) int {
+	return int((uint64(set) * 0x9E3779B97F4A7C15) >> 58) // 6 bits = numShards
+
+}
+
+// Get returns the staged class for set, creating it on first sight with the
+// features callback (invoked under the shard lock, at most once per set).
+// It reports whether this call created the class. Safe for concurrent use.
+func (s *Sharded) Get(set bits.Set, features func() (rows, sel float64)) (*Staged, bool) {
+	sh := &s.shards[shardOf(set)]
+	s.lock(sh)
+	if st := sh.m[set]; st != nil {
+		sh.mu.Unlock()
+		return st, false
+	}
+	rows, sel := features()
+	st := &Staged{Set: set, Rows: rows, Sel: sel, ordered: map[int]*plan.Plan{}}
+	sh.m[set] = st
+	sh.mu.Unlock()
+	return st, true
+}
+
+// lock acquires a shard's mutex, counting acquisitions that had to wait —
+// the contention signal exported as obs.MParShardContended.
+func (s *Sharded) lock(sh *mapShard) {
+	if !sh.mu.TryLock() {
+		s.contended.Add(1)
+		sh.mu.Lock()
+	}
+}
+
+// Offer folds candidate p into the staged class under Memo.AddPlan's
+// dominance rule and returns the retained-path delta (for the caller's
+// running simulated-memory estimate; it can be negative when a new best
+// displaces an ordered path it also covers). Safe for concurrent use.
+func (st *Staged) Offer(p *plan.Plan) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	before := st.numPaths()
+	kept := false
+	if st.best == nil || better(p, st.best) {
+		st.best = p
+		kept = true
+	}
+	if p.Order != plan.NoOrder {
+		if cur, ok := st.ordered[p.Order]; !ok || better(p, cur) {
+			st.ordered[p.Order] = p
+			kept = true
+		}
+	}
+	if kept && st.best.Order != plan.NoOrder {
+		if cur, ok := st.ordered[st.best.Order]; !ok || better(st.best, cur) {
+			st.ordered[st.best.Order] = st.best
+		}
+	}
+	return st.numPaths() - before
+}
+
+func (st *Staged) numPaths() int {
+	n := 0
+	if st.best != nil {
+		n = 1
+	}
+	for _, p := range st.ordered {
+		if p != st.best {
+			n++
+		}
+	}
+	return n
+}
+
+// Plans returns the staged winners — the best plan first, then the ordered
+// plans in ascending order id. Offering this sequence to a fresh Memo class
+// reproduces exactly the class state the sequential engine ends a level
+// with. Call only from the drained (single-threaded) side of the barrier.
+func (st *Staged) Plans() []*plan.Plan {
+	out := make([]*plan.Plan, 0, 1+len(st.ordered))
+	if st.best != nil {
+		out = append(out, st.best)
+	}
+	orders := make([]int, 0, len(st.ordered))
+	for o := range st.ordered {
+		orders = append(orders, o)
+	}
+	sort.Ints(orders)
+	for _, o := range orders {
+		if p := st.ordered[o]; p != st.best {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Drain returns every staged class in canonical set order. Call only after
+// all workers have stopped publishing (the level barrier).
+func (s *Sharded) Drain() []*Staged {
+	var out []*Staged
+	for i := range s.shards {
+		for _, st := range s.shards[i].m {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Set < out[j].Set })
+	return out
+}
+
+// Contended returns the number of shard-lock acquisitions that had to wait.
+func (s *Sharded) Contended() int64 { return s.contended.Load() }

@@ -63,8 +63,13 @@ type TechSummary struct {
 }
 
 // LevelSummary aggregates one enumeration level across all traced runs.
+// Sequential and parallel spans of the same level aggregate separately
+// (keyed by Workers), so a trace mixing both engines stays comparable.
 type LevelSummary struct {
-	Level       int
+	Level int
+	// Workers is the enumeration worker count the spans ran with (1 for
+	// the sequential engine, which emits no workers attribute).
+	Workers     int
 	Spans       int
 	Total       time.Duration
 	Classes     int64
@@ -103,7 +108,7 @@ type TraceSummary struct {
 func Summarize(records []Record) *TraceSummary {
 	s := &TraceSummary{Events: len(records)}
 	techs := map[string]*TechSummary{}
-	levels := map[int]*LevelSummary{}
+	levels := map[[2]int]*LevelSummary{}
 	crits := map[string]*CriterionSummary{}
 	techOf := func(name string) *TechSummary {
 		t := techs[name]
@@ -129,10 +134,15 @@ func Summarize(records []Record) *TraceSummary {
 			}
 		case EvLevel:
 			lv := int(r.Num("level"))
-			l := levels[lv]
+			w := int(r.Num("workers"))
+			if w == 0 {
+				w = 1
+			}
+			key := [2]int{lv, w}
+			l := levels[key]
 			if l == nil {
-				l = &LevelSummary{Level: lv}
-				levels[lv] = l
+				l = &LevelSummary{Level: lv, Workers: w}
+				levels[key] = l
 			}
 			l.Spans++
 			l.Total += time.Duration(int64(r.Num("dur_ns")))
@@ -169,7 +179,12 @@ func Summarize(records []Record) *TraceSummary {
 	for _, l := range levels {
 		s.Levels = append(s.Levels, *l)
 	}
-	sort.Slice(s.Levels, func(i, j int) bool { return s.Levels[i].Level < s.Levels[j].Level })
+	sort.Slice(s.Levels, func(i, j int) bool {
+		if s.Levels[i].Level != s.Levels[j].Level {
+			return s.Levels[i].Level < s.Levels[j].Level
+		}
+		return s.Levels[i].Workers < s.Levels[j].Workers
+	})
 	for _, c := range []string{"RC", "CS", "RS", "all"} {
 		if cr := crits[c]; cr != nil {
 			s.Criteria = append(s.Criteria, *cr)
@@ -206,10 +221,10 @@ func (s *TraceSummary) Render(topLevels int) string {
 			byTime = byTime[:topLevels]
 		}
 		fmt.Fprintf(&sb, "\nTop %d levels by time\n", len(byTime))
-		fmt.Fprintf(&sb, "%6s %6s %14s %14s %14s\n", "Level", "Spans", "TotalTime", "Classes", "PlansCosted")
+		fmt.Fprintf(&sb, "%6s %8s %6s %14s %14s %14s\n", "Level", "Workers", "Spans", "TotalTime", "Classes", "PlansCosted")
 		for _, l := range byTime {
-			fmt.Fprintf(&sb, "%6d %6d %14v %14d %14d\n",
-				l.Level, l.Spans, l.Total.Round(time.Microsecond), l.Classes, l.PlansCosted)
+			fmt.Fprintf(&sb, "%6d %8d %6d %14v %14d %14d\n",
+				l.Level, l.Workers, l.Spans, l.Total.Round(time.Microsecond), l.Classes, l.PlansCosted)
 		}
 	}
 

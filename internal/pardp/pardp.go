@@ -1,0 +1,452 @@
+// Package pardp is the level-synchronous parallel enumeration engine: the
+// sequential DPsize search of internal/dp fanned out over a worker pool,
+// with results bit-for-bit identical to the sequential engine.
+//
+// The DP lattice parallelizes along its levels (the MPDP observation): the
+// classes a level-k join reads all live at levels below k, which are frozen
+// once level k starts, so the (left, right) class-pair space of a level can
+// be costed by any number of workers with no ordering constraints. Each
+// level runs as one barrier round:
+//
+//  1. The pair space is split into tasks — one task per left class of each
+//     (i, k−i) split — pulled from a shared atomic work queue.
+//  2. Workers cost joins locally (on a cost.Model fork, so the plans-costed
+//     counter needs no synchronization) and publish candidate classes and
+//     plans into a mutex-striped staging table (memo.Sharded).
+//  3. At the barrier the engine drains the staging table in canonical set
+//     order into the real Memo, runs the level hook (SDP's skyline pruning,
+//     which itself fans the per-partition skylines out when workers are
+//     available — see internal/core), and folds the forks' counters back.
+//
+// Determinism is a hard invariant, not a goal: every retention decision in
+// both the staging table and the Memo funnels through plan.Compare's total
+// order, so the chosen plan, its cost, Stats.PlansCosted and the per-level
+// class sets are identical to the sequential engine's on every query —
+// property-tested across the workload corpus. The only sanctioned
+// divergences are transient: Stats.Memo.PeakSimBytes may be lower (the
+// staged merge never replays dominated paths the sequential engine briefly
+// retained) and abort points under budget/cancellation land mid-level
+// rather than mid-pair.
+//
+// Budget aborts propagate promptly: workers maintain a shared atomic
+// estimate of the level's simulated memory and stop as soon as it crosses
+// the budget, without waiting for the barrier. Cancellation (dp.ErrCanceled)
+// is polled per task.
+package pardp
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdpopt/internal/cost"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// Options configures a parallel enumeration run. The zero value matches
+// dp.Options' defaults with GOMAXPROCS workers.
+type Options struct {
+	// Workers is the enumeration worker count; 0 selects
+	// runtime.GOMAXPROCS(0). 1 is legal (useful for differential tests) but
+	// the sequential engine is cheaper at that width.
+	Workers int
+	// Budget is the simulated-memory feasibility limit in bytes
+	// (0 = unlimited). Exceeding it aborts with memo.ErrBudget.
+	Budget int64
+	// Ctx, if non-nil, bounds the optimization; workers poll it per task and
+	// abort with dp.ErrCanceled.
+	Ctx context.Context
+	// Hook, if non-nil, runs at every level barrier with the level's classes
+	// in canonical set order — the same slice the sequential engine passes.
+	Hook dp.LevelHook
+	// Model supplies costing; if nil a fresh model with default parameters
+	// is created. Workers run on forks of it (see cost.Model.Fork).
+	Model *cost.Model
+	// LeftDeepOnly restricts enumeration to System R's left-deep space.
+	LeftDeepOnly bool
+	// Obs receives metrics and trace events; nil falls back to the process
+	// default observer.
+	Obs *obs.Observer
+	// Label names the technique in emitted telemetry ("DP" when empty).
+	Label string
+}
+
+// Engine drives the parallel enumeration. It wraps a sequential dp.Engine —
+// which owns the Memo, the leaf seeding and finalization — and replaces its
+// per-level pair loop with the worker-pool rounds.
+type Engine struct {
+	inner    *dp.Engine
+	q        *query.Query
+	workers  int
+	hook     dp.LevelHook
+	ctx      context.Context
+	leftDeep bool
+
+	ob         *obs.Observer
+	label      string
+	cPlans     *obs.Counter
+	cTasks     *obs.Counter
+	cContended *obs.Counter
+	mBarrier   *obs.Histogram
+}
+
+// NewEngine prepares an engine and seeds level 1 of the memo (invoking the
+// hook on the sorted level-1 classes, exactly as the sequential engine
+// does). Like dp.NewEngine it returns the engine alongside a budget error so
+// callers can still read overhead stats.
+func NewEngine(q *query.Query, leaves []dp.Leaf, opts Options) (*Engine, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	label := opts.Label
+	if label == "" {
+		label = "DP"
+	}
+	ob := obs.Or(opts.Obs)
+	// The inner engine gets no hook: this engine invokes it at its own
+	// barriers (below for level 1, in Run for the rest).
+	inner, err := dp.NewEngine(q, leaves, dp.Options{
+		Budget:       opts.Budget,
+		Ctx:          opts.Ctx,
+		Model:        opts.Model,
+		LeftDeepOnly: opts.LeftDeepOnly,
+		Obs:          opts.Obs,
+		Label:        label,
+	})
+	var e *Engine
+	if inner != nil {
+		e = &Engine{
+			inner:      inner,
+			q:          q,
+			workers:    workers,
+			hook:       opts.Hook,
+			ctx:        opts.Ctx,
+			leftDeep:   opts.LeftDeepOnly,
+			ob:         ob,
+			label:      label,
+			cPlans:     ob.Counter(obs.MPlansCosted),
+			cTasks:     ob.Counter(obs.MParTasks),
+			cContended: ob.Counter(obs.MParShardContended),
+			mBarrier:   ob.Histogram(obs.MParBarrierWait),
+		}
+	}
+	if err != nil {
+		return e, err
+	}
+	if e.hook != nil {
+		created := e.inner.Memo.Level(1)
+		dp.SortClasses(created)
+		if err := e.hook(1, e.inner.Memo, created); err != nil {
+			return e, err
+		}
+	}
+	return e, nil
+}
+
+// Memo exposes the underlying memo (for stats and plan extraction).
+func (e *Engine) Memo() *memo.Memo { return e.inner.Memo }
+
+// NumLeaves returns the size of the enumeration (its top level).
+func (e *Engine) NumLeaves() int { return e.inner.NumLeaves() }
+
+// Stats snapshots the overhead counters of this engine's run.
+func (e *Engine) Stats() dp.Stats { return e.inner.Stats() }
+
+// Finalize returns the completed plan for the full relation set (see
+// dp.Engine.Finalize).
+func (e *Engine) Finalize() (*plan.Plan, error) { return e.inner.Finalize() }
+
+// Run executes enumeration levels 2..toLevel (capped at the leaf count),
+// each as one worker-pool barrier round followed by the level hook.
+func (e *Engine) Run(toLevel int) error {
+	if toLevel > e.inner.NumLeaves() {
+		toLevel = e.inner.NumLeaves()
+	}
+	for k := 2; k <= toLevel; k++ {
+		if err := dp.CtxErr(e.ctx); err != nil {
+			return err
+		}
+		lvStart := time.Now()
+		prevCosted := e.inner.Model.PlansCosted
+		created, err := e.runLevel(k)
+		if err == nil && e.hook != nil {
+			// created is already in canonical order (Drain sorts), matching
+			// the sequential engine's sorted hook input.
+			err = e.hook(k, e.inner.Memo, created)
+		}
+		e.observeLevel(k, lvStart, prevCosted, len(created), err)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// task is one unit of level work: every pair with a fixed left class of one
+// (split, k−split) level split.
+type task struct {
+	split int
+	ai    int
+}
+
+// runLevel runs one barrier round: fan the level's pair space out over the
+// worker pool into a staging table, then drain it into the memo in
+// canonical order.
+func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
+	m := e.inner.Memo
+	maxSplit := k / 2
+	if e.leftDeep {
+		maxSplit = 1 // only (1, k-1) splits: a leaf extends a composite
+	}
+	lefts := make([][]*memo.Class, maxSplit+1)
+	rights := make([][]*memo.Class, maxSplit+1)
+	var tasks []task
+	for i := 1; i <= maxSplit; i++ {
+		lefts[i] = m.Level(i)
+		rights[i] = m.Level(k - i)
+		for ai := range lefts[i] {
+			tasks = append(tasks, task{split: i, ai: ai})
+		}
+	}
+	e.cTasks.Add(int64(len(tasks)))
+
+	staged := memo.NewSharded()
+	var next atomic.Int64
+	var abort atomic.Bool
+	// simEst tracks the level's would-be simulated memory so workers can
+	// stop promptly when the budget is hopeless instead of costing the
+	// whole level first. Offer deltas keep it exact: at the barrier it
+	// equals start + what the drain will charge the memo.
+	var simEst atomic.Int64
+	simEst.Store(m.Stats.SimBytes)
+	budget := m.Budget
+
+	workers := e.workers
+	errs := make([]error, workers)
+	finished := make([]time.Time, workers)
+	models := make([]*cost.Model, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		models[w] = e.inner.Model.Fork()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { finished[w] = time.Now() }()
+			for !abort.Load() {
+				t := int(next.Add(1)) - 1
+				if t >= len(tasks) {
+					return
+				}
+				if err := dp.CtxErr(e.ctx); err != nil {
+					errs[w] = err
+					abort.Store(true)
+					return
+				}
+				tk := tasks[t]
+				i, j := tk.split, k-tk.split
+				a := lefts[i][tk.ai]
+				bs := rights[i]
+				if i == j {
+					bs = bs[tk.ai+1:] // each unordered pair once
+				}
+				for _, b := range bs {
+					if !a.Set.Disjoint(b.Set) || !e.q.Connected(a.Set, b.Set) {
+						continue
+					}
+					if err := e.joinInto(staged, models[w], a, b, &simEst, budget); err != nil {
+						errs[w] = err
+						abort.Store(true)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Fold the forks' counters back; worker order is fixed so the sum — and
+	// therefore Stats.PlansCosted — is deterministic.
+	var costed int64
+	for _, fm := range models {
+		costed += fm.PlansCosted
+	}
+	e.inner.Model.PlansCosted += costed
+	e.cContended.Add(staged.Contended())
+	e.observeBarrier(finished)
+
+	var sawBudget bool
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, memo.ErrBudget):
+			sawBudget = true
+		default:
+			// Cancellation: the memo keeps its pre-level state, exactly the
+			// partial-state contract the sequential engine offers.
+			return nil, err
+		}
+	}
+
+	// Drain in canonical set order. NewClass + the staged winners reproduce
+	// the sequential end-of-level class state and simulated-memory charge,
+	// so the memo's own budget accounting fires just as it would have.
+	var created []*memo.Class
+	for _, st := range staged.Drain() {
+		cls, err := m.NewClass(st.Set, k, st.Rows, st.Sel)
+		if err != nil {
+			return created, err
+		}
+		created = append(created, cls)
+		for _, p := range st.Plans() {
+			if _, err := m.AddPlan(cls, p); err != nil {
+				return created, err
+			}
+		}
+	}
+	if sawBudget {
+		// The estimate crossed the budget but late in-flight offers shrank
+		// the staged total back under it — still a budget outcome, as the
+		// sequential engine's own transient overshoot would have been.
+		return created, memo.ErrBudget
+	}
+	return created, nil
+}
+
+// joinInto enumerates the physical joins of classes a and b into the
+// staging table — the worker-side mirror of the sequential engine's
+// joinClasses, costing on the worker's model fork.
+func (e *Engine) joinInto(staged *memo.Sharded, model *cost.Model, a, b *memo.Class, simEst *atomic.Int64, budget int64) error {
+	set := a.Set.Union(b.Set)
+	st, isNew := staged.Get(set, func() (float64, float64) {
+		// Canonical per-set cardinality: identical from any worker (see
+		// cost.SetRows), so whoever creates the class stages the same
+		// features the sequential engine would.
+		rows := model.SetRows(set)
+		return rows, model.Selectivity(set, rows)
+	})
+	if isNew {
+		if est := simEst.Add(memo.SimClassBytes); budget > 0 && est > budget {
+			return memo.ErrBudget
+		}
+	}
+	preds := e.q.PredsBetween(a.Set, b.Set)
+	for _, pa := range a.Paths() {
+		for _, pb := range b.Paths() {
+			for _, in := range []cost.JoinInputs{
+				{Outer: pa, Inner: pb, Preds: preds, Rows: st.Rows},
+				{Outer: pb, Inner: pa, Preds: preds, Rows: st.Rows},
+			} {
+				for _, p := range model.JoinPlans(in) {
+					if d := st.Offer(p); d != 0 {
+						if est := simEst.Add(int64(d) * memo.SimPathBytes); budget > 0 && est > budget {
+							return memo.ErrBudget
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// observeBarrier records each worker's idle time at the level barrier (the
+// gap to the last finisher) — the load-balance signal of the level
+// partitioning.
+func (e *Engine) observeBarrier(finished []time.Time) {
+	if e.ob == nil {
+		return
+	}
+	var last time.Time
+	for _, t := range finished {
+		if t.After(last) {
+			last = t
+		}
+	}
+	for _, t := range finished {
+		if !t.IsZero() {
+			e.mBarrier.Observe(last.Sub(t))
+		}
+	}
+}
+
+// observeLevel mirrors the sequential engine's level span — same metric,
+// same event shape — plus the worker count, so sequential and parallel
+// level profiles line up in sdptrace.
+func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, created int, err error) {
+	if e.ob == nil {
+		return
+	}
+	d := time.Since(started)
+	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
+	costed := e.inner.Model.PlansCosted - prevCosted
+	e.cPlans.Add(costed)
+	if e.ob.Tracing() {
+		attrs := map[string]any{
+			"tech":            e.label,
+			"level":           k,
+			"dur_ns":          int64(d),
+			"classes_created": created,
+			"classes_pruned":  created - len(e.inner.Memo.Level(k)),
+			"plans_costed":    costed,
+			"classes_alive":   e.inner.Memo.Stats.ClassesAlive,
+			"sim_bytes":       e.inner.Memo.Stats.SimBytes,
+			"workers":         e.workers,
+		}
+		if err != nil {
+			attrs["err"] = err.Error()
+		}
+		e.ob.Emit(obs.EvLevel, attrs)
+	}
+	if errors.Is(err, memo.ErrBudget) {
+		e.ob.Counter(obs.MBudgetAborts).Add(1)
+		if e.ob.Tracing() {
+			e.ob.Emit(obs.EvBudgetAbort, map[string]any{
+				"tech":      e.label,
+				"level":     k,
+				"sim_bytes": e.inner.Memo.Stats.SimBytes,
+				"budget":    e.inner.Memo.Budget,
+			})
+		}
+	}
+}
+
+// Optimize runs exhaustive DP over the query's base relations on the
+// parallel engine — plan-identical to dp.Optimize, with wall time divided
+// across Options.Workers.
+func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
+	started := time.Now()
+	label := opts.Label
+	if label == "" {
+		label = "DP"
+		if opts.LeftDeepOnly {
+			label = "DP/LD"
+		}
+		opts.Label = label
+	}
+	done := dp.ObserveRun(obs.Or(opts.Obs), label, q)
+	p, st, err := func() (*plan.Plan, dp.Stats, error) {
+		e, err := NewEngine(q, dp.BaseLeaves(q), opts)
+		if err != nil {
+			if e != nil {
+				return nil, e.Stats(), err
+			}
+			return nil, dp.Stats{Elapsed: time.Since(started)}, err
+		}
+		if err := e.Run(q.NumRelations()); err != nil {
+			return nil, e.Stats(), err
+		}
+		p, err := e.Finalize()
+		return p, e.Stats(), err
+	}()
+	done(st, p, err)
+	return p, st, err
+}

@@ -165,8 +165,8 @@ func TestRemap(t *testing.T) {
 		join(MergeJoin, idxScan(0, 1, 10, 0), scan(2, 2, 20, NoOrder), 5, 30, 0),
 		scan(1, 3, 15, 1),
 		10, 50, NoOrder)
-	relMap := []int{2, 0, 1}  // old -> new
-	orderMap := []int{1, 0}   // old class -> new class
+	relMap := []int{2, 0, 1} // old -> new
+	orderMap := []int{1, 0}  // old class -> new class
 	name := func(i int) string { return []string{"A", "B", "C"}[i] }
 
 	got := p.Remap(relMap, orderMap)

@@ -10,6 +10,7 @@ import (
 	"sdpopt/internal/greedy"
 	"sdpopt/internal/idp"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/pardp"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 	"sdpopt/internal/randomized"
@@ -40,17 +41,30 @@ func KnownTechnique(name string) bool {
 // heuristics without an incremental abort point (greedy, genetic, ii, sa)
 // check the context once up front — they finish in milliseconds, so a
 // mid-run poll would never fire before completion anyway.
-func Optimize(ctx context.Context, technique string, q *query.Query, budget int64, ob *obs.Observer) (*plan.Plan, dp.Stats, error) {
+//
+// workers > 1 runs the DP-substrate techniques (sdp, dp, dp/ld) on the
+// level-synchronous parallel engine with that many enumeration workers;
+// results are bit-for-bit identical to the sequential engine's, so the
+// knob never changes a response, only its latency. Techniques without a DP
+// substrate ignore it.
+func Optimize(ctx context.Context, technique string, q *query.Query, budget int64, workers int, ob *obs.Observer) (*plan.Plan, dp.Stats, error) {
 	switch technique {
 	case "", "sdp":
 		opts := core.DefaultOptions()
 		opts.Budget = budget
 		opts.Ctx = ctx
+		opts.Workers = workers
 		opts.Obs = ob
 		return core.Optimize(q, opts)
 	case "dp":
+		if workers > 1 {
+			return pardp.Optimize(q, pardp.Options{Workers: workers, Budget: budget, Ctx: ctx, Obs: ob})
+		}
 		return dp.Optimize(q, dp.Options{Budget: budget, Ctx: ctx, Obs: ob})
 	case "dp/ld":
+		if workers > 1 {
+			return pardp.Optimize(q, pardp.Options{Workers: workers, Budget: budget, Ctx: ctx, LeftDeepOnly: true, Obs: ob})
+		}
 		return dp.Optimize(q, dp.Options{Budget: budget, Ctx: ctx, LeftDeepOnly: true, Obs: ob})
 	case "idp":
 		opts := idp.DefaultOptions()

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -79,6 +80,13 @@ type Options struct {
 	// compute is shared property and always runs under the full Timeout,
 	// detached from the request that happened to trigger it.
 	Timeout time.Duration
+	// Workers is the default enumeration worker count for the DP-substrate
+	// techniques (sdp, dp, dp/ld): 0 or 1 runs the sequential engine, >1 the
+	// parallel engine. Requests may override it via the workers field within
+	// [1, 2×GOMAXPROCS]. Because the parallel engine is plan-identical to
+	// the sequential one, this knob never changes what is computed or
+	// cached — only the latency of a miss.
+	Workers int
 }
 
 // Server is the optimizer-as-a-service HTTP layer. Construct with New.
@@ -90,6 +98,7 @@ type Server struct {
 	budget     int64
 	timeout    time.Duration
 	maxQueue   int
+	workers    int
 
 	sem      chan struct{} // executing-slot semaphore
 	pending  atomic.Int64  // executing + queued
@@ -119,6 +128,9 @@ func New(opts Options) (*Server, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 30 * time.Second
 	}
+	if max := maxWorkers(); opts.Workers < 0 || opts.Workers > max {
+		return nil, fmt.Errorf("server: Options.Workers %d outside [0, %d]", opts.Workers, max)
+	}
 	s := &Server{
 		cat:        opts.Cat,
 		catVersion: opts.Cat.Fingerprint(),
@@ -127,6 +139,7 @@ func New(opts Options) (*Server, error) {
 		budget:     opts.Budget,
 		timeout:    opts.Timeout,
 		maxQueue:   opts.MaxQueue,
+		workers:    opts.Workers,
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 	}
 	if s.ob != nil {
@@ -160,6 +173,15 @@ type OptimizeRequest struct {
 	// compute, which runs under the server-wide timeout — one caller's
 	// short deadline never poisons the entry served to coalesced waiters.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers overrides the server's enumeration worker count for the
+	// DP-substrate techniques (sdp, dp, dp/ld). Must lie in
+	// [1, 2×GOMAXPROCS]; anything outside is rejected with 400 rather than
+	// silently clamped, so a misconfigured client learns about it. The
+	// override binds the uncached path only: a cache-filling compute is
+	// shared property and always runs with the server's default workers —
+	// harmless, since the parallel engine is plan-identical and the worker
+	// count can never change what gets cached.
+	Workers int `json:"workers,omitempty"`
 	// NoCache bypasses the plan cache for this request (no lookup, no
 	// fill).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -313,6 +335,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.failf(w, r, http.StatusBadRequest, "unknown technique %q (valid: %v)", req.Technique, Techniques())
 		return
 	}
+	if max := maxWorkers(); req.Workers != 0 && (req.Workers < 1 || req.Workers > max) {
+		s.failf(w, r, http.StatusBadRequest, "workers %d outside [1, %d] (2×GOMAXPROCS)", req.Workers, max)
+		return
+	}
 	q, err := s.buildQuery(&req)
 	if err != nil {
 		s.failf(w, r, http.StatusBadRequest, "%v", err)
@@ -440,8 +466,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // frame before the cache stores it, and every result is relabeled back into
 // the requesting query's frame before rendering.
 func (s *Server) run(ctx context.Context, technique string, q *query.Query, budget int64, req *OptimizeRequest) (*plan.Plan, dp.Stats, string, error) {
+	workers := s.workers
+	if req.Workers != 0 {
+		workers = req.Workers
+	}
 	if s.cache == nil || req.NoCache || budget != s.budget {
-		p, st, err := Optimize(ctx, technique, q, budget, s.ob)
+		p, st, err := Optimize(ctx, technique, q, budget, workers, s.ob)
 		return p, st, "uncached", err
 	}
 	cn := q.Canon()
@@ -449,7 +479,9 @@ func (s *Server) run(ctx context.Context, technique string, q *query.Query, budg
 	p, st, src, err := s.cache.Do(key, func() (*plan.Plan, dp.Stats, error) {
 		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.timeout)
 		defer cancel()
-		p, st, err := Optimize(cctx, technique, q, s.budget, s.ob)
+		// Shared compute, server-default workers: the request's override is
+		// a latency preference, and worker count cannot change the plan.
+		p, st, err := Optimize(cctx, technique, q, s.budget, s.workers, s.ob)
 		if err != nil {
 			return nil, st, err
 		}
@@ -491,6 +523,12 @@ func (s *Server) buildQuery(req *OptimizeRequest) (*query.Query, error) {
 // statusClientGone is 499, nginx's "client closed request" — the client
 // disconnected while queued, so no response will be read anyway.
 const statusClientGone = 499
+
+// maxWorkers is the upper bound on per-request (and server-default)
+// enumeration workers: 2×GOMAXPROCS. Beyond the core count extra workers
+// only add scheduling overhead; the small headroom accommodates callers
+// tuned for a differently-sized deploy host.
+func maxWorkers() int { return 2 * runtime.GOMAXPROCS(0) }
 
 func (s *Server) failf(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
 	s.writeJSON(w, r, code, map[string]any{"error": fmt.Sprintf(format, args...)})

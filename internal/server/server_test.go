@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -484,5 +485,41 @@ func TestBudgetOverrideBypassesCache(t *testing.T) {
 	}
 	if ct := cache.Counts(); ct.Entries != 1 || ct.Misses != 1 {
 		t.Fatalf("override touched the cache: %+v", ct)
+	}
+}
+
+func TestWorkersField(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	max := 2 * runtime.GOMAXPROCS(0)
+
+	// Valid: identical result to the sequential default, by the parallel
+	// engine's determinism contract.
+	_, seq := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, Technique: "dp"})
+	code, par := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, Technique: "dp", Workers: max})
+	if code != http.StatusOK {
+		t.Fatalf("workers=%d: code %d, error %q", max, code, par.Error)
+	}
+	if par.Cost != seq.Cost || par.Shape != seq.Shape {
+		t.Errorf("parallel result diverged: cost %g/%q vs %g/%q", par.Cost, par.Shape, seq.Cost, seq.Shape)
+	}
+	if par.Stats.PlansCosted != seq.Stats.PlansCosted {
+		t.Errorf("plans costed diverged: %d vs %d", par.Stats.PlansCosted, seq.Stats.PlansCosted)
+	}
+
+	// Out of range: 400, not a silent clamp.
+	for _, workers := range []int{-1, max + 1} {
+		code, resp := postOptimize(t, ts.URL, OptimizeRequest{SQL: testSQL, Workers: workers})
+		if code != http.StatusBadRequest {
+			t.Errorf("workers=%d: code %d, want 400 (%+v)", workers, code, resp)
+		} else if !strings.Contains(resp.Error, "workers") {
+			t.Errorf("workers=%d: error %q does not mention workers", workers, resp.Error)
+		}
+	}
+}
+
+func TestServerWorkersOptionValidated(t *testing.T) {
+	_, err := New(Options{Cat: workload.PaperSchema(), Workers: 2*runtime.GOMAXPROCS(0) + 1})
+	if err == nil {
+		t.Fatal("New accepted an out-of-range Workers default")
 	}
 }

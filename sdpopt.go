@@ -32,6 +32,7 @@ import (
 	"sdpopt/internal/idp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/pardp"
 	"sdpopt/internal/parse"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/quality"
@@ -160,6 +161,11 @@ type DPOptions struct {
 	// budget's ErrBudget — a deadline is a serving concern, a budget a
 	// feasibility measurement).
 	Ctx context.Context
+	// Workers selects the enumeration engine: 0 or 1 runs the classic
+	// sequential DPsize loop, >1 the level-synchronous parallel engine with
+	// that many workers. The result — plan, cost, plans costed, classes
+	// created — is bit-for-bit identical either way; only wall time changes.
+	Workers int
 	// Obs receives metrics and trace events; nil falls back to the
 	// process-wide default observer (see SetDefaultObserver).
 	Obs *Observer
@@ -169,6 +175,11 @@ type DPOptions struct {
 // the paper's DP baseline. It fails with ErrBudget beyond the feasibility
 // cliff (a ~17-relation star under the default 1 GB budget).
 func OptimizeDP(q *Query, opts DPOptions) (*Plan, Stats, error) {
+	if opts.Workers > 1 {
+		return pardp.Optimize(q, pardp.Options{
+			Workers: opts.Workers, Budget: opts.Budget, Ctx: opts.Ctx, Obs: opts.Obs,
+		})
+	}
 	return dp.Optimize(q, dp.Options{Budget: opts.Budget, Ctx: opts.Ctx, Obs: opts.Obs})
 }
 

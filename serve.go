@@ -101,7 +101,7 @@ func OptimizeCached(ctx context.Context, pc *PlanCache, q *Query, technique stri
 		CatalogVersion: q.Cat.Fingerprint(),
 	}
 	p, st, src, err := pc.Do(key, func() (*Plan, Stats, error) {
-		p, st, err := server.Optimize(ctx, technique, q, budget, nil)
+		p, st, err := server.Optimize(ctx, technique, q, budget, 0, nil)
 		if err != nil {
 			return nil, st, err
 		}
