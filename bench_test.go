@@ -15,6 +15,7 @@ import (
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/harness"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/skyline"
 	"sdpopt/internal/workload"
 )
@@ -331,6 +332,39 @@ func BenchmarkOptimizeCached(b *testing.B) {
 				}
 			}
 		})
+	})
+}
+
+// BenchmarkOptimizeTracing is the span-tracing overhead guard: the same
+// Star-12 SDP optimization with a bare context ("off") and under a full
+// request span recorded into a flight recorder ("on"), the way the server
+// traces it. Spans attach at level barriers, not inside the enumeration
+// hot loop, so the two variants must stay within noise of each other; CI
+// runs both at -benchtime=1x as a smoke check, and `sdplab bench` records
+// the full comparison in BENCH_<date>.json.
+func BenchmarkOptimizeTracing(b *testing.B) {
+	q := benchQueries(b, sdpopt.Star, 12)[0]
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := sdpopt.OptimizeSDP(q, sdpopt.SDPOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		rec := span.NewRecorder(span.RecorderOptions{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			root := span.New("request")
+			rec.Start(root)
+			opts := sdpopt.SDPOptions()
+			opts.Ctx = span.NewContext(context.Background(), root)
+			if _, _, err := sdpopt.OptimizeSDP(q, opts); err != nil {
+				b.Fatal(err)
+			}
+			rec.Finish(root, 200)
+		}
 	})
 }
 

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"sdpopt"
+)
+
+// inspectCmd renders a flight-recorder dump — the /debug/flight.json
+// document saved while debugging a slow or failed request — as the span
+// trees the server shows at /debug/requests, followed by the same
+// per-level and per-partition aggregate tables sdptrace prints for JSONL
+// traces. The dump is read from a file argument, or stdin with "-", so
+// `curl .../debug/flight.json | sdplab inspect -` works.
+func inspectCmd(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	top := fs.Int("top", 5, "levels to list in the per-level table")
+	traceID := fs.String("trace", "", "render only traces whose ID starts with this prefix")
+	summaryOnly := fs.Bool("summary", false, "print only the aggregate tables, not the span trees")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sdplab inspect [-top N] [-trace PREFIX] [-summary] <flight.json | ->")
+	}
+	var r io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dump, err := sdpopt.ReadFlightDump(r)
+	if err != nil {
+		return err
+	}
+
+	traces := dump.Traces()
+	if *traceID != "" {
+		kept := traces[:0]
+		for _, t := range traces {
+			if strings.HasPrefix(t.TraceID, *traceID) {
+				kept = append(kept, t)
+			}
+		}
+		traces = kept
+		if len(traces) == 0 {
+			return fmt.Errorf("no trace with ID prefix %q in dump", *traceID)
+		}
+	}
+
+	fmt.Printf("flight dump at %s: %d started, %d finished, %d active, %d slow (>= %v), %d errored\n\n",
+		dump.Time.Format(time.RFC3339), dump.Counts.Started, dump.Counts.Finished,
+		dump.Counts.Active, dump.Counts.Slow, time.Duration(dump.Config.SlowThresholdNS), dump.Counts.Errored)
+
+	if !*summaryOnly {
+		for i := range traces {
+			fmt.Println(traces[i].Render())
+		}
+	}
+
+	// The span trees double as an event stream: the same Summarize that
+	// powers sdptrace aggregates them into per-technique, per-level and
+	// per-partition tables.
+	filtered := &sdpopt.FlightDump{Active: traces}
+	if sum := sdpopt.SummarizeTrace(filtered.Records()); sum != nil {
+		fmt.Print(sum.Render(*top))
+	}
+	return nil
+}

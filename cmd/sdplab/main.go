@@ -7,6 +7,7 @@
 //	sdplab run -exp all -instances 100   # full paper-scale reproduction
 //	sdplab run -exp tab3.3 -trace out.jsonl -metrics :8080
 //	sdplab bench                         # write BENCH_<date>.json
+//	sdplab inspect flight.json           # render a /debug/flight.json dump
 //
 // Flags tune the sample size (-instances), the RNG seed (-seed), the
 // simulated memory budget in MB (-budget), and the skewed-schema variant
@@ -49,6 +50,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "inspect":
+		if err := inspectCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -64,6 +70,8 @@ func usage() {
              [-cache N] [-out DIR]
   sdplab serve [-addr ADDR] [-catalog FILE.json] [-skewed] [-workers W] [-cache N] [-shards N]
              [-max-concurrent N] [-queue N] [-budget MB] [-timeout D] [-trace FILE.jsonl]
+             [-slow D] [-flight-recent N] [-flight-notable N]
+  sdplab inspect [-top N] [-trace PREFIX] [-summary] <flight.json | ->
 
 -parallel runs P optimizations concurrently (harness throughput); -workers
 splits each optimization's enumeration across W cores (plan-identical,

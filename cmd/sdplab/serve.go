@@ -28,6 +28,9 @@ func serveCmd(args []string) error {
 	budgetMB := fs.Int64("budget", 0, "default memory budget in MB (0 = the paper's 1024)")
 	timeout := fs.Duration("timeout", 0, "per-optimization deadline cap (0 = 30s)")
 	tracePath := fs.String("trace", "", "stream optimizer events to this JSONL file")
+	slow := fs.Duration("slow", 0, "flight-recorder slow-trace pinning threshold (0 = 1s)")
+	flightRecent := fs.Int("flight-recent", 0, "flight-recorder recent-trace ring size (0 = 64)")
+	flightNotable := fs.Int("flight-notable", 0, "flight-recorder slow/error-trace ring size (0 = 64)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,6 +81,11 @@ func serveCmd(args []string) error {
 		Workers:       *workers,
 		Budget:        *budgetMB << 20,
 		Timeout:       *timeout,
+		Flight: sdpopt.FlightRecorderOptions{
+			Recent:        *flightRecent,
+			Notable:       *flightNotable,
+			SlowThreshold: *slow,
+		},
 	})
 	if err != nil {
 		return err
@@ -91,6 +99,8 @@ func serveCmd(args []string) error {
 	fmt.Fprintf(os.Stderr, "  GET  /healthz    liveness, admission and cache state\n")
 	fmt.Fprintf(os.Stderr, "  GET  /catalog    schema statistics and version\n")
 	fmt.Fprintf(os.Stderr, "  GET  /metrics    Prometheus exposition (plus /debug/vars, /debug/pprof)\n")
+	fmt.Fprintf(os.Stderr, "  GET  /debug/requests     flight recorder: live + recent + slow/error traces\n")
+	fmt.Fprintf(os.Stderr, "  GET  /debug/flight.json  flight recorder dump (render with 'sdplab inspect')\n")
 	fmt.Fprintf(os.Stderr, "  catalog version %s, cache %d entries, techniques %v\n",
 		sdpopt.CatalogFingerprint(cat), *cacheEntries, sdpopt.Techniques())
 

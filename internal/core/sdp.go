@@ -41,6 +41,7 @@ import (
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/pardp"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
@@ -265,10 +266,17 @@ type sdp struct {
 
 	// Resolved metric handles (nil when telemetry is off).
 	cCand, cSurvAll, cSurvRC, cSurvCS, cSurvRS *obs.Counter
+
+	// sp is the request span carried by opts.Ctx (nil when the caller is
+	// not tracing); cur is the open "sdp.level" child while the hook runs,
+	// the parent of that level's "sdp.partition" spans. The hook runs
+	// single-threaded at the level barrier, so cur needs no locking.
+	sp  *span.Span
+	cur *span.Span
 }
 
 func newSDP(q *query.Query, opts Options, ob *obs.Observer) *sdp {
-	s := &sdp{q: q, opts: opts, ob: ob}
+	s := &sdp{q: q, opts: opts, ob: ob, sp: span.FromContext(opts.Ctx)}
 	if ob != nil {
 		s.cCand = ob.Counter(obs.MSkylineCandidates)
 		s.cSurvAll = ob.Counter(obs.Label(obs.MSkylineSurvivors, "criterion", "all"))
@@ -287,12 +295,19 @@ func (s *sdp) hook(level int, m *memo.Memo, created []*memo.Class) error {
 	if level < 2 || level >= n-2 || len(created) == 0 {
 		return nil
 	}
+	if s.sp != nil {
+		s.cur = s.sp.Child("sdp.level")
+		s.cur.SetAttr("tech", "SDP")
+		s.cur.SetAttr("level", level)
+	}
 	switch s.opts.Scope {
 	case Global:
 		s.pruneGlobal(level, m, created)
 	default:
 		s.pruneLocal(level, m, created)
 	}
+	s.cur.Finish()
+	s.cur = nil
 	return nil
 }
 
@@ -304,18 +319,22 @@ func (s *sdp) pruneGlobal(level int, m *memo.Memo, created []*memo.Class) {
 	if tr != nil {
 		tr.Partitions["global"] = setsOf(created)
 	}
+	nSurv, nPruned := 0, 0
 	for i, c := range created {
 		if mask[i] {
+			nSurv++
 			if tr != nil {
 				tr.Survivors = append(tr.Survivors, c.Set)
 			}
 			continue
 		}
+		nPruned++
 		if tr != nil {
 			tr.Pruned = append(tr.Pruned, c.Set)
 		}
 		m.Remove(c)
 	}
+	s.spanLevel(len(created), 0, nSurv, nPruned)
 	s.emitLevel(tr, len(created), 0)
 }
 
@@ -419,19 +438,34 @@ func (s *sdp) pruneLocal(level int, m *memo.Memo, created []*memo.Class) {
 		}
 	}
 
+	nSurv, nPruned := 0, 0
 	for _, c := range pruneGroup {
 		if survive[c.Set] {
+			nSurv++
 			if tr != nil {
 				tr.Survivors = append(tr.Survivors, c.Set)
 			}
 			continue
 		}
+		nPruned++
 		if tr != nil {
 			tr.Pruned = append(tr.Pruned, c.Set)
 		}
 		m.Remove(c)
 	}
+	s.spanLevel(len(pruneGroup), len(freeGroup), nSurv, nPruned)
 	s.emitLevel(tr, len(pruneGroup), len(freeGroup))
+}
+
+// spanLevel closes the open "sdp.level" span's summary attributes.
+func (s *sdp) spanLevel(pruneGroup, freeGroup, survivors, pruned int) {
+	if s.cur == nil {
+		return
+	}
+	s.cur.SetAttr("prune_group", pruneGroup)
+	s.cur.SetAttr("free_group", freeGroup)
+	s.cur.SetAttr("survivors", survivors)
+	s.cur.SetAttr("pruned", pruned)
 }
 
 // hubParents returns the sets of the previous level's surviving classes
@@ -535,6 +569,8 @@ func (s *sdp) partitionMasks(level int, labels []string, partitions map[string][
 		type res struct {
 			mask  []bool
 			pairs [][]bool
+			start time.Time
+			dur   time.Duration
 		}
 		results := make([]res, len(labels))
 		sem := make(chan struct{}, s.opts.Workers)
@@ -545,14 +581,15 @@ func (s *sdp) partitionMasks(level int, labels []string, partitions map[string][
 			go func(li int, part []*memo.Class) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				st := time.Now()
 				m, pm := s.computeMask(part)
-				results[li] = res{m, pm}
+				results[li] = res{m, pm, st, time.Since(st)}
 			}(li, partitions[label])
 		}
 		wg.Wait()
 		for li, label := range labels {
 			masks[label] = results[li].mask
-			s.reportMask(level, label, len(partitions[label]), results[li].mask, results[li].pairs)
+			s.reportMask(level, label, len(partitions[label]), results[li].mask, results[li].pairs, results[li].start, results[li].dur)
 		}
 		return masks
 	}
@@ -565,18 +602,19 @@ func (s *sdp) partitionMasks(level int, labels []string, partitions map[string][
 // observedMask computes the survivor mask of one skyline partition and
 // reports it. With telemetry off it is exactly the bare mask.
 func (s *sdp) observedMask(level int, label string, classes []*memo.Class) []bool {
+	start := time.Now()
 	mask, pairMasks := s.computeMask(classes)
-	s.reportMask(level, label, len(classes), mask, pairMasks)
+	s.reportMask(level, label, len(classes), mask, pairMasks, start, time.Since(start))
 	return mask
 }
 
 // computeMask is the pure half: the survivor mask under the configured
 // skyline option, plus the per-criterion pairwise masks when telemetry will
-// want them (Option 2 with an observer attached — they fall out of the
-// pruning computation anyway).
+// want them (Option 2 with an observer or request span attached — they
+// fall out of the pruning computation anyway).
 func (s *sdp) computeMask(classes []*memo.Class) ([]bool, [][]bool) {
 	pts := featurePoints(classes)
-	if s.ob != nil && s.opts.Skyline == Option2 {
+	if (s.ob != nil || s.sp != nil) && s.opts.Skyline == Option2 {
 		mask, pairMasks := skyline.DisjunctivePairwiseMasks(pts, skyline.RCSPairs)
 		return mask, pairMasks
 	}
@@ -584,13 +622,35 @@ func (s *sdp) computeMask(classes []*memo.Class) ([]bool, [][]bool) {
 }
 
 // reportMask is the telemetry half: candidate/survivor counters (per
-// RC/CS/RS criterion under Option 2) and an "sdp.partition" event. Call in
-// sorted-label order only.
-func (s *sdp) reportMask(level int, label string, size int, mask []bool, pairMasks [][]bool) {
-	if s.ob == nil {
+// RC/CS/RS criterion under Option 2), an "sdp.partition" event, and — when
+// the run carries a request span — an "sdp.partition" child span under the
+// current sdp.level span, timed by the mask computation itself. Call in
+// sorted-label order only; the parallel mask path measures inside its
+// goroutines but reports here, at the barrier, so span attachment order is
+// deterministic.
+func (s *sdp) reportMask(level int, label string, size int, mask []bool, pairMasks [][]bool, start time.Time, d time.Duration) {
+	if s.ob == nil && s.cur == nil {
 		return
 	}
 	surv := countTrue(mask)
+	var pairCounts []int
+	for i := range pairMasks {
+		pairCounts = append(pairCounts, countTrue(pairMasks[i]))
+	}
+	if s.cur != nil {
+		p := s.cur.ChildAt("sdp.partition", start, d)
+		p.SetAttr("tech", "SDP")
+		p.SetAttr("level", level)
+		p.SetAttr("label", label)
+		p.SetAttr("size", size)
+		p.SetAttr("survivors", surv)
+		for i, n := range pairCounts {
+			p.SetAttr(strings.ToLower(skyline.RCSNames[i]), n)
+		}
+	}
+	if s.ob == nil {
+		return
+	}
 	s.cCand.Add(int64(size))
 	s.cSurvAll.Add(int64(surv))
 	var attrs map[string]any
@@ -604,13 +664,12 @@ func (s *sdp) reportMask(level int, label string, size int, mask []bool, pairMas
 		}
 	}
 	for i, c := range []*obs.Counter{s.cSurvRC, s.cSurvCS, s.cSurvRS} {
-		if pairMasks == nil {
+		if pairCounts == nil {
 			break
 		}
-		n := countTrue(pairMasks[i])
-		c.Add(int64(n))
+		c.Add(int64(pairCounts[i]))
 		if attrs != nil {
-			attrs[strings.ToLower(skyline.RCSNames[i])] = n
+			attrs[strings.ToLower(skyline.RCSNames[i])] = pairCounts[i]
 		}
 	}
 	if attrs != nil {

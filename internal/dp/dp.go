@@ -27,6 +27,7 @@ import (
 	"sdpopt/internal/cost"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
@@ -125,6 +126,9 @@ type Engine struct {
 	ob     *obs.Observer
 	label  string
 	cPlans *obs.Counter
+	// sp is the request span carried by opts.Ctx (nil when the caller is
+	// not tracing): each completed level attaches one child span to it.
+	sp *span.Span
 }
 
 // NewEngine prepares an engine and seeds level 1 of the memo. The leaves
@@ -152,6 +156,7 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 		ob:            ob,
 		label:         label,
 		cPlans:        ob.Counter(obs.MPlansCosted),
+		sp:            span.FromContext(opts.Ctx),
 	}
 	e.Memo.Observe(ob)
 	var covered bits.Set
@@ -270,18 +275,34 @@ func (e *Engine) Run(toLevel int) error {
 }
 
 // observeLevel closes one enumeration level's span: the level-duration
-// histogram, the plans-costed counter, and a "level" event with the level's
-// creation, pruning and costing counts. A budget abort additionally bumps
-// the abort counter and emits "budget.abort". No-op when telemetry is off.
+// histogram, the plans-costed counter, a "level" event with the level's
+// creation, pruning and costing counts, and — when the run carries a
+// request span — a completed "level" child span with the same attributes.
+// A budget abort additionally bumps the abort counter and emits
+// "budget.abort". No-op when telemetry and tracing are both off.
 func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, created int, err error) {
-	if e.ob == nil {
+	if e.ob == nil && e.sp == nil {
 		return
 	}
 	d := time.Since(started)
+	costed := e.Model.PlansCosted - prevCosted
+	if e.sp != nil {
+		lv := e.sp.ChildAt("level", started, d)
+		lv.SetAttr("tech", e.label)
+		lv.SetAttr("level", k)
+		lv.SetAttr("classes_created", created)
+		lv.SetAttr("plans_costed", costed)
+		lv.SetAttr("sim_bytes", e.Memo.Stats.SimBytes)
+		if err != nil {
+			lv.SetError(err.Error())
+		}
+	}
+	if e.ob == nil {
+		return
+	}
 	// Labeled per level so sequential level profiles line up against the
 	// parallel engine's in sdptrace and on /metrics.
 	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
-	costed := e.Model.PlansCosted - prevCosted
 	e.cPlans.Add(costed)
 	if e.ob.Tracing() {
 		attrs := map[string]any{

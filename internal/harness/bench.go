@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,8 @@ import (
 	"runtime"
 	"time"
 
+	"sdpopt/internal/core"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plancache"
 	"sdpopt/internal/workload"
 )
@@ -51,6 +54,9 @@ type BenchReport struct {
 	// Parallel reports the enumeration-worker scaling curve (see
 	// ParallelBench).
 	Parallel *ParallelBench `json:"parallel,omitempty"`
+	// Tracing reports the span-tracing overhead comparison (see
+	// TracingBench).
+	Tracing *TracingBench `json:"tracing,omitempty"`
 }
 
 // BenchHost records the machine the report was produced on — without it the
@@ -101,6 +107,23 @@ type CacheBench struct {
 	Hits    int64   `json:"hits"`
 	Misses  int64   `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+}
+
+// TracingBench measures what request-scoped span tracing costs the
+// optimizer: the same technique over the same workload, once with no span
+// in the context and once under a full request span recorded into a flight
+// recorder. Overhead is the regression guard — the traced path must stay
+// within noise of the untraced one, because spans observe at level
+// barriers rather than inside the enumeration hot loop.
+type TracingBench struct {
+	Graph          string  `json:"graph"`
+	Technique      string  `json:"technique"`
+	Instances      int     `json:"instances"`
+	OffMeanSeconds float64 `json:"off_mean_seconds"`
+	OnMeanSeconds  float64 `json:"on_mean_seconds"`
+	// Overhead is the traced mean over the untraced mean — 1.0 means
+	// tracing is free.
+	Overhead float64 `json:"overhead"`
 }
 
 // benchBatch converts a harness batch into its benchmark record.
@@ -155,7 +178,68 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Parallel = pb
+	tb, err := benchTracing(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Tracing = tb
 	return r, nil
+}
+
+// benchTracing runs the tracing on/off comparison: SDP over Star-12, one
+// pass with a bare context and one with a request span per instance, each
+// trace finished into a flight recorder as the server would.
+func benchTracing(c Config) (*TracingBench, error) {
+	const n = 12
+	spec := c.schema()
+	spec.Topology = workload.Star
+	spec.NumRelations = n
+	qs, err := workload.Instances(*spec, c.instances(5))
+	if err != nil {
+		return nil, err
+	}
+	base := core.DefaultOptions()
+	base.Budget = c.budget()
+	pass := func(traced bool) (time.Duration, error) {
+		rec := span.NewRecorder(span.RecorderOptions{})
+		var total time.Duration
+		for _, q := range qs {
+			opts := base
+			var root *span.Span
+			if traced {
+				root = span.New("request")
+				rec.Start(root)
+				opts.Ctx = span.NewContext(context.Background(), root)
+			}
+			started := time.Now()
+			_, _, err := core.Optimize(q, opts)
+			total += time.Since(started)
+			if err != nil {
+				return 0, fmt.Errorf("tracing bench (traced=%v): %w", traced, err)
+			}
+			rec.Finish(root, 200)
+		}
+		return total / time.Duration(len(qs)), nil
+	}
+	off, err := pass(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := pass(true)
+	if err != nil {
+		return nil, err
+	}
+	out := &TracingBench{
+		Graph:          fmt.Sprintf("Star-%d", n),
+		Technique:      "SDP",
+		Instances:      len(qs),
+		OffMeanSeconds: off.Seconds(),
+		OnMeanSeconds:  on.Seconds(),
+	}
+	if off > 0 {
+		out.Overhead = float64(on) / float64(off)
+	}
+	return out, nil
 }
 
 // benchParallel measures the parallel enumeration engine's scaling curve:

@@ -85,4 +85,14 @@ func TestBenchReport(t *testing.T) {
 			}
 		}
 	}
+	if r.Tracing == nil {
+		t.Fatal("report missing tracing comparison")
+	}
+	tr := r.Tracing
+	if tr.Graph != "Star-12" || tr.Technique != "SDP" || tr.Instances == 0 {
+		t.Errorf("tracing bench = %+v", tr)
+	}
+	if tr.OffMeanSeconds <= 0 || tr.OnMeanSeconds <= 0 || tr.Overhead <= 0 {
+		t.Errorf("tracing bench has empty measurements: %+v", tr)
+	}
 }

@@ -74,6 +74,17 @@ func (o *Observer) EmitPayload(typ string, attrs map[string]any, payload any) {
 // use it to skip building attribute maps on the disabled path.
 func (o *Observer) Tracing() bool { return o != nil && o.Tracer != nil }
 
+// Flush forces buffered sink writes (JSONL files) to their destination
+// without closing the sinks — the graceful-shutdown path, where the process
+// keeps serving until the listener drains but no event may be lost.
+// Nil-safe.
+func (o *Observer) Flush() error {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Flush()
+}
+
 // WithSinks returns an observer that shares o's registry but additionally
 // delivers events to the given sinks. Works on a nil receiver (yielding an
 // observer with only the new sinks).
@@ -197,6 +208,11 @@ const (
 	// MServerSeconds is the end-to-end /optimize latency histogram,
 	// labeled source= (hit, dedup, miss, uncached).
 	MServerSeconds = "sdpopt_server_seconds"
+	// MServerQueueSeconds is the admission-wait histogram: time between a
+	// request entering admission control and acquiring an execution slot,
+	// kept separate from MServerSeconds so queueing delay and compute time
+	// are individually attributable (shed requests never enter it).
+	MServerQueueSeconds = "sdpopt_server_queue_seconds"
 	// MServerCanonTruncated counts requests whose canonical-labeling search
 	// exhausted its budget (query.Canon().Truncated): their fingerprints
 	// may differ across equivalent spellings, degrading cache hit rate.

@@ -109,12 +109,24 @@ var histBuckets = func() []time.Duration {
 }()
 
 // Histogram is a fixed-bucket duration histogram with atomic counters. The
-// last bucket slot is the +Inf overflow.
+// last bucket slot is the +Inf overflow. Each bucket additionally retains
+// the most recent exemplar — the trace ID of the last request that landed
+// in it — so an extreme bucket in a latency histogram links straight to a
+// flight-recorder entry.
 type Histogram struct {
-	name    string
-	buckets [16]atomic.Int64
-	count   atomic.Int64
-	sumNS   atomic.Int64
+	name      string
+	buckets   [16]atomic.Int64
+	exemplars [16]atomic.Pointer[Exemplar]
+	count     atomic.Int64
+	sumNS     atomic.Int64
+}
+
+// Exemplar ties one histogram observation to the request trace that
+// produced it.
+type Exemplar struct {
+	TraceID string
+	Value   time.Duration
+	Time    time.Time
 }
 
 func init() {
@@ -123,18 +135,55 @@ func init() {
 	}
 }
 
+// bucketIndex returns the bucket slot for d (len(histBuckets) = overflow).
+func bucketIndex(d time.Duration) int {
+	i := 0
+	for i < len(histBuckets) && d > histBuckets[i] {
+		i++
+	}
+	return i
+}
+
 // Observe records one duration. No-op on a nil histogram.
 func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
-	i := 0
-	for i < len(histBuckets) && d > histBuckets[i] {
-		i++
-	}
+	i := bucketIndex(d)
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sumNS.Add(int64(d))
+}
+
+// ObserveExemplar records one duration and, when traceID is non-empty,
+// replaces the landed bucket's exemplar with it. An empty traceID makes
+// this identical to Observe, so call sites need no tracing-enabled branch.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	if h == nil {
+		return
+	}
+	i := bucketIndex(d)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: d, Time: time.Now()})
+	}
+}
+
+// Exemplars returns the histogram's current per-bucket exemplars in bucket
+// order (empty buckets skipped). Nil-safe.
+func (h *Histogram) Exemplars() []Exemplar {
+	if h == nil {
+		return nil
+	}
+	var out []Exemplar
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			out = append(out, *ex)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations (0 for nil).
@@ -229,10 +278,77 @@ func splitLabeled(key string) (base, labels string) {
 	return key, ""
 }
 
+// ExemplarInfo is one histogram bucket's exemplar with enough context to
+// render it standalone (metric name plus the bucket's le bound).
+type ExemplarInfo struct {
+	Metric  string
+	LE      string
+	TraceID string
+	Value   time.Duration
+	Time    time.Time
+}
+
+// Exemplars returns every histogram bucket exemplar in the registry,
+// sorted by metric name then bucket bound — the data behind the
+// /debug/requests "latency exemplars" table. Nil-safe.
+func (r *Registry) Exemplars() []ExemplarInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	var out []ExemplarInfo
+	for _, h := range hists {
+		for i := range h.exemplars {
+			ex := h.exemplars[i].Load()
+			if ex == nil {
+				continue
+			}
+			ub := math.Inf(1)
+			if i < len(histBuckets) {
+				ub = histBuckets[i].Seconds()
+			}
+			out = append(out, ExemplarInfo{
+				Metric:  h.name,
+				LE:      formatLE(ub),
+				TraceID: ex.TraceID,
+				Value:   ex.Value,
+				Time:    ex.Time,
+			})
+		}
+	}
+	return out
+}
+
 // WritePrometheus renders the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples, histograms
 // as cumulative _bucket/_sum/_count series with seconds-valued buckets.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeText(w, false)
+}
+
+// WriteOpenMetrics renders the registry like WritePrometheus but in
+// OpenMetrics form: bucket samples carry their exemplar suffix
+// (`# {trace_id="..."} <seconds> <unix>`) and the stream is terminated
+// with `# EOF`. Scrapers that accept application/openmetrics-text get this
+// variant and can link extreme latency buckets to flight-recorder traces.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeText(w, true); err != nil {
+		return err
+	}
+	if r == nil {
+		return nil
+	}
+	_, err := fmt.Fprintln(w, "# EOF")
+	return err
+}
+
+func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 	if r == nil {
 		return nil
 	}
@@ -278,21 +394,38 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, h := range hists {
 		header(h.name, "histogram")
 		base, labels := splitLabeled(h.name)
+		bucket := func(i int, ub float64, cum int64) error {
+			_, err := fmt.Fprintf(w, "%s%s %d%s\n", base+"_bucket", mergeLE(labels, ub), cum, h.exemplarSuffix(i, exemplars))
+			return err
+		}
 		cum := int64(0)
 		for i, ub := range histBuckets {
 			cum += h.buckets[i].Load()
-			if _, err := fmt.Fprintf(w, "%s%s %d\n", base+"_bucket", mergeLE(labels, ub.Seconds()), cum); err != nil {
+			if err := bucket(i, ub.Seconds(), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.buckets[len(histBuckets)].Load()
-		if _, err := fmt.Fprintf(w, "%s%s %d\n", base+"_bucket", mergeLE(labels, math.Inf(1)), cum); err != nil {
+		if err := bucket(len(histBuckets), math.Inf(1), cum); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "%s%s %g\n", base+"_sum", labels, h.Sum().Seconds())
 		fmt.Fprintf(w, "%s%s %d\n", base+"_count", labels, h.Count())
 	}
 	return nil
+}
+
+// exemplarSuffix renders bucket i's OpenMetrics exemplar annotation, or ""
+// when exemplars are disabled or the bucket has none.
+func (h *Histogram) exemplarSuffix(i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %g %.3f", ex.TraceID, ex.Value.Seconds(), float64(ex.Time.UnixMilli())/1000)
 }
 
 // mergeLE inserts the le="..." bucket label into an existing label block

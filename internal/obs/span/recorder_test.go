@@ -1,0 +1,174 @@
+package span_test
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sdpopt/internal/obs/span"
+)
+
+// finishTrace runs one trivial trace through rec with the given code.
+func finishTrace(rec *span.Recorder, code int) *span.Span {
+	root := span.New("request")
+	rec.Start(root)
+	rec.Finish(root, code)
+	return root
+}
+
+func TestRingWraparound(t *testing.T) {
+	rec := span.NewRecorder(span.RecorderOptions{Recent: 3, SlowThreshold: time.Hour})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		ids = append(ids, finishTrace(rec, 200).TraceID())
+	}
+	d := rec.Snapshot()
+	if len(d.Recent) != 3 {
+		t.Fatalf("recent ring holds %d, want 3", len(d.Recent))
+	}
+	// Newest first: traces 4, 3, 2; 0 and 1 were overwritten.
+	for i, want := range []string{ids[4], ids[3], ids[2]} {
+		if d.Recent[i].TraceID != want {
+			t.Errorf("recent[%d] = %s, want %s", i, d.Recent[i].TraceID, want)
+		}
+	}
+	if d.Counts.Started != 5 || d.Counts.Finished != 5 || d.Counts.Active != 0 {
+		t.Errorf("counts = %+v", d.Counts)
+	}
+}
+
+// TestPinningPrecedence checks slow and error traces land in the notable
+// ring, where a later flood of fast successes cannot evict them.
+func TestPinningPrecedence(t *testing.T) {
+	rec := span.NewRecorder(span.RecorderOptions{Recent: 4, Notable: 4, SlowThreshold: time.Hour})
+	errID := finishTrace(rec, 500).TraceID()
+	for i := 0; i < 20; i++ {
+		finishTrace(rec, 200)
+	}
+	d := rec.Snapshot()
+	if len(d.Notable) != 1 || d.Notable[0].TraceID != errID {
+		t.Fatalf("error trace evicted by fast traffic: notable = %+v", d.Notable)
+	}
+	if d.Counts.Errored != 1 {
+		t.Errorf("errored count = %d, want 1", d.Counts.Errored)
+	}
+
+	// A 1ns threshold classifies every trace as slow: all land notable, the
+	// recent ring stays empty.
+	slow := span.NewRecorder(span.RecorderOptions{Recent: 4, Notable: 4, SlowThreshold: time.Nanosecond})
+	for i := 0; i < 3; i++ {
+		root := span.New("request")
+		slow.Start(root)
+		for time.Since(root.Trace().Start()) == 0 { // spin past clock granularity
+		}
+		slow.Finish(root, 200)
+	}
+	d = slow.Snapshot()
+	if len(d.Recent) != 0 || len(d.Notable) != 3 {
+		t.Fatalf("slow traces filed wrong: %d recent, %d notable", len(d.Recent), len(d.Notable))
+	}
+	if d.Counts.Slow != 3 {
+		t.Errorf("slow count = %d, want 3", d.Counts.Slow)
+	}
+	for _, tr := range d.Notable {
+		if !tr.Slow {
+			t.Errorf("notable trace not marked slow: %+v", tr)
+		}
+	}
+}
+
+func TestActiveTraces(t *testing.T) {
+	rec := span.NewRecorder(span.RecorderOptions{})
+	root := span.New("request")
+	rec.Start(root)
+	root.Child("optimize") // left running
+
+	d := rec.Snapshot()
+	if len(d.Active) != 1 || !d.Active[0].Active {
+		t.Fatalf("active = %+v", d.Active)
+	}
+	if !d.Active[0].Root.Running || !d.Active[0].Root.Children[0].Running {
+		t.Error("running spans not marked Running in snapshot")
+	}
+	rec.Finish(root, 200)
+	if d = rec.Snapshot(); len(d.Active) != 0 || len(d.Recent) != 1 {
+		t.Fatalf("after finish: %d active, %d recent", len(d.Active), len(d.Recent))
+	}
+}
+
+// TestRecorderConcurrency hammers the recorder from writer goroutines while
+// readers snapshot and serve both debug endpoints; run under -race.
+func TestRecorderConcurrency(t *testing.T) {
+	rec := span.NewRecorder(span.RecorderOptions{Recent: 8, Notable: 8, SlowThreshold: time.Hour})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				root := span.New("request")
+				rec.Start(root)
+				c := root.Child("optimize")
+				c.SetAttr("tech", "sdp")
+				c.Add("plans_costed", int64(i))
+				c.ChildAt("level", time.Now(), time.Microsecond)
+				c.Finish()
+				code := 200
+				if i%17 == 0 {
+					code = 500
+				}
+				rec.Finish(root, code)
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := httptest.NewRecorder()
+				rec.FlightHandler().ServeHTTP(w, httptest.NewRequest("GET", "/debug/flight.json", nil))
+				var d span.FlightDump
+				if err := json.NewDecoder(w.Body).Decode(&d); err != nil {
+					t.Errorf("flight.json undecodable mid-traffic: %v", err)
+					return
+				}
+				h := httptest.NewRecorder()
+				rec.RequestsHandler(nil).ServeHTTP(h, httptest.NewRequest("GET", "/debug/requests", nil))
+				if !strings.Contains(h.Body.String(), "flight recorder") {
+					t.Error("/debug/requests page incomplete")
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish on their own; readers stop when told.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("concurrency test wedged")
+	}
+
+	d := rec.Snapshot()
+	if d.Counts.Finished != 800 {
+		t.Errorf("finished = %d, want 800", d.Counts.Finished)
+	}
+}

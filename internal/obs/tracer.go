@@ -77,6 +77,13 @@ type Sink interface {
 	Close() error
 }
 
+// Flusher is implemented by sinks that buffer writes and can force them out
+// without closing (JSONLSink). Tracer.Flush calls it on graceful shutdown
+// so no event of an in-flight request is stranded in a buffer.
+type Flusher interface {
+	Flush() error
+}
+
 // Tracer fans events out to its sinks. A nil tracer drops everything; the
 // enabled check is a nil comparison.
 type Tracer struct {
@@ -105,6 +112,23 @@ func (t *Tracer) EmitPayload(typ string, attrs map[string]any, payload any) {
 	for _, s := range t.sinks {
 		s.Emit(e)
 	}
+}
+
+// Flush forces buffered writes out of every sink implementing Flusher,
+// returning the first error. The sinks stay usable afterwards.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	var first error
+	for _, s := range t.sinks {
+		if f, ok := s.(Flusher); ok {
+			if err := f.Flush(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
 }
 
 // Close closes every sink, returning the first error.
@@ -197,6 +221,19 @@ func (s *JSONLSink) Emit(e Event) {
 	}
 	s.w.Write(b)
 	s.w.WriteByte('\n')
+}
+
+// Flush forces buffered lines to the underlying writer without closing it;
+// the sink remains usable. Earlier marshal errors surface here as well as
+// on Close.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.err != nil && err == nil {
+		err = s.err
+	}
+	return err
 }
 
 // Close flushes the buffer and closes the underlying file, if any.

@@ -47,6 +47,7 @@ import (
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
@@ -96,6 +97,21 @@ type Engine struct {
 	cTasks     *obs.Counter
 	cContended *obs.Counter
 	mBarrier   *obs.Histogram
+	// sp is the request span carried by opts.Ctx (nil when the caller is
+	// not tracing). Each level attaches one child span with per-worker
+	// children — built at the barrier from wstats, in fixed worker order,
+	// so tracing observes the round without ordering it.
+	sp     *span.Span
+	wstats []workerStat
+}
+
+// workerStat is one worker's share of a barrier round, collected with plain
+// per-worker writes during the round and read single-threaded after it.
+type workerStat struct {
+	start  time.Time
+	finish time.Time
+	tasks  int64
+	costed int64
 }
 
 // NewEngine prepares an engine and seeds level 1 of the memo (invoking the
@@ -137,6 +153,7 @@ func NewEngine(q *query.Query, leaves []dp.Leaf, opts Options) (*Engine, error) 
 			cTasks:     ob.Counter(obs.MParTasks),
 			cContended: ob.Counter(obs.MParShardContended),
 			mBarrier:   ob.Histogram(obs.MParBarrierWait),
+			sp:         span.FromContext(opts.Ctx),
 		}
 	}
 	if err != nil {
@@ -234,18 +251,21 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 	errs := make([]error, workers)
 	finished := make([]time.Time, workers)
 	models := make([]*cost.Model, workers)
+	wstats := make([]workerStat, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		models[w] = e.inner.Model.Fork()
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			wstats[w].start = time.Now()
 			defer func() { finished[w] = time.Now() }()
 			for !abort.Load() {
 				t := int(next.Add(1)) - 1
 				if t >= len(tasks) {
 					return
 				}
+				wstats[w].tasks++
 				if err := dp.CtxErr(e.ctx); err != nil {
 					errs[w] = err
 					abort.Store(true)
@@ -276,12 +296,15 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 	// Fold the forks' counters back; worker order is fixed so the sum — and
 	// therefore Stats.PlansCosted — is deterministic.
 	var costed int64
-	for _, fm := range models {
+	for w, fm := range models {
 		costed += fm.PlansCosted
+		wstats[w].costed = fm.PlansCosted
+		wstats[w].finish = finished[w]
 	}
 	e.inner.Model.PlansCosted += costed
 	e.cContended.Add(staged.Contended())
 	e.observeBarrier(finished)
+	e.wstats = wstats
 
 	var sawBudget bool
 	for _, err := range errs {
@@ -380,14 +403,51 @@ func (e *Engine) observeBarrier(finished []time.Time) {
 
 // observeLevel mirrors the sequential engine's level span — same metric,
 // same event shape — plus the worker count, so sequential and parallel
-// level profiles line up in sdptrace.
+// level profiles line up in sdptrace. When the run carries a request span,
+// the level's child span additionally gets one "pardp.worker" child per
+// worker (task count, plans costed, barrier wait), attached here — after
+// the barrier, in fixed worker order — so the trace records the round
+// without synchronizing it.
 func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, created int, err error) {
-	if e.ob == nil {
+	wstats := e.wstats
+	e.wstats = nil
+	if e.ob == nil && e.sp == nil {
 		return
 	}
 	d := time.Since(started)
-	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
 	costed := e.inner.Model.PlansCosted - prevCosted
+	if e.sp != nil {
+		lv := e.sp.ChildAt("level", started, d)
+		lv.SetAttr("tech", e.label)
+		lv.SetAttr("level", k)
+		lv.SetAttr("classes_created", created)
+		lv.SetAttr("plans_costed", costed)
+		lv.SetAttr("sim_bytes", e.inner.Memo.Stats.SimBytes)
+		lv.SetAttr("workers", e.workers)
+		if err != nil {
+			lv.SetError(err.Error())
+		}
+		var last time.Time
+		for _, ws := range wstats {
+			if ws.finish.After(last) {
+				last = ws.finish
+			}
+		}
+		for w, ws := range wstats {
+			if ws.start.IsZero() || ws.finish.IsZero() {
+				continue
+			}
+			wsp := lv.ChildAt("pardp.worker", ws.start, ws.finish.Sub(ws.start))
+			wsp.SetAttr("worker", w)
+			wsp.SetAttr("tasks", ws.tasks)
+			wsp.SetAttr("plans_costed", ws.costed)
+			wsp.SetAttr("barrier_wait_ns", int64(last.Sub(ws.finish)))
+		}
+	}
+	if e.ob == nil {
+		return
+	}
+	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
 	e.cPlans.Add(costed)
 	if e.ob.Tracing() {
 		attrs := map[string]any{

@@ -37,11 +37,14 @@ package plancache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sdpopt/internal/dp"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plan"
 )
 
@@ -189,8 +192,30 @@ func (c *Cache) shard(id string) *shard {
 // compute, not the (near-free) lookup. A compute error is propagated to
 // every coalesced caller and nothing is cached.
 func (c *Cache) Do(key Key, compute func() (*plan.Plan, dp.Stats, error)) (*plan.Plan, dp.Stats, Source, error) {
+	return c.do(key, compute, nil)
+}
+
+// DoCtx is Do with request-scoped span tracing: when ctx carries a span
+// (span.FromContext), the lookup appends a completed "cache.lookup" child
+// recording the outcome, and a coalesced caller additionally gets a
+// "cache.wait" child covering the time parked on the in-flight compute —
+// the singleflight stampede made visible per request. With no span in ctx
+// it is exactly Do.
+func (c *Cache) DoCtx(ctx context.Context, key Key, compute func() (*plan.Plan, dp.Stats, error)) (*plan.Plan, dp.Stats, Source, error) {
+	return c.do(key, compute, span.FromContext(ctx))
+}
+
+func (c *Cache) do(key Key, compute func() (*plan.Plan, dp.Stats, error), sp *span.Span) (*plan.Plan, dp.Stats, Source, error) {
 	id := key.id()
 	s := c.shard(id)
+	lookupStart := time.Now()
+	lookup := func(src Source) {
+		if sp == nil {
+			return
+		}
+		ls := sp.ChildAt("cache.lookup", lookupStart, time.Since(lookupStart))
+		ls.SetAttr("source", src.String())
+	}
 
 	s.mu.Lock()
 	if e := s.entries[id]; e != nil {
@@ -198,13 +223,17 @@ func (c *Cache) Do(key Key, compute func() (*plan.Plan, dp.Stats, error)) (*plan
 		s.mu.Unlock()
 		c.hits.Add(1)
 		c.cHits.Add(1)
+		lookup(Hit)
 		return e.plan, e.stats, Hit, nil
 	}
 	if f := s.flights[id]; f != nil {
 		s.mu.Unlock()
 		c.dedups.Add(1)
 		c.cDedups.Add(1)
+		lookup(Dedup)
+		ws := sp.Child("cache.wait")
 		<-f.done
+		ws.FinishErr(f.err)
 		return f.p, f.st, Dedup, f.err
 	}
 	f := &flight{done: make(chan struct{})}
@@ -213,6 +242,7 @@ func (c *Cache) Do(key Key, compute func() (*plan.Plan, dp.Stats, error)) (*plan
 
 	c.misses.Add(1)
 	c.cMisses.Add(1)
+	lookup(Miss)
 	f.p, f.st, f.err = compute()
 
 	s.mu.Lock()

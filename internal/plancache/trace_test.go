@@ -1,0 +1,102 @@
+package plancache
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"sdpopt/internal/dp"
+	"sdpopt/internal/obs/span"
+	"sdpopt/internal/plan"
+)
+
+// lookupSources walks a snapshot tree collecting the source attr of every
+// cache.lookup span, in recorded order.
+func lookupSources(s span.SpanJSON) []string {
+	var out []string
+	if s.Name == "cache.lookup" {
+		src, _ := s.Attrs["source"].(string)
+		out = append(out, src)
+	}
+	for _, c := range s.Children {
+		out = append(out, lookupSources(c)...)
+	}
+	return out
+}
+
+func countNamed(s span.SpanJSON, name string) int {
+	n := 0
+	if s.Name == name {
+		n++
+	}
+	for _, c := range s.Children {
+		n += countNamed(c, name)
+	}
+	return n
+}
+
+// TestDoCtxSpans checks the span-instrumented lookup path: a miss, a hit,
+// and a coalesced dedup each append a cache.lookup child with the right
+// source, and only the dedup waiter gets a cache.wait span.
+func TestDoCtxSpans(t *testing.T) {
+	c := New(Options{})
+	rec := span.NewRecorder(span.RecorderOptions{SlowThreshold: time.Hour})
+	root := span.New("request")
+	rec.Start(root)
+	ctx := span.NewContext(context.Background(), root)
+
+	compute := func() (*plan.Plan, dp.Stats, error) { return mkPlan(1), dp.Stats{}, nil }
+	if _, _, src, err := c.DoCtx(ctx, mkKey(1), compute); err != nil || src != Miss {
+		t.Fatalf("first DoCtx = %v, %v; want miss", src, err)
+	}
+	if _, _, src, err := c.DoCtx(ctx, mkKey(1), compute); err != nil || src != Hit {
+		t.Fatalf("second DoCtx = %v, %v; want hit", src, err)
+	}
+
+	// Dedup: park this span's caller on another caller's in-flight compute.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(mkKey(2), func() (*plan.Plan, dp.Stats, error) {
+		close(started)
+		<-release
+		return mkPlan(2), dp.Stats{}, nil
+	})
+	<-started
+	waiterDone := make(chan Source, 1)
+	go func() {
+		_, _, src, _ := c.DoCtx(ctx, mkKey(2), compute)
+		waiterDone <- src
+	}()
+	// The waiter observes the flight only once registered; poll until it
+	// parks, then release the compute.
+	for c.Counts().Dedups == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if src := <-waiterDone; src != Dedup {
+		t.Fatalf("waiter source = %v, want dedup", src)
+	}
+
+	rec.Finish(root, 200)
+	d := rec.Snapshot()
+	tree := *d.Recent[0].Root
+	srcs := lookupSources(tree)
+	if len(srcs) != 3 || srcs[0] != "miss" || srcs[1] != "hit" || srcs[2] != "dedup" {
+		t.Fatalf("cache.lookup sources = %v, want [miss hit dedup]", srcs)
+	}
+	if n := countNamed(tree, "cache.wait"); n != 1 {
+		t.Fatalf("cache.wait spans = %d, want 1 (only the dedup waiter parks)", n)
+	}
+}
+
+// TestDoCtxWithoutSpan checks DoCtx degrades to Do when ctx carries no
+// span.
+func TestDoCtxWithoutSpan(t *testing.T) {
+	c := New(Options{})
+	p, _, src, err := c.DoCtx(context.Background(), mkKey(9), func() (*plan.Plan, dp.Stats, error) {
+		return mkPlan(9), dp.Stats{}, nil
+	})
+	if err != nil || src != Miss || p == nil {
+		t.Fatalf("DoCtx plain = %v %v %v", p, src, err)
+	}
+}

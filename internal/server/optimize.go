@@ -10,6 +10,7 @@ import (
 	"sdpopt/internal/greedy"
 	"sdpopt/internal/idp"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/pardp"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
@@ -47,6 +48,35 @@ func KnownTechnique(name string) bool {
 // results are bit-for-bit identical to the sequential engine's, so the
 // knob never changes a response, only its latency. Techniques without a DP
 // substrate ignore it.
+// OptimizeTraced is Optimize under span tracing: when ctx carries a request
+// span, the dispatch runs inside an "optimize" child span that the engines
+// then hang their per-level / per-partition spans off, and the optimizer's
+// summary statistics land on it as attributes. Without a span in ctx it is
+// exactly Optimize.
+func OptimizeTraced(ctx context.Context, technique string, q *query.Query, budget int64, workers int, ob *obs.Observer) (*plan.Plan, dp.Stats, error) {
+	sp := span.FromContext(ctx)
+	if sp == nil {
+		return Optimize(ctx, technique, q, budget, workers, ob)
+	}
+	tech := technique
+	if tech == "" {
+		tech = "sdp"
+	}
+	os := sp.Child("optimize")
+	os.SetAttr("tech", tech)
+	os.SetAttr("workers", workers)
+	p, st, err := Optimize(span.NewContext(ctx, os), technique, q, budget, workers, ob)
+	os.SetAttr("dur_ns", st.Elapsed.Nanoseconds())
+	os.SetAttr("plans_costed", st.PlansCosted)
+	os.SetAttr("classes_created", st.Memo.ClassesCreated)
+	os.SetAttr("peak_sim_bytes", st.Memo.PeakSimBytes)
+	if p != nil {
+		os.SetAttr("cost", p.Cost)
+	}
+	os.FinishErr(err)
+	return p, st, err
+}
+
 func Optimize(ctx context.Context, technique string, q *query.Query, budget int64, workers int, ob *obs.Observer) (*plan.Plan, dp.Stats, error) {
 	switch technique {
 	case "", "sdp":

@@ -24,7 +24,12 @@
 //     still names the right relations;
 //   - observability — requests, sheds, in-flight and queue gauges, and a
 //     latency histogram split by cache source flow through internal/obs and
-//     are exposed on the same listener at /metrics.
+//     are exposed on the same listener at /metrics. Every request also
+//     carries a request-scoped span tree (internal/obs/span) into the
+//     engines; a flight recorder retains recent and slow/error traces at
+//     /debug/requests (HTML) and /debug/flight.json (machine-readable), and
+//     the latency histograms attach trace-ID exemplars so an outlier bucket
+//     links straight back to the request that landed in it.
 package server
 
 import (
@@ -43,6 +48,7 @@ import (
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/parse"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/plancache"
@@ -87,6 +93,12 @@ type Options struct {
 	// the sequential one, this knob never changes what is computed or
 	// cached — only the latency of a miss.
 	Workers int
+	// Flight sizes the flight recorder (ring capacities and slow-trace
+	// pinning threshold); the zero value gives the span-package defaults
+	// (64 recent + 64 notable, 1s). The recorder is always on — span
+	// tracing costs a few allocations per request, not per plan — and is
+	// served at /debug/requests and /debug/flight.json.
+	Flight span.RecorderOptions
 }
 
 // Server is the optimizer-as-a-service HTTP layer. Construct with New.
@@ -99,6 +111,8 @@ type Server struct {
 	timeout    time.Duration
 	maxQueue   int
 	workers    int
+
+	flight *span.Recorder
 
 	sem      chan struct{} // executing-slot semaphore
 	pending  atomic.Int64  // executing + queued
@@ -140,6 +154,7 @@ func New(opts Options) (*Server, error) {
 		timeout:    opts.Timeout,
 		maxQueue:   opts.MaxQueue,
 		workers:    opts.Workers,
+		flight:     span.NewRecorder(opts.Flight),
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 	}
 	if s.ob != nil {
@@ -251,13 +266,18 @@ type OptimizeResponse struct {
 }
 
 // Handler returns the server's HTTP routes: POST /optimize, GET /healthz,
-// GET /catalog, and — when an observer is configured — the observability
-// surface (/metrics, /debug/vars, /debug/pprof/).
+// GET /catalog, the flight recorder (/debug/requests, /debug/flight.json —
+// always on), and — when an observer is configured — the metrics surface
+// (/metrics, /debug/vars, /debug/pprof/).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/optimize", s.handleOptimize)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/catalog", s.handleCatalog)
+	// Exact paths outrank the /debug/ subtree below, so the flight
+	// recorder coexists with pprof/expvar on one listener.
+	mux.Handle("/debug/requests", s.flight.RequestsHandler(s.registry()))
+	mux.Handle("/debug/flight.json", s.flight.FlightHandler())
 	if s.ob != nil && s.ob.Registry != nil {
 		oh := s.ob.Registry.Handler()
 		mux.Handle("/metrics", oh)
@@ -265,6 +285,17 @@ func (s *Server) Handler() http.Handler {
 	}
 	return mux
 }
+
+// registry returns the observer's metrics registry, or nil without one.
+func (s *Server) registry() *obs.Registry {
+	if s.ob == nil {
+		return nil
+	}
+	return s.ob.Registry
+}
+
+// Flight returns the server's flight recorder.
+func (s *Server) Flight() *span.Recorder { return s.flight }
 
 // Start listens on addr (":0" for an ephemeral port) and serves in a
 // background goroutine, returning the bound address.
@@ -280,11 +311,18 @@ func (s *Server) Start(addr string) (string, error) {
 
 // Shutdown gracefully stops a Started server: the listener closes
 // immediately, in-flight requests run to completion or until ctx expires.
+// Buffered trace sinks are then drained, so the final events of requests
+// completing during the grace period reach their JSONL files rather than
+// dying in a bufio buffer.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.httpSrv == nil {
-		return nil
+	var err error
+	if s.httpSrv != nil {
+		err = s.httpSrv.Shutdown(ctx)
 	}
-	return s.httpSrv.Shutdown(ctx)
+	if ferr := s.ob.Flush(); err == nil {
+		err = ferr
+	}
+	return err
 }
 
 // InFlight returns the number of optimizations currently executing.
@@ -345,24 +383,46 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tracing: every valid optimize request gets a span tree in the flight
+	// recorder. A well-formed W3C traceparent header adopts the caller's
+	// trace ID; our ID (theirs or a fresh one) is echoed back either way so
+	// the client can fish the trace out of /debug/flight.json later.
+	root := span.FromTraceparent(r.Header.Get("traceparent"), "request")
+	w.Header().Set("traceparent", root.Trace().Traceparent())
+	s.flight.Start(root)
+
 	// Admission: bound executing + queued; shed the rest before they tie
 	// up a connection waiting for a slot that is many optimizations away.
 	pending := s.pending.Add(1)
 	if pending > int64(cap(s.sem)+s.maxQueue) {
 		s.pending.Add(-1)
 		s.cShed.Add(1)
+		// No queue.wait span and no queue-histogram sample: a shed request
+		// never waited, and folding its zero into the wait distribution
+		// would understate the very congestion that shed it.
+		root.SetError("shed: server saturated")
+		s.flight.Finish(root, http.StatusTooManyRequests)
 		w.Header().Set("Retry-After", "1")
 		s.failf(w, r, http.StatusTooManyRequests, "server saturated: %d executing, %d queued", cap(s.sem), s.maxQueue)
 		return
 	}
 	s.gQueue.Set(s.pending.Load() - s.inFlight.Load())
+	queued := time.Now()
 	select {
 	case s.sem <- struct{}{}:
 	case <-r.Context().Done():
 		s.pending.Add(-1)
+		wait := time.Since(queued)
+		root.ChildAt("queue.wait", queued, wait).SetError("client gone")
+		s.observeQueueWait(wait, root.TraceID())
+		root.SetError("client gone while queued")
+		s.flight.Finish(root, statusClientGone)
 		s.failf(w, r, statusClientGone, "client gone while queued")
 		return
 	}
+	wait := time.Since(queued)
+	root.ChildAt("queue.wait", queued, wait)
+	s.observeQueueWait(wait, root.TraceID())
 	s.gInFlight.Set(s.inFlight.Add(1))
 	s.gQueue.Set(s.pending.Load() - s.inFlight.Load())
 	defer func() {
@@ -381,6 +441,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx = span.NewContext(ctx, root)
 
 	budget := s.budget
 	if req.BudgetMB > 0 {
@@ -394,7 +455,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	// Canonicalization (and the fingerprint digested from it) runs here,
 	// inside the admission slot, so its bounded labeling search counts
 	// against MaxConcurrent like any other per-request CPU work.
+	cs := root.Child("canonicalize")
 	cn := q.Canon()
+	cs.SetAttr("truncated", cn.Truncated)
+	cs.Finish()
 	if cn.Truncated {
 		if c := s.ob.Counter(obs.MServerCanonTruncated); c != nil {
 			c.Add(1)
@@ -442,10 +506,29 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		ClassesCreated: stats.Memo.ClassesCreated,
 	}
 	resp.ServerNS = time.Since(started).Nanoseconds()
-	if h := s.ob.Histogram(obs.Label(obs.MServerSeconds, "source", src)); h != nil {
-		h.Observe(time.Since(started))
+	root.SetAttr("technique", technique)
+	root.SetAttr("source", src)
+	root.SetAttr("fingerprint", resp.Fingerprint)
+	if err != nil {
+		root.SetError(err.Error())
 	}
+	if h := s.ob.Histogram(obs.Label(obs.MServerSeconds, "source", src)); h != nil {
+		// The exemplar ties an extreme latency bucket to this trace ID, so
+		// the slow request behind a histogram outlier is one flight-recorder
+		// lookup away.
+		h.ObserveExemplar(time.Since(started), root.TraceID())
+	}
+	s.flight.Finish(root, code)
 	s.writeJSON(w, r, code, resp)
+}
+
+// observeQueueWait records semaphore-admission wait separately from compute
+// time. 429 sheds never reach it, so the histogram measures only time spent
+// actually queued, and the exemplar names the trace that waited longest.
+func (s *Server) observeQueueWait(d time.Duration, traceID string) {
+	if h := s.ob.Histogram(obs.MServerQueueSeconds); h != nil {
+		h.ObserveExemplar(d, traceID)
+	}
 }
 
 // run executes (or serves from cache) one optimization, returning the
@@ -471,17 +554,20 @@ func (s *Server) run(ctx context.Context, technique string, q *query.Query, budg
 		workers = req.Workers
 	}
 	if s.cache == nil || req.NoCache || budget != s.budget {
-		p, st, err := Optimize(ctx, technique, q, budget, workers, s.ob)
+		p, st, err := OptimizeTraced(ctx, technique, q, budget, workers, s.ob)
 		return p, st, "uncached", err
 	}
 	cn := q.Canon()
 	key := plancache.Key{Fingerprint: q.Fingerprint(), Technique: technique, CatalogVersion: s.catVersion}
-	p, st, src, err := s.cache.Do(key, func() (*plan.Plan, dp.Stats, error) {
+	p, st, src, err := s.cache.DoCtx(ctx, key, func() (*plan.Plan, dp.Stats, error) {
+		// WithoutCancel detaches the compute from the request's deadline but
+		// keeps context values, so the request span still reaches the
+		// engines and the trace shows the enumeration it happened to fund.
 		cctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.timeout)
 		defer cancel()
 		// Shared compute, server-default workers: the request's override is
 		// a latency preference, and worker count cannot change the plan.
-		p, st, err := Optimize(cctx, technique, q, s.budget, s.workers, s.ob)
+		p, st, err := OptimizeTraced(cctx, technique, q, s.budget, s.workers, s.ob)
 		if err != nil {
 			return nil, st, err
 		}

@@ -11,6 +11,7 @@ import (
 
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plancache"
 	"sdpopt/internal/server"
 )
@@ -33,6 +34,18 @@ type (
 	// ServerOptions configures a Server (catalog, cache, admission
 	// control, default budget and timeout).
 	ServerOptions = server.Options
+	// FlightRecorder retains recent and slow/error request traces in fixed
+	// rings; the server exposes one at /debug/requests and
+	// /debug/flight.json.
+	FlightRecorder = span.Recorder
+	// FlightRecorderOptions sizes a flight recorder (ring capacities and
+	// the slow-trace pinning threshold).
+	FlightRecorderOptions = span.RecorderOptions
+	// FlightDump is the /debug/flight.json document: recorder config,
+	// counts, and active / notable / recent traces as span trees.
+	FlightDump = span.FlightDump
+	// FlightTrace is one trace within a FlightDump.
+	FlightTrace = span.TraceJSON
 )
 
 // ErrCanceled reports an optimization aborted by context cancellation or
@@ -52,6 +65,13 @@ func NewServer(opts ServerOptions) (*Server, error) { return server.New(opts) }
 // Techniques lists the technique names OptimizeCached and the server's
 // /optimize endpoint accept ("" selects "sdp").
 func Techniques() []string { return server.Techniques() }
+
+// ReadFlightDump parses a /debug/flight.json document, e.g. one saved with
+// curl while debugging a slow request. Render each trace with
+// FlightTrace.Render, or feed dump.Records() to Summarize for the same
+// per-level and per-partition tables the JSONL trace path produces
+// (`sdplab inspect` wraps both).
+func ReadFlightDump(r io.Reader) (*FlightDump, error) { return span.ReadDump(r) }
 
 // CanonicalQuery returns q's canonical encoding: a stable string
 // normalizing relation order, predicate order and orientation, implied
