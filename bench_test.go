@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"sdpopt"
+	"sdpopt/internal/bits"
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/harness"
@@ -265,7 +266,11 @@ func BenchmarkCostModel(b *testing.B) {
 }
 
 // BenchmarkEnumerationOnly isolates the DP engine's pair-enumeration and
-// memoization machinery on a 12-relation star.
+// memoization machinery on a 12-relation star, comparing the retained
+// naive generate-and-filter reference scan against the adjacency-indexed
+// walk. Each sub-bench reports how many candidate pairs one optimization
+// considers; CI runs the pair as a regression guard (the indexed path
+// failing to beat 110 % of the naive time fails the build).
 func BenchmarkEnumerationOnly(b *testing.B) {
 	qs, err := workload.Instances(workload.Spec{
 		Cat: workload.PaperSchema(), Topology: workload.Star, NumRelations: 12, Seed: 9,
@@ -273,13 +278,50 @@ func BenchmarkEnumerationOnly(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := dp.Optimize(qs[0], dp.Options{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, bc := range []struct {
+		name string
+		opts dp.Options
+	}{
+		{"naive", dp.Options{NaiveEnum: true}},
+		{"indexed", dp.Options{}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var st dp.Stats
+			for i := 0; i < b.N; i++ {
+				var err error
+				if _, st, err = dp.Optimize(qs[0], bc.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.PairsConsidered), "pairs/op")
+		})
 	}
 }
+
+// BenchmarkNeighbors measures query.Query.Neighbors, the inner call of the
+// adjacency-indexed walk: the single-bit short-circuit (a level-1 class,
+// one table lookup) against the general multi-bit union.
+func BenchmarkNeighbors(b *testing.B) {
+	q := benchQueries(b, sdpopt.StarChain, 15)[0]
+	single := bits.Of(3)
+	multi := bits.Of(0, 2, 5, 9, 12)
+	b.Run("single-bit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = uint64(q.Neighbors(single))
+		}
+	})
+	b.Run("multi-bit", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink = uint64(q.Neighbors(multi))
+		}
+	})
+}
+
+// sink defeats dead-code elimination in micro-benchmarks.
+var sink uint64
 
 // BenchmarkOptimizeCached measures the plan cache's three serving regimes
 // on a Star-10 SDP optimization: miss (cleared cache, each iteration pays

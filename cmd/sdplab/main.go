@@ -13,13 +13,17 @@
 // simulated memory budget in MB (-budget), and the skewed-schema variant
 // (-skewed). -trace streams optimizer events to a JSONL file (summarize
 // with sdptrace); -metrics serves Prometheus /metrics, expvar and pprof
-// for the lifetime of the run.
+// for the lifetime of the run. `sdplab bench` additionally takes
+// -cpuprofile and -memprofile to write offline pprof profiles of the
+// whole bench sweep.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"sdpopt"
@@ -180,8 +184,35 @@ func benchCmd(args []string) error {
 	workers := fs.Int("workers", 1, "enumeration workers per optimization (>1 = parallel engine; plan-identical)")
 	cacheEntries := fs.Int("cache", 0, "route batch optimizations through a plan cache of this capacity (0 = off)")
 	out := fs.String("out", ".", "directory for the BENCH_<date>.json report")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile of the bench run to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile (after the run) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdplab: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // capture settled live-heap, not transient garbage
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "sdplab: memprofile:", err)
+			}
+		}()
 	}
 	cfg := sdpopt.ExperimentConfig{
 		Instances:   *instances,

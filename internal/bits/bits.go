@@ -105,6 +105,51 @@ func (s Set) Each(fn func(i int)) {
 	}
 }
 
+// Iter returns an allocation-free iterator over s in increasing index order.
+// Unlike Each it needs no closure, so hot enumeration loops (the memo's
+// adjacency-index walks) can consume a set without any call overhead the
+// inliner cannot remove:
+//
+//	for it := s.Iter(); ; {
+//		i, ok := it.Next()
+//		if !ok {
+//			break
+//		}
+//		...
+//	}
+func (s Set) Iter() Iter { return Iter{rest: s} }
+
+// Iter is a cursor over a Set's members. The zero value is exhausted.
+type Iter struct{ rest Set }
+
+// Next returns the next relation index in increasing order, reporting false
+// when the set is exhausted.
+func (it *Iter) Next() (int, bool) {
+	if it.rest == 0 {
+		return -1, false
+	}
+	i := bits.TrailingZeros64(uint64(it.rest))
+	it.rest &= it.rest - 1
+	return i, true
+}
+
+// NextBit returns the smallest relation index in s that is at least from, or
+// -1 when no such member exists. It is the trailing-zeros primitive behind
+// Iter, exposed for resumable walks that skip ahead (from may be any value;
+// negative behaves like 0, values ≥ MaxRelations return -1).
+func (s Set) NextBit(from int) int {
+	if from >= MaxRelations {
+		return -1
+	}
+	if from > 0 {
+		s &= ^Set(0) << uint(from)
+	}
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(s))
+}
+
 // Slice returns the relation indexes of s in increasing order.
 func (s Set) Slice() []int {
 	out := make([]int, 0, s.Len())

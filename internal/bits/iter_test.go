@@ -1,0 +1,74 @@
+package bits
+
+import "testing"
+
+// FuzzIterMatchesEach checks that the allocation-free Iter cursor and the
+// resumable NextBit primitive visit exactly the members Each visits, in the
+// same increasing order, for arbitrary sets.
+func FuzzIterMatchesEach(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(uint64(0b1011))
+	f.Add(^uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Fuzz(func(t *testing.T, raw uint64) {
+		s := Set(raw)
+		var want []int
+		s.Each(func(i int) { want = append(want, i) })
+
+		var got []int
+		for it := s.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("Iter over %v yielded %d members, Each yielded %d", s, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("Iter over %v yielded %v, Each yielded %v", s, got, want)
+			}
+		}
+
+		got = got[:0]
+		for i := s.NextBit(0); i >= 0; i = s.NextBit(i + 1) {
+			got = append(got, i)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("NextBit over %v yielded %d members, Each yielded %d", s, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("NextBit over %v yielded %v, Each yielded %v", s, got, want)
+			}
+		}
+	})
+}
+
+func TestIterExhausted(t *testing.T) {
+	var it Iter
+	if i, ok := it.Next(); ok || i != -1 {
+		t.Fatalf("zero Iter.Next() = %d, %v; want -1, false", i, ok)
+	}
+	if i, ok := it.Next(); ok || i != -1 {
+		t.Fatalf("repeated Next() on exhausted Iter = %d, %v; want -1, false", i, ok)
+	}
+}
+
+func TestNextBitBounds(t *testing.T) {
+	s := Of(0, 5, 63)
+	cases := []struct{ from, want int }{
+		{-7, 0}, {0, 0}, {1, 5}, {5, 5}, {6, 63}, {63, 63}, {64, -1}, {200, -1},
+	}
+	for _, c := range cases {
+		if got := s.NextBit(c.from); got != c.want {
+			t.Errorf("NextBit(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := Set(0).NextBit(0); got != -1 {
+		t.Errorf("empty NextBit(0) = %d, want -1", got)
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sdpopt/internal/dp"
+	"sdpopt/internal/pardp"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/workload"
+)
+
+// The adjacency-indexed enumerator (memo.Walker over per-relation bitmaps)
+// must be observationally identical to the retained naive reference loop:
+// same chosen plan to the cost bit, same PlansCosted, same memo shape, and
+// — for SDP — a byte-identical pruning trace. These tests are the
+// machine-checked form of the order-preservation argument in DESIGN.md.
+
+type equivEntry struct {
+	name string
+	spec workload.Spec
+}
+
+// equivCorpus mirrors the pardp determinism corpus (every topology the
+// generator offers, plus ordered and filtered variants) but with one
+// instance per entry so the full naive×indexed×workers cross product stays
+// quick under -race.
+func equivCorpus() []equivEntry {
+	cat := workload.PaperSchema()
+	var out []equivEntry
+	for _, n := range []int{5, 10, 15} {
+		out = append(out, equivEntry{
+			name: fmt.Sprintf("chain-%d", n),
+			spec: workload.Spec{Cat: cat, Topology: workload.Chain, NumRelations: n, Seed: int64(n)},
+		})
+	}
+	for _, n := range []int{5, 10} {
+		out = append(out, equivEntry{
+			name: fmt.Sprintf("cycle-%d", n),
+			spec: workload.Spec{Cat: cat, Topology: workload.Cycle, NumRelations: n, Seed: int64(100 + n)},
+		})
+	}
+	for _, n := range []int{5, 8, 10} {
+		out = append(out, equivEntry{
+			name: fmt.Sprintf("star-%d", n),
+			spec: workload.Spec{Cat: cat, Topology: workload.Star, NumRelations: n, Seed: int64(200 + n)},
+		})
+	}
+	out = append(out,
+		equivEntry{
+			name: "starchain-15",
+			spec: workload.Spec{Cat: cat, Topology: workload.StarChain, NumRelations: 15, Seed: 315},
+		},
+		equivEntry{
+			name: "chain-8-ordered",
+			spec: workload.Spec{Cat: cat, Topology: workload.Chain, NumRelations: 8, Ordered: true, Seed: 408},
+		},
+		equivEntry{
+			name: "cycle-7-filtered",
+			spec: workload.Spec{Cat: cat, Topology: workload.Cycle, NumRelations: 7, FilterFraction: 0.5, Seed: 507},
+		},
+	)
+	return out
+}
+
+func equivRelName(i int) string { return fmt.Sprintf("R%d", i) }
+
+// assertSameResult enforces bit-for-bit identity between the naive oracle
+// and a candidate engine: exact cost bits, plan shape, plans costed, memo
+// shape, and the number of connected pairs — a property of the search
+// space, so every enumeration strategy must agree on it. PairsConsidered
+// is deliberately excluded: it is the one statistic that measures the
+// strategy rather than the search, checked separately as an inequality.
+func assertSameResult(t *testing.T, label string, pRef *plan.Plan, stRef dp.Stats, pGot *plan.Plan, stGot dp.Stats) {
+	t.Helper()
+	if math.Float64bits(pRef.Cost) != math.Float64bits(pGot.Cost) {
+		t.Errorf("%s: cost %v (naive) != %v (got)", label, pRef.Cost, pGot.Cost)
+	}
+	if plan.Compare(pRef, pGot) != 0 {
+		t.Errorf("%s: plan shape diverged:\nnaive: %s\ngot:   %s",
+			label, pRef.Shape(equivRelName), pGot.Shape(equivRelName))
+	}
+	if stRef.PlansCosted != stGot.PlansCosted {
+		t.Errorf("%s: PlansCosted %d (naive) != %d (got)", label, stRef.PlansCosted, stGot.PlansCosted)
+	}
+	if stRef.Memo.ClassesCreated != stGot.Memo.ClassesCreated {
+		t.Errorf("%s: ClassesCreated %d (naive) != %d (got)", label, stRef.Memo.ClassesCreated, stGot.Memo.ClassesCreated)
+	}
+	if stRef.Memo.PathsRetained != stGot.Memo.PathsRetained {
+		t.Errorf("%s: PathsRetained %d (naive) != %d (got)", label, stRef.Memo.PathsRetained, stGot.Memo.PathsRetained)
+	}
+	if stRef.Memo.SimBytes != stGot.Memo.SimBytes {
+		t.Errorf("%s: SimBytes %d (naive) != %d (got)", label, stRef.Memo.SimBytes, stGot.Memo.SimBytes)
+	}
+	if stRef.PairsConnected != stGot.PairsConnected {
+		t.Errorf("%s: PairsConnected %d (naive) != %d (got)", label, stRef.PairsConnected, stGot.PairsConnected)
+	}
+}
+
+// TestDPEnumerationEquivalence runs exhaustive DP three ways — the naive
+// generate-and-filter reference loop, the adjacency-indexed walk, and the
+// parallel engine at 1/2/4/8 workers — and requires identical results.
+// It also pins the point of the index: the indexed walk must consider no
+// more candidate pairs than the naive scan, and on every corpus entry the
+// naive scan considers strictly more (the filter was doing real work).
+func TestDPEnumerationEquivalence(t *testing.T) {
+	for _, ce := range equivCorpus() {
+		ce := ce
+		t.Run(ce.name, func(t *testing.T) {
+			t.Parallel()
+			q, err := workload.One(ce.spec)
+			if err != nil {
+				t.Fatalf("One: %v", err)
+			}
+			pNaive, stNaive, err := dp.Optimize(q, dp.Options{NaiveEnum: true})
+			if err != nil {
+				t.Fatalf("naive: %v", err)
+			}
+			pIdx, stIdx, err := dp.Optimize(q, dp.Options{})
+			if err != nil {
+				t.Fatalf("indexed: %v", err)
+			}
+			assertSameResult(t, "indexed", pNaive, stNaive, pIdx, stIdx)
+			if stIdx.PairsConsidered > stNaive.PairsConsidered {
+				t.Errorf("indexed considered %d pairs, naive only %d — index generated spurious candidates",
+					stIdx.PairsConsidered, stNaive.PairsConsidered)
+			}
+			if q.NumRelations() > 2 && stIdx.PairsConsidered >= stNaive.PairsConsidered {
+				t.Errorf("indexed considered %d pairs, not fewer than naive's %d — index is not filtering",
+					stIdx.PairsConsidered, stNaive.PairsConsidered)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				pPar, stPar, err := pardp.Optimize(q, pardp.Options{Workers: workers})
+				if err != nil {
+					t.Fatalf("w=%d: %v", workers, err)
+				}
+				assertSameResult(t, fmt.Sprintf("w=%d", workers), pNaive, stNaive, pPar, stPar)
+			}
+		})
+	}
+}
+
+// TestSDPEnumerationEquivalence runs SDP with naive, indexed, and parallel
+// (1/2/4/8 workers) substrates and requires the chosen plan, the stats,
+// and the rendered pruning trace to be byte-for-byte identical. The trace
+// is the strongest oracle available: it serializes every level's
+// PruneGroup/FreeGroup split, partition membership in order, and the
+// pruned sets, so any divergence in enumeration order that leaks into
+// pruning shows up as a text diff.
+func TestSDPEnumerationEquivalence(t *testing.T) {
+	for _, ce := range equivCorpus() {
+		ce := ce
+		t.Run(ce.name, func(t *testing.T) {
+			t.Parallel()
+			q, err := workload.One(ce.spec)
+			if err != nil {
+				t.Fatalf("One: %v", err)
+			}
+			run := func(workers int, naive bool) (*plan.Plan, dp.Stats, string) {
+				t.Helper()
+				opts := DefaultOptions()
+				opts.Workers = workers
+				opts.NaiveEnum = naive
+				var tr Trace
+				opts.Trace = &tr
+				p, st, err := Optimize(q, opts)
+				if err != nil {
+					t.Fatalf("SDP workers=%d naive=%v: %v", workers, naive, err)
+				}
+				return p, st, tr.String()
+			}
+			pNaive, stNaive, trNaive := run(0, true)
+			pIdx, stIdx, trIdx := run(0, false)
+			assertSameResult(t, "sdp-indexed", pNaive, stNaive, pIdx, stIdx)
+			if trNaive != trIdx {
+				t.Errorf("indexed SDP trace diverged from naive:\n--- naive ---\n%s--- indexed ---\n%s", trNaive, trIdx)
+			}
+			if stIdx.PairsConsidered > stNaive.PairsConsidered {
+				t.Errorf("indexed considered %d pairs, naive only %d", stIdx.PairsConsidered, stNaive.PairsConsidered)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				pPar, stPar, trPar := run(workers, false)
+				assertSameResult(t, fmt.Sprintf("sdp-w=%d", workers), pNaive, stNaive, pPar, stPar)
+				if trNaive != trPar {
+					t.Errorf("workers=%d SDP trace diverged from naive:\n--- naive ---\n%s--- w=%d ---\n%s",
+						workers, trNaive, workers, trPar)
+				}
+			}
+		})
+	}
+}
+
+// TestNaiveEnumFlagIsInert checks the knob itself leaves no residue: a
+// naive run followed by an indexed run on the same fresh queries produces
+// the same statistics either way around (no shared state between runs).
+func TestNaiveEnumFlagIsInert(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := workload.One(workload.Spec{Cat: cat, Topology: workload.Cycle, NumRelations: 8, Seed: 99})
+	if err != nil {
+		t.Fatalf("One: %v", err)
+	}
+	_, first, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatalf("indexed: %v", err)
+	}
+	if _, _, err := dp.Optimize(q, dp.Options{NaiveEnum: true}); err != nil {
+		t.Fatalf("naive: %v", err)
+	}
+	_, again, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatalf("indexed again: %v", err)
+	}
+	if first.PlansCosted != again.PlansCosted || first.PairsConsidered != again.PairsConsidered {
+		t.Errorf("indexed run not reproducible around a naive run: %+v vs %+v", first, again)
+	}
+}

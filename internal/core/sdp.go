@@ -142,6 +142,11 @@ type Options struct {
 	// Obs receives metrics and trace events; nil falls back to the process
 	// default observer.
 	Obs *obs.Observer
+	// NaiveEnum runs the sequential substrate with the retained
+	// generate-and-filter reference loop instead of the adjacency-indexed
+	// walk (see dp.Options.NaiveEnum). Test/benchmark knob; ignored when
+	// Workers > 1.
+	NaiveEnum bool
 }
 
 // DefaultOptions returns the paper's adopted configuration: root-hub
@@ -208,7 +213,7 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 		Run(toLevel int) error
 		Finalize() (*plan.Plan, error)
 	}
-	var memoStats func() memo.Stats
+	var engStats func() dp.Stats
 	var err error
 	if opts.Workers > 1 {
 		pe, perr := pardp.NewEngine(q, dp.BaseLeaves(q), pardp.Options{
@@ -223,27 +228,31 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 		err = perr
 		if pe != nil {
 			eng = pe
-			memoStats = func() memo.Stats { return pe.Memo().Stats }
+			engStats = pe.Stats
 		}
 	} else {
 		de, derr := dp.NewEngine(q, dp.BaseLeaves(q), dp.Options{
-			Budget: opts.Budget,
-			Ctx:    opts.Ctx,
-			Model:  model,
-			Hook:   s.hook,
-			Obs:    ob,
-			Label:  "SDP",
+			Budget:    opts.Budget,
+			Ctx:       opts.Ctx,
+			Model:     model,
+			Hook:      s.hook,
+			Obs:       ob,
+			Label:     "SDP",
+			NaiveEnum: opts.NaiveEnum,
 		})
 		err = derr
 		if de != nil {
 			eng = de
-			memoStats = func() memo.Stats { return de.Memo.Stats }
+			engStats = de.Stats
 		}
 	}
 	stats := func() dp.Stats {
 		st := dp.Stats{PlansCosted: model.PlansCosted - costedAtStart, Elapsed: time.Since(started)}
-		if memoStats != nil {
-			st.Memo = memoStats()
+		if engStats != nil {
+			es := engStats()
+			st.Memo = es.Memo
+			st.PairsConsidered = es.PairsConsidered
+			st.PairsConnected = es.PairsConnected
 		}
 		return st
 	}

@@ -59,6 +59,15 @@ type Model struct {
 	relRows  []float64
 	relWidth []int // tuple width per query-local relation
 
+	// rowsMemo and widthMemo cache SetRows and Width per relation set. Both
+	// are pure functions of the set (SetRows is canonical by design), so
+	// memoization cannot change any estimate — it only removes the repeated
+	// per-member recomputation from the enumeration hot path, where Width
+	// runs several times per costed candidate. Lazily allocated; Fork drops
+	// them so each parallel worker builds its own (sharing would race).
+	rowsMemo  map[bits.Set]float64
+	widthMemo map[bits.Set]int
+
 	// PlansCosted counts candidate plans constructed and costed.
 	PlansCosted int64
 }
@@ -98,6 +107,10 @@ func NewModel(q *query.Query, params Params) *Model {
 func (m *Model) Fork() *Model {
 	cp := *m
 	cp.PlansCosted = 0
+	// Memo maps are per-fork: a struct copy would share the parent's maps
+	// across workers and race. Dropped here, rebuilt lazily on first use.
+	cp.rowsMemo = nil
+	cp.widthMemo = nil
 	return &cp
 }
 
@@ -149,10 +162,23 @@ func (m *Model) PredSel(pi int) float64 { return m.predSel[pi] }
 func (m *Model) BaseRows(i int) float64 { return m.relRows[i] }
 
 // Width returns the output tuple width in bytes of a JCR covering set s
-// (these workloads project all columns, so widths add).
+// (these workloads project all columns, so widths add). Memoized per set.
 func (m *Model) Width(s bits.Set) int {
+	if w, ok := m.widthMemo[s]; ok {
+		return w
+	}
 	w := 0
-	s.Each(func(i int) { w += m.relWidth[i] })
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		w += m.relWidth[i]
+	}
+	if m.widthMemo == nil {
+		m.widthMemo = make(map[bits.Set]int, 256)
+	}
+	m.widthMemo[s] = w
 	return w
 }
 
@@ -183,16 +209,32 @@ func (m *Model) JoinRows(a, b bits.Set, rowsA, rowsB float64) float64 {
 // ≥1-row floor at order-dependent points and let a pruned search "see"
 // different statistics than an exhaustive one.) The product is accumulated
 // in log space: a 45-relation JCR's raw row product can overflow float64.
+// SetRows results are memoized per set: the function is pure, so the cache
+// cannot perturb any estimate, and repeated lookups (IDP restarts, parallel
+// workers racing to stage the same class) skip the log-space recomputation.
 func (m *Model) SetRows(s bits.Set) float64 {
+	if r, ok := m.rowsMemo[s]; ok {
+		return r
+	}
 	logRows := 0.0
-	s.Each(func(i int) { logRows += math.Log(m.relRows[i]) })
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		logRows += math.Log(m.relRows[i])
+	}
 	for _, pi := range m.Q.PredsWithin(s) {
 		logRows += math.Log(m.predSel[pi])
 	}
 	rows := math.Exp(logRows)
 	if rows < 1 {
-		return 1
+		rows = 1
 	}
+	if m.rowsMemo == nil {
+		m.rowsMemo = make(map[bits.Set]float64, 256)
+	}
+	m.rowsMemo[s] = rows
 	return rows
 }
 
@@ -325,22 +367,40 @@ type JoinInputs struct {
 // the inner as build side, and one merge join per distinct spanning
 // equivalence class. Callers enumerate both orientations.
 func (m *Model) JoinPlans(in JoinInputs) []*plan.Plan {
-	out := make([]*plan.Plan, 0, 4)
-	out = append(out, m.nestLoop(in))
+	return m.AppendJoinPlans(make([]*plan.Plan, 0, 4), in)
+}
+
+// AppendJoinPlans is JoinPlans appending into a caller-owned slice, in the
+// same candidate order. The enumeration hot path passes a reused scratch
+// (dst[:0], consumed before the next call) so variant generation allocates
+// only the plans themselves.
+func (m *Model) AppendJoinPlans(dst []*plan.Plan, in JoinInputs) []*plan.Plan {
+	dst = append(dst, m.nestLoop(in))
 	if p := m.indexNestLoop(in); p != nil {
-		out = append(out, p)
+		dst = append(dst, p)
 	}
-	out = append(out, m.hashJoin(in))
-	seen := map[int]bool{}
-	for _, pi := range in.Preds {
+	dst = append(dst, m.hashJoin(in))
+	for k, pi := range in.Preds {
 		ec := m.Q.PredEqClass(pi)
-		if ec < 0 || seen[ec] {
+		if ec < 0 {
 			continue
 		}
-		seen[ec] = true
-		out = append(out, m.mergeJoin(in, ec))
+		// One merge join per distinct class, first occurrence wins. The
+		// spanning-predicate list is tiny, so a rescan of the prefix beats
+		// a per-call seen-map allocation.
+		dup := false
+		for _, pj := range in.Preds[:k] {
+			if m.Q.PredEqClass(pj) == ec {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		dst = append(dst, m.mergeJoin(in, ec))
 	}
-	return out
+	return dst
 }
 
 // nestLoop costs a plain nested loop with the inner side materialized once

@@ -94,6 +94,13 @@ type Options struct {
 	// ("DP" when empty); IDP and SDP pass their own names so per-level
 	// spans attribute effort to the right strategy.
 	Label string
+	// NaiveEnum selects the retained generate-and-filter reference loop:
+	// scan every class pair per level and reject with Disjoint/Connected,
+	// recomputing the neighborhood per pair. It produces bit-for-bit the
+	// same memo, plans and costing as the default adjacency-indexed walk
+	// (the equivalence property tests assert this) and exists only as the
+	// comparison baseline for those tests and the enumeration benchmarks.
+	NaiveEnum bool
 }
 
 // Stats aggregates the overhead metrics of one optimization, matching the
@@ -103,6 +110,15 @@ type Stats struct {
 	// PlansCosted counts candidate plans costed, the paper's "Costing (in
 	// plans)" column.
 	PlansCosted int64
+	// PairsConsidered counts candidate class pairs the enumerator examined;
+	// PairsConnected counts those that passed the disjoint+connected filter
+	// and were actually joined. Connected pairs are a property of the search
+	// space, identical across enumeration strategies; considered pairs
+	// measure the strategy — the naive scan considers every pair, the
+	// adjacency-indexed walk only the connected neighborhood, so the
+	// considered:connected ratio is the enumerator's filtering efficiency.
+	PairsConsidered int64
+	PairsConnected  int64
 	// Elapsed is the optimization wall time.
 	Elapsed time.Duration
 }
@@ -116,16 +132,33 @@ type Engine struct {
 	leaves   []Leaf
 	hook     LevelHook
 	leftDeep bool
+	naive    bool
 
 	costedAtStart int64
 	started       time.Time
 
+	// Pair counters (see Stats); the parallel engine folds its workers'
+	// per-task counts in via CountPairs at each level barrier.
+	pairsConsidered int64
+	pairsConnected  int64
+
+	// Enumeration scratch, reused across pairs: the adjacency walker, the
+	// per-pair predicate list and the join-variant buffer. Reuse keeps the
+	// hot loop allocation-free; all three are consumed before the next pair.
+	walker   memo.Walker
+	predBuf  []int
+	planBuf  []*plan.Plan
+	pathBufA []*plan.Plan
+	pathBufB []*plan.Plan
+
 	// Telemetry handles, resolved once at construction; all nil-safe.
 	// (The per-level histogram is labeled by level and resolved per level —
 	// a handful of lookups per run, not per event.)
-	ob     *obs.Observer
-	label  string
-	cPlans *obs.Counter
+	ob         *obs.Observer
+	label      string
+	cPlans     *obs.Counter
+	cPairsCons *obs.Counter
+	cPairsConn *obs.Counter
 	// sp is the request span carried by opts.Ctx (nil when the caller is
 	// not tracing): each completed level attaches one child span to it.
 	sp *span.Span
@@ -151,13 +184,20 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 		leaves:        leaves,
 		hook:          opts.Hook,
 		leftDeep:      opts.LeftDeepOnly,
+		naive:         opts.NaiveEnum,
 		costedAtStart: model.PlansCosted,
 		started:       time.Now(),
 		ob:            ob,
 		label:         label,
 		cPlans:        ob.Counter(obs.MPlansCosted),
+		cPairsCons:    ob.Counter(obs.MPairsConsidered),
+		cPairsConn:    ob.Counter(obs.MPairsConnected),
 		sp:            span.FromContext(opts.Ctx),
 	}
+	// Installed before any class exists so every creation site — the level-1
+	// seed, joinClasses, the parallel drain, IDP's compound leaves — caches
+	// its neighborhood for the adjacency-indexed walk.
+	e.Memo.Nbrs = q.Neighbors
 	e.Memo.Observe(ob)
 	var covered bits.Set
 	for _, l := range leaves {
@@ -178,7 +218,7 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 	lvStart := time.Now()
 	prevCosted := model.PlansCosted
 	err := e.seedLevel1()
-	e.observeLevel(1, lvStart, prevCosted, len(leaves), err)
+	e.observeLevel(1, lvStart, prevCosted, 0, 0, len(leaves), err)
 	if err != nil {
 		// Return the engine so callers can still read overhead stats (a
 		// budget abort is a reportable outcome, not a programming error).
@@ -261,12 +301,13 @@ func (e *Engine) Run(toLevel int) error {
 		}
 		lvStart := time.Now()
 		prevCosted := e.Model.PlansCosted
+		prevCons, prevConn := e.pairsConsidered, e.pairsConnected
 		created, err := e.runLevel(k)
 		if err == nil && e.hook != nil {
 			SortClasses(created)
 			err = e.hook(k, e.Memo, created)
 		}
-		e.observeLevel(k, lvStart, prevCosted, len(created), err)
+		e.observeLevel(k, lvStart, prevCosted, prevCons, prevConn, len(created), err)
 		if err != nil {
 			return err
 		}
@@ -280,18 +321,22 @@ func (e *Engine) Run(toLevel int) error {
 // request span — a completed "level" child span with the same attributes.
 // A budget abort additionally bumps the abort counter and emits
 // "budget.abort". No-op when telemetry and tracing are both off.
-func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, created int, err error) {
+func (e *Engine) observeLevel(k int, started time.Time, prevCosted, prevCons, prevConn int64, created int, err error) {
 	if e.ob == nil && e.sp == nil {
 		return
 	}
 	d := time.Since(started)
 	costed := e.Model.PlansCosted - prevCosted
+	pairsCons := e.pairsConsidered - prevCons
+	pairsConn := e.pairsConnected - prevConn
 	if e.sp != nil {
 		lv := e.sp.ChildAt("level", started, d)
 		lv.SetAttr("tech", e.label)
 		lv.SetAttr("level", k)
 		lv.SetAttr("classes_created", created)
 		lv.SetAttr("plans_costed", costed)
+		lv.SetAttr("pairs_considered", pairsCons)
+		lv.SetAttr("pairs_connected", pairsConn)
 		lv.SetAttr("sim_bytes", e.Memo.Stats.SimBytes)
 		if err != nil {
 			lv.SetError(err.Error())
@@ -304,16 +349,20 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, create
 	// parallel engine's in sdptrace and on /metrics.
 	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
 	e.cPlans.Add(costed)
+	e.cPairsCons.Add(pairsCons)
+	e.cPairsConn.Add(pairsConn)
 	if e.ob.Tracing() {
 		attrs := map[string]any{
-			"tech":            e.label,
-			"level":           k,
-			"dur_ns":          int64(d),
-			"classes_created": created,
-			"classes_pruned":  created - len(e.Memo.Level(k)),
-			"plans_costed":    costed,
-			"classes_alive":   e.Memo.Stats.ClassesAlive,
-			"sim_bytes":       e.Memo.Stats.SimBytes,
+			"tech":             e.label,
+			"level":            k,
+			"dur_ns":           int64(d),
+			"classes_created":  created,
+			"classes_pruned":   created - len(e.Memo.Level(k)),
+			"plans_costed":     costed,
+			"pairs_considered": pairsCons,
+			"pairs_connected":  pairsConn,
+			"classes_alive":    e.Memo.Stats.ClassesAlive,
+			"sim_bytes":        e.Memo.Stats.SimBytes,
 		}
 		if err != nil {
 			attrs["err"] = err.Error()
@@ -334,6 +383,9 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, create
 }
 
 func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
+	if e.naive {
+		return e.runLevelNaive(k)
+	}
 	var created []*memo.Class
 	maxSplit := k / 2
 	if e.leftDeep {
@@ -342,11 +394,62 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 	for i := 1; i <= maxSplit; i++ {
 		j := k - i
 		left := e.Memo.Level(i)
-		right := e.Memo.Level(j)
-		for ai, a := range left {
+		for _, a := range left {
 			// Poll per left class: frequent enough that a deadline lands
 			// within milliseconds even on hub-heavy levels, cheap enough
 			// (one channel select) to vanish against join costing.
+			if err := e.checkCtx(); err != nil {
+				return created, err
+			}
+			// Same-level split: visit each unordered pair once. Gather's
+			// minSeq cut is the naive loop's right[ai+1:] slice — Level
+			// preserves creation order, so the alive classes after a are
+			// exactly those with larger Seq.
+			minSeq := 0
+			if i == j {
+				minSeq = a.Seq() + 1
+			}
+			// Every gathered candidate is connected to and disjoint from a
+			// by construction (the index masks both conditions), so for the
+			// indexed walk considered == connected: the Disjoint re-check is
+			// a belt-and-braces guard on the index, not a filter. Order
+			// matches the naive scan: Gather returns the joinable
+			// subsequence of Level(j) in creation order, and pairs the
+			// naive scan rejects had no side effects there.
+			for _, b := range e.walker.Gather(e.Memo, a, j, minSeq) {
+				e.pairsConsidered++
+				if !a.Set.Disjoint(b.Set) {
+					continue
+				}
+				e.pairsConnected++
+				cls, isNew, err := e.joinClasses(a, b, k)
+				if err != nil {
+					return created, err
+				}
+				if isNew {
+					created = append(created, cls)
+				}
+			}
+		}
+	}
+	return created, nil
+}
+
+// runLevelNaive is the retained generate-and-filter reference: scan every
+// class pair of the level's splits and reject with Disjoint/Connected,
+// recomputing the neighborhood per pair. Kept verbatim as the equivalence
+// oracle and benchmark baseline for the adjacency-indexed walk above.
+func (e *Engine) runLevelNaive(k int) ([]*memo.Class, error) {
+	var created []*memo.Class
+	maxSplit := k / 2
+	if e.leftDeep {
+		maxSplit = 1
+	}
+	for i := 1; i <= maxSplit; i++ {
+		j := k - i
+		left := e.Memo.Level(i)
+		right := e.Memo.Level(j)
+		for ai, a := range left {
 			if err := e.checkCtx(); err != nil {
 				return created, err
 			}
@@ -355,9 +458,11 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 				bs = right[ai+1:] // each unordered pair once
 			}
 			for _, b := range bs {
+				e.pairsConsidered++
 				if !a.Set.Disjoint(b.Set) || !e.Q.Connected(a.Set, b.Set) {
 					continue
 				}
+				e.pairsConnected++
 				cls, isNew, err := e.joinClasses(a, b, k)
 				if err != nil {
 					return created, err
@@ -388,14 +493,21 @@ func (e *Engine) joinClasses(a, b *memo.Class, level int) (*memo.Class, bool, er
 		}
 		isNew = true
 	}
-	preds := e.Q.PredsBetween(a.Set, b.Set)
-	for _, pa := range a.Paths() {
-		for _, pb := range b.Paths() {
+	// Scratch-backed lookups: the predicate list and the join-variant buffer
+	// are reused across pairs (their contents are consumed before the next
+	// pair), so steady-state enumeration allocates only retained plans.
+	e.predBuf = e.Q.AppendPredsBetween(e.predBuf[:0], a.Set, b.Set)
+	preds := e.predBuf
+	e.pathBufA = a.AppendPaths(e.pathBufA[:0])
+	e.pathBufB = b.AppendPaths(e.pathBufB[:0])
+	for _, pa := range e.pathBufA {
+		for _, pb := range e.pathBufB {
 			for _, in := range []cost.JoinInputs{
 				{Outer: pa, Inner: pb, Preds: preds, Rows: cls.Rows},
 				{Outer: pb, Inner: pa, Preds: preds, Rows: cls.Rows},
 			} {
-				for _, p := range e.Model.JoinPlans(in) {
+				e.planBuf = e.Model.AppendJoinPlans(e.planBuf[:0], in)
+				for _, p := range e.planBuf {
 					if _, err := e.Memo.AddPlan(cls, p); err != nil {
 						return cls, isNew, err
 					}
@@ -429,7 +541,7 @@ func (e *Engine) Finalize() (*plan.Plan, error) {
 		return best, nil
 	}
 	sorted := e.Model.SortPlan(best, ec)
-	if pre, ok := cls.Ordered[ec]; ok && plan.Less(pre, sorted) {
+	if pre, ok := cls.OrderedPlan(ec); ok && plan.Less(pre, sorted) {
 		return pre, nil
 	}
 	return sorted, nil
@@ -438,10 +550,21 @@ func (e *Engine) Finalize() (*plan.Plan, error) {
 // Stats snapshots the overhead counters of this engine's run.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Memo:        e.Memo.Stats,
-		PlansCosted: e.Model.PlansCosted - e.costedAtStart,
-		Elapsed:     time.Since(e.started),
+		Memo:            e.Memo.Stats,
+		PlansCosted:     e.Model.PlansCosted - e.costedAtStart,
+		PairsConsidered: e.pairsConsidered,
+		PairsConnected:  e.pairsConnected,
+		Elapsed:         time.Since(e.started),
 	}
+}
+
+// CountPairs folds externally-examined candidate pairs into the engine's
+// counters. The parallel engine calls it at each level barrier with its
+// workers' per-task sums; addition commutes, so the folded totals are
+// deterministic regardless of worker scheduling.
+func (e *Engine) CountPairs(considered, connected int64) {
+	e.pairsConsidered += considered
+	e.pairsConnected += connected
 }
 
 // ObserveRun opens an optimization span for the named technique: it emits
@@ -464,12 +587,14 @@ func ObserveRun(ob *obs.Observer, tech string, q *query.Query) func(Stats, *plan
 			return
 		}
 		attrs := map[string]any{
-			"tech":            tech,
-			"rels":            q.NumRelations(),
-			"dur_ns":          int64(st.Elapsed),
-			"plans_costed":    st.PlansCosted,
-			"classes_created": st.Memo.ClassesCreated,
-			"peak_sim_bytes":  st.Memo.PeakSimBytes,
+			"tech":             tech,
+			"rels":             q.NumRelations(),
+			"dur_ns":           int64(st.Elapsed),
+			"plans_costed":     st.PlansCosted,
+			"pairs_considered": st.PairsConsidered,
+			"pairs_connected":  st.PairsConnected,
+			"classes_created":  st.Memo.ClassesCreated,
+			"peak_sim_bytes":   st.Memo.PeakSimBytes,
 		}
 		if p != nil {
 			attrs["cost"] = p.Cost

@@ -23,7 +23,13 @@ type BenchTech struct {
 	Feasible        bool    `json:"feasible"`
 	MeanTimeSeconds float64 `json:"mean_time_seconds"`
 	MeanPlansCosted float64 `json:"mean_plans_costed"`
-	PeakMemMB       float64 `json:"peak_mem_mb"`
+	// MeanPairsConsidered vs MeanPairsConnected tracks enumeration
+	// efficiency: candidate class pairs examined against pairs that
+	// survived the disjoint+connected filter (identical across enumeration
+	// strategies; considered shrinks as the adjacency index improves).
+	MeanPairsConsidered float64 `json:"mean_pairs_considered"`
+	MeanPairsConnected  float64 `json:"mean_pairs_connected"`
+	PeakMemMB           float64 `json:"peak_mem_mb"`
 	// Rho is the geometric-mean plan-cost ratio to the reference (0 when
 	// infeasible).
 	Rho float64 `json:"rho"`
@@ -131,11 +137,13 @@ func benchBatch(b *Batch) BenchBatch {
 	out := BenchBatch{Graph: b.Graph, Instances: b.Instances, Reference: b.Reference}
 	for _, o := range b.Outcomes {
 		t := BenchTech{
-			Name:            o.Name,
-			Feasible:        o.Feasible,
-			MeanTimeSeconds: o.MeanTime.Seconds(),
-			MeanPlansCosted: o.MeanCosted,
-			PeakMemMB:       o.PeakMemMB,
+			Name:                o.Name,
+			Feasible:            o.Feasible,
+			MeanTimeSeconds:     o.MeanTime.Seconds(),
+			MeanPlansCosted:     o.MeanCosted,
+			MeanPairsConsidered: o.MeanPairsConsidered,
+			MeanPairsConnected:  o.MeanPairsConnected,
+			PeakMemMB:           o.PeakMemMB,
 		}
 		if o.Feasible {
 			t.Rho = o.Summary.Rho

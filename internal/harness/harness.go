@@ -173,6 +173,12 @@ type TechOutcome struct {
 	MeanTime time.Duration
 	// MeanCosted is the mean number of plans costed per instance.
 	MeanCosted float64
+	// MeanPairsConsidered and MeanPairsConnected are the mean enumerator
+	// pair counts per instance: candidate pairs examined, and pairs that
+	// passed the disjoint+connected filter. Their ratio measures how much
+	// of the enumeration loop the adjacency index skips.
+	MeanPairsConsidered float64
+	MeanPairsConnected  float64
 }
 
 // Batch is the outcome of running several techniques over one workload.
@@ -351,11 +357,13 @@ func RunBatchWorkers(graph string, qs []*query.Query, techs []Technique, referen
 	for ti, t := range techs {
 		out := TechOutcome{Name: t.Name, Feasible: feasible[ti], Reference: ti == refIdx}
 		var totalTime time.Duration
-		var totalCosted int64
+		var totalCosted, totalPairsCons, totalPairsConn int64
 		for qi := 0; qi < ran[ti]; qi++ {
 			c := results[ti][qi]
 			totalTime += c.stats.Elapsed
 			totalCosted += c.stats.PlansCosted
+			totalPairsCons += c.stats.PairsConsidered
+			totalPairsConn += c.stats.PairsConnected
 			if mb := c.stats.Memo.PeakMB(); mb > out.PeakMemMB {
 				out.PeakMemMB = mb
 			}
@@ -365,6 +373,8 @@ func RunBatchWorkers(graph string, qs []*query.Query, techs []Technique, referen
 		}
 		out.MeanTime = totalTime / time.Duration(ran[ti])
 		out.MeanCosted = float64(totalCosted) / float64(ran[ti])
+		out.MeanPairsConsidered = float64(totalPairsCons) / float64(ran[ti])
+		out.MeanPairsConnected = float64(totalPairsConn) / float64(ran[ti])
 		if out.Feasible {
 			var err error
 			if out.Reference {

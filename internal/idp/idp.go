@@ -117,7 +117,7 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 		started := time.Now()
 		costedAtStart := model.PlansCosted
 		leaves := dp.BaseLeaves(q)
-		var agg memo.Stats
+		var agg dp.Stats
 
 		for iter := 1; ; iter++ {
 			iterStart := time.Now()
@@ -140,27 +140,27 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 			e, err := dp.NewEngine(q, leaves, dp.Options{Budget: opts.Budget, Ctx: opts.Ctx, Model: model, Obs: ob, Label: label})
 			if err != nil {
 				if e != nil {
-					accumulate(&agg, e.Memo.Stats)
+					accumulate(&agg, e.Stats())
 				}
 				return nil, finish(agg, model, costedAtStart, started), err
 			}
 			if len(leaves) <= block {
 				// Final iteration: DP runs to the top.
 				if err := e.Run(len(leaves)); err != nil {
-					accumulate(&agg, e.Memo.Stats)
+					accumulate(&agg, e.Stats())
 					return nil, finish(agg, model, costedAtStart, started), err
 				}
 				p, err := e.Finalize()
-				accumulate(&agg, e.Memo.Stats)
+				accumulate(&agg, e.Stats())
 				emitIter()
 				return p, finish(agg, model, costedAtStart, started), err
 			}
 			if err := e.Run(block); err != nil {
-				accumulate(&agg, e.Memo.Stats)
+				accumulate(&agg, e.Stats())
 				return nil, finish(agg, model, costedAtStart, started), err
 			}
 			chosen, cands, short, err := selectSubplan(q, model, e.Memo, leaves, block, opts)
-			accumulate(&agg, e.Memo.Stats)
+			accumulate(&agg, e.Stats())
 			if err != nil {
 				return nil, finish(agg, model, costedAtStart, started), err
 			}
@@ -323,23 +323,25 @@ func commit(leaves []dp.Leaf, chosen *memo.Class) []dp.Leaf {
 	return append(out, dp.Leaf{Set: chosen.Set, Plans: chosen.Paths()})
 }
 
-// accumulate folds one iteration's memo stats into the running aggregate:
-// peaks take the maximum (each restart frees the previous memo, as the
-// paper's in-PostgreSQL implementation does), counters add.
-func accumulate(agg *memo.Stats, s memo.Stats) {
-	agg.ClassesCreated += s.ClassesCreated
-	agg.ClassesAlive = s.ClassesAlive
-	agg.PathsRetained = s.PathsRetained
-	agg.SimBytes = s.SimBytes
-	if s.PeakSimBytes > agg.PeakSimBytes {
-		agg.PeakSimBytes = s.PeakSimBytes
+// accumulate folds one iteration's engine stats into the running aggregate:
+// memory peaks take the maximum (each restart frees the previous memo, as the
+// paper's in-PostgreSQL implementation does), counters — classes created and
+// enumeration pairs — add across restarts. PlansCosted and Elapsed are
+// ignored here; finish derives them from the shared model and start time.
+func accumulate(agg *dp.Stats, s dp.Stats) {
+	agg.Memo.ClassesCreated += s.Memo.ClassesCreated
+	agg.Memo.ClassesAlive = s.Memo.ClassesAlive
+	agg.Memo.PathsRetained = s.Memo.PathsRetained
+	agg.Memo.SimBytes = s.Memo.SimBytes
+	if s.Memo.PeakSimBytes > agg.Memo.PeakSimBytes {
+		agg.Memo.PeakSimBytes = s.Memo.PeakSimBytes
 	}
+	agg.PairsConsidered += s.PairsConsidered
+	agg.PairsConnected += s.PairsConnected
 }
 
-func finish(agg memo.Stats, model *cost.Model, costedAtStart int64, started time.Time) dp.Stats {
-	return dp.Stats{
-		Memo:        agg,
-		PlansCosted: model.PlansCosted - costedAtStart,
-		Elapsed:     time.Since(started),
-	}
+func finish(agg dp.Stats, model *cost.Model, costedAtStart int64, started time.Time) dp.Stats {
+	agg.PlansCosted = model.PlansCosted - costedAtStart
+	agg.Elapsed = time.Since(started)
+	return agg
 }

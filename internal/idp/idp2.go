@@ -41,7 +41,7 @@ func Optimize2(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 func optimize2(q *query.Query, opts Options, model *cost.Model, ob *obs.Observer, label string, cIters *obs.Counter) (*plan.Plan, dp.Stats, error) {
 	started := time.Now()
 	costedAtStart := model.PlansCosted
-	var agg memo.Stats
+	var agg dp.Stats
 
 	// Phase 1: greedy initial plan — join the connected pair with minimum
 	// result cardinality (GOO), using the cheapest operator each time.
@@ -94,7 +94,7 @@ func optimize2(q *query.Query, opts Options, model *cost.Model, ob *obs.Observer
 				return nil, finish(agg, model, costedAtStart, started), err
 			}
 			replanned, stats, err := replanSubtree(q, model, ob, current, sub, opts.Budget)
-			accumulate(&agg, stats)
+			accumulate(&agg, dp.Stats{Memo: stats})
 			if err != nil {
 				return nil, finish(agg, model, costedAtStart, started), err
 			}

@@ -15,7 +15,6 @@ package memo
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"sdpopt/internal/bits"
 	"sdpopt/internal/obs"
@@ -58,51 +57,131 @@ type Class struct {
 	Rows, Sel float64
 	// Best is the cheapest plan for the class.
 	Best *plan.Plan
-	// Ordered maps an order equivalence class to the cheapest plan
-	// delivering that order.
-	Ordered map[int]*plan.Plan
+	// ordered holds the cheapest plan per order equivalence class, sorted
+	// by ascending order id. A class retains very few ordered plans (one
+	// per interesting order of its join columns), and AddPlan re-counts
+	// retained paths on every candidate, so this is a small sorted slice
+	// rather than a map: slice scans cost a few compares where map
+	// iteration — with its per-iteration random seeding — dominated CPU
+	// profiles of enumeration-bound runs.
+	ordered []OrderedPlan
+	// Nbrs caches the join-graph neighborhood of Set (the memo's Nbrs
+	// callback, evaluated once at class creation), so the enumerator's
+	// connectivity test is a single AND against a candidate's Set instead
+	// of a per-pair Neighbors recomputation.
+	Nbrs bits.Set
 
+	seq  int
 	dead bool
 }
+
+// Seq returns the class's creation index within its level, counting pruned
+// classes. It indexes the enumerator's per-level visited stamps and orders
+// gathered candidates identically to the level's creation order.
+func (c *Class) Seq() int { return c.seq }
+
+// Alive reports whether the class is still in the memo. The by-relation
+// index's membership bitmaps are not compacted on Remove; walks mask with
+// the alive bitmap instead, and out-of-band consumers check this.
+func (c *Class) Alive() bool { return !c.dead }
 
 // FeatureVector returns the [R,C,S] vector used by SDP's skyline pruning.
 func (c *Class) FeatureVector() FV {
 	return FV{Rows: c.Rows, Cost: c.Best.Cost, Sel: c.Sel}
 }
 
-// Paths returns the distinct retained plans: Best plus every ordered plan
-// that is not Best itself.
-func (c *Class) Paths() []*plan.Plan {
-	out := make([]*plan.Plan, 0, 1+len(c.Ordered))
-	if c.Best != nil {
-		out = append(out, c.Best)
-	}
-	// Deterministic iteration order for reproducible plan choice.
-	orders := make([]int, 0, len(c.Ordered))
-	for o := range c.Ordered {
-		orders = append(orders, o)
-	}
-	sort.Ints(orders)
-	for _, o := range orders {
-		if p := c.Ordered[o]; p != c.Best {
-			out = append(out, p)
-		}
-	}
-	return out
+// OrderedPlan pairs an order equivalence class with the cheapest retained
+// plan delivering that order.
+type OrderedPlan struct {
+	Order int
+	Plan  *plan.Plan
 }
 
-// numPaths is the retained-path count used for simulated memory.
-func (c *Class) numPaths() int {
+// OrderedPlan returns the cheapest retained plan delivering the given
+// order equivalence class, if any.
+func (c *Class) OrderedPlan(order int) (*plan.Plan, bool) {
+	return orderedGet(c.ordered, order)
+}
+
+// orderedGet scans the sorted ordered-plan slice for the given order id.
+func orderedGet(s []OrderedPlan, order int) (*plan.Plan, bool) {
+	for i := range s {
+		if s[i].Order == order {
+			return s[i].Plan, true
+		}
+		if s[i].Order > order {
+			break
+		}
+	}
+	return nil, false
+}
+
+// orderedPut inserts or replaces the plan for an order id, keeping the
+// slice sorted by ascending order.
+func orderedPut(s []OrderedPlan, order int, p *plan.Plan) []OrderedPlan {
+	i := 0
+	for ; i < len(s); i++ {
+		if s[i].Order == order {
+			s[i].Plan = p
+			return s
+		}
+		if s[i].Order > order {
+			break
+		}
+	}
+	s = append(s, OrderedPlan{})
+	copy(s[i+1:], s[i:])
+	s[i] = OrderedPlan{Order: order, Plan: p}
+	return s
+}
+
+// orderedNumPaths counts the distinct retained plans: best plus every
+// ordered plan that is not best itself.
+func orderedNumPaths(best *plan.Plan, s []OrderedPlan) int {
 	n := 0
-	if c.Best != nil {
+	if best != nil {
 		n = 1
 	}
-	for _, p := range c.Ordered {
-		if p != c.Best {
+	for i := range s {
+		if s[i].Plan != best {
 			n++
 		}
 	}
 	return n
+}
+
+// orderedAppendPaths appends the distinct retained plans to dst: best
+// first, then ordered plans by ascending order class (the slice's sort
+// order).
+func orderedAppendPaths(dst []*plan.Plan, best *plan.Plan, s []OrderedPlan) []*plan.Plan {
+	if best != nil {
+		dst = append(dst, best)
+	}
+	for i := range s {
+		if p := s[i].Plan; p != best {
+			dst = append(dst, p)
+		}
+	}
+	return dst
+}
+
+// Paths returns the distinct retained plans: Best plus every ordered plan
+// that is not Best itself.
+func (c *Class) Paths() []*plan.Plan {
+	return c.AppendPaths(make([]*plan.Plan, 0, 1+len(c.ordered)))
+}
+
+// AppendPaths appends the distinct retained plans to dst in Paths order:
+// Best first, then ordered plans by ascending order class. The enumeration
+// hot path passes a reused scratch slice (dst[:0]) so the per-pair path
+// lookup stops allocating once the scratch has grown.
+func (c *Class) AppendPaths(dst []*plan.Plan) []*plan.Plan {
+	return orderedAppendPaths(dst, c.Best, c.ordered)
+}
+
+// numPaths is the retained-path count used for simulated memory.
+func (c *Class) numPaths() int {
+	return orderedNumPaths(c.Best, c.ordered)
 }
 
 // Stats aggregates the optimization overheads the paper's tables report.
@@ -128,6 +207,15 @@ func (s *Stats) PeakMB() float64 { return float64(s.PeakSimBytes) / (1 << 20) }
 type Memo struct {
 	classes map[bits.Set]*Class
 	byLevel [][]*Class
+	// idx[level] is the level's adjacency index: per-relation membership
+	// bitmaps over class sequence numbers. Together with Class.Nbrs it
+	// gives the enumerator its indexed candidate walk — a few word-wide
+	// OR/AND-NOT operations compute exactly the alive classes that are
+	// connected to and disjoint from a left class (see Walker.Gather).
+	idx []levelIndex
+	// Nbrs, when set (the DP engine installs the query's Neighbors before
+	// seeding level 1), computes the neighborhood cached on each new class.
+	Nbrs func(bits.Set) bits.Set
 	// Budget is the simulated-memory feasibility limit in bytes; 0 means
 	// unlimited.
 	Budget int64
@@ -179,12 +267,18 @@ func (m *Memo) NewClass(set bits.Set, level int, rows, sel float64) (*Class, err
 	if existing := m.classes[set]; existing != nil && !existing.dead {
 		return nil, fmt.Errorf("memo: class %v already exists", set)
 	}
-	c := &Class{Set: set, Level: level, Rows: rows, Sel: sel, Ordered: map[int]*plan.Plan{}}
+	c := &Class{Set: set, Level: level, Rows: rows, Sel: sel}
+	if m.Nbrs != nil {
+		c.Nbrs = m.Nbrs(set)
+	}
 	m.classes[set] = c
 	for len(m.byLevel) <= level {
 		m.byLevel = append(m.byLevel, nil)
+		m.idx = append(m.idx, levelIndex{})
 	}
+	c.seq = len(m.byLevel[level])
 	m.byLevel[level] = append(m.byLevel[level], c)
+	m.idx[level].add(c.seq, set)
 	m.Stats.ClassesCreated++
 	m.Stats.ClassesAlive++
 	m.cCreated.Add(1)
@@ -211,8 +305,8 @@ func (m *Memo) AddPlan(c *Class, p *plan.Plan) (bool, error) {
 		kept = true
 	}
 	if p.Order != plan.NoOrder {
-		if cur, ok := c.Ordered[p.Order]; !ok || better(p, cur) {
-			c.Ordered[p.Order] = p
+		if cur, ok := orderedGet(c.ordered, p.Order); !ok || better(p, cur) {
+			c.ordered = orderedPut(c.ordered, p.Order, p)
 			kept = true
 		}
 	}
@@ -220,8 +314,8 @@ func (m *Memo) AddPlan(c *Class, p *plan.Plan) (bool, error) {
 		// A new Best may dominate previously retained ordered paths that
 		// cost more but deliver an order Best also delivers.
 		if c.Best.Order != plan.NoOrder {
-			if cur, ok := c.Ordered[c.Best.Order]; !ok || better(c.Best, cur) {
-				c.Ordered[c.Best.Order] = c.Best
+			if cur, ok := orderedGet(c.ordered, c.Best.Order); !ok || better(c.Best, cur) {
+				c.ordered = orderedPut(c.ordered, c.Best.Order, c.Best)
 			}
 		}
 	}
@@ -252,6 +346,7 @@ func (m *Memo) Remove(c *Class) {
 		return
 	}
 	c.dead = true
+	m.idx[c.Level].remove(c.seq)
 	delete(m.classes, c.Set)
 	m.Stats.ClassesAlive--
 	m.Stats.PathsRetained -= int64(c.numPaths())
@@ -274,6 +369,16 @@ func (m *Memo) Level(k int) []*Class {
 		}
 	}
 	return out
+}
+
+// LevelSize returns the number of classes ever created at leaf level k,
+// pruned classes included — the exclusive upper bound on Class.Seq at that
+// level, which sizes the enumerator's visited-stamp arrays.
+func (m *Memo) LevelSize(k int) int {
+	if k < 0 || k >= len(m.byLevel) {
+		return 0
+	}
+	return len(m.byLevel[k])
 }
 
 // MaxLevel returns the highest leaf level holding any class.

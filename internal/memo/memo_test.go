@@ -12,6 +12,12 @@ func mkPlan(set bits.Set, cost float64, order int) *plan.Plan {
 	return &plan.Plan{Op: plan.HashJoin, Rels: set, Cost: cost, Rows: 10, Order: order}
 }
 
+// mustOrdered returns the retained plan for an order class, or nil.
+func mustOrdered(c *Class, order int) *plan.Plan {
+	p, _ := c.OrderedPlan(order)
+	return p
+}
+
 func TestNewClassAndGet(t *testing.T) {
 	m := New(0)
 	s := bits.Of(0, 1)
@@ -78,7 +84,7 @@ func TestAddPlanKeepsBestAndOrdered(t *testing.T) {
 	}
 	// A cheaper plan with the same order replaces the ordered slot.
 	ord2 := mkPlan(s, 60, 3)
-	if kept, _ = m.AddPlan(c, ord2); !kept || c.Ordered[3] != ord2 {
+	if kept, _ = m.AddPlan(c, ord2); !kept || mustOrdered(c, 3) != ord2 {
 		t.Fatal("cheaper ordered plan did not replace slot")
 	}
 	if len(c.Paths()) != 2 {
@@ -95,7 +101,7 @@ func TestAddPlanOrderedBestDedup(t *testing.T) {
 	if _, err := m.AddPlan(c, p); err != nil {
 		t.Fatal(err)
 	}
-	if c.Best != p || c.Ordered[2] != p {
+	if c.Best != p || mustOrdered(c, 2) != p {
 		t.Fatal("plan should be both Best and ordered")
 	}
 	if got := len(c.Paths()); got != 1 {
@@ -109,7 +115,7 @@ func TestAddPlanOrderedBestDedup(t *testing.T) {
 	if _, err := m.AddPlan(c, p2); err != nil {
 		t.Fatal(err)
 	}
-	if c.Best != p2 || c.Ordered[2] != p2 || len(c.Paths()) != 1 {
+	if c.Best != p2 || mustOrdered(c, 2) != p2 || len(c.Paths()) != 1 {
 		t.Fatal("cheaper ordered plan should supersede both slots")
 	}
 }
@@ -128,7 +134,7 @@ func TestBestTakesOverDominatedOrderSlot(t *testing.T) {
 	if _, err := m.AddPlan(c, better); err != nil {
 		t.Fatal(err)
 	}
-	if c.Ordered[4] != better || len(c.Paths()) != 1 {
+	if mustOrdered(c, 4) != better || len(c.Paths()) != 1 {
 		t.Fatalf("dominated order slot not superseded: %d paths", len(c.Paths()))
 	}
 }

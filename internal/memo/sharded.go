@@ -56,7 +56,7 @@ type Staged struct {
 
 	mu      sync.Mutex
 	best    *plan.Plan
-	ordered map[int]*plan.Plan
+	ordered []OrderedPlan
 }
 
 // shardOf spreads sets across stripes with a Fibonacci multiplicative hash;
@@ -77,7 +77,7 @@ func (s *Sharded) Get(set bits.Set, features func() (rows, sel float64)) (*Stage
 		return st, false
 	}
 	rows, sel := features()
-	st := &Staged{Set: set, Rows: rows, Sel: sel, ordered: map[int]*plan.Plan{}}
+	st := &Staged{Set: set, Rows: rows, Sel: sel}
 	sh.m[set] = st
 	sh.mu.Unlock()
 	return st, true
@@ -106,30 +106,21 @@ func (st *Staged) Offer(p *plan.Plan) int {
 		kept = true
 	}
 	if p.Order != plan.NoOrder {
-		if cur, ok := st.ordered[p.Order]; !ok || better(p, cur) {
-			st.ordered[p.Order] = p
+		if cur, ok := orderedGet(st.ordered, p.Order); !ok || better(p, cur) {
+			st.ordered = orderedPut(st.ordered, p.Order, p)
 			kept = true
 		}
 	}
 	if kept && st.best.Order != plan.NoOrder {
-		if cur, ok := st.ordered[st.best.Order]; !ok || better(st.best, cur) {
-			st.ordered[st.best.Order] = st.best
+		if cur, ok := orderedGet(st.ordered, st.best.Order); !ok || better(st.best, cur) {
+			st.ordered = orderedPut(st.ordered, st.best.Order, st.best)
 		}
 	}
 	return st.numPaths() - before
 }
 
 func (st *Staged) numPaths() int {
-	n := 0
-	if st.best != nil {
-		n = 1
-	}
-	for _, p := range st.ordered {
-		if p != st.best {
-			n++
-		}
-	}
-	return n
+	return orderedNumPaths(st.best, st.ordered)
 }
 
 // Plans returns the staged winners — the best plan first, then the ordered
@@ -137,21 +128,7 @@ func (st *Staged) numPaths() int {
 // reproduces exactly the class state the sequential engine ends a level
 // with. Call only from the drained (single-threaded) side of the barrier.
 func (st *Staged) Plans() []*plan.Plan {
-	out := make([]*plan.Plan, 0, 1+len(st.ordered))
-	if st.best != nil {
-		out = append(out, st.best)
-	}
-	orders := make([]int, 0, len(st.ordered))
-	for o := range st.ordered {
-		orders = append(orders, o)
-	}
-	sort.Ints(orders)
-	for _, o := range orders {
-		if p := st.ordered[o]; p != st.best {
-			out = append(out, p)
-		}
-	}
-	return out
+	return orderedAppendPaths(make([]*plan.Plan, 0, 1+len(st.ordered)), st.best, st.ordered)
 }
 
 // Drain returns every staged class in canonical set order. Call only after

@@ -132,6 +132,13 @@ const (
 	MOptimizations = "sdpopt_optimizations_total"
 	// MPlansCosted counts candidate plans costed across all runs.
 	MPlansCosted = "sdpopt_plans_costed_total"
+	// MPairsConsidered counts candidate class pairs the enumerator
+	// examined; MPairsConnected counts those passing the disjoint+connected
+	// filter. Their ratio is the enumerator's filtering efficiency: the
+	// adjacency-indexed walk considers only the connected neighborhood,
+	// the naive reference scan every pair.
+	MPairsConsidered = "sdpopt_pairs_considered_total"
+	MPairsConnected  = "sdpopt_pairs_connected_total"
 	// MClassesCreated counts memo classes (JCRs) ever created.
 	MClassesCreated = "sdpopt_memo_classes_created_total"
 	// MClassesPruned counts classes removed by SDP pruning.

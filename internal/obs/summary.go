@@ -74,6 +74,12 @@ type LevelSummary struct {
 	Total       time.Duration
 	Classes     int64
 	PlansCosted int64
+	// PairsConsidered and PairsConnected are the enumerator's candidate
+	// pair counts at this level: pairs examined and pairs passing the
+	// disjoint+connected filter. Considered/Connected shows how sharply
+	// the adjacency index narrows the level's search.
+	PairsConsidered int64
+	PairsConnected  int64
 }
 
 // CriterionSummary aggregates pruning efficacy for one skyline criterion:
@@ -148,6 +154,8 @@ func Summarize(records []Record) *TraceSummary {
 			l.Total += time.Duration(int64(r.Num("dur_ns")))
 			l.Classes += int64(r.Num("classes_created"))
 			l.PlansCosted += int64(r.Num("plans_costed"))
+			l.PairsConsidered += int64(r.Num("pairs_considered"))
+			l.PairsConnected += int64(r.Num("pairs_connected"))
 		case EvSDPPartition:
 			s.Partitions++
 			size := int64(r.Num("size"))
@@ -221,10 +229,12 @@ func (s *TraceSummary) Render(topLevels int) string {
 			byTime = byTime[:topLevels]
 		}
 		fmt.Fprintf(&sb, "\nTop %d levels by time\n", len(byTime))
-		fmt.Fprintf(&sb, "%6s %8s %6s %14s %14s %14s\n", "Level", "Workers", "Spans", "TotalTime", "Classes", "PlansCosted")
+		fmt.Fprintf(&sb, "%6s %8s %6s %14s %14s %14s %14s %14s\n",
+			"Level", "Workers", "Spans", "TotalTime", "Classes", "PlansCosted", "PairsSeen", "PairsJoined")
 		for _, l := range byTime {
-			fmt.Fprintf(&sb, "%6d %8d %6d %14v %14d %14d\n",
-				l.Level, l.Workers, l.Spans, l.Total.Round(time.Microsecond), l.Classes, l.PlansCosted)
+			fmt.Fprintf(&sb, "%6d %8d %6d %14v %14d %14d %14d %14d\n",
+				l.Level, l.Workers, l.Spans, l.Total.Round(time.Microsecond), l.Classes, l.PlansCosted,
+				l.PairsConsidered, l.PairsConnected)
 		}
 	}
 

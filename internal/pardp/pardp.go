@@ -94,6 +94,8 @@ type Engine struct {
 	ob         *obs.Observer
 	label      string
 	cPlans     *obs.Counter
+	cPairsCons *obs.Counter
+	cPairsConn *obs.Counter
 	cTasks     *obs.Counter
 	cContended *obs.Counter
 	mBarrier   *obs.Histogram
@@ -112,6 +114,23 @@ type workerStat struct {
 	finish time.Time
 	tasks  int64
 	costed int64
+	pairs  int64
+}
+
+// workerState is one worker's private enumeration state for a barrier round:
+// a cost-model fork (unsynchronized counters), an adjacency walker over the
+// frozen memo levels, and the scratch slices the join loop reuses. Pair
+// counters are folded into the inner engine at the barrier in fixed worker
+// order; addition commutes, so the totals are schedule-independent.
+type workerState struct {
+	model     *cost.Model
+	walker    memo.Walker
+	predBuf   []int
+	planBuf   []*plan.Plan
+	pathBufA  []*plan.Plan
+	pathBufB  []*plan.Plan
+	pairsCons int64
+	pairsConn int64
 }
 
 // NewEngine prepares an engine and seeds level 1 of the memo (invoking the
@@ -150,6 +169,8 @@ func NewEngine(q *query.Query, leaves []dp.Leaf, opts Options) (*Engine, error) 
 			ob:         ob,
 			label:      label,
 			cPlans:     ob.Counter(obs.MPlansCosted),
+			cPairsCons: ob.Counter(obs.MPairsConsidered),
+			cPairsConn: ob.Counter(obs.MPairsConnected),
 			cTasks:     ob.Counter(obs.MParTasks),
 			cContended: ob.Counter(obs.MParShardContended),
 			mBarrier:   ob.Histogram(obs.MParBarrierWait),
@@ -194,13 +215,14 @@ func (e *Engine) Run(toLevel int) error {
 		}
 		lvStart := time.Now()
 		prevCosted := e.inner.Model.PlansCosted
+		prevStats := e.inner.Stats()
 		created, err := e.runLevel(k)
 		if err == nil && e.hook != nil {
 			// created is already in canonical order (Drain sorts), matching
 			// the sequential engine's sorted hook input.
 			err = e.hook(k, e.inner.Memo, created)
 		}
-		e.observeLevel(k, lvStart, prevCosted, len(created), err)
+		e.observeLevel(k, lvStart, prevCosted, prevStats.PairsConsidered, prevStats.PairsConnected, len(created), err)
 		if err != nil {
 			return err
 		}
@@ -225,11 +247,9 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 		maxSplit = 1 // only (1, k-1) splits: a leaf extends a composite
 	}
 	lefts := make([][]*memo.Class, maxSplit+1)
-	rights := make([][]*memo.Class, maxSplit+1)
 	var tasks []task
 	for i := 1; i <= maxSplit; i++ {
 		lefts[i] = m.Level(i)
-		rights[i] = m.Level(k - i)
 		for ai := range lefts[i] {
 			tasks = append(tasks, task{split: i, ai: ai})
 		}
@@ -250,14 +270,15 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 	workers := e.workers
 	errs := make([]error, workers)
 	finished := make([]time.Time, workers)
-	models := make([]*cost.Model, workers)
+	states := make([]*workerState, workers)
 	wstats := make([]workerStat, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		models[w] = e.inner.Model.Fork()
+		states[w] = &workerState{model: e.inner.Model.Fork()}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			ws := states[w]
 			wstats[w].start = time.Now()
 			defer func() { finished[w] = time.Now() }()
 			for !abort.Load() {
@@ -274,15 +295,25 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 				tk := tasks[t]
 				i, j := tk.split, k-tk.split
 				a := lefts[i][tk.ai]
-				bs := rights[i]
+				// Same-level split: each unordered pair once. The minSeq cut
+				// is the dense scan's bs[tk.ai+1:] — Level preserves creation
+				// order, so "after a in the alive slice" is "larger Seq".
+				minSeq := 0
 				if i == j {
-					bs = bs[tk.ai+1:] // each unordered pair once
+					minSeq = a.Seq() + 1
 				}
-				for _, b := range bs {
-					if !a.Set.Disjoint(b.Set) || !e.q.Connected(a.Set, b.Set) {
+				// The memo's levels below k are frozen during the round, so
+				// concurrent Gather calls read the index bitmaps race-free.
+				// Every candidate is connected to and disjoint from a by
+				// construction; the Disjoint re-check guards the index, it
+				// is not a filter (see memo.Walker).
+				for _, b := range ws.walker.Gather(m, a, j, minSeq) {
+					ws.pairsCons++
+					if !a.Set.Disjoint(b.Set) {
 						continue
 					}
-					if err := e.joinInto(staged, models[w], a, b, &simEst, budget); err != nil {
+					ws.pairsConn++
+					if err := e.joinInto(staged, ws, a, b, &simEst, budget); err != nil {
 						errs[w] = err
 						abort.Store(true)
 						return
@@ -295,13 +326,17 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 
 	// Fold the forks' counters back; worker order is fixed so the sum — and
 	// therefore Stats.PlansCosted — is deterministic.
-	var costed int64
-	for w, fm := range models {
-		costed += fm.PlansCosted
-		wstats[w].costed = fm.PlansCosted
+	var costed, pairsCons, pairsConn int64
+	for w, ws := range states {
+		costed += ws.model.PlansCosted
+		pairsCons += ws.pairsCons
+		pairsConn += ws.pairsConn
+		wstats[w].costed = ws.model.PlansCosted
+		wstats[w].pairs = ws.pairsCons
 		wstats[w].finish = finished[w]
 	}
 	e.inner.Model.PlansCosted += costed
+	e.inner.CountPairs(pairsCons, pairsConn)
 	e.cContended.Add(staged.Contended())
 	e.observeBarrier(finished)
 	e.wstats = wstats
@@ -347,7 +382,8 @@ func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
 // joinInto enumerates the physical joins of classes a and b into the
 // staging table — the worker-side mirror of the sequential engine's
 // joinClasses, costing on the worker's model fork.
-func (e *Engine) joinInto(staged *memo.Sharded, model *cost.Model, a, b *memo.Class, simEst *atomic.Int64, budget int64) error {
+func (e *Engine) joinInto(staged *memo.Sharded, ws *workerState, a, b *memo.Class, simEst *atomic.Int64, budget int64) error {
+	model := ws.model
 	set := a.Set.Union(b.Set)
 	st, isNew := staged.Get(set, func() (float64, float64) {
 		// Canonical per-set cardinality: identical from any worker (see
@@ -361,14 +397,20 @@ func (e *Engine) joinInto(staged *memo.Sharded, model *cost.Model, a, b *memo.Cl
 			return memo.ErrBudget
 		}
 	}
-	preds := e.q.PredsBetween(a.Set, b.Set)
-	for _, pa := range a.Paths() {
-		for _, pb := range b.Paths() {
+	// Worker-private scratch, consumed before the next pair (the staging
+	// table copies nothing from these slices beyond the plan pointers).
+	ws.predBuf = e.q.AppendPredsBetween(ws.predBuf[:0], a.Set, b.Set)
+	preds := ws.predBuf
+	ws.pathBufA = a.AppendPaths(ws.pathBufA[:0])
+	ws.pathBufB = b.AppendPaths(ws.pathBufB[:0])
+	for _, pa := range ws.pathBufA {
+		for _, pb := range ws.pathBufB {
 			for _, in := range []cost.JoinInputs{
 				{Outer: pa, Inner: pb, Preds: preds, Rows: st.Rows},
 				{Outer: pb, Inner: pa, Preds: preds, Rows: st.Rows},
 			} {
-				for _, p := range model.JoinPlans(in) {
+				ws.planBuf = model.AppendJoinPlans(ws.planBuf[:0], in)
+				for _, p := range ws.planBuf {
 					if d := st.Offer(p); d != 0 {
 						if est := simEst.Add(int64(d) * memo.SimPathBytes); budget > 0 && est > budget {
 							return memo.ErrBudget
@@ -408,7 +450,7 @@ func (e *Engine) observeBarrier(finished []time.Time) {
 // worker (task count, plans costed, barrier wait), attached here — after
 // the barrier, in fixed worker order — so the trace records the round
 // without synchronizing it.
-func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, created int, err error) {
+func (e *Engine) observeLevel(k int, started time.Time, prevCosted, prevCons, prevConn int64, created int, err error) {
 	wstats := e.wstats
 	e.wstats = nil
 	if e.ob == nil && e.sp == nil {
@@ -416,12 +458,17 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, create
 	}
 	d := time.Since(started)
 	costed := e.inner.Model.PlansCosted - prevCosted
+	cur := e.inner.Stats()
+	pairsCons := cur.PairsConsidered - prevCons
+	pairsConn := cur.PairsConnected - prevConn
 	if e.sp != nil {
 		lv := e.sp.ChildAt("level", started, d)
 		lv.SetAttr("tech", e.label)
 		lv.SetAttr("level", k)
 		lv.SetAttr("classes_created", created)
 		lv.SetAttr("plans_costed", costed)
+		lv.SetAttr("pairs_considered", pairsCons)
+		lv.SetAttr("pairs_connected", pairsConn)
 		lv.SetAttr("sim_bytes", e.inner.Memo.Stats.SimBytes)
 		lv.SetAttr("workers", e.workers)
 		if err != nil {
@@ -441,6 +488,7 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, create
 			wsp.SetAttr("worker", w)
 			wsp.SetAttr("tasks", ws.tasks)
 			wsp.SetAttr("plans_costed", ws.costed)
+			wsp.SetAttr("pairs_considered", ws.pairs)
 			wsp.SetAttr("barrier_wait_ns", int64(last.Sub(ws.finish)))
 		}
 	}
@@ -449,17 +497,21 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted int64, create
 	}
 	e.ob.Histogram(obs.Label(obs.MLevelSeconds, "level", strconv.Itoa(k))).Observe(d)
 	e.cPlans.Add(costed)
+	e.cPairsCons.Add(pairsCons)
+	e.cPairsConn.Add(pairsConn)
 	if e.ob.Tracing() {
 		attrs := map[string]any{
-			"tech":            e.label,
-			"level":           k,
-			"dur_ns":          int64(d),
-			"classes_created": created,
-			"classes_pruned":  created - len(e.inner.Memo.Level(k)),
-			"plans_costed":    costed,
-			"classes_alive":   e.inner.Memo.Stats.ClassesAlive,
-			"sim_bytes":       e.inner.Memo.Stats.SimBytes,
-			"workers":         e.workers,
+			"tech":             e.label,
+			"level":            k,
+			"dur_ns":           int64(d),
+			"classes_created":  created,
+			"classes_pruned":   created - len(e.inner.Memo.Level(k)),
+			"plans_costed":     costed,
+			"pairs_considered": pairsCons,
+			"pairs_connected":  pairsConn,
+			"classes_alive":    e.inner.Memo.Stats.ClassesAlive,
+			"sim_bytes":        e.inner.Memo.Stats.SimBytes,
+			"workers":          e.workers,
 		}
 		if err != nil {
 			attrs["err"] = err.Error()

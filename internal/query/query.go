@@ -284,8 +284,20 @@ func (q *Query) Adjacent(i int) bits.Set { return q.adj[i] }
 // Neighbors returns the relations outside s adjacent to any member of s —
 // the neighbor set of s viewed as a contracted node of the join graph.
 func (q *Query) Neighbors(s bits.Set) bits.Set {
+	if s&(s-1) == 0 { // single relation (or empty): adjacency is precomputed
+		if s == 0 {
+			return 0
+		}
+		return q.adj[s.Min()] // adj[i] never contains i, so no Diff needed
+	}
 	var n bits.Set
-	s.Each(func(i int) { n = n.Union(q.adj[i]) })
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		n |= q.adj[i]
+	}
 	return n.Diff(s)
 }
 
@@ -315,27 +327,47 @@ func (q *Query) ConnectedSet(s bits.Set) bool {
 // PredsBetween returns the indexes into Preds of every predicate with one
 // side in a and the other in b.
 func (q *Query) PredsBetween(a, b bits.Set) []int {
-	var out []int
+	return q.AppendPredsBetween(nil, a, b)
+}
+
+// AppendPredsBetween appends to dst the indexes into Preds of every predicate
+// with one side in a and the other in b, returning the extended slice in
+// ascending predicate order. It is the allocation-free form of PredsBetween:
+// the enumeration hot path passes a reused scratch slice (dst[:0]) so the
+// per-pair predicate lookup allocates nothing once the scratch has grown.
+func (q *Query) AppendPredsBetween(dst []int, a, b bits.Set) []int {
+	base := len(dst)
 	smaller := a
 	if b.Len() < a.Len() {
 		smaller = b
 	}
-	seen := map[int]bool{}
-	smaller.Each(func(i int) {
+	for it := smaller.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
 		for _, pi := range q.predsByRel[i] {
-			if seen[pi] {
-				continue
-			}
 			p := q.Preds[pi]
-			l, r := bits.Single(p.LeftRel), bits.Single(p.RightRel)
-			if (a.Contains(l) && b.Contains(r)) || (a.Contains(r) && b.Contains(l)) {
-				seen[pi] = true
-				out = append(out, pi)
+			if (a.Has(p.LeftRel) && b.Has(p.RightRel)) || (a.Has(p.RightRel) && b.Has(p.LeftRel)) {
+				dst = append(dst, pi)
 			}
 		}
-	})
-	sort.Ints(out)
-	return out
+	}
+	// For disjoint a and b each matching predicate is found exactly once (a
+	// predicate reached twice would need both sides in `smaller`, which the
+	// cross test rejects), so deduplication reduces to dropping adjacent
+	// repeats after the sort — kept for safety with overlapping inputs.
+	added := dst[base:]
+	sort.Ints(added)
+	w := base
+	for k, pi := range added {
+		if k > 0 && pi == added[k-1] {
+			continue
+		}
+		dst[w] = pi
+		w++
+	}
+	return dst[:w]
 }
 
 // PredsWithin returns the indexes of every predicate whose both sides fall
