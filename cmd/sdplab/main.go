@@ -8,6 +8,7 @@
 //	sdplab run -exp tab3.3 -trace out.jsonl -metrics :8080
 //	sdplab bench                         # write BENCH_<date>.json
 //	sdplab inspect flight.json           # render a /debug/flight.json dump
+//	sdplab regret regret.json            # render a /debug/regret.json dump
 //
 // Flags tune the sample size (-instances), the RNG seed (-seed), the
 // simulated memory budget in MB (-budget), and the skewed-schema variant
@@ -59,6 +60,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "regret":
+		if err := regretCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -74,8 +80,11 @@ func usage() {
              [-cache N] [-out DIR]
   sdplab serve [-addr ADDR] [-catalog FILE.json] [-skewed] [-workers W] [-cache N] [-shards N]
              [-max-concurrent N] [-queue N] [-budget MB] [-timeout D] [-trace FILE.jsonl]
-             [-slow D] [-flight-recent N] [-flight-notable N]
+             [-flight-slow-ms MS] [-flight-recent N] [-flight-notable N]
+             [-shadow-rate F] [-shadow-hit-rate F] [-shadow-workers N] [-shadow-queue N]
+             [-shadow-dp-rels N] [-shadow-dedup D] [-shadow-pin-ratio F]
   sdplab inspect [-top N] [-trace PREFIX] [-summary] <flight.json | ->
+  sdplab regret <regret.json | ->
 
 -parallel runs P optimizations concurrently (harness throughput); -workers
 splits each optimization's enumeration across W cores (plan-identical,

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdpopt"
+)
+
+// regretCmd renders a regret dump — the /debug/regret.json document a
+// shadow-enabled server serves — as the counter line, the per-key quality
+// table (ρ, W, bucket shares), and the worst-regret exemplars with both
+// plan trees. The dump is read from a file argument, or stdin with "-", so
+// `curl .../debug/regret.json | sdplab regret -` works.
+func regretCmd(args []string) error {
+	fs := flag.NewFlagSet("regret", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sdplab regret <regret.json | ->")
+	}
+	var r io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dump, err := sdpopt.ReadRegretDump(r)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dump.Render())
+	return nil
+}

@@ -28,11 +28,32 @@ func serveCmd(args []string) error {
 	budgetMB := fs.Int64("budget", 0, "default memory budget in MB (0 = the paper's 1024)")
 	timeout := fs.Duration("timeout", 0, "per-optimization deadline cap (0 = 30s)")
 	tracePath := fs.String("trace", "", "stream optimizer events to this JSONL file")
-	slow := fs.Duration("slow", 0, "flight-recorder slow-trace pinning threshold (0 = 1s)")
-	flightRecent := fs.Int("flight-recent", 0, "flight-recorder recent-trace ring size (0 = 64)")
-	flightNotable := fs.Int("flight-notable", 0, "flight-recorder slow/error-trace ring size (0 = 64)")
+	flightSlowMS := fs.Int64("flight-slow-ms", 0, "flight-recorder slow-trace pinning threshold in ms (0 = default 1000)")
+	flightRecent := fs.Int("flight-recent", 0, "flight-recorder recent-trace ring size (0 = default 64)")
+	flightNotable := fs.Int("flight-notable", 0, "flight-recorder slow/error/pinned-trace ring size (0 = default 64)")
+	shadowRate := fs.Float64("shadow-rate", 0, "fraction of computed serves shadow re-optimized for regret tracking, in [0, 1] (0 disables the shadow layer)")
+	shadowHitRate := fs.Float64("shadow-hit-rate", 0, "fraction of cache-hit serves shadowed, in [0, 1] (0 = default 0.01, capped at shadow-rate)")
+	shadowWorkers := fs.Int("shadow-workers", 0, "shadow re-optimization worker pool size (0 = default 1)")
+	shadowQueue := fs.Int("shadow-queue", 0, "shadow job queue depth before dropping, never blocking serving (0 = default 64)")
+	shadowDPRels := fs.Int("shadow-dp-rels", 0, "largest relation count re-optimized with exhaustive DP; bigger queries use full SDP as reference (0 = default 12)")
+	shadowDedup := fs.Duration("shadow-dedup", 0, "suppress re-shadowing one query shape within this interval (0 = default 1m, negative disables)")
+	shadowPinRatio := fs.Float64("shadow-pin-ratio", 0, "pin shadow traces with at least this served/reference cost ratio into the flight recorder (0 = default 2)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *flightSlowMS < 0 || *flightRecent < 0 || *flightNotable < 0 {
+		return fmt.Errorf("flight-recorder sizes must be non-negative (got -flight-slow-ms %d, -flight-recent %d, -flight-notable %d)",
+			*flightSlowMS, *flightRecent, *flightNotable)
+	}
+	if *shadowRate < 0 || *shadowRate > 1 || *shadowHitRate < 0 || *shadowHitRate > 1 {
+		return fmt.Errorf("shadow sampling rates must lie in [0, 1] (got -shadow-rate %g, -shadow-hit-rate %g)", *shadowRate, *shadowHitRate)
+	}
+	if *shadowWorkers < 0 || *shadowQueue < 0 || *shadowDPRels < 0 || *shadowPinRatio < 0 {
+		return fmt.Errorf("shadow sizes must be non-negative (got -shadow-workers %d, -shadow-queue %d, -shadow-dp-rels %d, -shadow-pin-ratio %g)",
+			*shadowWorkers, *shadowQueue, *shadowDPRels, *shadowPinRatio)
+	}
+	if *shadowRate == 0 && (*shadowHitRate != 0 || *shadowWorkers != 0 || *shadowQueue != 0 || *shadowDPRels != 0 || *shadowDedup != 0 || *shadowPinRatio != 0) {
+		return fmt.Errorf("shadow flags require -shadow-rate > 0 to enable the shadow layer")
 	}
 
 	cat := sdpopt.PaperSchema()
@@ -72,6 +93,19 @@ func serveCmd(args []string) error {
 			Obs:        ob,
 		})
 	}
+	var shadow *sdpopt.RegretOptions
+	if *shadowRate > 0 {
+		shadow = &sdpopt.RegretOptions{
+			SampleRate:    *shadowRate,
+			HitSampleRate: *shadowHitRate,
+			Workers:       *shadowWorkers,
+			QueueSize:     *shadowQueue,
+			MaxDPRels:     *shadowDPRels,
+			DedupFor:      *shadowDedup,
+			PinRatio:      *shadowPinRatio,
+			Budget:        *budgetMB << 20,
+		}
+	}
 	srv, err := sdpopt.NewServer(sdpopt.ServerOptions{
 		Cat:           cat,
 		Cache:         cache,
@@ -81,10 +115,11 @@ func serveCmd(args []string) error {
 		Workers:       *workers,
 		Budget:        *budgetMB << 20,
 		Timeout:       *timeout,
+		Regret:        shadow,
 		Flight: sdpopt.FlightRecorderOptions{
 			Recent:        *flightRecent,
 			Notable:       *flightNotable,
-			SlowThreshold: *slow,
+			SlowThreshold: time.Duration(*flightSlowMS) * time.Millisecond,
 		},
 	})
 	if err != nil {
@@ -101,6 +136,10 @@ func serveCmd(args []string) error {
 	fmt.Fprintf(os.Stderr, "  GET  /metrics    Prometheus exposition (plus /debug/vars, /debug/pprof)\n")
 	fmt.Fprintf(os.Stderr, "  GET  /debug/requests     flight recorder: live + recent + slow/error traces\n")
 	fmt.Fprintf(os.Stderr, "  GET  /debug/flight.json  flight recorder dump (render with 'sdplab inspect')\n")
+	if shadow != nil {
+		fmt.Fprintf(os.Stderr, "  GET  /debug/regret       plan-quality regret: shadowed ρ/W windows per technique\n")
+		fmt.Fprintf(os.Stderr, "  GET  /debug/regret.json  regret dump (render with 'sdplab regret')\n")
+	}
 	fmt.Fprintf(os.Stderr, "  catalog version %s, cache %d entries, techniques %v\n",
 		sdpopt.CatalogFingerprint(cat), *cacheEntries, sdpopt.Techniques())
 

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"sdpopt"
@@ -27,28 +28,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: sdptrace [-top N] [-raw] <trace.jsonl>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *top, *raw); err != nil {
+	if err := run(flag.Arg(0), *top, *raw, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "sdptrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, top int, raw bool) error {
+// run summarizes one trace file into out. Malformed lines — the usual
+// damage in a trace cut off mid-write or interleaved by two writers — are
+// skipped with a warning on warn rather than aborting the whole summary.
+func run(path string, top int, raw bool, out, warn io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	records, err := sdpopt.ReadTraceJSONL(f)
+	records, skipped, err := sdpopt.ReadTraceJSONLLenient(f, warn)
 	if err != nil {
 		return err
 	}
+	if skipped > 0 {
+		fmt.Fprintf(warn, "sdptrace: skipped %d malformed line(s) in %s\n", skipped, path)
+	}
 	if raw {
 		for _, r := range records {
-			fmt.Printf("%v\n", map[string]any(r))
+			fmt.Fprintf(out, "%v\n", map[string]any(r))
 		}
 		return nil
 	}
-	fmt.Print(sdpopt.SummarizeTrace(records).Render(top))
+	fmt.Fprint(out, sdpopt.SummarizeTrace(records).Render(top))
 	return nil
 }

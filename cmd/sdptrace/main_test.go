@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A trace with corrupted lines — a truncated tail and interleaved garbage —
+// must still summarize: good lines survive, each bad line warns, and the
+// final count reports how many were skipped.
+func TestRunSkipsMalformedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fixture := strings.Join([]string{
+		`{"ev":"level","tech":"sdp","level":2,"dur_ns":1000,"plans_costed":5}`,
+		`{"ev":"level","tech":"sdp","lev`, // cut off mid-write
+		``,                                // blank lines are fine, not counted
+		`{"ev":"level","tech":"sdp","level":3,"dur_ns":2000,"plans_costed":9}`,
+		`not json at all`,
+	}, "\n")
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, warn strings.Builder
+	if err := run(path, 5, true, &out, &warn); err != nil {
+		t.Fatalf("run aborted on a recoverable trace: %v", err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 2 {
+		t.Errorf("raw output has %d records, want 2:\n%s", got, out.String())
+	}
+	for _, want := range []string{
+		"trace line 2 skipped",
+		"trace line 5 skipped",
+		"skipped 2 malformed line(s)",
+	} {
+		if !strings.Contains(warn.String(), want) {
+			t.Errorf("warnings missing %q:\n%s", want, warn.String())
+		}
+	}
+
+	// The summary path consumes the same surviving records.
+	out.Reset()
+	warn.Reset()
+	if err := run(path, 5, false, &out, &warn); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace: 2 events") {
+		t.Errorf("summary lost the surviving records:\n%s", out.String())
+	}
+	if !strings.Contains(warn.String(), "skipped 2 malformed") {
+		t.Errorf("summary pass did not warn:\n%s", warn.String())
+	}
+}
+
+// A fully well-formed trace must not produce any skip warnings.
+func TestRunCleanTraceNoWarnings(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	fixture := `{"ev":"level","tech":"sdp","level":2,"dur_ns":1000,"plans_costed":5}` + "\n"
+	if err := os.WriteFile(path, []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, warn strings.Builder
+	if err := run(path, 5, false, &out, &warn); err != nil {
+		t.Fatal(err)
+	}
+	if warn.Len() != 0 {
+		t.Errorf("unexpected warnings: %s", warn.String())
+	}
+}

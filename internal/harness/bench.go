@@ -63,6 +63,9 @@ type BenchReport struct {
 	// Tracing reports the span-tracing overhead comparison (see
 	// TracingBench).
 	Tracing *TracingBench `json:"tracing,omitempty"`
+	// Regret reports the shadow re-optimization layer's serving overhead
+	// and the per-technique regret it measured (see RegretBench).
+	Regret *RegretBench `json:"regret,omitempty"`
 }
 
 // BenchHost records the machine the report was produced on — without it the
@@ -191,6 +194,11 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Tracing = tb
+	rb, err := benchRegret(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Regret = rb
 	return r, nil
 }
 

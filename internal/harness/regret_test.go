@@ -1,0 +1,54 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBenchRegret(t *testing.T) {
+	rb, err := benchRegret(Config{Instances: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Graph != "Star-Chain-9" || rb.Instances != 2 || rb.Requests != 3*2*4 {
+		t.Fatalf("shape: %+v", rb)
+	}
+	if rb.Sampled != int64(rb.Requests) || rb.Dropped != 0 || rb.Failures != 0 {
+		t.Fatalf("shadow counters: %+v", rb)
+	}
+	if rb.OffP50Seconds <= 0 || rb.OnP99Seconds <= 0 || rb.OverheadP99 <= 0 {
+		t.Fatalf("latency columns: %+v", rb)
+	}
+	if len(rb.Techniques) != 3 {
+		t.Fatalf("techniques: %+v", rb.Techniques)
+	}
+	var perTech = map[string]RegretTech{}
+	for _, tt := range rb.Techniques {
+		perTech[tt.Name] = tt
+		if tt.Reference != "dp" || tt.Samples != int64(rb.Requests/3) {
+			t.Errorf("technique %q: %+v", tt.Name, tt)
+		}
+		// DP is the exact optimum at 9 relations, so no technique can
+		// beat the reference.
+		if tt.Rho < 1-1e-9 || tt.Worst < tt.Rho-1e-9 {
+			t.Errorf("technique %q: rho=%v worst=%v below 1", tt.Name, tt.Rho, tt.Worst)
+		}
+	}
+	// SDP tracks the DP optimum on star-chains of this size.
+	if sdp := perTech["sdp"]; sdp.Rho > 1.01 {
+		t.Errorf("sdp regret unexpectedly high: %+v", sdp)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	ds := []time.Duration{40, 10, 30, 20}
+	if p := percentile(ds, 0.50); p != 20 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := percentile(ds, 0.99); p != 40 {
+		t.Errorf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty = %v", p)
+	}
+}

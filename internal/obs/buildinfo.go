@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// procStart anchors the process uptime gauge. Package init runs before any
+// server accepts traffic, so this is within microseconds of true start.
+var procStart = time.Now()
+
+// BuildVersion returns the best version identifier the binary carries: the
+// module version when built from a tagged release, else the VCS revision
+// (12-hex prefix, "-dirty" when the tree was modified), else "unknown".
+func BuildVersion() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	var dirty bool
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// RegisterBuildInfo installs the deploy-correlation metrics on r:
+//
+//	sdpopt_build_info{version=,goversion=,gomaxprocs=} 1
+//	sdpopt_process_start_time_seconds  (unix seconds, constant)
+//	sdpopt_process_uptime_seconds      (computed at scrape)
+//
+// Dashboards join regret or latency shifts against version label changes to
+// attribute them to deploys. Safe to call more than once (idempotent keys)
+// and nil-safe.
+func RegisterBuildInfo(r *Registry) {
+	if r == nil {
+		return
+	}
+	r.Gauge(Label(MBuildInfo,
+		"version", BuildVersion(),
+		"goversion", runtime.Version(),
+		"gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0)),
+	)).Set(1)
+	r.Gauge(MProcessStart).Set(procStart.Unix())
+	r.GaugeFunc(MUptime, func() int64 {
+		return int64(time.Since(procStart).Seconds())
+	})
+}

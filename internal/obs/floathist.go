@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// RatioBuckets are the default upper bounds for ratio-valued float
+// histograms — cost ratios ρ of a served plan against a shadow reference.
+// The paper's quality thresholds (1.01 Ideal, 2 Good, 10 Acceptable) are
+// exact bounds so the exposition's cumulative buckets reproduce the
+// Ideal/Good/Acceptable/Bad split directly; the remaining bounds resolve
+// the interesting 1–10 region.
+var RatioBuckets = []float64{1, 1.01, 1.1, 1.25, 1.5, 2, 3, 5, 10, 30, 100}
+
+// FloatHistogram is a fixed-bucket histogram over float64 values — the
+// unitless sibling of Histogram (which is duration-only). Bounds are set at
+// creation (see Registry.FloatHistogram) and immutable afterwards; the last
+// bucket slot is the +Inf overflow. Like Histogram, each bucket retains its
+// most recent exemplar so an extreme regret ratio links straight to the
+// flight-recorder trace that produced it. All methods are nil-safe.
+type FloatHistogram struct {
+	name      string
+	bounds    []float64 // sorted upper bounds
+	buckets   []atomic.Int64
+	exemplars []atomic.Pointer[FloatExemplar]
+	count     atomic.Int64
+	sumBits   atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// FloatExemplar ties one float observation to the request trace that
+// produced it.
+type FloatExemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
+func newFloatHistogram(name string, bounds []float64) *FloatHistogram {
+	if len(bounds) == 0 {
+		bounds = RatioBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &FloatHistogram{
+		name:      name,
+		bounds:    b,
+		buckets:   make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[FloatExemplar], len(b)+1),
+	}
+}
+
+// floatBucketIndex returns the bucket slot for v (len(bounds) = overflow).
+// NaN compares false against every bound and lands in the first bucket;
+// callers are expected to filter NaN before observing.
+func (h *FloatHistogram) floatBucketIndex(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *FloatHistogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// replaces the landed bucket's exemplar with it.
+func (h *FloatHistogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	i := h.floatBucketIndex(v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	if traceID != "" {
+		h.exemplars[i].Store(&FloatExemplar{TraceID: traceID, Value: v, Time: time.Now()})
+	}
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *FloatHistogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values (0 for nil).
+func (h *FloatHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Exemplars returns the histogram's current per-bucket exemplars in bucket
+// order (empty buckets skipped). Nil-safe.
+func (h *FloatHistogram) Exemplars() []FloatExemplar {
+	if h == nil {
+		return nil
+	}
+	var out []FloatExemplar
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			out = append(out, *ex)
+		}
+	}
+	return out
+}
+
+// exemplarSuffix renders bucket i's OpenMetrics exemplar annotation, or ""
+// when exemplars are disabled or the bucket has none.
+func (h *FloatHistogram) exemplarSuffix(i int, enabled bool) string {
+	if !enabled {
+		return ""
+	}
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return formatExemplarSuffix(ex.TraceID, ex.Value, ex.Time)
+}
+
+// FloatHistogram resolves (creating on first use) the named float-valued
+// histogram. bounds sets the upper bounds at creation (nil selects
+// RatioBuckets); a later call for the same name returns the existing
+// histogram and ignores bounds. Nil-safe.
+func (r *Registry) FloatHistogram(name string, bounds []float64) *FloatHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.floatHists[name]
+	if h == nil {
+		h = newFloatHistogram(name, bounds)
+		r.floatHists[name] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a gauge whose value is computed at exposition time by
+// fn — for values owned elsewhere (process uptime, a queue's current depth)
+// that would otherwise need a polling goroutine. fn must be safe for
+// concurrent use and fast: it runs on every scrape. Re-registering a name
+// replaces its function. Nil-safe.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// FloatHistogram resolves a float histogram from the observer's registry
+// (nil bounds selects RatioBuckets). Nil-safe.
+func (o *Observer) FloatHistogram(name string, bounds []float64) *FloatHistogram {
+	if o == nil {
+		return nil
+	}
+	return o.Registry.FloatHistogram(name, bounds)
+}

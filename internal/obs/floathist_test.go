@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestFloatHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.FloatHistogram("sdpopt_test_ratio", nil) // RatioBuckets
+	// Exact threshold values land at-or-below their bound (le semantics).
+	for _, v := range []float64{1, 1.01, 2, 10, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); got != 1014.01 {
+		t.Fatalf("Sum = %g, want 1014.01", got)
+	}
+	// Cumulative counts at the paper's quality thresholds.
+	counts := map[float64]int64{}
+	cum := int64(0)
+	for i, ub := range h.bounds {
+		cum += h.buckets[i].Load()
+		counts[ub] = cum
+	}
+	if counts[1.01] != 2 || counts[2] != 3 || counts[10] != 4 || counts[100] != 4 {
+		t.Fatalf("cumulative counts = %v", counts)
+	}
+	if got := cum + h.buckets[len(h.bounds)].Load(); got != 5 {
+		t.Fatalf("total incl. overflow = %d, want 5", got)
+	}
+}
+
+func TestFloatHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.FloatHistogram(Label("sdpopt_test_ratio", "tech", "greedy"), []float64{1, 2})
+	h.ObserveExemplar(1.5, "cafe")
+	h.Observe(3)
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	for _, want := range []string{
+		"# TYPE sdpopt_test_ratio histogram",
+		`sdpopt_test_ratio_bucket{tech="greedy",le="2"} 1 # {trace_id="cafe"} 1.5`,
+		`sdpopt_test_ratio_bucket{tech="greedy",le="+Inf"} 2`,
+		`sdpopt_test_ratio_sum{tech="greedy"} 4.5`,
+		`sdpopt_test_ratio_count{tech="greedy"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Classic exposition never carries the exemplar.
+	var classic bytes.Buffer
+	if err := r.WritePrometheus(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "cafe") {
+		t.Error("classic exposition leaked a float exemplar")
+	}
+
+	// Registry-wide exemplar view includes the float histogram.
+	found := false
+	for _, info := range r.Exemplars() {
+		if info.TraceID == "cafe" && info.Value == "1.5" && info.LE == "2" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Registry.Exemplars() missing float exemplar: %+v", r.Exemplars())
+	}
+
+	// Nil safety.
+	var nilH *FloatHistogram
+	nilH.ObserveExemplar(1, "x")
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Exemplars() != nil {
+		t.Error("nil FloatHistogram not inert")
+	}
+	var nilR *Registry
+	if nilR.FloatHistogram("x", nil) != nil {
+		t.Error("nil registry handed out a float histogram")
+	}
+}
+
+func TestGaugeFuncAndBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	v := int64(7)
+	r.GaugeFunc("sdpopt_test_dynamic", func() int64 { return v })
+	RegisterBuildInfo(r)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sdpopt_test_dynamic 7") {
+		t.Errorf("gauge func missing:\n%s", out)
+	}
+	wantInfo := `sdpopt_build_info{version=` // full label set checked below
+	if !strings.Contains(out, wantInfo) {
+		t.Errorf("build info missing:\n%s", out)
+	}
+	if !strings.Contains(out, `goversion="`+runtime.Version()+`"`) {
+		t.Errorf("goversion label missing:\n%s", out)
+	}
+	if !strings.Contains(out, `gomaxprocs="`+strconv.Itoa(runtime.GOMAXPROCS(0))+`"`) {
+		t.Errorf("gomaxprocs label missing:\n%s", out)
+	}
+	if !strings.Contains(out, MProcessStart) || !strings.Contains(out, MUptime) {
+		t.Errorf("process gauges missing:\n%s", out)
+	}
+
+	// The function is re-evaluated per scrape.
+	v = 9
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "sdpopt_test_dynamic 9") {
+		t.Errorf("gauge func not re-evaluated:\n%s", buf.String())
+	}
+
+	// Idempotent re-registration, nil safety.
+	RegisterBuildInfo(r)
+	RegisterBuildInfo(nil)
+	var nilR *Registry
+	nilR.GaugeFunc("x", func() int64 { return 1 })
+}
+
+func TestReadJSONLLenient(t *testing.T) {
+	in := strings.Join([]string{
+		`{"ev":"a"}`,
+		`{"ev":"b"`, // truncated mid-write
+		``,
+		`not json at all`,
+		`{"ev":"c"}`,
+	}, "\n")
+	var warn bytes.Buffer
+	recs, skipped, err := ReadJSONLLenient(strings.NewReader(in), &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || skipped != 2 {
+		t.Fatalf("recs=%d skipped=%d, want 2/2", len(recs), skipped)
+	}
+	if recs[0].Ev() != "a" || recs[1].Ev() != "c" {
+		t.Fatalf("records = %v", recs)
+	}
+	if !strings.Contains(warn.String(), "line 2") || !strings.Contains(warn.String(), "line 4") {
+		t.Fatalf("warnings = %q", warn.String())
+	}
+	// Strict reader still aborts on the same input.
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("strict ReadJSONL accepted corrupt input")
+	}
+	// Nil warn writer is fine.
+	if _, n, err := ReadJSONLLenient(strings.NewReader(in), nil); err != nil || n != 2 {
+		t.Fatalf("nil-warn path: n=%d err=%v", n, err)
+	}
+}

@@ -224,4 +224,36 @@ const (
 	// exhausted its budget (query.Canon().Truncated): their fingerprints
 	// may differ across equivalent spellings, degrading cache hit rate.
 	MServerCanonTruncated = "sdpopt_server_canonical_truncated_total"
+
+	// Plan-quality regret metrics (see internal/obs/regret).
+
+	// MRegretRatio is the served-vs-reference cost-ratio float histogram,
+	// labeled tech= and shape=, with RatioBuckets bounds and trace-ID
+	// exemplars linking extreme ratios to flight-recorder entries.
+	MRegretRatio = "sdpopt_regret_ratio"
+	// MRegretSamples counts completed shadow comparisons, labeled tech=.
+	MRegretSamples = "sdpopt_regret_samples_total"
+	// MRegretDropped counts shadow jobs dropped because the queue was full —
+	// the shadow layer shedding itself, never the serving path.
+	MRegretDropped = "sdpopt_regret_dropped_total"
+	// MRegretDeduped counts shadow candidates suppressed because the same
+	// fingerprint × catalog version was shadowed within the dedup window.
+	MRegretDeduped = "sdpopt_regret_deduped_total"
+	// MRegretShadowSeconds is the shadow re-optimization duration histogram.
+	MRegretShadowSeconds = "sdpopt_regret_shadow_seconds"
+	// MRegretShadowErrors counts shadow optimizations that failed (budget
+	// abort, timeout); these produce no ratio sample.
+	MRegretShadowErrors = "sdpopt_regret_shadow_errors_total"
+	// MRegretQueueDepth gauges shadow jobs queued but not yet started.
+	MRegretQueueDepth = "sdpopt_regret_queue_depth"
+
+	// Process metrics (see RegisterBuildInfo).
+
+	// MBuildInfo is the constant-1 gauge carrying version/goversion/
+	// gomaxprocs labels for deploy correlation.
+	MBuildInfo = "sdpopt_build_info"
+	// MProcessStart is the process start time in unix seconds.
+	MProcessStart = "sdpopt_process_start_time_seconds"
+	// MUptime is the process uptime in seconds, computed at scrape.
+	MUptime = "sdpopt_process_uptime_seconds"
 )

@@ -21,7 +21,9 @@ type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
 	histograms map[string]*Histogram
+	floatHists map[string]*FloatHistogram
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -29,7 +31,9 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters:   map[string]*Counter{},
 		gauges:     map[string]*Gauge{},
+		gaugeFuncs: map[string]func() int64{},
 		histograms: map[string]*Histogram{},
+		floatHists: map[string]*FloatHistogram{},
 	}
 }
 
@@ -279,18 +283,21 @@ func splitLabeled(key string) (base, labels string) {
 }
 
 // ExemplarInfo is one histogram bucket's exemplar with enough context to
-// render it standalone (metric name plus the bucket's le bound).
+// render it standalone (metric name plus the bucket's le bound). Value is
+// pre-formatted — a duration string for latency histograms, a plain number
+// for float (ratio) histograms.
 type ExemplarInfo struct {
 	Metric  string
 	LE      string
 	TraceID string
-	Value   time.Duration
+	Value   string
 	Time    time.Time
 }
 
-// Exemplars returns every histogram bucket exemplar in the registry,
-// sorted by metric name then bucket bound — the data behind the
-// /debug/requests "latency exemplars" table. Nil-safe.
+// Exemplars returns every histogram bucket exemplar in the registry —
+// duration and float histograms alike — sorted by metric name then bucket
+// bound: the data behind the /debug/requests "latency exemplars" table.
+// Nil-safe.
 func (r *Registry) Exemplars() []ExemplarInfo {
 	if r == nil {
 		return nil
@@ -300,8 +307,11 @@ func (r *Registry) Exemplars() []ExemplarInfo {
 	for _, h := range r.histograms {
 		hists = append(hists, h)
 	}
+	fhists := make([]*FloatHistogram, 0, len(r.floatHists))
+	for _, h := range r.floatHists {
+		fhists = append(fhists, h)
+	}
 	r.mu.Unlock()
-	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
 	var out []ExemplarInfo
 	for _, h := range hists {
 		for i := range h.exemplars {
@@ -317,11 +327,33 @@ func (r *Registry) Exemplars() []ExemplarInfo {
 				Metric:  h.name,
 				LE:      formatLE(ub),
 				TraceID: ex.TraceID,
-				Value:   ex.Value,
+				Value:   ex.Value.String(),
 				Time:    ex.Time,
 			})
 		}
 	}
+	for _, h := range fhists {
+		for i := range h.exemplars {
+			ex := h.exemplars[i].Load()
+			if ex == nil {
+				continue
+			}
+			ub := math.Inf(1)
+			if i < len(h.bounds) {
+				ub = h.bounds[i]
+			}
+			out = append(out, ExemplarInfo{
+				Metric:  h.name,
+				LE:      formatLE(ub),
+				TraceID: ex.TraceID,
+				Value:   fmt.Sprintf("%g", ex.Value),
+				Time:    ex.Time,
+			})
+		}
+	}
+	// Entries were appended in bucket order per metric; a stable sort on
+	// the metric name alone preserves that within each histogram.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
 	return out
 }
 
@@ -361,15 +393,45 @@ func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 	for _, g := range r.gauges {
 		gauges = append(gauges, g)
 	}
+	funcs := make([]struct {
+		name string
+		fn   func() int64
+	}, 0, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs = append(funcs, struct {
+			name string
+			fn   func() int64
+		}{name, fn})
+	}
 	hists := make([]*Histogram, 0, len(r.histograms))
 	for _, h := range r.histograms {
 		hists = append(hists, h)
 	}
+	fhists := make([]*FloatHistogram, 0, len(r.floatHists))
+	for _, h := range r.floatHists {
+		fhists = append(fhists, h)
+	}
 	r.mu.Unlock()
 
+	// Gauge functions are evaluated outside the registry lock — they may
+	// take their owners' locks — and merged with the stored gauges into one
+	// name-sorted gauge section.
+	type sample struct {
+		name string
+		v    int64
+	}
+	gsamples := make([]sample, 0, len(gauges)+len(funcs))
+	for _, g := range gauges {
+		gsamples = append(gsamples, sample{g.name, g.Value()})
+	}
+	for _, f := range funcs {
+		gsamples = append(gsamples, sample{f.name, f.fn()})
+	}
+
 	sort.Slice(counters, func(i, j int) bool { return counters[i].name < counters[j].name })
-	sort.Slice(gauges, func(i, j int) bool { return gauges[i].name < gauges[j].name })
+	sort.Slice(gsamples, func(i, j int) bool { return gsamples[i].name < gsamples[j].name })
 	sort.Slice(hists, func(i, j int) bool { return hists[i].name < hists[j].name })
+	sort.Slice(fhists, func(i, j int) bool { return fhists[i].name < fhists[j].name })
 
 	typed := map[string]bool{}
 	header := func(key, kind string) {
@@ -385,9 +447,9 @@ func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 			return err
 		}
 	}
-	for _, g := range gauges {
+	for _, g := range gsamples {
 		header(g.name, "gauge")
-		if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value()); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", g.name, g.v); err != nil {
 			return err
 		}
 	}
@@ -412,6 +474,23 @@ func (r *Registry) writeText(w io.Writer, exemplars bool) error {
 		fmt.Fprintf(w, "%s%s %g\n", base+"_sum", labels, h.Sum().Seconds())
 		fmt.Fprintf(w, "%s%s %d\n", base+"_count", labels, h.Count())
 	}
+	for _, h := range fhists {
+		header(h.name, "histogram")
+		base, labels := splitLabeled(h.name)
+		cum := int64(0)
+		for i, ub := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s%s %d%s\n", base+"_bucket", mergeLE(labels, ub), cum, h.exemplarSuffix(i, exemplars)); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s%s %d%s\n", base+"_bucket", mergeLE(labels, math.Inf(1)), cum, h.exemplarSuffix(len(h.bounds), exemplars)); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "%s%s %g\n", base+"_sum", labels, h.Sum())
+		fmt.Fprintf(w, "%s%s %d\n", base+"_count", labels, h.Count())
+	}
 	return nil
 }
 
@@ -425,7 +504,13 @@ func (h *Histogram) exemplarSuffix(i int, enabled bool) string {
 	if ex == nil {
 		return ""
 	}
-	return fmt.Sprintf(" # {trace_id=%q} %g %.3f", ex.TraceID, ex.Value.Seconds(), float64(ex.Time.UnixMilli())/1000)
+	return formatExemplarSuffix(ex.TraceID, ex.Value.Seconds(), ex.Time)
+}
+
+// formatExemplarSuffix renders one OpenMetrics exemplar annotation shared
+// by the duration and float histogram expositions.
+func formatExemplarSuffix(traceID string, value float64, at time.Time) string {
+	return fmt.Sprintf(" # {trace_id=%q} %g %.3f", traceID, value, float64(at.UnixMilli())/1000)
 }
 
 // mergeLE inserts the le="..." bucket label into an existing label block

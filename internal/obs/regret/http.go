@@ -1,0 +1,89 @@
+package regret
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// JSONHandler serves the shadow state as JSON at /debug/regret.json.
+func (s *Shadow) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.Snapshot())
+	})
+}
+
+// Handler serves the human debug page at /debug/regret: counters, the
+// per-key quality table (ρ, W, bucket shares), and the worst-regret
+// exemplars with served and reference plan trees side by side.
+func (s *Shadow) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d := s.Snapshot()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html><html><head><title>/debug/regret</title><style>\n")
+		b.WriteString("body{font-family:sans-serif;margin:1em 2em}pre{background:#f6f8fa;padding:0.8em;overflow-x:auto}\n")
+		b.WriteString("h2{border-bottom:1px solid #ccc;padding-bottom:0.2em}table{border-collapse:collapse}\n")
+		b.WriteString("td,th{padding:0.15em 0.8em;text-align:left;border-bottom:1px solid #eee}\n")
+		b.WriteString(".bad{color:#b00020}.warn{color:#b35c00}</style></head><body>\n")
+		b.WriteString("<h1>sdpopt plan-quality regret</h1>\n")
+		fmt.Fprintf(&b, "<p>%d observed · %d sampled · %d deduped · %d dropped · %d completed (%d failed) · %d pinned</p>\n",
+			d.Counts.Observed, d.Counts.Sampled, d.Counts.Deduped, d.Counts.Dropped,
+			d.Counts.Completed, d.Counts.Failures, d.Counts.Pinned)
+		fmt.Fprintf(&b, "<p>sampling %g computed / %g hit &middot; reference: dp &le; %d rels, else sdp &middot; window %d &middot; pin at ratio &ge; %g</p>\n",
+			d.Config.SampleRate, d.Config.HitSampleRate, d.Config.MaxDPRels, d.Config.Window, d.Config.PinRatio)
+		b.WriteString("<p><a href=\"/debug/regret.json\">regret.json</a> · <a href=\"/debug/requests\">requests</a> · <a href=\"/metrics\">metrics</a></p>\n")
+
+		b.WriteString("<h2>Windows</h2>\n")
+		if len(d.Keys) == 0 {
+			b.WriteString("<p>no samples yet</p>\n")
+		} else {
+			b.WriteString("<table><tr><th>technique</th><th>topology</th><th>rels</th><th>window</th><th>lifetime</th>" +
+				"<th>I%</th><th>G%</th><th>A%</th><th>B%</th><th>W</th><th>&rho;</th></tr>\n")
+			for _, k := range d.Keys {
+				class := ""
+				switch {
+				case k.Rho > 10:
+					class = " class=\"bad\""
+				case k.Rho > 2:
+					class = " class=\"warn\""
+				}
+				fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%d</td>"+
+					"<td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.0f</td><td>%.2f</td><td>%.3f</td></tr>\n",
+					class, html.EscapeString(k.Tech), html.EscapeString(k.Shape), html.EscapeString(k.Band),
+					k.Window, k.Lifetime, k.PctIdeal, k.PctGood, k.PctAcceptable, k.PctBad, k.Worst, k.Rho)
+			}
+			b.WriteString("</table>\n")
+		}
+
+		fmt.Fprintf(&b, "<h2>Worst regret exemplars (%d)</h2>\n", len(d.Exemplars))
+		if len(d.Exemplars) == 0 {
+			b.WriteString("<p>none</p>\n")
+		}
+		for _, ex := range d.Exemplars {
+			fmt.Fprintf(&b, "<h3>ratio %.3f — %s vs %s · %s/%s · %d rels · source %s</h3>\n",
+				ex.Ratio, html.EscapeString(ex.Tech), html.EscapeString(ex.Ref),
+				html.EscapeString(ex.Shape), html.EscapeString(ex.Band), ex.Rels, html.EscapeString(ex.Source))
+			if ex.TraceID != "" || ex.ShadowTraceID != "" {
+				b.WriteString("<p>")
+				if ex.TraceID != "" {
+					fmt.Fprintf(&b, "serving trace <code>%s</code> ", html.EscapeString(ex.TraceID))
+				}
+				if ex.ShadowTraceID != "" {
+					fmt.Fprintf(&b, "· shadow trace <code>%s</code> (pinned)", html.EscapeString(ex.ShadowTraceID))
+				}
+				b.WriteString("</p>\n")
+			}
+			fmt.Fprintf(&b, "<pre>served (cost %.2f): %s\nref    (cost %.2f): %s</pre>\n",
+				ex.ServedCost, html.EscapeString(ex.ServedShape),
+				ex.RefCost, html.EscapeString(ex.RefShape))
+		}
+		b.WriteString("</body></html>\n")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

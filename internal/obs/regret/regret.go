@@ -1,0 +1,608 @@
+// Package regret measures served plan quality online: a sampling shadow
+// optimizer that re-optimizes a fraction of served queries in the
+// background with a reference technique (DP when feasible by relation
+// count, full SDP otherwise), computes the cost ratio of the served plan
+// against the reference, and aggregates the paper's quality metrics —
+// ρ (geometric mean), worst-case W, and the Ideal/Good/Acceptable/Bad
+// bucket distribution — over rolling windows keyed by (technique,
+// topology, relation-count band).
+//
+// The design constraint mirrors the plan cache's detached-fill rule:
+// shadow work may never degrade serving. Observe is a few atomic
+// operations on the non-sampled path; sampled queries are handed to a
+// bounded queue drained by a dedicated worker pool, overflow is dropped
+// (and counted) rather than queued unboundedly, shadow optimizations run
+// under their own context — detached from any request deadline — and hot
+// fingerprints are deduplicated so repeated serves of one query cannot
+// burn the shadow budget.
+package regret
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+)
+
+// OptimizeFunc runs one optimization by technique name. The server injects
+// its OptimizeTraced here so this package never imports the serving layer.
+type OptimizeFunc func(ctx context.Context, technique string, q *query.Query, budget int64, workers int, ob *obs.Observer) (*plan.Plan, dp.Stats, error)
+
+// Options configures a Shadow.
+type Options struct {
+	// Optimize runs the shadow re-optimizations. Required.
+	Optimize OptimizeFunc
+	// Obs receives regret metrics (ratio histograms, sample/drop counters)
+	// and EvRegret trace events. Optional.
+	Obs *obs.Observer
+	// Flight, when set, receives the worst-regret shadow traces: a shadow
+	// run whose ratio reaches PinRatio is pinned into the recorder's
+	// notable ring with both costs and the serving trace ID attached.
+	Flight *span.Recorder
+
+	// SampleRate is the fraction of computed serves (miss, dedup,
+	// uncached) that are shadowed, in [0, 1]. Default 0.05.
+	SampleRate float64
+	// HitSampleRate is the fraction of cache-hit serves shadowed — lower
+	// by default (0.01) because hits re-serve already-measured plans; a
+	// nonzero rate still catches staleness after catalog drift.
+	HitSampleRate float64
+	// MaxDPRels selects the reference: queries with at most this many
+	// relations are re-optimized with exhaustive DP, larger ones with full
+	// SDP (the paper's fallback reference when DP is infeasible).
+	// Default 12.
+	MaxDPRels int
+	// Workers is the shadow pool size (default 1). Shadow optimizations
+	// run sequentially within each worker with no enumeration parallelism,
+	// keeping their CPU appetite bounded and predictable.
+	Workers int
+	// QueueSize bounds jobs waiting for a shadow worker (default 64);
+	// overflow is dropped and counted, never queued unboundedly.
+	QueueSize int
+	// Budget is the memory-feasibility budget per shadow optimization
+	// (default the paper's 1 GB).
+	Budget int64
+	// Timeout caps each shadow optimization's wall time (default 30s).
+	Timeout time.Duration
+	// DedupFor suppresses re-shadowing of one canonical fingerprint ×
+	// catalog version within this interval (default 1m), so a hot query
+	// is measured once per window, not once per serve. Negative disables
+	// deduplication (benchmarks and tests).
+	DedupFor time.Duration
+	// Window is the per-key rolling window size in samples (default 512).
+	Window int
+	// TopN is how many worst-regret exemplars to retain (default 8).
+	TopN int
+	// PinRatio pins a shadow trace into Flight's notable ring when the
+	// measured ratio reaches it (default 2 — the paper's Good/Acceptable
+	// boundary). Set to +Inf to disable pinning.
+	PinRatio float64
+
+	// CatalogVersion, when set, is used as the catalog half of the dedup
+	// key for every sample, skipping Catalog.Fingerprint entirely — the
+	// server fills it from the fingerprint it already computed at startup
+	// (a server serves exactly one catalog). When empty, the shadow
+	// computes the fingerprint itself, once per catalog instance.
+	CatalogVersion string
+}
+
+func (o Options) withDefaults() Options {
+	if o.SampleRate < 0 {
+		o.SampleRate = 0
+	}
+	if o.SampleRate > 1 {
+		o.SampleRate = 1
+	}
+	if o.HitSampleRate == 0 {
+		o.HitSampleRate = 0.01
+		if o.SampleRate < o.HitSampleRate {
+			o.HitSampleRate = o.SampleRate
+		}
+	}
+	if o.HitSampleRate < 0 {
+		o.HitSampleRate = 0
+	}
+	if o.HitSampleRate > 1 {
+		o.HitSampleRate = 1
+	}
+	if o.MaxDPRels <= 0 {
+		o.MaxDPRels = 12
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 64
+	}
+	if o.Budget <= 0 {
+		o.Budget = memo.DefaultBudget
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.DedupFor == 0 {
+		o.DedupFor = time.Minute
+	}
+	if o.Window <= 0 {
+		o.Window = 512
+	}
+	if o.TopN <= 0 {
+		o.TopN = 8
+	}
+	if o.PinRatio == 0 {
+		o.PinRatio = 2
+	}
+	return o
+}
+
+// Sample is one served optimization offered to the shadow layer.
+type Sample struct {
+	// Query is the served query (any frame — cost is frame-invariant).
+	Query *query.Query
+	// Technique is the technique that produced the served plan.
+	Technique string
+	// Plan is the served plan, in Query's frame.
+	Plan *plan.Plan
+	// Source is the plan-cache source label ("hit", "dedup", "miss",
+	// "uncached"); "hit" selects HitSampleRate.
+	Source string
+	// TraceID links the serve back to its flight-recorder trace.
+	TraceID string
+}
+
+// Shadow is the sampling shadow optimizer. Construct with New; it is safe
+// for concurrent use, and all exported methods are no-ops on a nil
+// receiver, so an unconfigured server carries a nil *Shadow at zero cost.
+type Shadow struct {
+	opts Options
+
+	compSampler sampler // computed serves (miss/dedup/uncached)
+	hitSampler  sampler // cache hits
+
+	jobs      chan job
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	enqMu   sync.Mutex // guards closed + jobs send + dedup map
+	closed  bool
+	closing atomic.Bool // read by workers to skip queued jobs on Close
+	dedup   map[string]time.Time
+
+	// catVer memoizes Catalog.Fingerprint per catalog instance. The
+	// fingerprint hashes the JSON of every statistic in the catalog —
+	// milliseconds on realistic schemas — and Observe runs before the
+	// response is flushed to the client, so recomputing it per sampled
+	// serve would put that cost on the serving path. A process serves a
+	// handful of catalog instances at most, and catalogs are immutable
+	// once serving starts (the server caches its own fingerprint at New
+	// under the same assumption).
+	catMu  sync.Mutex
+	catVer map[*catalog.Catalog]string
+
+	aggMu     sync.Mutex // guards windows + exemplars
+	windows   map[Key]*window
+	exemplars []Exemplar
+
+	observed  atomic.Int64
+	sampled   atomic.Int64
+	deduped   atomic.Int64
+	dropped   atomic.Int64
+	enqueued  atomic.Int64
+	completed atomic.Int64 // finished jobs, successes and failures alike
+	failures  atomic.Int64
+	pinned    atomic.Int64
+}
+
+// job carries everything a worker needs; the serving request is long gone
+// by the time it runs.
+type job struct {
+	q           *query.Query
+	tech        string
+	ref         string
+	source      string
+	traceID     string
+	servedCost  float64
+	servedShape string
+	shape       string
+	band        string
+	rels        int
+}
+
+// New validates opts and builds a shadow optimizer with its worker pool
+// running. Callers must Close it to stop the workers.
+func New(opts Options) (*Shadow, error) {
+	if opts.Optimize == nil {
+		return nil, errors.New("regret: Options.Optimize is required")
+	}
+	opts = opts.withDefaults()
+	s := &Shadow{
+		opts:    opts,
+		jobs:    make(chan job, opts.QueueSize),
+		dedup:   map[string]time.Time{},
+		catVer:  map[*catalog.Catalog]string{},
+		windows: map[Key]*window{},
+	}
+	s.compSampler.setRate(opts.SampleRate)
+	s.hitSampler.setRate(opts.HitSampleRate)
+	if reg := s.registry(); reg != nil {
+		reg.GaugeFunc(obs.MRegretQueueDepth, func() int64 { return int64(len(s.jobs)) })
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Shadow) registry() *obs.Registry {
+	if s == nil || s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.Registry
+}
+
+// Band buckets a relation count into the dump's relation-count bands.
+func Band(n int) string {
+	switch {
+	case n <= 4:
+		return "1-4"
+	case n <= 8:
+		return "5-8"
+	case n <= 12:
+		return "9-12"
+	case n <= 16:
+		return "13-16"
+	case n <= 24:
+		return "17-24"
+	default:
+		return "25+"
+	}
+}
+
+// Reference returns the reference technique the shadow would use for an
+// n-relation query: exhaustive DP while feasible, full SDP beyond.
+func (s *Shadow) Reference(n int) string {
+	if s != nil && n <= s.opts.MaxDPRels {
+		return "dp"
+	}
+	return "sdp"
+}
+
+// Observe offers one successful serve to the shadow layer. The fast path —
+// not sampled — is two atomic adds; a sampled serve is deduplicated by
+// fingerprint × catalog version and enqueued without blocking (dropped,
+// and counted, when the queue is full). Nil-safe; never blocks serving.
+func (s *Shadow) Observe(sm Sample) {
+	if s == nil || sm.Query == nil || sm.Plan == nil {
+		return
+	}
+	s.observed.Add(1)
+	sp := &s.compSampler
+	if sm.Source == "hit" {
+		sp = &s.hitSampler
+	}
+	if !sp.sample() {
+		return
+	}
+	s.sampled.Add(1)
+
+	n := sm.Query.NumRelations()
+	now := time.Now()
+	key := sm.Query.Fingerprint() + "|" + s.catalogVersion(sm.Query.Cat)
+	j := job{
+		q:          sm.Query,
+		tech:       techName(sm.Technique),
+		ref:        s.Reference(n),
+		source:     sm.Source,
+		traceID:    sm.TraceID,
+		servedCost: sm.Plan.Cost,
+		servedShape: sm.Plan.Shape(func(i int) string {
+			return sm.Query.Relation(i).Name
+		}),
+		shape: sm.Query.Shape(),
+		band:  Band(n),
+		rels:  n,
+	}
+
+	s.enqMu.Lock()
+	if s.closed {
+		s.enqMu.Unlock()
+		return
+	}
+	if last, ok := s.dedup[key]; ok && now.Sub(last) < s.opts.DedupFor {
+		s.enqMu.Unlock()
+		s.deduped.Add(1)
+		s.counter(obs.MRegretDeduped).Add(1)
+		return
+	}
+	// The dedup map is bounded: at capacity, expired entries are swept
+	// first; if none expired the map resets wholesale — re-shadowing a few
+	// queries early is cheaper than unbounded growth.
+	if len(s.dedup) >= 4096 {
+		for k, at := range s.dedup {
+			if now.Sub(at) >= s.opts.DedupFor {
+				delete(s.dedup, k)
+			}
+		}
+		if len(s.dedup) >= 4096 {
+			s.dedup = map[string]time.Time{}
+		}
+	}
+	s.dedup[key] = now
+	select {
+	case s.jobs <- j:
+		s.enqueued.Add(1)
+	default:
+		// Queue full: forget the dedup mark so the next serve of this
+		// query gets another chance once load subsides.
+		delete(s.dedup, key)
+		s.dropped.Add(1)
+		s.counter(obs.MRegretDropped).Add(1)
+	}
+	s.enqMu.Unlock()
+}
+
+// catalogVersion returns c's fingerprint, computed once per catalog
+// instance and memoized (see the catVer field for why). The map is reset
+// at a small cap so a pathological caller cycling catalogs cannot grow it
+// unboundedly — re-hashing after a reset is correct, just slower.
+func (s *Shadow) catalogVersion(c *catalog.Catalog) string {
+	if s.opts.CatalogVersion != "" {
+		return s.opts.CatalogVersion
+	}
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	if v, ok := s.catVer[c]; ok {
+		return v
+	}
+	if len(s.catVer) >= 16 {
+		s.catVer = map[*catalog.Catalog]string{}
+	}
+	v := c.Fingerprint()
+	s.catVer[c] = v
+	return v
+}
+
+func techName(t string) string {
+	if t == "" {
+		return "sdp"
+	}
+	return t
+}
+
+func (s *Shadow) counter(name string) *obs.Counter {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.Counter(name)
+}
+
+// jobYield is how long a worker de-schedules before starting each job. A
+// job is enqueued while its serving request is still flushing its response;
+// on a host with a single core the runtime would otherwise hand the CPU to
+// the worker for the whole re-optimization (shadow runs are shorter than
+// the ~10ms async-preemption threshold), stalling that flush and any other
+// in-flight serve. Sleeping first parks the worker so the scheduler drains
+// runnable serving goroutines and the netpoller; the delay is invisible to
+// the shadow's purpose (its results are windowed aggregates) and caps a
+// worker at a throughput far above any sane sampling rate.
+const jobYield = time.Millisecond
+
+func (s *Shadow) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		// Once Close is underway, queued jobs are discarded (but still
+		// counted, so Drain's enqueued==completed invariant holds) rather
+		// than delaying shutdown by up to Timeout each.
+		if !s.closing.Load() {
+			time.Sleep(jobYield)
+			s.runJob(j)
+		}
+		s.completed.Add(1)
+	}
+}
+
+// runJob executes one shadow re-optimization, entirely detached from the
+// serving request that sampled it: fresh context, shadow timeout, shadow
+// budget, sequential enumeration, and a nil engine observer so shadow load
+// never pollutes the serving-path optimization metrics.
+func (s *Shadow) runJob(j job) {
+	root := span.New("regret.shadow")
+	root.SetAttr("tech", j.tech)
+	root.SetAttr("ref", j.ref)
+	root.SetAttr("shape", j.shape)
+	root.SetAttr("rels", j.rels)
+	root.SetAttr("source", j.source)
+	root.SetAttr("served_trace", j.traceID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
+	defer cancel()
+	ctx = span.NewContext(ctx, root)
+
+	started := time.Now()
+	refPlan, _, err := s.opts.Optimize(ctx, j.ref, j.q, s.opts.Budget, 0, nil)
+	dur := time.Since(started)
+	if s.opts.Obs != nil {
+		s.opts.Obs.Histogram(obs.MRegretShadowSeconds).Observe(dur)
+	}
+	if err == nil && (refPlan == nil || refPlan.Cost <= 0) {
+		err = fmt.Errorf("regret: reference %s produced invalid cost", j.ref)
+	}
+	if err != nil {
+		s.failures.Add(1)
+		s.counter(obs.MRegretShadowErrors).Add(1)
+		root.SetError(err.Error())
+		root.Finish()
+		return
+	}
+
+	ratio := j.servedCost / refPlan.Cost
+	if !(ratio > 0) || math.IsInf(ratio, 0) {
+		s.failures.Add(1)
+		s.counter(obs.MRegretShadowErrors).Add(1)
+		root.SetError(fmt.Sprintf("regret: invalid ratio %g", ratio))
+		root.Finish()
+		return
+	}
+	root.SetAttr("ratio", ratio)
+	root.SetAttr("served_cost", j.servedCost)
+	root.SetAttr("ref_cost", refPlan.Cost)
+
+	refShape := refPlan.Shape(func(i int) string { return j.q.Relation(i).Name })
+	ex := Exemplar{
+		Time:        started,
+		Tech:        j.tech,
+		Ref:         j.ref,
+		Shape:       j.shape,
+		Band:        j.band,
+		Rels:        j.rels,
+		Source:      j.source,
+		Ratio:       ratio,
+		ServedCost:  j.servedCost,
+		RefCost:     refPlan.Cost,
+		ServedShape: j.servedShape,
+		RefShape:    refShape,
+		TraceID:     j.traceID,
+	}
+
+	pinned := false
+	if s.opts.Flight != nil && ratio >= s.opts.PinRatio {
+		ex.ShadowTraceID = root.TraceID()
+		s.opts.Flight.Pin(root, 200)
+		s.pinned.Add(1)
+		pinned = true
+	}
+	if !pinned {
+		root.Finish()
+	}
+
+	s.record(j, ratio, ex)
+
+	if s.opts.Obs != nil {
+		s.opts.Obs.FloatHistogram(obs.Label(obs.MRegretRatio, "tech", j.tech, "shape", j.shape), nil).
+			ObserveExemplar(ratio, j.traceID)
+		s.opts.Obs.Counter(obs.Label(obs.MRegretSamples, "tech", j.tech)).Add(1)
+		s.opts.Obs.Emit(obs.EvRegret, map[string]any{
+			"tech":        j.tech,
+			"ref":         j.ref,
+			"shape":       j.shape,
+			"rels":        j.rels,
+			"ratio":       ratio,
+			"served_cost": j.servedCost,
+			"ref_cost":    refPlan.Cost,
+			"trace_id":    j.traceID,
+			"dur_ns":      dur.Nanoseconds(),
+		})
+	}
+}
+
+// record folds one measured ratio into the per-key rolling window and the
+// top-N exemplar list.
+func (s *Shadow) record(j job, ratio float64, ex Exemplar) {
+	key := Key{Tech: j.tech, Shape: j.shape, Band: j.band}
+	s.aggMu.Lock()
+	w := s.windows[key]
+	if w == nil {
+		w = &window{ratios: make([]float64, 0, s.opts.Window)}
+		s.windows[key] = w
+	}
+	w.push(ratio, s.opts.Window)
+
+	// Exemplars: keep the TopN worst ratios, sorted worst-first.
+	i := len(s.exemplars)
+	for i > 0 && s.exemplars[i-1].Ratio < ex.Ratio {
+		i--
+	}
+	if i < s.opts.TopN {
+		s.exemplars = append(s.exemplars, Exemplar{})
+		copy(s.exemplars[i+1:], s.exemplars[i:])
+		s.exemplars[i] = ex
+		if len(s.exemplars) > s.opts.TopN {
+			s.exemplars = s.exemplars[:s.opts.TopN]
+		}
+	}
+	s.aggMu.Unlock()
+}
+
+// window is one key's rolling ratio ring plus its lifetime sample count.
+type window struct {
+	ratios []float64
+	head   int
+	total  int64
+}
+
+func (w *window) push(r float64, capacity int) {
+	w.total++
+	if len(w.ratios) < capacity {
+		w.ratios = append(w.ratios, r)
+		return
+	}
+	w.ratios[w.head] = r
+	w.head = (w.head + 1) % capacity
+}
+
+// Drain blocks until every enqueued shadow job has completed or ctx
+// expires — the determinism hook for benchmarks and smoke tests. Serving
+// code never calls it.
+func (s *Shadow) Drain(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	for {
+		if s.completed.Load() >= s.enqueued.Load() {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// Close stops accepting samples, discards queued shadow jobs, and waits
+// for the in-flight ones to finish. Idempotent and nil-safe.
+func (s *Shadow) Close() {
+	if s == nil {
+		return
+	}
+	s.closeOnce.Do(func() {
+		s.closing.Store(true)
+		s.enqMu.Lock()
+		s.closed = true
+		s.enqMu.Unlock()
+		close(s.jobs)
+		s.wg.Wait()
+	})
+}
+
+// sampler is a deterministic fixed-point rate gate: each call accumulates
+// rate in 1/2^20 units and fires when the integer part advances. At rate 1
+// every call fires; at rate 0 none do. Race-safe without math/rand state.
+type sampler struct {
+	acc    atomic.Int64
+	rateFP int64
+}
+
+func (sp *sampler) setRate(rate float64) {
+	sp.rateFP = int64(rate * (1 << 20))
+}
+
+func (sp *sampler) sample() bool {
+	if sp.rateFP <= 0 {
+		return false
+	}
+	nv := sp.acc.Add(sp.rateFP)
+	return nv>>20 != (nv-sp.rateFP)>>20
+}

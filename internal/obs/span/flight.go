@@ -29,13 +29,16 @@ type FlightConfig struct {
 	SlowThresholdNS int64 `json:"slow_threshold_ns"`
 }
 
-// FlightCounts are the recorder's lifetime counters.
+// FlightCounts are the recorder's lifetime counters. Pinned counts traces
+// filed into the notable ring by an explicit Pin call (e.g. worst-regret
+// shadow traces), separate from the slow/errored self-pinning.
 type FlightCounts struct {
 	Started  int64 `json:"started"`
 	Finished int64 `json:"finished"`
 	Active   int64 `json:"active"`
 	Slow     int64 `json:"slow"`
 	Errored  int64 `json:"errored"`
+	Pinned   int64 `json:"pinned,omitempty"`
 }
 
 // TraceJSON is one trace in a flight dump.

@@ -59,6 +59,7 @@ type Recorder struct {
 	finished int64
 	slow     int64
 	errored  int64
+	pinned   int64
 }
 
 // NewRecorder returns a flight recorder with the given ring sizes.
@@ -120,6 +121,26 @@ func (r *Recorder) Finish(root *Span, code int) {
 	r.mu.Unlock()
 }
 
+// Pin completes a trace and files it unconditionally into the notable
+// ring, regardless of duration or status code — the hook for traces that
+// are notable on a dimension the recorder cannot see itself, such as a
+// shadow optimization that exposed high plan-quality regret. The trace
+// need not have been Started; when it was, Pin removes it from the active
+// set. No-op on a nil recorder or span.
+func (r *Recorder) Pin(root *Span, code int) {
+	if r == nil || root == nil {
+		return
+	}
+	t := root.tr
+	root.Finish()
+	t.Finish(code)
+	r.mu.Lock()
+	delete(r.active, t)
+	r.pinned++
+	r.notable, r.notableHead = ringPush(r.notable, r.notableHead, r.opts.Notable, t)
+	r.mu.Unlock()
+}
+
 // ringPush appends t to a fixed-capacity ring, overwriting the oldest
 // entry once full.
 func ringPush(ring []*Trace, head, capacity int, t *Trace) ([]*Trace, int) {
@@ -164,6 +185,7 @@ func (r *Recorder) Snapshot() *FlightDump {
 			Active:   int64(len(r.active)),
 			Slow:     r.slow,
 			Errored:  r.errored,
+			Pinned:   r.pinned,
 		},
 	}
 	active := make([]*Trace, 0, len(r.active))
@@ -237,9 +259,9 @@ func (r *Recorder) RequestsHandler(reg *obs.Registry) http.Handler {
 		b.WriteString("h2{border-bottom:1px solid #ccc;padding-bottom:0.2em}.slow{color:#b35c00}.err{color:#b00020}\n")
 		b.WriteString("table{border-collapse:collapse}td,th{padding:0.15em 0.8em;text-align:left}\n")
 		b.WriteString("</style></head><body>\n<h1>sdpopt flight recorder</h1>\n")
-		fmt.Fprintf(&b, "<p>%d started, %d finished, %d active · %d slow (&ge; %v) · %d errored · rings: %d recent + %d notable</p>\n",
+		fmt.Fprintf(&b, "<p>%d started, %d finished, %d active · %d slow (&ge; %v) · %d errored · %d pinned · rings: %d recent + %d notable</p>\n",
 			d.Counts.Started, d.Counts.Finished, d.Counts.Active, d.Counts.Slow,
-			time.Duration(d.Config.SlowThresholdNS), d.Counts.Errored, d.Config.Recent, d.Config.Notable)
+			time.Duration(d.Config.SlowThresholdNS), d.Counts.Errored, d.Counts.Pinned, d.Config.Recent, d.Config.Notable)
 		b.WriteString("<p><a href=\"/debug/flight.json\">flight.json</a> · <a href=\"/metrics\">metrics</a></p>\n")
 
 		if reg != nil {

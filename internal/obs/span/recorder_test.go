@@ -172,3 +172,47 @@ func TestRecorderConcurrency(t *testing.T) {
 		t.Errorf("finished = %d, want 800", d.Counts.Finished)
 	}
 }
+
+// TestPinExplicit checks Pin files a fast, successful trace into the
+// notable ring unconditionally — the worst-regret shadow-trace path — and
+// that a never-Started trace pins cleanly.
+func TestPinExplicit(t *testing.T) {
+	rec := span.NewRecorder(span.RecorderOptions{Recent: 4, Notable: 4, SlowThreshold: time.Hour})
+
+	// A shadow trace is never Started: it goes straight to Pin.
+	shadow := span.New("regret.shadow")
+	shadow.SetAttr("ratio", 3.5)
+	rec.Pin(shadow, 200)
+
+	// A started trace pinned explicitly leaves the active set.
+	started := span.New("request")
+	rec.Start(started)
+	rec.Pin(started, 200)
+
+	d := rec.Snapshot()
+	if len(d.Notable) != 2 {
+		t.Fatalf("notable ring holds %d, want 2", len(d.Notable))
+	}
+	if len(d.Recent) != 0 || d.Counts.Active != 0 {
+		t.Fatalf("pinned traces leaked: %d recent, %d active", len(d.Recent), d.Counts.Active)
+	}
+	if d.Counts.Pinned != 2 {
+		t.Errorf("pinned count = %d, want 2", d.Counts.Pinned)
+	}
+	if d.Counts.Slow != 0 || d.Counts.Errored != 0 {
+		t.Errorf("pin miscounted as slow/errored: %+v", d.Counts)
+	}
+
+	// Ordinary traffic cannot evict a pinned trace out of notable.
+	for i := 0; i < 20; i++ {
+		finishTrace(rec, 200)
+	}
+	if d := rec.Snapshot(); len(d.Notable) != 2 {
+		t.Errorf("pinned traces evicted by fast traffic: %+v", d.Notable)
+	}
+
+	// Nil safety.
+	var nilRec *span.Recorder
+	nilRec.Pin(span.New("x"), 200)
+	rec.Pin(nil, 200)
+}

@@ -51,6 +51,38 @@ func ReadJSONL(rd io.Reader) ([]Record, error) {
 	return out, nil
 }
 
+// ReadJSONLLenient decodes a JSONL trace stream, skipping malformed lines
+// instead of aborting: each skipped line produces one warning on warn (when
+// non-nil) and the total skipped count is returned alongside the good
+// records. A truncated tail — the common corruption for a trace file cut
+// off mid-write — thus costs only the damaged lines, not the whole summary.
+// Only a read error from rd itself is fatal.
+func ReadJSONLLenient(rd io.Reader, warn io.Writer) (recs []Record, skipped int, err error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var r Record
+		if uerr := json.Unmarshal([]byte(text), &r); uerr != nil {
+			skipped++
+			if warn != nil {
+				fmt.Fprintf(warn, "warning: trace line %d skipped: %v\n", line, uerr)
+			}
+			continue
+		}
+		recs = append(recs, r)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, err
+	}
+	return recs, skipped, nil
+}
+
 // TechSummary aggregates one technique's optimization effort.
 type TechSummary struct {
 	Tech         string

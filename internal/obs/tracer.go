@@ -36,6 +36,7 @@ const (
 	EvBatchStart    = "batch.start"    // graph, instances, techniques, workers
 	EvBatchEnd      = "batch.end"      // graph, dur_ns
 	EvInstance      = "instance"       // graph, tech, instance, dur_ns, plans_costed, feasible
+	EvRegret        = "regret"         // tech, ref, shape, rels, ratio, served_cost, ref_cost, trace_id, dur_ns
 )
 
 // MarshalJSON flattens the event to one JSON object: {"t": ..., "ev": ...,

@@ -192,3 +192,92 @@ func TestSummarizeRelativeAllowsBelowOne(t *testing.T) {
 		}
 	}
 }
+
+// Summarize at the exact bucket boundaries: each edge value lands in the
+// closed-upper bucket (≤1.01 Ideal, ≤2 Good, ≤10 Acceptable), matching
+// Classify.
+func TestSummarizeBoundaryRatios(t *testing.T) {
+	cases := []struct {
+		ratio  float64
+		bucket Bucket
+	}{
+		{1.01, Ideal},
+		{2.0, Good},
+		{10.0, Acceptable},
+	}
+	for _, c := range cases {
+		s, err := Summarize([]float64{c.ratio})
+		if err != nil {
+			t.Fatalf("Summarize(%g): %v", c.ratio, err)
+		}
+		pcts := map[Bucket]float64{
+			Ideal: s.PctIdeal, Good: s.PctGood, Acceptable: s.PctAcceptable, Bad: s.PctBad,
+		}
+		for b, pct := range pcts {
+			want := 0.0
+			if b == c.bucket {
+				want = 100
+			}
+			if pct != want {
+				t.Errorf("Summarize(%g): bucket %v = %g%%, want %g%%", c.ratio, b, pct, want)
+			}
+		}
+		// Rho round-trips through exp(log(r)), so compare with slack.
+		if s.Worst != c.ratio || math.Abs(s.Rho-c.ratio) > 1e-12*c.ratio {
+			t.Errorf("Summarize(%g): W=%g rho=%g", c.ratio, s.Worst, s.Rho)
+		}
+	}
+}
+
+// Non-finite and non-positive ratios are rejected by both summarizers, even
+// when buried among valid values — a single poisoned ratio must not leak
+// into ρ.
+func TestSummarizeRejectsNonFinite(t *testing.T) {
+	for name, in := range map[string][]float64{
+		"NaN amid valid":  {1.2, math.NaN(), 1.4},
+		"+Inf amid valid": {1.2, math.Inf(1), 1.4},
+		"-Inf":            {math.Inf(-1)},
+		"zero":            {0},
+		"negative":        {-2},
+	} {
+		if _, err := Summarize(in); err == nil {
+			t.Errorf("%s: Summarize accepted %v", name, in)
+		}
+		if _, err := SummarizeRelative(in); err == nil {
+			t.Errorf("%s: SummarizeRelative accepted %v", name, in)
+		}
+	}
+}
+
+// Property: the bucket counts reconstructed from the percentages always sum
+// to the input length — no ratio is ever dropped or double-bucketed.
+func TestQuickBucketCountsSumToLength(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		ratios := make([]float64, len(raw))
+		for i, v := range raw {
+			// Spread inputs across all four buckets: 1 + v/1000 spans
+			// [1, 66.5], crossing the 1.01, 2 and 10 boundaries.
+			ratios[i] = 1 + float64(v)/1000
+		}
+		s, err := Summarize(ratios)
+		if err != nil {
+			return false
+		}
+		n := float64(s.Count)
+		total := 0
+		for _, pct := range []float64{s.PctIdeal, s.PctGood, s.PctAcceptable, s.PctBad} {
+			c := pct * n / 100
+			if math.Abs(c-math.Round(c)) > 1e-6 {
+				return false // a percentage that isn't a whole count
+			}
+			total += int(math.Round(c))
+		}
+		return total == len(raw) && s.Count == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

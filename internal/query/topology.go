@@ -101,3 +101,52 @@ func mustAtLeast(n, min int, kind string) {
 		panic(fmt.Sprintf("query: %s needs at least %d relations, got %d", kind, min, n))
 	}
 }
+
+// Shape classifies the query's join graph at runtime into one of the
+// paper's topology families: "single", "chain", "star", "star-chain",
+// "tree", "cycle", "clique", or "other". Classification runs on the full
+// adjacency — including implied (transitively closed) equality edges — so
+// it reflects the graph the enumerator actually walks, which is also why a
+// query constructed from ChainEdges can legitimately classify as "clique"
+// when all its predicates share one equivalence class. A hub is a relation
+// of degree ≥ 3, matching HubRels.
+func (q *Query) Shape() string {
+	n := q.NumRelations()
+	if n == 1 {
+		return "single"
+	}
+	var m, hubs, deg2, maxDeg int
+	for i := 0; i < n; i++ {
+		d := q.adj[i].Len()
+		m += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		switch {
+		case d >= 3:
+			hubs++
+		case d == 2:
+			deg2++
+		}
+	}
+	m /= 2 // each undirected edge counted from both ends
+	switch {
+	case m == n*(n-1)/2 && n >= 3:
+		return "clique"
+	case m == n-1: // tree (the query is connected by construction)
+		switch {
+		case hubs == 0:
+			return "chain"
+		case hubs == 1 && deg2 == 0:
+			return "star"
+		case hubs == 1:
+			return "star-chain"
+		default:
+			return "tree"
+		}
+	case m == n && maxDeg == 2:
+		return "cycle"
+	default:
+		return "other"
+	}
+}

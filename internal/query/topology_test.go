@@ -1,0 +1,57 @@
+package query
+
+import "testing"
+
+func TestShape(t *testing.T) {
+	cat := testCatalog(t, 16)
+	cases := []struct {
+		name  string
+		n     int
+		edges []Edge
+		want  string
+	}{
+		{"chain-2", 2, ChainEdges(2), "chain"},
+		{"chain-6", 6, ChainEdges(6), "chain"},
+		{"star-3 is a path", 3, StarEdges(3), "chain"},
+		{"star-5", 5, StarEdges(5), "star"},
+		{"star-chain-9", 9, StarChainEdges(9, DefaultStarChainSpokes(9)), "star-chain"},
+		{"star-chain-15", 15, StarChainEdges(15, 10), "star-chain"},
+		{"cycle-3 is a clique", 3, CycleEdges(3), "clique"},
+		{"cycle-5", 5, CycleEdges(5), "cycle"},
+		{"clique-4", 4, CliqueEdges(4), "clique"},
+		{"example-9 two hubs", 9, Example9Edges(), "tree"},
+		// Two stars bridged by an edge: two hubs, still a tree.
+		{"double-star", 8, []Edge{{0, 1}, {0, 2}, {0, 3}, {3, 4}, {4, 5}, {4, 6}, {4, 7}}, "tree"},
+		// A cycle with a pendant spoke: n edges but a degree-3 node.
+		{"tadpole", 5, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 4}}, "other"},
+	}
+	for _, c := range cases {
+		q := buildQuery(t, cat, c.n, c.edges, nil)
+		if got := q.Shape(); got != c.want {
+			t.Errorf("%s: Shape() = %q, want %q", c.name, got, c.want)
+		}
+	}
+
+	// Single relation.
+	single, err := New(cat, []int{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := single.Shape(); got != "single" {
+		t.Errorf("single: Shape() = %q", got)
+	}
+
+	// Implied edges reshape the classification: a 3-chain whose predicates
+	// share one join column per relation closes into a triangle.
+	preds := []Pred{
+		{LeftRel: 0, LeftCol: 0, RightRel: 1, RightCol: 0},
+		{LeftRel: 1, LeftCol: 0, RightRel: 2, RightCol: 0},
+	}
+	q, err := New(cat, []int{0, 1, 2}, preds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Shape(); got != "clique" {
+		t.Errorf("implied-closure chain: Shape() = %q, want clique", got)
+	}
+}

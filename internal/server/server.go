@@ -48,6 +48,7 @@ import (
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/obs/span"
 	"sdpopt/internal/parse"
 	"sdpopt/internal/plan"
@@ -99,6 +100,13 @@ type Options struct {
 	// tracing costs a few allocations per request, not per plan — and is
 	// served at /debug/requests and /debug/flight.json.
 	Flight span.RecorderOptions
+	// Regret, when non-nil, enables the sampling shadow optimizer: a
+	// fraction of served plans is re-optimized in the background with a
+	// reference technique and the cost ratios are aggregated at
+	// /debug/regret (see internal/obs/regret). The server fills in the
+	// Optimize hook and, when unset, Obs and Flight; every other knob
+	// (rates, pool sizing, dedup window) is the caller's.
+	Regret *regret.Options
 }
 
 // Server is the optimizer-as-a-service HTTP layer. Construct with New.
@@ -113,6 +121,7 @@ type Server struct {
 	workers    int
 
 	flight *span.Recorder
+	shadow *regret.Shadow
 
 	sem      chan struct{} // executing-slot semaphore
 	pending  atomic.Int64  // executing + queued
@@ -161,6 +170,27 @@ func New(opts Options) (*Server, error) {
 		s.gInFlight = s.ob.Gauge(obs.MServerInFlight)
 		s.gQueue = s.ob.Gauge(obs.MServerQueue)
 		s.cShed = s.ob.Counter(obs.MServerShed)
+		obs.RegisterBuildInfo(s.ob.Registry)
+	}
+	if opts.Regret != nil {
+		ro := *opts.Regret
+		ro.Optimize = OptimizeTraced
+		// Hand the shadow the catalog version computed above so not even
+		// the first sampled serve re-hashes the catalog on the request path.
+		if ro.CatalogVersion == "" {
+			ro.CatalogVersion = s.catVersion
+		}
+		if ro.Obs == nil {
+			ro.Obs = s.ob
+		}
+		if ro.Flight == nil {
+			ro.Flight = s.flight
+		}
+		shadow, err := regret.New(ro)
+		if err != nil {
+			return nil, err
+		}
+		s.shadow = shadow
 	}
 	return s, nil
 }
@@ -278,6 +308,10 @@ func (s *Server) Handler() http.Handler {
 	// recorder coexists with pprof/expvar on one listener.
 	mux.Handle("/debug/requests", s.flight.RequestsHandler(s.registry()))
 	mux.Handle("/debug/flight.json", s.flight.FlightHandler())
+	if s.shadow != nil {
+		mux.Handle("/debug/regret", s.shadow.Handler())
+		mux.Handle("/debug/regret.json", s.shadow.JSONHandler())
+	}
 	if s.ob != nil && s.ob.Registry != nil {
 		oh := s.ob.Registry.Handler()
 		mux.Handle("/metrics", oh)
@@ -296,6 +330,10 @@ func (s *Server) registry() *obs.Registry {
 
 // Flight returns the server's flight recorder.
 func (s *Server) Flight() *span.Recorder { return s.flight }
+
+// Regret returns the server's shadow optimizer, or nil when regret
+// measurement is not configured.
+func (s *Server) Regret() *regret.Shadow { return s.shadow }
 
 // Start listens on addr (":0" for an ephemeral port) and serves in a
 // background goroutine, returning the bound address.
@@ -319,6 +357,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.httpSrv != nil {
 		err = s.httpSrv.Shutdown(ctx)
 	}
+	// The shadow pool stops after the listener drains: requests completing
+	// during the grace period may still offer samples, and Close discards
+	// queued shadow work rather than delaying shutdown on it.
+	s.shadow.Close()
 	if ferr := s.ob.Flush(); err == nil {
 		err = ferr
 	}
@@ -520,6 +562,23 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	s.flight.Finish(root, code)
 	s.writeJSON(w, r, code, resp)
+	// The shadow offer runs after the response bytes have left the server —
+	// net/http buffers small bodies until the handler returns, so an
+	// explicit flush is what actually puts the response on the wire before
+	// any shadow cost is paid. Failed or infeasible optimizations have no
+	// plan to measure.
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+	if err == nil {
+		s.shadow.Observe(regret.Sample{
+			Query:     q,
+			Technique: technique,
+			Plan:      best,
+			Source:    src,
+			TraceID:   root.TraceID(),
+		})
+	}
 }
 
 // observeQueueWait records semaphore-admission wait separately from compute

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -15,7 +16,9 @@ import (
 	"time"
 
 	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/plancache"
+	"sdpopt/internal/quality"
 	"sdpopt/internal/workload"
 )
 
@@ -521,5 +524,165 @@ func TestServerWorkersOptionValidated(t *testing.T) {
 	_, err := New(Options{Cat: workload.PaperSchema(), Workers: 2*runtime.GOMAXPROCS(0) + 1})
 	if err == nil {
 		t.Fatal("New accepted an out-of-range Workers default")
+	}
+}
+
+// The server wires the regret shadow end to end: sampled serves are
+// re-optimized in the background, /debug/regret(.json) reports windows that
+// match an offline internal/quality recomputation, and the regret and
+// build-info metrics reach /metrics.
+func TestServerRegretShadow(t *testing.T) {
+	ob := obs.New()
+	cache := plancache.New(plancache.Options{Obs: ob})
+	srv, ts := newTestServer(t, Options{
+		Cache: cache,
+		Obs:   ob,
+		Regret: &regret.Options{
+			SampleRate:    1,
+			HitSampleRate: 1,
+			DedupFor:      -1, // measure every serve, including repeats
+			Workers:       2,
+			PinRatio:      1, // pin every measured shadow trace
+		},
+	})
+
+	// A 6-relation star-chain served by greedy twice (miss, then hit) and
+	// the 3-relation chain served by the SDP default once.
+	const starChain = "SELECT * FROM R1 a, R2 b, R3 c, R4 d, R5 e, R6 f " +
+		"WHERE a.c1 = b.c1 AND a.c2 = c.c2 AND a.c3 = d.c3 AND d.c4 = e.c4 AND e.c5 = f.c5"
+	for i, req := range []OptimizeRequest{
+		{SQL: starChain, Technique: "greedy"},
+		{SQL: starChain, Technique: "greedy"},
+		{SQL: testSQL},
+	} {
+		if code, resp := postOptimize(t, ts.URL, req); code != http.StatusOK {
+			t.Fatalf("request %d: code %d, error %q", i, code, resp.Error)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Regret().Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/regret.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, err := regret.ReadDump(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := dump.Counts
+	if c.Observed != 3 || c.Sampled != 3 || c.Deduped != 0 || c.Dropped != 0 {
+		t.Fatalf("sampling counts: %+v", c)
+	}
+	if c.Completed != 3 || c.Failures != 0 {
+		t.Fatalf("shadow completion: %+v", c)
+	}
+	if c.Pinned == 0 {
+		t.Errorf("no shadow traces pinned despite PinRatio 1: %+v", c)
+	}
+
+	keys := map[regret.Key]regret.KeySummary{}
+	for _, k := range dump.Keys {
+		keys[k.Key] = k
+	}
+	g, ok := keys[regret.Key{Tech: "greedy", Shape: "star-chain", Band: "5-8"}]
+	if !ok || g.Lifetime != 2 || g.Window != 2 {
+		t.Fatalf("greedy star-chain window missing or wrong: %+v (keys %+v)", g, dump.Keys)
+	}
+	sd, ok := keys[regret.Key{Tech: "sdp", Shape: "chain", Band: "1-4"}]
+	if !ok || sd.Lifetime != 1 || sd.Window != 1 {
+		t.Fatalf("sdp chain window missing or wrong: %+v (keys %+v)", sd, dump.Keys)
+	}
+	for _, k := range dump.Keys {
+		if k.Rho < 1-1e-9 || k.Worst < k.Rho-1e-9 {
+			t.Errorf("key %+v: rho=%v worst=%v — the reference should never cost more than the served plan", k.Key, k.Rho, k.Worst)
+		}
+	}
+
+	// The served windows must match an offline recomputation from the
+	// retained exemplars (TopN's default retains all three samples here).
+	byKey := map[regret.Key][]float64{}
+	for _, ex := range dump.Exemplars {
+		k := regret.Key{Tech: ex.Tech, Shape: ex.Shape, Band: ex.Band}
+		byKey[k] = append(byKey[k], ex.Ratio)
+		if ex.ServedShape == "" || ex.RefShape == "" || ex.TraceID == "" {
+			t.Errorf("exemplar missing plan trees or trace link: %+v", ex)
+		}
+	}
+	for key, k := range keys {
+		ratios := byKey[key]
+		if len(ratios) != k.Window {
+			t.Fatalf("key %+v: %d exemplars for a window of %d", key, len(ratios), k.Window)
+		}
+		sum, err := quality.SummarizeRelative(ratios)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sum.Rho-k.Rho) > 1e-9 || math.Abs(sum.Worst-k.Worst) > 1e-9 {
+			t.Errorf("key %+v: served rho=%v worst=%v, offline rho=%v worst=%v",
+				key, k.Rho, k.Worst, sum.Rho, sum.Worst)
+		}
+	}
+
+	// Regret and build-info metrics reach /metrics.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		obs.MRegretRatio, obs.MRegretSamples, obs.MRegretQueueDepth,
+		obs.MBuildInfo, obs.MUptime,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The HTML page serves, and the pinned shadow traces appear in the
+	// flight recorder's debug page.
+	hresp, err := http.Get(ts.URL + "/debug/regret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(page), "plan-quality regret") {
+		t.Fatalf("/debug/regret: code %d, body %.200s", hresp.StatusCode, page)
+	}
+	rresp, err := http.Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqPage, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if !strings.Contains(string(reqPage), "pinned") || !strings.Contains(string(reqPage), "regret.shadow") {
+		t.Errorf("/debug/requests does not show the pinned shadow traces: %.300s", reqPage)
+	}
+}
+
+// An unconfigured server carries a nil shadow: no /debug/regret routes, and
+// the nil accessor is safe to drain and snapshot.
+func TestServerRegretDisabled(t *testing.T) {
+	srv, ts := newTestServer(t, Options{})
+	if srv.Regret() != nil {
+		t.Fatal("shadow built without Options.Regret")
+	}
+	resp, err := http.Get(ts.URL + "/debug/regret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/regret on a shadowless server: code %d, want 404", resp.StatusCode)
+	}
+	if d := srv.Regret().Snapshot(); d == nil || len(d.Keys) != 0 {
+		t.Fatalf("nil shadow snapshot: %+v", d)
 	}
 }

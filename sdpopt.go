@@ -426,6 +426,14 @@ func OpenTraceJSONL(path string) (*TraceJSONLSink, error) { return obs.OpenJSONL
 // ReadTraceJSONL decodes a JSONL trace stream written by a TraceJSONLSink.
 func ReadTraceJSONL(r io.Reader) ([]TraceRecord, error) { return obs.ReadJSONL(r) }
 
+// ReadTraceJSONLLenient decodes a JSONL trace stream, skipping malformed
+// lines — a warning per skipped line goes to warn (discarded when nil) —
+// instead of aborting on the first one, and returns how many were skipped.
+// Traces cut off mid-line by a crash or a concurrent writer stay readable.
+func ReadTraceJSONLLenient(r io.Reader, warn io.Writer) ([]TraceRecord, int, error) {
+	return obs.ReadJSONLLenient(r, warn)
+}
+
 // SummarizeTrace aggregates decoded trace records; render the result with
 // TraceSummary.Render.
 func SummarizeTrace(records []TraceRecord) *TraceSummary { return obs.Summarize(records) }

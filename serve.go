@@ -11,6 +11,7 @@ import (
 
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plancache"
 	"sdpopt/internal/server"
@@ -46,6 +47,17 @@ type (
 	FlightDump = span.FlightDump
 	// FlightTrace is one trace within a FlightDump.
 	FlightTrace = span.TraceJSON
+	// RegretOptions configures the server's shadow regret layer: sampling
+	// rates, the reference-technique DP cutover, worker pool and queue
+	// sizes, dedup interval, window sizes, and the flight-recorder pin
+	// threshold. Set ServerOptions.Regret to enable /debug/regret.
+	RegretOptions = regret.Options
+	// RegretShadow is the sampling shadow optimizer behind /debug/regret;
+	// the server exposes its own via Server.Regret.
+	RegretShadow = regret.Shadow
+	// RegretDump is the /debug/regret.json document: shadow config,
+	// counters, per-key quality windows, and worst-regret exemplars.
+	RegretDump = regret.Dump
 )
 
 // ErrCanceled reports an optimization aborted by context cancellation or
@@ -72,6 +84,10 @@ func Techniques() []string { return server.Techniques() }
 // per-level and per-partition tables the JSONL trace path produces
 // (`sdplab inspect` wraps both).
 func ReadFlightDump(r io.Reader) (*FlightDump, error) { return span.ReadDump(r) }
+
+// ReadRegretDump parses a /debug/regret.json document; render it with
+// RegretDump.Render (`sdplab regret` wraps both).
+func ReadRegretDump(r io.Reader) (*RegretDump, error) { return regret.ReadDump(r) }
 
 // CanonicalQuery returns q's canonical encoding: a stable string
 // normalizing relation order, predicate order and orientation, implied
