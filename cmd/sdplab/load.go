@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sdpopt"
+)
+
+// loadCmd drives an open-loop load run against a running `sdplab serve`
+// instance and prints the report. The -max-shed-rate, -max-5xx and
+// -require-routes flags turn the run into an assertion (exit 1 on
+// violation) so CI can smoke-test the serving path without parsing JSON.
+func loadCmd(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "target server base URL")
+	qps := fs.Float64("qps", 25, "open-loop arrival rate")
+	duration := fs.Duration("duration", 6*time.Second, "measured generation window")
+	warmup := fs.Duration("warmup", 2*time.Second, "unmeasured lead-in at the same rate (negative = none)")
+	arrivals := fs.String("arrivals", "poisson", "arrival process: poisson or constant")
+	technique := fs.String("technique", "auto", "request technique field (auto = per-request routing)")
+	timeoutMS := fs.Int64("timeout-ms", 100, "per-request deadline in ms (negative = none)")
+	mixSpec := fs.String("mix", "", "workload mix as topology-rels:weight, e.g. star-7:3,chain-12:3,star-chain-15:2 (empty = default mix)")
+	pool := fs.Int("pool", 0, "distinct query instances per mix entry (0 = default 6)")
+	seed := fs.Int64("seed", 1, "query-generation and arrival-sampling seed")
+	useCache := fs.Bool("use-cache", false, "let requests hit the server's plan cache (default bypasses it so every request measures optimization latency)")
+	jsonOut := fs.String("json", "", "also write the report as JSON to this file (- for stdout)")
+	maxShedRate := fs.Float64("max-shed-rate", -1, "fail if the shed rate exceeds this fraction (negative = no check)")
+	max5xx := fs.Int("max-5xx", -1, "fail if more than this many requests got 5xx (negative = no check)")
+	requireRoutes := fs.String("require-routes", "", "comma-separated techniques that must each have served >= 1 request")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := sdpopt.LoadOptions{
+		URL:        strings.TrimSuffix(*addr, "/"),
+		QPS:        *qps,
+		Duration:   *duration,
+		Warmup:     *warmup,
+		Arrivals:   *arrivals,
+		Technique:  *technique,
+		TimeoutMS:  *timeoutMS,
+		PoolSize:   *pool,
+		Seed:       *seed,
+		AllowCache: *useCache,
+	}
+	if *mixSpec != "" {
+		mix, err := sdpopt.ParseLoadMix(*mixSpec)
+		if err != nil {
+			return err
+		}
+		opts.Mix = mix
+	}
+	r, err := sdpopt.RunLoad(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.Render())
+	if *jsonOut != "" {
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+
+	var violations []string
+	if *maxShedRate >= 0 && r.ShedRate > *maxShedRate {
+		violations = append(violations, fmt.Sprintf("shed rate %.4f exceeds %.4f", r.ShedRate, *maxShedRate))
+	}
+	if *max5xx >= 0 && r.Errors5xx > *max5xx {
+		violations = append(violations, fmt.Sprintf("%d requests got 5xx (allowed %d)", r.Errors5xx, *max5xx))
+	}
+	if *requireRoutes != "" {
+		for _, tech := range strings.Split(*requireRoutes, ",") {
+			tech = strings.TrimSpace(tech)
+			if tech != "" && r.Routes[tech] == 0 {
+				violations = append(violations, fmt.Sprintf("route %q served no requests", tech))
+			}
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("load checks failed: %s", strings.Join(violations, "; "))
+	}
+	return nil
+}

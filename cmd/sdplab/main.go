@@ -7,6 +7,7 @@
 //	sdplab run -exp all -instances 100   # full paper-scale reproduction
 //	sdplab run -exp tab3.3 -trace out.jsonl -metrics :8080
 //	sdplab bench                         # write BENCH_<date>.json
+//	sdplab load -addr http://host:8080   # open-loop load against a running serve
 //	sdplab inspect flight.json           # render a /debug/flight.json dump
 //	sdplab regret regret.json            # render a /debug/regret.json dump
 //
@@ -55,6 +56,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "load":
+		if err := loadCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	case "inspect":
 		if err := inspectCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
@@ -83,6 +89,9 @@ func usage() {
              [-flight-slow-ms MS] [-flight-recent N] [-flight-notable N]
              [-shadow-rate F] [-shadow-hit-rate F] [-shadow-workers N] [-shadow-queue N]
              [-shadow-dp-rels N] [-shadow-dedup D] [-shadow-pin-ratio F]
+  sdplab load  [-addr URL] [-qps F] [-duration D] [-warmup D] [-arrivals poisson|constant]
+             [-technique T] [-timeout-ms MS] [-mix SPEC] [-pool N] [-seed S] [-use-cache]
+             [-json FILE] [-max-shed-rate F] [-max-5xx N] [-require-routes T1,T2]
   sdplab inspect [-top N] [-trace PREFIX] [-summary] <flight.json | ->
   sdplab regret <regret.json | ->
 

@@ -9,6 +9,7 @@
 package greedy
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,6 +17,8 @@ import (
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
+	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plan"
 	"sdpopt/internal/query"
 )
@@ -24,9 +27,19 @@ import (
 type Options struct {
 	// Model supplies costing; if nil a fresh default model is created.
 	Model *cost.Model
+	// Ctx carries cancellation and the active trace span; nil disables
+	// both. GOO polls it once per merge step.
+	Ctx context.Context
+	// Obs receives the optimize events and metrics every other engine
+	// emits; nil disables observation.
+	Obs *obs.Observer
 }
 
-// Optimize runs Greedy Operator Ordering on q.
+// Optimize runs Greedy Operator Ordering on q. It reports through the same
+// channels as the enumeration engines — Stats pairs counters, obs optimize
+// events under the "GOO" label, and a span child when opts.Ctx carries a
+// trace — so routed fast-path requests show up in traces and sdptrace
+// tables like any other serve.
 func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	model := opts.Model
 	if model == nil {
@@ -34,6 +47,22 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	}
 	started := time.Now()
 	costedAtStart := model.PlansCosted
+	var pairsConsidered, pairsConnected int64
+
+	emit := dp.ObserveRun(obs.Or(opts.Obs), "GOO", q)
+	sp := span.FromContext(opts.Ctx).Child("goo.order")
+	done := func(p *plan.Plan, st dp.Stats, err error) (*plan.Plan, dp.Stats, error) {
+		sp.Add("pairs_considered", st.PairsConsidered)
+		sp.Add("pairs_connected", st.PairsConnected)
+		sp.Add("plans_costed", st.PlansCosted)
+		if err != nil {
+			sp.FinishErr(err)
+		} else {
+			sp.Finish()
+		}
+		emit(st, p, err)
+		return p, st, err
+	}
 
 	type node struct {
 		set bits.Set
@@ -52,12 +81,17 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 	}
 
 	for len(nodes) > 1 {
+		if err := dp.CtxErr(opts.Ctx); err != nil {
+			return done(nil, stats(model, costedAtStart, started, pairsConsidered, pairsConnected), err)
+		}
 		bi, bj, bestRows := -1, -1, 0.0
 		for i := 0; i < len(nodes); i++ {
 			for j := i + 1; j < len(nodes); j++ {
+				pairsConsidered++
 				if !q.Connected(nodes[i].set, nodes[j].set) {
 					continue
 				}
+				pairsConnected++
 				rows := model.SetRows(nodes[i].set.Union(nodes[j].set))
 				if bi < 0 || rows < bestRows {
 					bi, bj, bestRows = i, j, rows
@@ -65,7 +99,8 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 			}
 		}
 		if bi < 0 {
-			return nil, stats(model, costedAtStart, started), fmt.Errorf("greedy: disconnected join graph")
+			return done(nil, stats(model, costedAtStart, started, pairsConsidered, pairsConnected),
+				fmt.Errorf("greedy: disconnected join graph"))
 		}
 		a, b := nodes[bi], nodes[bj]
 		preds := q.PredsBetween(a.set, b.set)
@@ -94,10 +129,10 @@ func Optimize(q *query.Query, opts Options) (*plan.Plan, dp.Stats, error) {
 			result = model.SortPlan(result, ec)
 		}
 	}
-	return result, stats(model, costedAtStart, started), nil
+	return done(result, stats(model, costedAtStart, started, pairsConsidered, pairsConnected), nil)
 }
 
-func stats(model *cost.Model, costedAtStart int64, started time.Time) dp.Stats {
+func stats(model *cost.Model, costedAtStart int64, started time.Time, considered, connected int64) dp.Stats {
 	return dp.Stats{
 		// GOO keeps one plan per live node: simulated memory is a handful
 		// of paths, reported through the same accounting constants.
@@ -106,7 +141,9 @@ func stats(model *cost.Model, costedAtStart int64, started time.Time) dp.Stats {
 			PeakSimBytes:  int64(model.Q.NumRelations()) * memo.SimPathBytes,
 			SimBytes:      memo.SimPathBytes,
 		},
-		PlansCosted: model.PlansCosted - costedAtStart,
-		Elapsed:     time.Since(started),
+		PlansCosted:     model.PlansCosted - costedAtStart,
+		PairsConsidered: considered,
+		PairsConnected:  connected,
+		Elapsed:         time.Since(started),
 	}
 }

@@ -1,10 +1,14 @@
 package greedy
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"sdpopt/internal/bits"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/obs"
+	"sdpopt/internal/obs/span"
 	"sdpopt/internal/query"
 	"sdpopt/internal/testutil"
 )
@@ -81,6 +85,80 @@ func TestGreedyOrdered(t *testing.T) {
 	}
 	if ec := q.OrderEqClass(); ec >= 0 && p.Order != ec {
 		t.Errorf("ordered greedy delivers order %d, want %d", p.Order, ec)
+	}
+}
+
+// TestGreedyObsParity locks in stats/obs parity with the enumeration
+// engines: pairs counters populated, optimize events under the GOO label,
+// and a span child attached when the context carries a trace — routed
+// fast-path requests must not appear as blank rows in sdptrace tables.
+func TestGreedyObsParity(t *testing.T) {
+	sink := &obs.MemSink{}
+	ob := obs.New(sink)
+	rec := span.NewRecorder(span.RecorderOptions{})
+	root := span.New("request")
+	rec.Start(root)
+	ctx := span.NewContext(context.Background(), root)
+
+	q := testutil.MustQuery(testutil.Catalog(10), 10, query.StarEdges(10), nil)
+	_, stats, err := Optimize(q, Options{Ctx: ctx, Obs: ob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PairsConsidered <= 0 || stats.PairsConnected <= 0 {
+		t.Errorf("pairs counters not populated: %+v", stats)
+	}
+	if stats.PairsConnected > stats.PairsConsidered {
+		t.Errorf("connected %d > considered %d", stats.PairsConnected, stats.PairsConsidered)
+	}
+	if n := len(sink.ByType(obs.EvOptimizeStart)); n != 1 {
+		t.Errorf("optimize.start events = %d, want 1", n)
+	}
+	ends := sink.ByType(obs.EvOptimizeEnd)
+	if len(ends) != 1 {
+		t.Fatalf("optimize.end events = %d, want 1", len(ends))
+	}
+	if tech := ends[0].Attrs["tech"]; tech != "GOO" {
+		t.Errorf("optimize.end tech = %v, want GOO", tech)
+	}
+	if got := ob.Counter(obs.Label(obs.MOptimizations, "tech", "GOO")).Value(); got != 1 {
+		t.Errorf("optimizations{tech=GOO} = %d, want 1", got)
+	}
+	if n := ob.Histogram(obs.Label(obs.MOptimizeSeconds, "tech", "GOO")).Count(); n != 1 {
+		t.Errorf("optimize-seconds{tech=GOO} observations = %d, want 1", n)
+	}
+
+	rec.Finish(root, 200)
+	d := rec.Snapshot()
+	if len(d.Recent) != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", len(d.Recent))
+	}
+	found := false
+	for _, s := range d.Recent[0].Root.Children {
+		if s.Name == "goo.order" {
+			found = true
+			if got := s.Counters["pairs_considered"]; got != stats.PairsConsidered {
+				t.Errorf("span pairs_considered = %d, stats say %d", got, stats.PairsConsidered)
+			}
+		}
+	}
+	if !found {
+		t.Error("no goo.order span recorded under the request trace")
+	}
+}
+
+// TestGreedyCanceled: a canceled context aborts the merge loop with
+// ErrCanceled, same contract as the enumeration engines.
+func TestGreedyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := testutil.MustQuery(testutil.Catalog(10), 10, query.StarEdges(10), nil)
+	_, stats, err := Optimize(q, Options{Ctx: ctx})
+	if !errors.Is(err, dp.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not populated on cancellation")
 	}
 }
 

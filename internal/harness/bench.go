@@ -11,8 +11,11 @@ import (
 	"time"
 
 	"sdpopt/internal/core"
+	"sdpopt/internal/loadgen"
+	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plancache"
+	"sdpopt/internal/server"
 	"sdpopt/internal/workload"
 )
 
@@ -66,6 +69,28 @@ type BenchReport struct {
 	// Regret reports the shadow re-optimization layer's serving overhead
 	// and the per-technique regret it measured (see RegretBench).
 	Regret *RegretBench `json:"regret,omitempty"`
+	// Load reports the routed-vs-always-SDP open-loop load comparison
+	// (see LoadBench).
+	Load *LoadBench `json:"load,omitempty"`
+}
+
+// LoadBench is the serving-under-load comparison: the same open-loop
+// mixed-topology workload driven twice against an in-process server —
+// once with technique:"auto" (the router picks per request) and once
+// always-SDP — at the same arrival schedule and per-request deadline.
+// The router's claim is that its p99 is strictly lower (the heavy tail
+// is fast-pathed or deadline-downgraded to greedy) at bounded
+// plan-quality cost (routed mean ρ stays near 1).
+type LoadBench struct {
+	Mix             string          `json:"mix"`
+	QPS             float64         `json:"qps"`
+	DurationSeconds float64         `json:"duration_seconds"`
+	Arrivals        string          `json:"arrivals"`
+	Routed          *loadgen.Report `json:"routed"`
+	Baseline        *loadgen.Report `json:"baseline"`
+	// P99Ratio is the baseline p99 over the routed p99 — > 1 means
+	// routing wins the tail.
+	P99Ratio float64 `json:"p99_ratio"`
 }
 
 // BenchHost records the machine the report was produced on — without it the
@@ -199,7 +224,83 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Regret = rb
+	lb, err := benchLoad(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Load = lb
 	return r, nil
+}
+
+// benchLoad runs the routed-vs-baseline load comparison. Each pass gets
+// its own fresh in-process server on a loopback listener — sharing one
+// server would let the second pass skip the shadow-reference work the
+// first pass paid for (the regret sampler dedups repeated fingerprints),
+// skewing the comparison by run order. Both passes replay the same
+// arrival schedule (same seed) with the same 100ms per-request deadline
+// and the same warmup lead-in; only the technique field differs. Caching
+// is bypassed by the generator so every request measures real
+// optimization latency.
+func benchLoad(c Config) (*LoadBench, error) {
+	routed, err := loadPass(c, "auto")
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := loadPass(c, "sdp")
+	if err != nil {
+		return nil, err
+	}
+	out := &LoadBench{
+		Mix:             routed.Mix,
+		QPS:             routed.QPS,
+		DurationSeconds: routed.DurationSeconds,
+		Arrivals:        routed.Arrivals,
+		Routed:          routed,
+		Baseline:        baseline,
+	}
+	if routed.P99MS > 0 {
+		out.P99Ratio = baseline.P99MS / routed.P99MS
+	}
+	return out, nil
+}
+
+// loadPass boots a fresh server, drives one load run with the given
+// request technique, and tears the server down. Shadowing every computed
+// serve keeps the router's regret feedback loop live during the run: a
+// fast-path route whose measured ρ degrades (greedy on mid-size chains
+// does, on some instances) is promoted back to SDP mid-run, which is the
+// mechanism that keeps the routed pass's mean ρ bounded. MaxDPRels 9
+// keeps shadow references on SDP for the mix's 12-15 relation queries —
+// exhaustive DP on a star-12 would cost more than the serve it checks.
+func loadPass(c Config, technique string) (*loadgen.Report, error) {
+	spec := c.schema()
+	srv, err := server.New(server.Options{
+		Cat: spec.Cat,
+		Regret: &regret.Options{
+			SampleRate: 1,
+			MaxDPRels:  9,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	bound, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	return loadgen.Run(context.Background(), loadgen.Options{
+		URL:       "http://" + bound,
+		QPS:       20,
+		Duration:  6 * time.Second,
+		Seed:      c.Seed,
+		Cat:       spec.Cat,
+		Technique: technique,
+	})
 }
 
 // benchTracing runs the tracing on/off comparison: SDP over Star-12, one

@@ -1,0 +1,505 @@
+// Package loadgen is an open-loop load generator for the optimizer
+// service: it fires /optimize requests at a fixed arrival rate (constant
+// or Poisson) regardless of how fast responses come back, which is the
+// only honest way to measure a service's latency under load — a
+// closed-loop driver slows down exactly when the server does, hiding the
+// queueing delay users would see (coordinated omission).
+//
+// Each run drives a configurable mixed-topology workload (the paper's
+// Star / Chain / Star-Chain templates) against a base URL, measuring
+// latency from each request's *scheduled* arrival time, and reports
+// percentiles, shed rate, per-route counts, and the mean plan-quality
+// ratio ρ of served plans against locally computed SDP reference plans.
+// `sdplab load` wraps a single run; `sdplab bench` runs a routed-vs-
+// always-SDP pair and records both in the BENCH report's "load" section.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/core"
+	"sdpopt/internal/query"
+	"sdpopt/internal/server"
+	"sdpopt/internal/workload"
+)
+
+// MixEntry is one workload component: a topology template at a fixed
+// relation count, drawn with the given weight.
+type MixEntry struct {
+	Topology workload.Topology
+	Rels     int
+	Weight   int
+}
+
+// String renders the entry in ParseMix's format, e.g. "star-chain-15:2".
+func (m MixEntry) String() string {
+	return fmt.Sprintf("%s-%d:%d", strings.ToLower(m.Topology.String()), m.Rels, m.Weight)
+}
+
+// DefaultMix is the mixed Star/Chain/Star-Chain workload the bench
+// artifact uses: small stars that SDP serves in a millisecond, mid
+// chains the router fast-paths to greedy, mid stars worth full SDP, and
+// a Star-Chain-15 tail whose 20ms+ SDP cost dominates the unrouted p99.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Topology: workload.Star, Rels: 7, Weight: 3},
+		{Topology: workload.Star, Rels: 12, Weight: 2},
+		{Topology: workload.Chain, Rels: 12, Weight: 3},
+		{Topology: workload.StarChain, Rels: 15, Weight: 2},
+	}
+}
+
+// ParseMix parses a comma-separated mix spec like
+// "star-7:3,chain-12:3,star-chain-15:2" (topology-rels:weight).
+func ParseMix(s string) ([]MixEntry, error) {
+	var out []MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		spec, weight := part, 1
+		if i := strings.LastIndex(part, ":"); i >= 0 {
+			w, err := strconv.Atoi(part[i+1:])
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("loadgen: bad weight in %q", part)
+			}
+			spec, weight = part[:i], w
+		}
+		i := strings.LastIndex(spec, "-")
+		if i < 0 {
+			return nil, fmt.Errorf("loadgen: %q is not topology-rels", spec)
+		}
+		rels, err := strconv.Atoi(spec[i+1:])
+		if err != nil || rels < 2 {
+			return nil, fmt.Errorf("loadgen: bad relation count in %q", spec)
+		}
+		var topo workload.Topology
+		switch strings.ToLower(spec[:i]) {
+		case "chain":
+			topo = workload.Chain
+		case "star":
+			topo = workload.Star
+		case "cycle":
+			topo = workload.Cycle
+		case "clique":
+			topo = workload.Clique
+		case "star-chain", "starchain":
+			topo = workload.StarChain
+		default:
+			return nil, fmt.Errorf("loadgen: unknown topology %q (chain, star, cycle, clique, star-chain)", spec[:i])
+		}
+		out = append(out, MixEntry{Topology: topo, Rels: rels, Weight: weight})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty mix %q", s)
+	}
+	return out, nil
+}
+
+// MixString renders a mix in ParseMix's format.
+func MixString(mix []MixEntry) string {
+	parts := make([]string, len(mix))
+	for i, m := range mix {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Options configures one load run. The zero value is not runnable: URL is
+// required; everything else defaults.
+type Options struct {
+	// URL is the service base URL, e.g. "http://127.0.0.1:8080".
+	URL string
+	// QPS is the arrival rate. Default 25.
+	QPS float64
+	// Duration is the measured generation window. Default 6s.
+	Duration time.Duration
+	// Warmup prepends an unmeasured window at the same arrival rate:
+	// its requests drive the server (cache fills, shadow references,
+	// router profile learning) but are excluded from the report's
+	// percentiles and counts, so the numbers describe steady state
+	// rather than cold start. Default 2s; negative disables.
+	Warmup time.Duration
+	// Arrivals is "poisson" (default) or "constant".
+	Arrivals string
+	// Technique is the request's technique field. Default "auto".
+	Technique string
+	// TimeoutMS is each request's deadline in ms — the router's routing
+	// signal. Default 100. Negative sends no deadline.
+	TimeoutMS int64
+	// Mix is the workload composition. Default DefaultMix.
+	Mix []MixEntry
+	// PoolSize is the number of distinct instances pre-generated per mix
+	// entry; arrivals draw from the pool. Default 6.
+	PoolSize int
+	// Seed drives query generation and arrival sampling.
+	Seed int64
+	// AllowCache lets requests use the server's plan cache. Off by
+	// default so every request measures real optimization latency.
+	AllowCache bool
+	// Cat is the catalog queries are generated against. It must match
+	// the server's catalog (query-JSON relation indexes are
+	// catalog-relative). Default: the paper's base schema.
+	Cat *catalog.Catalog
+}
+
+func (o Options) withDefaults() Options {
+	if o.QPS <= 0 {
+		o.QPS = 25
+	}
+	if o.Duration <= 0 {
+		o.Duration = 6 * time.Second
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 2 * time.Second
+	}
+	if o.Warmup < 0 {
+		o.Warmup = 0
+	}
+	if o.Arrivals == "" {
+		o.Arrivals = "poisson"
+	}
+	if o.Technique == "" {
+		o.Technique = "auto"
+	}
+	if o.TimeoutMS == 0 {
+		o.TimeoutMS = 100
+	}
+	if len(o.Mix) == 0 {
+		o.Mix = DefaultMix()
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 6
+	}
+	if o.Cat == nil {
+		o.Cat = workload.PaperSchema()
+	}
+	return o
+}
+
+// Report is one load run's outcome — the "load" section entries of the
+// BENCH report and the output of `sdplab load -json`.
+type Report struct {
+	Technique       string  `json:"technique"`
+	QPS             float64 `json:"qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Arrivals        string  `json:"arrivals"`
+	Mix             string  `json:"mix"`
+	// WarmupSeconds and WarmupRequests describe the unmeasured lead-in;
+	// everything below counts measured-window requests only.
+	WarmupSeconds  float64 `json:"warmup_seconds,omitempty"`
+	WarmupRequests int     `json:"warmup_requests,omitempty"`
+	Requests       int     `json:"requests"`
+	OK             int     `json:"ok"`
+	Shed           int     `json:"shed"`
+	Errors5xx      int     `json:"errors_5xx"`
+	OtherErrors    int     `json:"other_errors"`
+	// ShedRate is Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// Latency percentiles over successful requests, measured from each
+	// request's scheduled (not actual) send time, in ms.
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	// MeanRho is the geometric-mean cost ratio of served plans to
+	// locally computed SDP reference plans for the same queries — the
+	// plan quality the routing traded for latency (1.0 = reference
+	// quality).
+	MeanRho float64 `json:"mean_rho"`
+	// Routes counts successful requests by the technique that served
+	// them; Reasons by the router's route_reason.
+	Routes  map[string]int64 `json:"routes"`
+	Reasons map[string]int64 `json:"reasons"`
+}
+
+// Render formats the report for terminals.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "load: technique=%s %s arrivals at %.4g qps for %.4gs over %s\n",
+		r.Technique, r.Arrivals, r.QPS, r.DurationSeconds, r.Mix)
+	if r.WarmupRequests > 0 {
+		fmt.Fprintf(&b, "  warmup   %.4gs, %d requests (unmeasured)\n", r.WarmupSeconds, r.WarmupRequests)
+	}
+	fmt.Fprintf(&b, "  requests %d: %d ok, %d shed (%.2f%%), %d 5xx, %d other errors\n",
+		r.Requests, r.OK, r.Shed, 100*r.ShedRate, r.Errors5xx, r.OtherErrors)
+	fmt.Fprintf(&b, "  latency  p50 %.3gms  p99 %.3gms  p99.9 %.3gms\n", r.P50MS, r.P99MS, r.P999MS)
+	fmt.Fprintf(&b, "  quality  mean rho %.4f vs local SDP reference\n", r.MeanRho)
+	routes := make([]string, 0, len(r.Routes))
+	for tech := range r.Routes {
+		routes = append(routes, tech)
+	}
+	sort.Strings(routes)
+	for _, tech := range routes {
+		fmt.Fprintf(&b, "  route    %-8s %d\n", tech, r.Routes[tech])
+	}
+	reasons := make([]string, 0, len(r.Reasons))
+	for reason := range r.Reasons {
+		reasons = append(reasons, reason)
+	}
+	sort.Strings(reasons)
+	for _, reason := range reasons {
+		fmt.Fprintf(&b, "  reason   %-24s %d\n", reason, r.Reasons[reason])
+	}
+	return b.String()
+}
+
+// poolEntry is one pre-generated query: its request serialization and the
+// local SDP reference cost served plans are ratioed against.
+type poolEntry struct {
+	spec    *server.QuerySpec
+	refCost float64
+}
+
+// buildPool instantiates PoolSize queries per mix entry and computes
+// each one's SDP reference plan locally.
+func buildPool(o Options) ([]poolEntry, []int, error) {
+	var pool []poolEntry
+	var weights []int
+	for i, m := range o.Mix {
+		qs, err := workload.Instances(workload.Spec{
+			Cat:          o.Cat,
+			Topology:     m.Topology,
+			NumRelations: m.Rels,
+			Seed:         o.Seed + int64(i)*101,
+		}, o.PoolSize)
+		if err != nil {
+			return nil, nil, fmt.Errorf("loadgen: %s: %w", m, err)
+		}
+		for _, q := range qs {
+			ref, _, err := core.Optimize(q, core.DefaultOptions())
+			if err != nil {
+				return nil, nil, fmt.Errorf("loadgen: %s reference plan: %w", m, err)
+			}
+			pool = append(pool, poolEntry{spec: toSpec(q), refCost: ref.Cost})
+			weights = append(weights, m.Weight)
+		}
+	}
+	return pool, weights, nil
+}
+
+// toSpec serializes a generated query into the request's query-JSON shape.
+func toSpec(q *query.Query) *server.QuerySpec {
+	spec := &server.QuerySpec{Rels: append([]int(nil), q.Rels...)}
+	for _, p := range q.Preds {
+		spec.Preds = append(spec.Preds, server.PredSpec{
+			LeftRel: p.LeftRel, LeftCol: p.LeftCol, RightRel: p.RightRel, RightCol: p.RightCol,
+		})
+	}
+	for _, f := range q.Filters {
+		spec.Filters = append(spec.Filters, server.FilterSpec{Rel: f.Rel, Col: f.Col, Bound: f.Bound})
+	}
+	if q.OrderBy != nil {
+		spec.OrderBy = &server.OrderSpec{Rel: q.OrderBy.Rel, Col: q.OrderBy.Col}
+	}
+	return spec
+}
+
+// sample is one completed request. warm marks samples scheduled inside
+// the measured window; warmup samples drive the server but are excluded
+// from the report.
+type sample struct {
+	lat    time.Duration
+	code   int
+	tech   string
+	reason string
+	rho    float64
+	warm   bool
+}
+
+// Run drives one open-loop load run and aggregates the report. The
+// arrival schedule is computed up front from (QPS, Arrivals, Seed) in
+// absolute time; each request fires at its scheduled instant in its own
+// goroutine whether or not earlier ones have returned, and its latency
+// is measured from the scheduled instant so queueing delay under
+// overload is charged to the server, not silently absorbed by the
+// generator.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	o := opts.withDefaults()
+	if o.URL == "" {
+		return nil, fmt.Errorf("loadgen: no target URL")
+	}
+	if o.Arrivals != "poisson" && o.Arrivals != "constant" {
+		return nil, fmt.Errorf("loadgen: arrivals %q (want poisson or constant)", o.Arrivals)
+	}
+	pool, weights, err := buildPool(o)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	rng := rand.New(rand.NewSource(o.Seed*2654435761 + 97))
+	pick := func() poolEntry {
+		n := rng.Intn(total)
+		for i, w := range weights {
+			if n -= w; n < 0 {
+				return pool[i]
+			}
+		}
+		return pool[len(pool)-1]
+	}
+
+	clientTimeout := 30 * time.Second
+	if o.TimeoutMS > 0 {
+		if t := 10*time.Duration(o.TimeoutMS)*time.Millisecond + 2*time.Second; t < clientTimeout {
+			clientTimeout = t
+		}
+	}
+	client := &http.Client{Timeout: clientTimeout}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		samples []sample
+	)
+	start := time.Now()
+	var next time.Duration
+	n := 0
+	for next < o.Warmup+o.Duration {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		entry := pick()
+		warm := next >= o.Warmup
+		sched := start.Add(next)
+		if d := time.Until(sched); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := doRequest(client, o, entry, sched)
+			s.warm = warm
+			mu.Lock()
+			samples = append(samples, s)
+			mu.Unlock()
+		}()
+		n++
+		if o.Arrivals == "constant" {
+			next = time.Duration(float64(n) * float64(time.Second) / o.QPS)
+		} else {
+			next += time.Duration(rng.ExpFloat64() / o.QPS * float64(time.Second))
+		}
+	}
+	wg.Wait()
+	return aggregate(o, samples), nil
+}
+
+// doRequest fires one /optimize call and classifies its outcome. Latency
+// runs from the scheduled arrival, not the actual send.
+func doRequest(client *http.Client, o Options, entry poolEntry, sched time.Time) sample {
+	req := server.OptimizeRequest{
+		Query:     entry.spec,
+		Technique: o.Technique,
+		NoCache:   !o.AllowCache,
+	}
+	if o.TimeoutMS > 0 {
+		req.TimeoutMS = o.TimeoutMS
+	}
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return sample{code: -1}
+	}
+	resp, err := client.Post(o.URL+"/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return sample{lat: time.Since(sched), code: -1}
+	}
+	defer resp.Body.Close()
+	var or server.OptimizeResponse
+	dec := json.NewDecoder(resp.Body)
+	s := sample{lat: time.Since(sched), code: resp.StatusCode}
+	if err := dec.Decode(&or); err != nil {
+		return s
+	}
+	s.tech, s.reason = or.Technique, or.RouteReason
+	if resp.StatusCode == http.StatusOK && or.Cost > 0 && entry.refCost > 0 {
+		s.rho = or.Cost / entry.refCost
+	}
+	return s
+}
+
+// aggregate folds samples into the report.
+func aggregate(o Options, samples []sample) *Report {
+	r := &Report{
+		Technique:       o.Technique,
+		QPS:             o.QPS,
+		DurationSeconds: o.Duration.Seconds(),
+		Arrivals:        o.Arrivals,
+		Mix:             MixString(o.Mix),
+		WarmupSeconds:   o.Warmup.Seconds(),
+		Routes:          map[string]int64{},
+		Reasons:         map[string]int64{},
+	}
+	var lats []time.Duration
+	var logSum float64
+	var logN int
+	for _, s := range samples {
+		if !s.warm {
+			r.WarmupRequests++
+			continue
+		}
+		r.Requests++
+		switch {
+		case s.code == http.StatusOK:
+			r.OK++
+			lats = append(lats, s.lat)
+			if s.tech != "" {
+				r.Routes[s.tech]++
+			}
+			if s.reason != "" {
+				r.Reasons[s.reason]++
+			}
+			if s.rho > 0 {
+				logSum += math.Log(s.rho)
+				logN++
+			}
+		case s.code == http.StatusTooManyRequests:
+			r.Shed++
+		case s.code >= 500:
+			r.Errors5xx++
+		default:
+			r.OtherErrors++
+		}
+	}
+	if r.Requests > 0 {
+		r.ShedRate = float64(r.Shed) / float64(r.Requests)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	r.P50MS = pctlMS(lats, 0.50)
+	r.P99MS = pctlMS(lats, 0.99)
+	r.P999MS = pctlMS(lats, 0.999)
+	if logN > 0 {
+		r.MeanRho = math.Exp(logSum / float64(logN))
+	}
+	return r
+}
+
+// pctlMS is the nearest-rank percentile of an ascending latency slice,
+// in milliseconds.
+func pctlMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / float64(time.Millisecond)
+}

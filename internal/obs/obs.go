@@ -247,6 +247,17 @@ const (
 	// MRegretQueueDepth gauges shadow jobs queued but not yet started.
 	MRegretQueueDepth = "sdpopt_regret_queue_depth"
 
+	// Technique-routing metrics (see internal/route).
+
+	// MRouteDecisions counts executed routing outcomes, labeled route=
+	// (the technique actually run), reason= (the router's decision reason,
+	// or "explicit"), and source= (the plan-cache source label, so cache
+	// hits record the route that produced them).
+	MRouteDecisions = "sdpopt_route_decisions_total"
+	// MRouteFallbacks counts mid-flight demotions: requests whose chosen
+	// engine slice expired (or aborted on budget) and were re-run greedy.
+	MRouteFallbacks = "sdpopt_route_fallbacks_total"
+
 	// Process metrics (see RegisterBuildInfo).
 
 	// MBuildInfo is the constant-1 gauge carrying version/goversion/

@@ -49,6 +49,7 @@ type Exemplar struct {
 	Band          string    `json:"band"`
 	Rels          int       `json:"rels"`
 	Source        string    `json:"source"`
+	RouteReason   string    `json:"route_reason,omitempty"`
 	Ratio         float64   `json:"ratio"`
 	ServedCost    float64   `json:"served_cost"`
 	RefCost       float64   `json:"ref_cost"`
@@ -194,6 +195,9 @@ func (d *Dump) Render() string {
 		for i, ex := range d.Exemplars {
 			fmt.Fprintf(&b, "%2d. ratio %.3f  %s vs %s  %s/%s  %d rels  source=%s",
 				i+1, ex.Ratio, ex.Tech, ex.Ref, ex.Shape, ex.Band, ex.Rels, ex.Source)
+			if ex.RouteReason != "" {
+				fmt.Fprintf(&b, "  route=%s", ex.RouteReason)
+			}
 			if ex.TraceID != "" {
 				fmt.Fprintf(&b, "  trace=%s", ex.TraceID)
 			}

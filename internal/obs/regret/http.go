@@ -66,9 +66,13 @@ func (s *Shadow) Handler() http.Handler {
 			b.WriteString("<p>none</p>\n")
 		}
 		for _, ex := range d.Exemplars {
-			fmt.Fprintf(&b, "<h3>ratio %.3f — %s vs %s · %s/%s · %d rels · source %s</h3>\n",
+			route := ""
+			if ex.RouteReason != "" {
+				route = " · route " + html.EscapeString(ex.RouteReason)
+			}
+			fmt.Fprintf(&b, "<h3>ratio %.3f — %s vs %s · %s/%s · %d rels · source %s%s</h3>\n",
 				ex.Ratio, html.EscapeString(ex.Tech), html.EscapeString(ex.Ref),
-				html.EscapeString(ex.Shape), html.EscapeString(ex.Band), ex.Rels, html.EscapeString(ex.Source))
+				html.EscapeString(ex.Shape), html.EscapeString(ex.Band), ex.Rels, html.EscapeString(ex.Source), route)
 			if ex.TraceID != "" || ex.ShadowTraceID != "" {
 				b.WriteString("<p>")
 				if ex.TraceID != "" {

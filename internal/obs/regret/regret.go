@@ -50,6 +50,12 @@ type Options struct {
 	// run whose ratio reaches PinRatio is pinned into the recorder's
 	// notable ring with both costs and the serving trace ID attached.
 	Flight *span.Recorder
+	// OnSample, when set, receives every measured ratio keyed the same way
+	// as the rolling windows — the feedback hook the technique router uses
+	// to demote a route whose ρ degrades. Called from shadow workers, never
+	// from the serving path; implementations must be concurrency-safe and
+	// fast.
+	OnSample func(tech, shape, band string, ratio float64)
 
 	// SampleRate is the fraction of computed serves (miss, dedup,
 	// uncached) that are shadowed, in [0, 1]. Default 0.05.
@@ -159,6 +165,10 @@ type Sample struct {
 	Source string
 	// TraceID links the serve back to its flight-recorder trace.
 	TraceID string
+	// RouteReason records why the serving layer ran Technique ("explicit",
+	// or one of the router's auto:* reasons), so bad ρ is attributable to
+	// a routing decision rather than a technique in the abstract.
+	RouteReason string
 }
 
 // Shadow is the sampling shadow optimizer. Construct with New; it is safe
@@ -211,6 +221,7 @@ type job struct {
 	tech        string
 	ref         string
 	source      string
+	routeReason string
 	traceID     string
 	servedCost  float64
 	servedShape string
@@ -301,12 +312,13 @@ func (s *Shadow) Observe(sm Sample) {
 	now := time.Now()
 	key := sm.Query.Fingerprint() + "|" + s.catalogVersion(sm.Query.Cat)
 	j := job{
-		q:          sm.Query,
-		tech:       techName(sm.Technique),
-		ref:        s.Reference(n),
-		source:     sm.Source,
-		traceID:    sm.TraceID,
-		servedCost: sm.Plan.Cost,
+		q:           sm.Query,
+		tech:        techName(sm.Technique),
+		ref:         s.Reference(n),
+		source:      sm.Source,
+		routeReason: sm.RouteReason,
+		traceID:     sm.TraceID,
+		servedCost:  sm.Plan.Cost,
 		servedShape: sm.Plan.Shape(func(i int) string {
 			return sm.Query.Relation(i).Name
 		}),
@@ -424,6 +436,9 @@ func (s *Shadow) runJob(j job) {
 	root.SetAttr("shape", j.shape)
 	root.SetAttr("rels", j.rels)
 	root.SetAttr("source", j.source)
+	if j.routeReason != "" {
+		root.SetAttr("route_reason", j.routeReason)
+	}
 	root.SetAttr("served_trace", j.traceID)
 
 	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
@@ -468,6 +483,7 @@ func (s *Shadow) runJob(j job) {
 		Band:        j.band,
 		Rels:        j.rels,
 		Source:      j.source,
+		RouteReason: j.routeReason,
 		Ratio:       ratio,
 		ServedCost:  j.servedCost,
 		RefCost:     refPlan.Cost,
@@ -488,6 +504,10 @@ func (s *Shadow) runJob(j job) {
 	}
 
 	s.record(j, ratio, ex)
+
+	if s.opts.OnSample != nil {
+		s.opts.OnSample(j.tech, j.shape, j.band, ratio)
+	}
 
 	if s.opts.Obs != nil {
 		s.opts.Obs.FloatHistogram(obs.Label(obs.MRegretRatio, "tech", j.tech, "shape", j.shape), nil).

@@ -1,0 +1,96 @@
+package route
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// JSONHandler serves the router state as JSON at /debug/routes.json.
+func (r *Router) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// Handler serves the human debug page at /debug/routes: executed-decision
+// tallies, the live latency and regret profiles, and the decision table the
+// current profile state implies.
+func (r *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d := r.Snapshot()
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html><html><head><title>/debug/routes</title><style>\n")
+		b.WriteString("body{font-family:sans-serif;margin:1em 2em}table{border-collapse:collapse}\n")
+		b.WriteString("td,th{padding:0.15em 0.8em;text-align:left;border-bottom:1px solid #eee}\n")
+		b.WriteString("h2{border-bottom:1px solid #ccc;padding-bottom:0.2em}\n")
+		b.WriteString(".bad{color:#b00020}.warn{color:#b35c00}.dim{color:#888}</style></head><body>\n")
+		b.WriteString("<h1>sdpopt technique routing</h1>\n")
+		fmt.Fprintf(&b, "<p>fast path &le; %d rels or chain-like · heavy tail &ge; %d rels · regret demotion at &rho; &gt; %g (&ge; %d samples) · safety &times;%g</p>\n",
+			d.Config.SmallRels, d.Config.HeavyRels, d.Config.DemoteRho, d.Config.MinRegretSamples, d.Config.SafetyFactor)
+		fmt.Fprintf(&b, "<p>%d mid-flight fallbacks</p>\n", d.Fallbacks)
+		b.WriteString("<p><a href=\"/debug/routes.json\">routes.json</a> · <a href=\"/debug/regret\">regret</a> · <a href=\"/debug/requests\">requests</a> · <a href=\"/metrics\">metrics</a></p>\n")
+
+		b.WriteString("<h2>Executed decisions</h2>\n")
+		if len(d.Decisions) == 0 {
+			b.WriteString("<p>no requests routed yet</p>\n")
+		} else {
+			b.WriteString("<table><tr><th>technique</th><th>reason</th><th>count</th></tr>\n")
+			for _, dc := range d.Decisions {
+				fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%d</td></tr>\n",
+					html.EscapeString(dc.Technique), html.EscapeString(dc.Reason), dc.Count)
+			}
+			b.WriteString("</table>\n")
+		}
+
+		b.WriteString("<h2>Decision table</h2>\n")
+		b.WriteString("<p class=\"dim\">what Decide returns right now per (shape, rels, remaining deadline); predictions are EWMAs where traffic has taught the router, priors elsewhere</p>\n")
+		b.WriteString("<table><tr><th>shape</th><th>rels</th><th>deadline</th><th>route</th><th>reason</th><th>predicted</th><th>reserve</th></tr>\n")
+		for _, row := range d.Table {
+			dl := "&infin;"
+			if row.DeadlineMS > 0 {
+				dl = fmt.Sprintf("%dms", row.DeadlineMS)
+			}
+			class := ""
+			if row.Reason == ReasonDeadlineDowngrade {
+				class = " class=\"warn\""
+			}
+			fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%.2fms</td><td>%.1fms</td></tr>\n",
+				class, html.EscapeString(row.Shape), row.Rels, dl,
+				html.EscapeString(row.Technique), html.EscapeString(row.Reason),
+				row.PredictedMS, row.ReserveMS)
+		}
+		b.WriteString("</table>\n")
+
+		b.WriteString("<h2>Latency profiles</h2>\n")
+		writeProfiles(&b, d.Latency, "EWMA ms", "last ms", "max ms", "ms")
+		b.WriteString("<h2>Regret profiles</h2>\n")
+		writeProfiles(&b, d.Regret, "EWMA &rho;", "last", "max", "")
+		b.WriteString("</body></html>\n")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+func writeProfiles(b *strings.Builder, ps []Profile, h1, h2, h3, unit string) {
+	if len(ps) == 0 {
+		b.WriteString("<p>no observations yet — predictions fall back to priors</p>\n")
+		return
+	}
+	fmt.Fprintf(b, "<table><tr><th>technique</th><th>topology</th><th>rels</th><th>samples</th><th>%s</th><th>%s</th><th>%s</th></tr>\n", h1, h2, h3)
+	for _, p := range ps {
+		class := ""
+		if unit == "" && p.EWMA > 1.15 { // regret table: flag degraded keys
+			class = " class=\"bad\""
+		}
+		fmt.Fprintf(b, "<tr%s><td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%.3f</td><td>%.3f</td><td>%.3f</td></tr>\n",
+			class, html.EscapeString(p.Tech), html.EscapeString(p.Shape), html.EscapeString(p.Band),
+			p.Samples, p.EWMA, p.Last, p.Max)
+	}
+	b.WriteString("</table>\n")
+}

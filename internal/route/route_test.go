@@ -1,0 +1,221 @@
+package route
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDecisionTableGolden pins the full decision ladder as a golden table:
+// shape × relation band × remaining deadline → (technique, reason), on a
+// cold router (priors only). Any change to the routing policy must show up
+// here as an explicit diff.
+func TestDecisionTableGolden(t *testing.T) {
+	r := New(Options{})
+	none := time.Duration(0)
+	cases := []struct {
+		shape    string
+		rels     int
+		deadline time.Duration
+		tech     string
+		reason   string
+	}{
+		// Fast path: small queries route greedy regardless of shape...
+		{"star", 3, none, TechGreedy, ReasonFastPath},
+		{"clique", 4, none, TechGreedy, ReasonFastPath},
+		// ...and chain-like shapes route greedy regardless of size: GOO's
+		// neighborhood ordering is near-ideal on chains.
+		{"chain", 12, none, TechGreedy, ReasonFastPath},
+		{"chain", 25, none, TechGreedy, ReasonFastPath},
+		{"single", 1, none, TechGreedy, ReasonFastPath},
+
+		// The SDP default covers the middle.
+		{"star", 7, none, TechSDP, ReasonDefault},
+		{"star", 12, none, TechSDP, ReasonDefault},
+		{"star-chain", 15, none, TechSDP, ReasonDefault},
+		{"tree", 16, none, TechSDP, ReasonDefault},
+		{"clique", 10, none, TechSDP, ReasonDefault},
+
+		// Heavy tail: IDP where full SDP risks the memory cliff.
+		{"star", 20, none, TechIDP, ReasonHeavy},
+		{"clique", 25, none, TechIDP, ReasonHeavy},
+
+		// Deadline downgrades: the cold prior for SDP at 13-16 rels is
+		// 60ms ×2 safety — a 25ms deadline cannot fit it, so the ladder
+		// walks down to greedy; a generous deadline keeps SDP.
+		{"star-chain", 15, 25 * time.Millisecond, TechGreedy, ReasonDeadlineDowngrade},
+		{"star-chain", 15, 2500 * time.Millisecond, TechSDP, ReasonDefault},
+		{"star", 12, 5 * time.Millisecond, TechGreedy, ReasonDeadlineDowngrade},
+		// Heavy tail under deadlines: IDP2's 40ms prior at 17-24 rels fits
+		// ×2 safety into 250ms, but not into 60ms — greedy absorbs that.
+		{"star", 20, 250 * time.Millisecond, TechIDP, ReasonHeavy},
+		{"star", 20, 60 * time.Millisecond, TechGreedy, ReasonDeadlineDowngrade},
+		// A mid-band deadline squeeze lands on the IDP2 middle rung: SDP's
+		// 60ms prior fails ×2 safety against 45ms but IDP2's 15ms fits.
+		{"star-chain", 15, 45 * time.Millisecond, TechIDP, ReasonDeadlineDowngrade},
+		// An impossible deadline still resolves to greedy, never an error.
+		{"star", 12, time.Microsecond, TechGreedy, ReasonDeadlineDowngrade},
+	}
+	for _, c := range cases {
+		got := r.Decide(c.rels, c.shape, c.deadline)
+		if got.Technique != c.tech || got.Reason != c.reason {
+			t.Errorf("Decide(%d, %q, %v) = (%s, %s); want (%s, %s)",
+				c.rels, c.shape, c.deadline, got.Technique, got.Reason, c.tech, c.reason)
+		}
+		if got.Technique != TechGreedy && c.deadline > 0 && got.Reserve <= 0 {
+			t.Errorf("Decide(%d, %q, %v): expected a fallback reserve, got %v",
+				c.rels, c.shape, c.deadline, got.Reserve)
+		}
+		if got.Predicted <= 0 {
+			t.Errorf("Decide(%d, %q, %v): non-positive prediction %v",
+				c.rels, c.shape, c.deadline, got.Predicted)
+		}
+	}
+}
+
+// TestRegretFeedbackDemotesRoute drives the feedback loop: a fast-path key
+// whose rolling ρ degrades past DemoteRho is promoted back to SDP, but only
+// after MinRegretSamples observations, and an unrelated key is unaffected.
+func TestRegretFeedbackDemotesRoute(t *testing.T) {
+	r := New(Options{MinRegretSamples: 4})
+	band := Band(12)
+
+	// Three bad ratios: below the sample floor, route unchanged.
+	for i := 0; i < 3; i++ {
+		r.NoteRegret(TechGreedy, "chain", band, 3.0)
+	}
+	if d := r.Decide(12, "chain", 0); d.Technique != TechGreedy {
+		t.Fatalf("below sample floor: got %s/%s, want greedy fast path", d.Technique, d.Reason)
+	}
+
+	// Fourth bad ratio crosses the floor; the EWMA is far above 1.15.
+	r.NoteRegret(TechGreedy, "chain", band, 3.0)
+	d := r.Decide(12, "chain", 0)
+	if d.Technique != TechSDP || d.Reason != ReasonRegretPromote {
+		t.Fatalf("after degradation: got %s/%s, want sdp/%s", d.Technique, d.Reason, ReasonRegretPromote)
+	}
+
+	// A different shape's fast path is untouched.
+	if d := r.Decide(3, "star", 0); d.Technique != TechGreedy {
+		t.Fatalf("unrelated key demoted: got %s/%s", d.Technique, d.Reason)
+	}
+}
+
+// TestObserveLearnsLatency checks that measured latencies displace the
+// priors and that timed-out runs inflate the estimate, which is what turns
+// repeated mid-flight demotions into pre-flight downgrades.
+func TestObserveLearnsLatency(t *testing.T) {
+	r := New(Options{})
+	band := Band(15)
+
+	// Cold prediction is the prior (60ms for sdp at 13-16).
+	if got := r.Predict(TechSDP, "star-chain", band); got != 60*time.Millisecond {
+		t.Fatalf("cold prior = %v, want 60ms", got)
+	}
+
+	// A fast measurement pulls the estimate down; the 25ms deadline that
+	// was downgraded on priors now fits SDP.
+	r.Observe(TechSDP, "star-chain", band, 2*time.Millisecond, false)
+	if got := r.Predict(TechSDP, "star-chain", band); got != 2*time.Millisecond {
+		t.Fatalf("after one sample: predict = %v, want 2ms", got)
+	}
+	if d := r.Decide(15, "star-chain", 25*time.Millisecond); d.Technique != TechSDP {
+		t.Fatalf("learned-fast SDP still downgraded: %s/%s", d.Technique, d.Reason)
+	}
+
+	// Timed-out observations count double, ratcheting the estimate up.
+	before := r.Predict(TechSDP, "star-chain", band)
+	r.Observe(TechSDP, "star-chain", band, 100*time.Millisecond, true)
+	if after := r.Predict(TechSDP, "star-chain", band); after <= before {
+		t.Fatalf("timeout inflation had no effect: %v -> %v", before, after)
+	}
+}
+
+// TestConcurrentDecideAndUpdate hammers route lookups while profiles are
+// being updated from other goroutines; run under -race this is the data
+// race guard the issue asks for.
+func TestConcurrentDecideAndUpdate(t *testing.T) {
+	r := New(Options{})
+	shapes := []string{"chain", "star", "star-chain", "clique"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			i := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				shape := shapes[i%len(shapes)]
+				rels := 1 + i%25
+				band := Band(rels)
+				r.Observe(TechSDP, shape, band, time.Duration(1+i%50)*time.Millisecond, i%7 == 0)
+				r.NoteRegret(TechGreedy, shape, band, 1.0+float64(i%10)/4)
+				r.Count(TechGreedy, ReasonFastPath)
+				i++
+			}
+		}(w)
+	}
+
+	deadlines := []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second}
+	for i := 0; i < 4000; i++ {
+		shape := shapes[i%len(shapes)]
+		d := r.Decide(1+i%25, shape, deadlines[i%len(deadlines)])
+		if d.Technique == "" || d.Reason == "" {
+			t.Fatalf("empty decision for %s/%d", shape, 1+i%25)
+		}
+		if i%500 == 0 {
+			_ = r.Snapshot()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotAndHandlers sanity-checks the debug surfaces: the JSON dump
+// round-trips with a populated decision table and the HTML page renders.
+func TestSnapshotAndHandlers(t *testing.T) {
+	r := New(Options{})
+	r.Observe(TechSDP, "star", Band(12), 9*time.Millisecond, false)
+	r.NoteRegret(TechGreedy, "chain", Band(12), 1.02)
+	r.Count(TechGreedy, ReasonFastPath)
+	r.Count(TechGreedy, ReasonDeadlineDemote)
+
+	rec := httptest.NewRecorder()
+	r.JSONHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/routes.json", nil))
+	var d Dump
+	if err := json.Unmarshal(rec.Body.Bytes(), &d); err != nil {
+		t.Fatalf("routes.json does not decode: %v", err)
+	}
+	if len(d.Table) == 0 {
+		t.Fatal("dump has an empty decision table")
+	}
+	if d.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1 (from the deadline-demote count)", d.Fallbacks)
+	}
+	if len(d.Latency) != 1 || d.Latency[0].Samples != 1 {
+		t.Fatalf("latency profiles = %+v, want one single-sample entry", d.Latency)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/routes", nil))
+	body := rec.Body.String()
+	for _, want := range []string{"Decision table", "auto:greedy-fastpath", "Latency profiles"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("debug page missing %q", want)
+		}
+	}
+
+	// Nil router stays safe for optional wiring.
+	if d := (*Router)(nil).Snapshot(); len(d.Table) != 0 {
+		t.Fatal("nil snapshot should have no table")
+	}
+}

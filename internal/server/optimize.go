@@ -17,13 +17,22 @@ import (
 	"sdpopt/internal/randomized"
 )
 
-// Techniques lists the optimizer names accepted by Optimize (and the
-// /optimize endpoint's "technique" field). The empty name selects "sdp".
+// Techniques lists the optimizer names accepted by Optimize. The empty name
+// selects "sdp".
 func Techniques() []string {
 	return []string{"sdp", "dp", "dp/ld", "idp", "idp2", "greedy", "genetic", "ii", "sa"}
 }
 
-// KnownTechnique reports whether name is a valid technique selector.
+// RequestTechniques lists the values the /optimize "technique" field
+// accepts: every engine name plus "auto", which asks the server's router to
+// pick per request (see internal/route).
+func RequestTechniques() []string {
+	return append([]string{"auto"}, Techniques()...)
+}
+
+// KnownTechnique reports whether name is a valid engine selector for
+// Optimize. "auto" is not one — it is resolved by the serving layer before
+// dispatch (see KnownRequestTechnique).
 func KnownTechnique(name string) bool {
 	if name == "" {
 		return true
@@ -36,12 +45,19 @@ func KnownTechnique(name string) bool {
 	return false
 }
 
+// KnownRequestTechnique reports whether name is valid in an /optimize
+// request's "technique" field.
+func KnownRequestTechnique(name string) bool {
+	return name == "auto" || KnownTechnique(name)
+}
+
 // Optimize dispatches one optimization by technique name, threading the
 // context's deadline into the engines' cancellation path (dp.ErrCanceled)
 // and budget into their memory-feasibility path (memo.ErrBudget). The
-// heuristics without an incremental abort point (greedy, genetic, ii, sa)
-// check the context once up front — they finish in milliseconds, so a
-// mid-run poll would never fire before completion anyway.
+// heuristics without an incremental abort point (genetic, ii, sa) check the
+// context once up front — they finish in milliseconds, so a mid-run poll
+// would never fire before completion anyway; greedy polls once per merge
+// step.
 //
 // workers > 1 runs the DP-substrate techniques (sdp, dp, dp/ld) on the
 // level-synchronous parallel engine with that many enumeration workers;
@@ -109,10 +125,10 @@ func Optimize(ctx context.Context, technique string, q *query.Query, budget int6
 		opts.Obs = ob
 		return idp.Optimize2(q, opts)
 	case "greedy":
-		if err := dp.CtxErr(ctx); err != nil {
-			return nil, dp.Stats{}, err
-		}
-		return greedy.Optimize(q, greedy.Options{})
+		// GOO polls the context itself and reports through the same
+		// obs/span/stats channels as the enumeration engines, so routed
+		// fast-path serves appear in traces like any other.
+		return greedy.Optimize(q, greedy.Options{Ctx: ctx, Obs: ob})
 	case "genetic":
 		if err := dp.CtxErr(ctx); err != nil {
 			return nil, dp.Stats{}, err

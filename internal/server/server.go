@@ -54,6 +54,7 @@ import (
 	"sdpopt/internal/plan"
 	"sdpopt/internal/plancache"
 	"sdpopt/internal/query"
+	"sdpopt/internal/route"
 )
 
 // maxBodyBytes bounds /optimize request bodies; query descriptions are
@@ -107,6 +108,13 @@ type Options struct {
 	// Optimize hook and, when unset, Obs and Flight; every other knob
 	// (rates, pool sizing, dedup window) is the caller's.
 	Regret *regret.Options
+	// Route configures the SLO-aware technique router behind
+	// technique:"auto" (see internal/route); the zero value selects the
+	// router defaults. The router is always constructed — explicit
+	// requests feed its latency profiles too, and /debug/routes is always
+	// served — and when Regret is enabled its sample stream is wired into
+	// the router's regret-feedback loop.
+	Route route.Options
 }
 
 // Server is the optimizer-as-a-service HTTP layer. Construct with New.
@@ -122,6 +130,7 @@ type Server struct {
 
 	flight *span.Recorder
 	shadow *regret.Shadow
+	router *route.Router
 
 	sem      chan struct{} // executing-slot semaphore
 	pending  atomic.Int64  // executing + queued
@@ -164,6 +173,7 @@ func New(opts Options) (*Server, error) {
 		maxQueue:   opts.MaxQueue,
 		workers:    opts.Workers,
 		flight:     span.NewRecorder(opts.Flight),
+		router:     route.New(opts.Route),
 		sem:        make(chan struct{}, opts.MaxConcurrent),
 	}
 	if s.ob != nil {
@@ -185,6 +195,18 @@ func New(opts Options) (*Server, error) {
 		}
 		if ro.Flight == nil {
 			ro.Flight = s.flight
+		}
+		// The router rides the shadow's sample stream: every measured
+		// ratio updates the matching (tech, shape, band) regret EWMA, so a
+		// cheap route whose ρ degrades is demoted without any extra
+		// shadow work. A caller-supplied hook still runs after.
+		if user := ro.OnSample; user != nil {
+			ro.OnSample = func(tech, shape, band string, ratio float64) {
+				s.router.NoteRegret(tech, shape, band, ratio)
+				user(tech, shape, band, ratio)
+			}
+		} else {
+			ro.OnSample = s.router.NoteRegret
 		}
 		shadow, err := regret.New(ro)
 		if err != nil {
@@ -275,7 +297,14 @@ type StatsJSON struct {
 
 // OptimizeResponse is the POST /optimize reply.
 type OptimizeResponse struct {
-	Technique      string `json:"technique"`
+	// Technique is the engine that actually ran — for technique:"auto"
+	// requests, the router's (possibly demoted) choice.
+	Technique string `json:"technique"`
+	// RouteReason explains how Technique was chosen: "explicit" for
+	// requests that named an engine, or one of the router's auto:*
+	// reasons (fast path, default, heavy tail, regret promotion, deadline
+	// downgrade, mid-flight demotion).
+	RouteReason    string `json:"route_reason,omitempty"`
 	Fingerprint    string `json:"fingerprint"`
 	CatalogVersion string `json:"catalog_version"`
 	// Source reports how the result was produced: "hit", "dedup", "miss",
@@ -312,6 +341,8 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/debug/regret", s.shadow.Handler())
 		mux.Handle("/debug/regret.json", s.shadow.JSONHandler())
 	}
+	mux.Handle("/debug/routes", s.router.Handler())
+	mux.Handle("/debug/routes.json", s.router.JSONHandler())
 	if s.ob != nil && s.ob.Registry != nil {
 		oh := s.ob.Registry.Handler()
 		mux.Handle("/metrics", oh)
@@ -334,6 +365,9 @@ func (s *Server) Flight() *span.Recorder { return s.flight }
 // Regret returns the server's shadow optimizer, or nil when regret
 // measurement is not configured.
 func (s *Server) Regret() *regret.Shadow { return s.shadow }
+
+// Router returns the server's technique router (always non-nil).
+func (s *Server) Router() *route.Router { return s.router }
 
 // Start listens on addr (":0" for an ephemeral port) and serves in a
 // background goroutine, returning the bound address.
@@ -386,7 +420,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"in_flight":       s.InFlight(),
 		"queued":          s.Queued(),
 		"cache_entries":   s.cache.Len(),
-		"techniques":      Techniques(),
+		"techniques":      RequestTechniques(),
 	})
 }
 
@@ -411,8 +445,8 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		s.failf(w, r, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	if !KnownTechnique(req.Technique) {
-		s.failf(w, r, http.StatusBadRequest, "unknown technique %q (valid: %v)", req.Technique, Techniques())
+	if !KnownRequestTechnique(req.Technique) {
+		s.failf(w, r, http.StatusBadRequest, "unknown technique %q (valid: %v)", req.Technique, RequestTechniques())
 		return
 	}
 	if max := maxWorkers(); req.Workers != 0 && (req.Workers < 1 || req.Workers > max) {
@@ -490,10 +524,29 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		budget = req.BudgetMB << 20
 	}
 
+	// Routing: explicit techniques pass straight through; "auto" asks the
+	// router to pick from (relation count, topology, remaining deadline)
+	// against its live latency and regret profiles. The decision runs
+	// after admission so the remaining deadline it sees already accounts
+	// for queue wait.
+	rels := q.NumRelations()
+	topo := q.Shape()
 	technique := req.Technique
 	if technique == "" {
 		technique = "sdp"
 	}
+	routeReason := route.ReasonExplicit
+	var reserve time.Duration
+	if req.Technique == "auto" {
+		remaining := time.Duration(0)
+		if dl, ok := ctx.Deadline(); ok {
+			remaining = time.Until(dl)
+		}
+		dec := s.router.Decide(rels, topo, remaining)
+		technique, routeReason, reserve = dec.Technique, dec.Reason, dec.Reserve
+	}
+	routedTech := technique
+
 	// Canonicalization (and the fingerprint digested from it) runs here,
 	// inside the admission slot, so its bounded labeling search counts
 	// against MaxConcurrent like any other per-request CPU work.
@@ -513,8 +566,39 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		Source:         "uncached",
 	}
 
-	best, stats, src, err := s.run(ctx, technique, q, budget, &req)
+	var demoted string
+	var best *plan.Plan
+	var stats dp.Stats
+	var src string
+	if req.Technique == "auto" {
+		best, stats, src, err, demoted = s.runRouted(ctx, technique, q, budget, &req, reserve)
+		if demoted != "" {
+			// The chosen engine's slice expired (or it aborted on budget)
+			// and greedy answered instead. The inflated lower-bound
+			// observation ratchets the engine's latency EWMA up so
+			// repeated demotions turn into pre-flight downgrades.
+			technique, routeReason = route.TechGreedy, demoted
+			resp.Technique = technique
+			s.router.Observe(routedTech, topo, route.Band(rels), timeout-reserve, true)
+			if c := s.ob.Counter(obs.MRouteFallbacks); c != nil {
+				c.Add(1)
+			}
+		}
+	} else {
+		best, stats, src, err = s.run(ctx, technique, q, budget, &req)
+	}
 	resp.Source = src
+	resp.RouteReason = routeReason
+	s.router.Count(technique, routeReason)
+	if c := s.ob.Counter(obs.Label(obs.MRouteDecisions, "route", technique, "reason", routeReason, "source", src)); c != nil {
+		c.Add(1)
+	}
+	if err == nil && (src == "uncached" || src == plancache.Miss.String()) {
+		// Teach the router the measured engine latency. Hits and dedup
+		// joins are excluded: they measure cache performance, and the fill
+		// that computed them already reported its own elapsed time.
+		s.router.Observe(technique, topo, route.Band(rels), stats.Elapsed, false)
+	}
 
 	code := http.StatusOK
 	switch {
@@ -549,6 +633,7 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.ServerNS = time.Since(started).Nanoseconds()
 	root.SetAttr("technique", technique)
+	root.SetAttr("route_reason", routeReason)
 	root.SetAttr("source", src)
 	root.SetAttr("fingerprint", resp.Fingerprint)
 	if err != nil {
@@ -560,7 +645,14 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		// lookup away.
 		h.ObserveExemplar(time.Since(started), root.TraceID())
 	}
-	s.flight.Finish(root, code)
+	if demoted != "" {
+		// A demotion is exactly the trace worth keeping: pin it into the
+		// recorder's notable ring so the engine run that blew its slice
+		// survives fast traffic.
+		s.flight.Pin(root, code)
+	} else {
+		s.flight.Finish(root, code)
+	}
 	s.writeJSON(w, r, code, resp)
 	// The shadow offer runs after the response bytes have left the server —
 	// net/http buffers small bodies until the handler returns, so an
@@ -572,11 +664,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	if err == nil {
 		s.shadow.Observe(regret.Sample{
-			Query:     q,
-			Technique: technique,
-			Plan:      best,
-			Source:    src,
-			TraceID:   root.TraceID(),
+			Query:       q,
+			Technique:   technique,
+			Plan:        best,
+			Source:      src,
+			TraceID:     root.TraceID(),
+			RouteReason: routeReason,
 		})
 	}
 }
@@ -636,6 +729,68 @@ func (s *Server) run(ctx context.Context, technique string, q *query.Query, budg
 		return nil, st, src.String(), err
 	}
 	return p.Remap(cn.RelFrom, cn.EqFrom), st, src.String(), nil
+}
+
+// runRouted executes a router-chosen technique with the mid-flight fallback
+// armed: the engine runs with the deadline pulled in by reserve, and when
+// that slice expires — or the engine aborts on its memory budget — while
+// the request itself still has time, greedy answers instead. demoted names
+// the fallback reason ("" when the engine's own result was served).
+//
+// The engine runs in its own goroutine because the cached path cannot be
+// interrupted from here: a dedup waiter blocks until the shared fill
+// completes, and the fill itself is detached property running under the
+// server-wide timeout. On demotion that work is abandoned, not canceled —
+// it keeps running (bounded by the server timeout), fills the cache for
+// later arrivals, and its result is discarded through the buffered channel.
+func (s *Server) runRouted(ctx context.Context, technique string, q *query.Query, budget int64, req *OptimizeRequest, reserve time.Duration) (*plan.Plan, dp.Stats, string, error, string) {
+	dl, ok := ctx.Deadline()
+	if !ok || reserve <= 0 || technique == route.TechGreedy {
+		// Nothing to fall back to (greedy is the floor) or no deadline to
+		// guard: run directly.
+		p, st, src, err := s.run(ctx, technique, q, budget, req)
+		return p, st, src, err, ""
+	}
+
+	engineCtx, cancel := context.WithDeadline(ctx, dl.Add(-reserve))
+	defer cancel()
+	type result struct {
+		p   *plan.Plan
+		st  dp.Stats
+		src string
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		p, st, src, err := s.run(engineCtx, technique, q, budget, req)
+		ch <- result{p, st, src, err}
+	}()
+
+	demote := ""
+	select {
+	case res := <-ch:
+		switch {
+		case errors.Is(res.err, dp.ErrCanceled) && ctx.Err() == nil:
+			// The slice expired, not the request: fall through to greedy.
+			demote = route.ReasonDeadlineDemote
+		case errors.Is(res.err, memo.ErrBudget):
+			// Routed requests trade the paper's infeasible outcome for a
+			// cheap plan — the caller asked for "auto", not for a specific
+			// engine's feasibility verdict.
+			demote = route.ReasonBudgetDemote
+		default:
+			return res.p, res.st, res.src, res.err, ""
+		}
+	case <-engineCtx.Done():
+		if ctx.Err() != nil {
+			// The request itself is dead; nothing to salvage.
+			return nil, dp.Stats{}, "uncached", dp.CtxErr(ctx), ""
+		}
+		demote = route.ReasonDeadlineDemote
+	}
+
+	p, st, src, err := s.run(ctx, route.TechGreedy, q, budget, req)
+	return p, st, src, err, demote
 }
 
 // buildQuery materializes the request's query from SQL or the explicit

@@ -11,9 +11,11 @@ import (
 
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/loadgen"
 	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/obs/span"
 	"sdpopt/internal/plancache"
+	"sdpopt/internal/route"
 	"sdpopt/internal/server"
 )
 
@@ -58,6 +60,25 @@ type (
 	// RegretDump is the /debug/regret.json document: shadow config,
 	// counters, per-key quality windows, and worst-regret exemplars.
 	RegretDump = regret.Dump
+	// RouteOptions tunes the server's SLO-aware technique router: the
+	// fast-path and heavy-tail relation thresholds, the deadline safety
+	// factor, and the latency/regret EWMA smoothing (see internal/route
+	// and DESIGN.md "SLO-aware routing"). Set ServerOptions.Route; the
+	// zero value selects the defaults.
+	RouteOptions = route.Options
+	// RouteDecision is one routing outcome: the chosen technique, the
+	// reason, and the latency prediction behind it.
+	RouteDecision = route.Decision
+	// LoadOptions configures one open-loop load run against a serving
+	// URL: arrival rate and process, workload mix, per-request deadline
+	// and technique (see internal/loadgen; `sdplab load` wraps it).
+	LoadOptions = loadgen.Options
+	// LoadMixEntry is one workload component of a load run.
+	LoadMixEntry = loadgen.MixEntry
+	// LoadReport is a load run's outcome: latency percentiles measured
+	// from scheduled arrival times, shed rate, per-route counts, and
+	// mean plan-quality ρ against local SDP references.
+	LoadReport = loadgen.Report
 )
 
 // ErrCanceled reports an optimization aborted by context cancellation or
@@ -88,6 +109,24 @@ func ReadFlightDump(r io.Reader) (*FlightDump, error) { return span.ReadDump(r) 
 // ReadRegretDump parses a /debug/regret.json document; render it with
 // RegretDump.Render (`sdplab regret` wraps both).
 func ReadRegretDump(r io.Reader) (*RegretDump, error) { return regret.ReadDump(r) }
+
+// RunLoad drives one open-loop load run against a running server and
+// returns the aggregated report (`sdplab load` wraps it).
+func RunLoad(ctx context.Context, opts LoadOptions) (*LoadReport, error) {
+	return loadgen.Run(ctx, opts)
+}
+
+// ParseLoadMix parses a workload-mix spec like
+// "star-7:3,chain-12:3,star-chain-15:2" (topology-rels:weight).
+func ParseLoadMix(s string) ([]LoadMixEntry, error) { return loadgen.ParseMix(s) }
+
+// DefaultLoadMix is the mixed Star/Chain/Star-Chain workload `sdplab
+// bench` uses for its load section.
+func DefaultLoadMix() []LoadMixEntry { return loadgen.DefaultMix() }
+
+// RequestTechniques lists the values the server's /optimize "technique"
+// field accepts: every Techniques entry plus "auto" (route per request).
+func RequestTechniques() []string { return server.RequestTechniques() }
 
 // CanonicalQuery returns q's canonical encoding: a stable string
 // normalizing relation order, predicate order and orientation, implied
