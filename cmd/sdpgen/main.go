@@ -1,9 +1,12 @@
 // Command sdpgen emits a generated workload as SQL text — the queries the
-// experiments optimize, in executable form.
+// experiments optimize, in executable form — and, optionally, the catalog
+// the workload was generated against, with statistics degraded to a chosen
+// health level for offline robustness experiments.
 //
 // Usage:
 //
 //	sdpgen -topology star -rels 15 -count 3
+//	sdpgen -stats-health 0.5 -catalog-out degraded.json
 package main
 
 import (
@@ -21,6 +24,8 @@ func main() {
 	count := flag.Int("count", 5, "number of query instances")
 	seed := flag.Int64("seed", 1, "workload seed")
 	ordered := flag.Bool("ordered", false, "add an ORDER BY on a join column")
+	statsHealth := flag.Float64("stats-health", 1, "fraction of columns keeping ANALYZE statistics in the emitted catalog; the rest lose NDV/skew (magic-selectivity fallback)")
+	catalogOut := flag.String("catalog-out", "", "write the (possibly degraded) catalog as JSON to this file ('-' = stdout)")
 	flag.Parse()
 
 	topos := map[string]sdpopt.Topology{
@@ -32,13 +37,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdpgen: unknown topology %q\n", *topo)
 		os.Exit(2)
 	}
+	if *statsHealth < 1 && *catalogOut == "" {
+		fmt.Fprintln(os.Stderr, "sdpgen: -stats-health below 1 needs -catalog-out (the degradation is emitted, queries are still generated from true statistics)")
+		os.Exit(2)
+	}
+	cat := sdpopt.PaperSchema()
 	qs, err := sdpopt.Instances(sdpopt.WorkloadSpec{
-		Cat: sdpopt.PaperSchema(), Topology: t, NumRelations: *rels,
+		Cat: cat, Topology: t, NumRelations: *rels,
 		Ordered: *ordered, Seed: *seed,
 	}, *count)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sdpgen:", err)
 		os.Exit(1)
+	}
+	if *catalogOut != "" {
+		out := cat
+		if *statsHealth < 1 {
+			if out, err = sdpopt.DegradeStats(cat, *statsHealth, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "sdpgen:", err)
+				os.Exit(1)
+			}
+		}
+		w := os.Stdout
+		if *catalogOut != "-" {
+			f, err := os.Create(*catalogOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sdpgen:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := out.WriteJSON(w); err != nil {
+			fmt.Fprintln(os.Stderr, "sdpgen:", err)
+			os.Exit(1)
+		}
 	}
 	for i, q := range qs {
 		fmt.Printf("-- instance %d (%s-%d)\n%s\n\n", i+1, *topo, *rels, q.SQL())

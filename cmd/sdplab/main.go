@@ -10,6 +10,7 @@
 //	sdplab load -addr http://host:8080   # open-loop load against a running serve
 //	sdplab inspect flight.json           # render a /debug/flight.json dump
 //	sdplab regret regret.json            # render a /debug/regret.json dump
+//	sdplab robust -check                 # plan quality under cardinality error
 //
 // Flags tune the sample size (-instances), the RNG seed (-seed), the
 // simulated memory budget in MB (-budget), and the skewed-schema variant
@@ -71,6 +72,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "robust":
+		if err := robustCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 		os.Exit(2)
@@ -94,6 +100,9 @@ func usage() {
              [-json FILE] [-max-shed-rate F] [-max-5xx N] [-require-routes T1,T2]
   sdplab inspect [-top N] [-trace PREFIX] [-summary] <flight.json | ->
   sdplab regret <regret.json | ->
+  sdplab robust [-instances N] [-seed S] [-budget MB] [-skewed] [-bands 1,2,4,8]
+             [-healths 1,0.5] [-mode relation|predicate|both] [-topologies chain-8,star-9]
+             [-exec=false] [-json FILE] [-check]
 
 -parallel runs P optimizations concurrently (harness throughput); -workers
 splits each optimization's enumeration across W cores (plan-identical,

@@ -31,6 +31,14 @@ type Column struct {
 	Skew float64
 	// Width is the average column width in bytes (pg_stats.avg_width).
 	Width int
+	// StatsLost marks a column whose ANALYZE statistics (NDV, Skew, the
+	// histogram FracBelow encodes) are unavailable — the never-analyzed
+	// table case. Estimation must not read NDV or Skew when set (degraded
+	// catalogs zero them) and falls back to PostgreSQL's magic defaults
+	// instead (see cost.DefaultRangeSel / cost.DefaultNDV). Relation
+	// cardinalities stay exact: pg_class.reltuples survives even when
+	// pg_statistic rows are missing.
+	StatsLost bool `json:",omitempty"`
 }
 
 // EffectiveNDV is the distinct count used for join selectivity estimation.

@@ -229,6 +229,27 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJSONRoundTripStatsLost covers the degraded-catalog shape sdpgen
+// -stats-health emits: lost columns carry no NDV/Skew but must survive
+// serialization with the flag intact.
+func TestJSONRoundTripStatsLost(t *testing.T) {
+	orig := MustSynthetic(DefaultConfig())
+	orig.Rels[0].Cols[1].StatsLost = true
+	orig.Rels[0].Cols[1].NDV = 0
+	orig.Rels[0].Cols[1].Skew = 0
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if !got.Rels[0].Cols[1].StatsLost {
+		t.Fatal("StatsLost flag dropped in round trip")
+	}
+}
+
 func TestReadJSONRejectsInvalid(t *testing.T) {
 	cases := map[string]string{
 		"garbage":        `{`,
@@ -240,6 +261,7 @@ func TestReadJSONRejectsInvalid(t *testing.T) {
 		"ndv above rows": `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":50,"Width":4}],"IndexCol":0}]}`,
 		"negative skew":  `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Skew":-1,"Width":4}],"IndexCol":0}]}`,
 		"zero width":     `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":0}],"IndexCol":0}]}`,
+		"lost with ndv":  `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":4,"StatsLost":true}],"IndexCol":0}]}`,
 	}
 	for name, src := range cases {
 		if _, err := ReadJSON(strings.NewReader(src)); err == nil {

@@ -40,11 +40,19 @@ func ReadJSON(r io.Reader) (*Catalog, error) {
 		}
 		for j := range rel.Cols {
 			col := &rel.Cols[j]
-			if col.NDV < 1 || col.NDV > rel.Rows {
-				return nil, fmt.Errorf("catalog: column %s.%s NDV %g out of [1, rows]", rel.Name, col.Name, col.NDV)
-			}
-			if col.Skew < 0 {
-				return nil, fmt.Errorf("catalog: column %s.%s negative skew", rel.Name, col.Name)
+			if col.StatsLost {
+				// A stats-lost column carries no NDV/Skew (degraded
+				// catalogs zero them); only the physical width must hold.
+				if col.NDV != 0 || col.Skew != 0 {
+					return nil, fmt.Errorf("catalog: column %s.%s is stats-lost but carries statistics", rel.Name, col.Name)
+				}
+			} else {
+				if col.NDV < 1 || col.NDV > rel.Rows {
+					return nil, fmt.Errorf("catalog: column %s.%s NDV %g out of [1, rows]", rel.Name, col.Name, col.NDV)
+				}
+				if col.Skew < 0 {
+					return nil, fmt.Errorf("catalog: column %s.%s negative skew", rel.Name, col.Name)
+				}
 			}
 			if col.Width < 1 {
 				return nil, fmt.Errorf("catalog: column %s.%s width %d", rel.Name, col.Name, col.Width)

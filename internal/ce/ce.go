@@ -1,0 +1,21 @@
+// Package ce measures the optimizer's robustness to cardinality-estimation
+// error — the gap between the statistics the optimizer believes and the
+// statistics that are true.
+//
+// Every other number in this repo assumes the catalog is exactly right. This
+// package removes that assumption: it wraps the cost model's pluggable
+// Estimator (see internal/cost) in deterministic seeded error injectors
+// (multiplicative log-normal q-error bands, correlated per relation or per
+// join predicate) and stats-health degradation (a fraction of columns lose
+// their ANALYZE statistics and fall back to PostgreSQL's magic
+// selectivities), optimizes each workload query per technique under the
+// lying estimator, then re-costs the chosen plan under true statistics. The
+// headline number is ρ-under-error: the geometric-mean ratio of the chosen
+// plan's true cost to the true optimum, per (technique, topology,
+// error band, stats health).
+//
+// For queries small enough, Evaluate additionally executes the true-optimal
+// plan via internal/exec to obtain actual intermediate cardinalities, so the
+// "true" cost model itself is validated against ground truth rather than
+// merely trusted.
+package ce

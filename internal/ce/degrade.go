@@ -1,0 +1,57 @@
+package ce
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/query"
+)
+
+// DegradeCatalog returns a deep copy of cat in which each column has
+// independently lost its ANALYZE statistics with probability 1-health,
+// deterministically in seed. health=1 returns a faithful copy; health=0
+// loses every column. A lost column has StatsLost set and NDV/Skew zeroed —
+// estimation over the degraded catalog falls back to PostgreSQL's magic
+// selectivities (see cost.DefaultRangeSel, cost.DefaultNDV). Relation
+// cardinalities and widths are preserved: reltuples and avg_width survive
+// even when pg_statistic is empty.
+func DegradeCatalog(cat *catalog.Catalog, health float64, seed int64) (*catalog.Catalog, error) {
+	if health < 0 || health > 1 {
+		return nil, fmt.Errorf("ce: stats health %g outside [0, 1]", health)
+	}
+	cp := &catalog.Catalog{Rels: make([]catalog.Relation, len(cat.Rels))}
+	rng := rand.New(rand.NewSource(seed))
+	for i, rel := range cat.Rels {
+		r := rel
+		r.Cols = append([]catalog.Column(nil), rel.Cols...)
+		for j := range r.Cols {
+			// Draw per column regardless of outcome so each column's fate is
+			// independent of how many precede it in the schema.
+			if rng.Float64() >= health {
+				r.Cols[j].StatsLost = true
+				r.Cols[j].NDV = 0
+				r.Cols[j].Skew = 0
+			}
+		}
+		cp.Rels[i] = r
+	}
+	return cp, nil
+}
+
+// MirrorQuery rebuilds q against cat: same relations, user-written
+// predicates, filters, and order. The implied-predicate closure is a pure
+// function of the user predicates' structure, so the mirrored query has an
+// identical frame — relation indexing, predicate indexing, equivalence
+// classes — and plans cost under one mirror recost cleanly under the other.
+// This is how the harness pairs a degraded-statistics view of a query with
+// its true-statistics twin.
+func MirrorQuery(q *query.Query, cat *catalog.Catalog) (*query.Query, error) {
+	user := make([]query.Pred, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		if !p.Implied {
+			user = append(user, p)
+		}
+	}
+	return query.NewFiltered(cat, q.Rels, user, q.Filters, q.OrderBy)
+}

@@ -1,0 +1,188 @@
+package ce
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sdpopt/internal/core"
+	"sdpopt/internal/dp"
+	"sdpopt/internal/greedy"
+	"sdpopt/internal/idp"
+	"sdpopt/internal/plan"
+	"sdpopt/internal/query"
+	"sdpopt/internal/workload"
+)
+
+// The golden corpus pins the optimizer's observable behavior under the
+// default (catalog) estimator: exact plan trees with bit-level costs and
+// cardinalities, plus every enumeration counter. The testdata file was
+// generated against the pre-refactor cost model (before the Estimator
+// interface existed), so a passing run proves the extraction changed no
+// plan, no cost, and no counter. Regenerate with:
+//
+//	go test ./internal/ce -run TestGoldenDefaultEstimator -update
+var updateGolden = flag.Bool("update", false, "rewrite golden testdata from current behavior")
+
+const goldenPath = "testdata/golden_estimator.json"
+
+type goldenEntry struct {
+	Graph           string `json:"graph"`
+	Tech            string `json:"tech"`
+	Instance        int    `json:"instance"`
+	Plan            string `json:"plan"`
+	PlansCosted     int64  `json:"plans_costed"`
+	PairsConsidered int64  `json:"pairs_considered"`
+	PairsConnected  int64  `json:"pairs_connected"`
+	ClassesCreated  int64  `json:"classes_created"`
+}
+
+// planSig serializes a plan tree canonically, with costs and cardinalities
+// as raw float64 bits so any numeric drift — even below formatting
+// precision — fails the comparison.
+func planSig(p *plan.Plan) string {
+	var b strings.Builder
+	writeSig(&b, p)
+	return b.String()
+}
+
+func writeSig(b *strings.Builder, p *plan.Plan) {
+	if p == nil {
+		b.WriteString("_")
+		return
+	}
+	fmt.Fprintf(b, "(%d", int(p.Op))
+	if p.Op.IsScan() {
+		fmt.Fprintf(b, " r%d", p.Rel)
+	}
+	fmt.Fprintf(b, " o%d c%016x n%016x", p.Order, math.Float64bits(p.Cost), math.Float64bits(p.Rows))
+	if p.Left != nil || p.Right != nil {
+		b.WriteString(" ")
+		writeSig(b, p.Left)
+		b.WriteString(" ")
+		writeSig(b, p.Right)
+	}
+	b.WriteString(")")
+}
+
+func goldenCorpus(t *testing.T) map[string][]*query.Query {
+	t.Helper()
+	cat := workload.PaperSchema()
+	specs := []workload.Spec{
+		{Cat: cat, Topology: workload.Chain, NumRelations: 8, Seed: 77},
+		{Cat: cat, Topology: workload.Star, NumRelations: 9, Seed: 77},
+		{Cat: cat, Topology: workload.Cycle, NumRelations: 8, Seed: 77},
+		{Cat: cat, Topology: workload.StarChain, NumRelations: 9, Seed: 77},
+	}
+	corpus := make(map[string][]*query.Query)
+	for _, spec := range specs {
+		qs, err := workload.Instances(spec, 3)
+		if err != nil {
+			t.Fatalf("corpus %v-%d: %v", spec.Topology, spec.NumRelations, err)
+		}
+		corpus[fmt.Sprintf("%v-%d", spec.Topology, spec.NumRelations)] = qs
+	}
+	return corpus
+}
+
+func goldenTechniques() []struct {
+	name string
+	run  func(q *query.Query) (*plan.Plan, dp.Stats, error)
+} {
+	return []struct {
+		name string
+		run  func(q *query.Query) (*plan.Plan, dp.Stats, error)
+	}{
+		{"dp", func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+			return dp.Optimize(q, dp.Options{})
+		}},
+		{"sdp", func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+			return core.Optimize(q, core.DefaultOptions())
+		}},
+		{"idp2", func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+			return idp.Optimize2(q, idp.DefaultOptions())
+		}},
+		{"greedy", func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+			return greedy.Optimize(q, greedy.Options{})
+		}},
+	}
+}
+
+func collectGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	corpus := goldenCorpus(t)
+	graphs := make([]string, 0, len(corpus))
+	for g := range corpus {
+		graphs = append(graphs, g)
+	}
+	// Deterministic file order.
+	for i := 0; i < len(graphs); i++ {
+		for j := i + 1; j < len(graphs); j++ {
+			if graphs[j] < graphs[i] {
+				graphs[i], graphs[j] = graphs[j], graphs[i]
+			}
+		}
+	}
+	var out []goldenEntry
+	for _, g := range graphs {
+		for _, tech := range goldenTechniques() {
+			for i, q := range corpus[g] {
+				p, st, err := tech.run(q)
+				if err != nil {
+					t.Fatalf("%s/%s[%d]: %v", g, tech.name, i, err)
+				}
+				out = append(out, goldenEntry{
+					Graph:           g,
+					Tech:            tech.name,
+					Instance:        i,
+					Plan:            planSig(p),
+					PlansCosted:     st.PlansCosted,
+					PairsConsidered: st.PairsConsidered,
+					PairsConnected:  st.PairsConnected,
+					ClassesCreated:  st.Memo.ClassesCreated,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestGoldenDefaultEstimator(t *testing.T) {
+	got := collectGolden(t)
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden entries to %s", len(got), goldenPath)
+		return
+	}
+	buf, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("golden corpus size changed: got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("golden mismatch at %s/%s[%d]:\n got %+v\nwant %+v",
+				want[i].Graph, want[i].Tech, want[i].Instance, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package ce
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the report as the sdplab robust table: one block per
+// topology, one row per (health, band, technique).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robustness under cardinality error (mode=%s, seed=%d, %d instances/topology)\n",
+		r.Mode, r.Seed, r.Instances)
+	fmt.Fprintf(&b, "ρ = geomean(true cost of chosen plan / true optimum); q-error over join-node cardinalities\n")
+	for _, tr := range r.Topologies {
+		fmt.Fprintf(&b, "\n%s\n", tr.Graph)
+		fmt.Fprintf(&b, "  %-7s %-6s %-8s %9s %9s %8s %8s %8s %7s %7s\n",
+			"health", "band", "tech", "rho", "worst", "q50", "q95", "qmax", "alive", "paths")
+		for _, c := range tr.Cells {
+			flag := ""
+			if c.Infeasible > 0 {
+				flag = fmt.Sprintf("  (%d infeasible)", c.Infeasible)
+			}
+			fmt.Fprintf(&b, "  %-7.2f %-6.1f %-8s %9.4f %9.4f %8.2f %8.2f %8.2f %7.0f %7.0f%s\n",
+				c.Health, c.Band, c.Tech, c.Rho, c.Worst,
+				c.QErrP50, c.QErrP95, c.QErrMax,
+				c.MeanClassesAlive, c.MeanPathsRetained, flag)
+		}
+	}
+	if r.Exec != nil {
+		e := r.Exec
+		fmt.Fprintf(&b, "\nExecution validation (%s, ≤%d rows/relation)\n", e.Graph, e.MaxRows)
+		fmt.Fprintf(&b, "  true-model q-error over %d executed join nodes: p50=%.2f p95=%.2f max=%.2f\n",
+			e.JoinNodes, e.ModelQErrP50, e.ModelQErrP95, e.ModelQErrMax)
+		match := "identical"
+		if !e.FingerprintsMatch {
+			match = "DIFFERENT — executor or plan bug"
+		}
+		fmt.Fprintf(&b, "  result multiset at band %.1f vs truth: %s\n", e.WorstBand, match)
+	}
+	return b.String()
+}
+
+// CheckReference asserts the sweep's anchor invariants, the CI smoke
+// contract: at band 1 / health 1 the injector is the identity, so DP — the
+// reference technique — must land exactly on the true optimum (ρ = 1 within
+// floating-point dust), and no technique may beat the optimum (ρ ≥ 1)
+// anywhere. A violation means the estimator extraction, Recost, or frame
+// mirroring broke.
+func (r *Report) CheckReference() error {
+	const eps = 1e-9
+	for _, tr := range r.Topologies {
+		for _, c := range tr.Cells {
+			if c.Infeasible == 0 && c.Rho < 1-eps {
+				return fmt.Errorf("ce: %s %s at band=%g health=%g has rho %.12f < 1 — chosen plan beat the \"optimum\"",
+					tr.Graph, c.Tech, c.Band, c.Health, c.Rho)
+			}
+			if c.Tech == "dp" && c.Band == 1 && c.Health == 1 {
+				if c.Rho > 1+eps || c.Worst > 1+eps {
+					return fmt.Errorf("ce: %s dp at band=1 health=1 has rho=%.12f worst=%.12f — identity injection changed a plan",
+						tr.Graph, c.Rho, c.Worst)
+				}
+			}
+		}
+	}
+	if r.Exec != nil && !r.Exec.FingerprintsMatch {
+		return fmt.Errorf("ce: execution fingerprints differ between the true plan and the band-%g plan", r.Exec.WorstBand)
+	}
+	return nil
+}

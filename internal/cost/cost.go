@@ -51,13 +51,15 @@ type Model struct {
 	Q      *query.Query
 	Params Params
 
-	predSel []float64 // selectivity per predicate index
-	// rawRows is the stored cardinality per query-local relation (drives
-	// scan IO); relRows is the post-filter output cardinality (drives
-	// joins).
-	rawRows  []float64
-	relRows  []float64
-	relWidth []int // tuple width per query-local relation
+	// est supplies every cardinality estimate (see Estimator). The arrays
+	// below snapshot its per-relation and per-predicate answers so the
+	// enumeration hot path reads flat slices, not interface calls;
+	// SetEstimator re-derives them.
+	est Estimator
+
+	predSel  []float64 // selectivity per predicate index
+	relRows  []float64 // post-filter output cardinality per relation
+	relWidth []int     // tuple width per query-local relation
 
 	// rowsMemo and widthMemo cache SetRows and Width per relation set. Both
 	// are pure functions of the set (SetRows is canonical by design), so
@@ -72,38 +74,69 @@ type Model struct {
 	PlansCosted int64
 }
 
-// NewModel builds a cost model for q, precomputing per-predicate
-// selectivities and per-relation statistics.
+// NewModel builds a cost model for q under the default catalog estimator,
+// precomputing per-predicate selectivities and per-relation statistics.
 func NewModel(q *query.Query, params Params) *Model {
-	m := &Model{Q: q, Params: params}
-	m.rawRows = make([]float64, q.NumRelations())
-	m.relRows = make([]float64, q.NumRelations())
+	return NewModelEst(q, params, nil)
+}
+
+// NewModelEst builds a cost model for q that consumes its cardinality
+// estimates from est. A nil est selects the default CatalogEstimator
+// (identical to NewModel).
+func NewModelEst(q *query.Query, params Params, est Estimator) *Model {
+	if est == nil {
+		est = NewCatalogEstimator(q)
+	}
+	m := &Model{Q: q, Params: params, est: est}
 	m.relWidth = make([]int, q.NumRelations())
 	for i := 0; i < q.NumRelations(); i++ {
-		rel := q.Relation(i)
-		m.rawRows[i] = rel.Rows
-		rows := rel.Rows
-		for _, f := range q.FiltersOn(i) {
-			rows *= m.FilterSel(f)
-		}
-		if rows < 1 {
-			rows = 1
-		}
-		m.relRows[i] = rows
-		m.relWidth[i] = rel.RowWidth()
+		m.relWidth[i] = q.Relation(i).RowWidth()
 	}
-	m.predSel = make([]float64, len(q.Preds))
-	for i := range q.Preds {
-		m.predSel[i] = m.computePredSel(i)
-	}
+	m.derive()
 	return m
 }
 
+// derive snapshots the estimator's per-relation and per-predicate answers
+// into the hot-path arrays and drops the estimator-dependent SetRows memo.
+// (widthMemo survives estimator swaps: tuple widths are physical schema
+// facts, not estimates.)
+func (m *Model) derive() {
+	q := m.Q
+	m.relRows = make([]float64, q.NumRelations())
+	for i := 0; i < q.NumRelations(); i++ {
+		m.relRows[i] = m.est.RelRows(i)
+	}
+	m.predSel = make([]float64, len(q.Preds))
+	for i := range q.Preds {
+		m.predSel[i] = m.est.PredSel(i)
+	}
+	m.rowsMemo = nil
+}
+
+// Estimator returns the model's active estimator.
+func (m *Model) Estimator() Estimator { return m.est }
+
+// SetEstimator swaps the model's estimator and re-derives every memoized
+// estimate (relation rows, predicate selectivities, the SetRows memo) from
+// it. A nil est restores the default CatalogEstimator. Not safe to call
+// concurrently with costing; swap before optimizing or Fork a fresh model.
+func (m *Model) SetEstimator(est Estimator) {
+	if est == nil {
+		est = NewCatalogEstimator(m.Q)
+	}
+	m.est = est
+	m.derive()
+}
+
 // Fork returns a copy of the model for one parallel enumeration worker: the
-// precomputed per-query statistics are shared (they are read-only after
-// NewModel, so sharing is race-free), while PlansCosted restarts at zero so
-// workers count without synchronizing. The parallel engine folds the forks'
-// counts back into the parent at each level barrier.
+// precomputed per-query statistics and the estimator are shared (both are
+// read-only after NewModelEst/SetEstimator — Estimator implementations are
+// required to be concurrency-safe pure functions, so sharing is race-free),
+// while PlansCosted restarts at zero so workers count without
+// synchronizing. The parallel engine folds the forks' counts back into the
+// parent at each level barrier. Estimator-dependent memoized state (the
+// SetRows memo) is dropped, never shared, so a worker can never observe a
+// memo populated under a different estimator.
 func (m *Model) Fork() *Model {
 	cp := *m
 	cp.PlansCosted = 0
@@ -114,46 +147,13 @@ func (m *Model) Fork() *Model {
 	return &cp
 }
 
-// FilterSel estimates a range filter's selectivity from the column's
-// value distribution (ANALYZE-style: the CDF a histogram encodes), so
-// skewed columns — where most rows carry small values — estimate
-// accurately rather than assuming uniformity.
-func (m *Model) FilterSel(f query.Filter) float64 {
-	sel := m.Q.Relation(f.Rel).Cols[f.Col].FracBelow(float64(f.Bound))
-	if sel <= 0 {
-		return 1e-9 // a filter never returns exactly nothing in estimates
-	}
-	return sel
-}
+// FilterSel returns the active estimator's selectivity for local range
+// filter f.
+func (m *Model) FilterSel(f query.Filter) float64 { return m.est.FilterSel(f) }
 
-// columnNDV is the effective distinct count of (rel, col) after skew and
-// any range filters on that column, capped by the relation's filtered
-// cardinality.
-func (m *Model) columnNDV(rel, col int) float64 {
-	c := m.Q.Relation(rel).Cols[col]
-	ndv := c.EffectiveNDV()
-	for _, f := range m.Q.FiltersOn(rel) {
-		if f.Col == col {
-			// A range filter keeps only the matching slice of the domain.
-			ndv *= m.FilterSel(f)
-		}
-	}
-	return math.Max(1, math.Min(ndv, m.relRows[rel]))
-}
-
-// computePredSel estimates the selectivity of equi-join predicate pi as
-// 1/max(effective ndv of either side), PostgreSQL's eqjoinsel formula, with
-// skew folded into the effective distinct counts.
-func (m *Model) computePredSel(pi int) float64 {
-	p := m.Q.Preds[pi]
-	lNDV := m.columnNDV(p.LeftRel, p.LeftCol)
-	rNDV := m.columnNDV(p.RightRel, p.RightCol)
-	sel := 1 / math.Max(lNDV, rNDV)
-	if sel > 1 {
-		return 1
-	}
-	return sel
-}
+// columnNDV is the active estimator's effective distinct count of
+// (rel, col).
+func (m *Model) columnNDV(rel, col int) float64 { return m.est.ColumnNDV(rel, col) }
 
 // PredSel returns the estimated selectivity of predicate pi.
 func (m *Model) PredSel(pi int) float64 { return m.predSel[pi] }

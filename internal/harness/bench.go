@@ -10,6 +10,7 @@ import (
 	"runtime"
 	"time"
 
+	"sdpopt/internal/ce"
 	"sdpopt/internal/core"
 	"sdpopt/internal/loadgen"
 	"sdpopt/internal/obs/regret"
@@ -72,6 +73,11 @@ type BenchReport struct {
 	// Load reports the routed-vs-always-SDP open-loop load comparison
 	// (see LoadBench).
 	Load *LoadBench `json:"load,omitempty"`
+	// Robustness reports plan quality under injected cardinality error and
+	// degraded statistics: ρ per (technique, topology, error band, stats
+	// health) with q-error quantiles and escape-hatch counts (see
+	// ce.Report).
+	Robustness *ce.Report `json:"robustness,omitempty"`
 }
 
 // LoadBench is the serving-under-load comparison: the same open-loop
@@ -229,6 +235,11 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Load = lb
+	ceb, err := benchRobustness(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Robustness = ceb
 	return r, nil
 }
 

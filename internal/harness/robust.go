@@ -1,0 +1,22 @@
+package harness
+
+import (
+	"sdpopt/internal/ce"
+)
+
+// benchRobustness runs the cardinality-error robustness sweep for the
+// BENCH report: 4 error bands × 2 stats-health levels over three
+// DP-feasible topologies, all four techniques, plus the execution
+// validation pass. Sizes stay small — exhaustive DP under truth anchors
+// every cell, so the sweep is a plan-quality measurement, not a timing one.
+func benchRobustness(c Config) (*ce.Report, error) {
+	spec := c.schema()
+	return ce.Evaluate(ce.Config{
+		Cat:       spec.Cat,
+		Seed:      c.Seed,
+		Instances: c.instances(3),
+		Budget:    c.budget(),
+		Mode:      ce.ModeBoth,
+		Exec:      true,
+	})
+}

@@ -258,6 +258,26 @@ const (
 	// engine slice expired (or aborted on budget) and were re-run greedy.
 	MRouteFallbacks = "sdpopt_route_fallbacks_total"
 
+	// Cardinality-error robustness metrics (see internal/ce).
+
+	// MCEEvaluations counts completed robustness evaluations — one
+	// optimize-under-lie + recost-under-truth cycle — labeled tech=.
+	MCEEvaluations = "sdpopt_ce_evaluations_total"
+	// MCEInfeasible counts evaluations the technique could not finish
+	// under the memory budget, labeled tech=.
+	MCEInfeasible = "sdpopt_ce_infeasible_total"
+	// MCEPlanRatio is the true-cost-over-true-optimum float histogram of
+	// plans chosen under a lying estimator, labeled tech=, with
+	// RatioBuckets bounds.
+	MCEPlanRatio = "sdpopt_ce_plan_ratio"
+	// MCEQError is the per-join-node q-error float histogram of the lying
+	// model's intermediate cardinalities against the true model's,
+	// labeled tech=.
+	MCEQError = "sdpopt_ce_qerror"
+	// MCEExecQError is the true model's q-error against actually executed
+	// cardinalities (internal/exec) — validation of the truth itself.
+	MCEExecQError = "sdpopt_ce_exec_qerror"
+
 	// Process metrics (see RegisterBuildInfo).
 
 	// MBuildInfo is the constant-1 gauge carrying version/goversion/

@@ -23,7 +23,9 @@ import (
 	"time"
 
 	"sdpopt/internal/catalog"
+	"sdpopt/internal/ce"
 	"sdpopt/internal/core"
+	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/exec"
 	"sdpopt/internal/genetic"
@@ -446,4 +448,40 @@ type BenchReport = harness.BenchReport
 // overhead report, stamped with date.
 func RunBench(cfg ExperimentConfig, date time.Time) (*BenchReport, error) {
 	return harness.Bench(cfg, date)
+}
+
+// Cardinality-error robustness (see internal/ce): optimize under a lying
+// estimator, re-cost under truth, report ρ-under-error per technique.
+type (
+	// Estimator is the cost model's pluggable cardinality-estimation
+	// boundary.
+	Estimator = cost.Estimator
+	// RobustConfig parameterizes a robustness evaluation.
+	RobustConfig = ce.Config
+	// RobustReport is a full robustness evaluation result.
+	RobustReport = ce.Report
+	// RobustTopoSpec selects one join-graph family for the sweep.
+	RobustTopoSpec = ce.TopoSpec
+	// ErrorMode selects which estimates the error injector corrupts.
+	ErrorMode = ce.Mode
+)
+
+// Error-injection modes.
+const (
+	ErrorModeRelation  = ce.ModeRelation
+	ErrorModePredicate = ce.ModePredicate
+	ErrorModeBoth      = ce.ModeBoth
+)
+
+// ParseErrorMode parses a -mode flag value (relation|predicate|both).
+func ParseErrorMode(s string) (ErrorMode, error) { return ce.ParseMode(s) }
+
+// RunRobustness executes the robustness sweep described by cfg.
+func RunRobustness(cfg RobustConfig) (*RobustReport, error) { return ce.Evaluate(cfg) }
+
+// DegradeStats returns a deep copy of cat with each column's ANALYZE
+// statistics independently lost with probability 1-health,
+// deterministically in seed (see ce.DegradeCatalog).
+func DegradeStats(cat *Catalog, health float64, seed int64) (*Catalog, error) {
+	return ce.DegradeCatalog(cat, health, seed)
 }
