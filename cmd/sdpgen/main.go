@@ -1,22 +1,41 @@
 // Command sdpgen emits a generated workload as SQL text — the queries the
 // experiments optimize, in executable form — and, optionally, the catalog
 // the workload was generated against, with statistics degraded to a chosen
-// health level for offline robustness experiments.
+// health level for offline robustness experiments or tilted toward
+// Zipf-skewed data generation for feedback experiments.
 //
 // Usage:
 //
 //	sdpgen -topology star -rels 15 -count 3
 //	sdpgen -stats-health 0.5 -catalog-out degraded.json
+//	sdpgen -skew zipf:1.3 -catalog-out skewed.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"sdpopt"
 )
+
+// parseSkew parses the -skew flag: "" (no skew) or "zipf:<s>" with s > 1.
+func parseSkew(s string) (float64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	rest, ok := strings.CutPrefix(strings.ToLower(s), "zipf:")
+	if !ok {
+		return 0, fmt.Errorf("skew spec %q is not zipf:<s>", s)
+	}
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil || v <= 1 {
+		return 0, fmt.Errorf("zipf exponent %q must be a number > 1", rest)
+	}
+	return v, nil
+}
 
 func main() {
 	topo := flag.String("topology", "star", "chain | star | cycle | clique | star-chain")
@@ -25,7 +44,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	ordered := flag.Bool("ordered", false, "add an ORDER BY on a join column")
 	statsHealth := flag.Float64("stats-health", 1, "fraction of columns keeping ANALYZE statistics in the emitted catalog; the rest lose NDV/skew (magic-selectivity fallback)")
-	catalogOut := flag.String("catalog-out", "", "write the (possibly degraded) catalog as JSON to this file ('-' = stdout)")
+	skew := flag.String("skew", "", "data-generation skew for the emitted catalog, e.g. zipf:1.3; statistics are untouched, so the estimator's uniformity assumption is measurably wrong")
+	catalogOut := flag.String("catalog-out", "", "write the (possibly degraded or skewed) catalog as JSON to this file ('-' = stdout)")
 	flag.Parse()
 
 	topos := map[string]sdpopt.Topology{
@@ -37,8 +57,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sdpgen: unknown topology %q\n", *topo)
 		os.Exit(2)
 	}
+	zipfS, err := parseSkew(*skew)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sdpgen: -skew:", err)
+		os.Exit(2)
+	}
 	if *statsHealth < 1 && *catalogOut == "" {
 		fmt.Fprintln(os.Stderr, "sdpgen: -stats-health below 1 needs -catalog-out (the degradation is emitted, queries are still generated from true statistics)")
+		os.Exit(2)
+	}
+	if zipfS > 0 && *catalogOut == "" {
+		fmt.Fprintln(os.Stderr, "sdpgen: -skew needs -catalog-out (skew only affects executed data, which lives in the emitted catalog)")
 		os.Exit(2)
 	}
 	cat := sdpopt.PaperSchema()
@@ -52,8 +81,16 @@ func main() {
 	}
 	if *catalogOut != "" {
 		out := cat
+		if zipfS > 0 {
+			if out, err = out.WithZipfSkew(zipfS); err != nil {
+				fmt.Fprintln(os.Stderr, "sdpgen:", err)
+				os.Exit(1)
+			}
+		}
+		// Degrade after skewing: DegradeCatalog zeroes statistics but
+		// preserves the Zipf data property, so both compose.
 		if *statsHealth < 1 {
-			if out, err = sdpopt.DegradeStats(cat, *statsHealth, *seed); err != nil {
+			if out, err = sdpopt.DegradeStats(out, *statsHealth, *seed); err != nil {
 				fmt.Fprintln(os.Stderr, "sdpgen:", err)
 				os.Exit(1)
 			}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sdpopt"
+)
+
+// feedbackCmd renders a cardinality feedback dump — the
+// /debug/cardinality.json document a feedback-enabled server serves — as
+// the counter lines and the per-object q-error/staleness table with
+// sparkline windows. The dump is read from a file argument, or stdin with
+// "-", so `curl .../debug/cardinality.json | sdplab feedback -` works.
+func feedbackCmd(args []string) error {
+	fs := flag.NewFlagSet("feedback", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: sdplab feedback <cardinality.json | ->")
+	}
+	var r io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	dump, err := sdpopt.ReadFeedbackDump(r)
+	if err != nil {
+		return err
+	}
+	fmt.Print(dump.Render())
+	return nil
+}

@@ -10,6 +10,7 @@
 //	sdplab load -addr http://host:8080   # open-loop load against a running serve
 //	sdplab inspect flight.json           # render a /debug/flight.json dump
 //	sdplab regret regret.json            # render a /debug/regret.json dump
+//	sdplab feedback cardinality.json     # render a /debug/cardinality.json dump
 //	sdplab robust -check                 # plan quality under cardinality error
 //
 // Flags tune the sample size (-instances), the RNG seed (-seed), the
@@ -72,6 +73,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
 			os.Exit(1)
 		}
+	case "feedback":
+		if err := feedbackCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "sdplab:", err)
+			os.Exit(1)
+		}
 	case "robust":
 		if err := robustCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "sdplab:", err)
@@ -95,14 +101,16 @@ func usage() {
              [-flight-slow-ms MS] [-flight-recent N] [-flight-notable N]
              [-shadow-rate F] [-shadow-hit-rate F] [-shadow-workers N] [-shadow-queue N]
              [-shadow-dp-rels N] [-shadow-dedup D] [-shadow-pin-ratio F]
+             [-exec-sample-rate F] [-exec-max-rels N] [-exec-max-rows N] [-feedback-log FILE.jsonl]
   sdplab load  [-addr URL] [-qps F] [-duration D] [-warmup D] [-arrivals poisson|constant]
              [-technique T] [-timeout-ms MS] [-mix SPEC] [-pool N] [-seed S] [-use-cache]
              [-json FILE] [-max-shed-rate F] [-max-5xx N] [-require-routes T1,T2]
   sdplab inspect [-top N] [-trace PREFIX] [-summary] <flight.json | ->
   sdplab regret <regret.json | ->
+  sdplab feedback <cardinality.json | ->
   sdplab robust [-instances N] [-seed S] [-budget MB] [-skewed] [-bands 1,2,4,8]
              [-healths 1,0.5] [-mode relation|predicate|both] [-topologies chain-8,star-9]
-             [-exec=false] [-json FILE] [-check]
+             [-exec=false] [-feedback corpus.jsonl] [-json FILE] [-check]
 
 -parallel runs P optimizations concurrently (harness throughput); -workers
 splits each optimization's enumeration across W cores (plan-identical,

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -31,6 +32,7 @@ func robustCmd(args []string) error {
 	mode := fs.String("mode", "both", "what the injector corrupts: relation|predicate|both")
 	topos := fs.String("topologies", "", "comma-separated graph-N specs, e.g. chain-8,star-9 (empty = default sweep)")
 	exec := fs.Bool("exec", true, "execute the example query to validate the true cost model")
+	feedbackPath := fs.String("feedback", "", "replay the measured error factors of this JSONL observation corpus (a serve's -feedback-log) instead of the synthetic -bands; '-' = stdin")
 	jsonOut := fs.String("json", "", "also write the report as JSON to this file ('-' = stdout)")
 	check := fs.Bool("check", false, "assert the reference invariants and exit non-zero on violation")
 	if err := fs.Parse(args); err != nil {
@@ -39,6 +41,9 @@ func robustCmd(args []string) error {
 	m, err := sdpopt.ParseErrorMode(*mode)
 	if err != nil {
 		return err
+	}
+	if *check && *feedbackPath != "" {
+		return fmt.Errorf("-check asserts the no-error reference invariants; they do not hold under -feedback's replayed error")
 	}
 	bandVals, err := parseFloats(*bands)
 	if err != nil {
@@ -66,6 +71,29 @@ func robustCmd(args []string) error {
 		Mode:       m,
 		Topologies: topoSpecs,
 		Exec:       *exec,
+	}
+	if *feedbackPath != "" {
+		var r io.Reader = os.Stdin
+		if *feedbackPath != "-" {
+			f, err := os.Open(*feedbackPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		observations, skipped, err := sdpopt.ReadFeedbackCorpus(r, os.Stderr)
+		if err != nil {
+			return err
+		}
+		if len(observations) == 0 {
+			return fmt.Errorf("-feedback: corpus %s holds no readable observations", *feedbackPath)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "sdplab robust: skipped %d malformed corpus lines\n", skipped)
+		}
+		cfg.Empirical = sdpopt.BuildFeedbackProfile(observations)
+		fmt.Fprintf(os.Stderr, "sdplab robust: replaying %d observations as empirical error factors\n", len(observations))
 	}
 	start := time.Now()
 	rep, err := sdpopt.RunRobustness(cfg)

@@ -38,6 +38,10 @@ func serveCmd(args []string) error {
 	shadowDPRels := fs.Int("shadow-dp-rels", 0, "largest relation count re-optimized with exhaustive DP; bigger queries use full SDP as reference (0 = default 12)")
 	shadowDedup := fs.Duration("shadow-dedup", 0, "suppress re-shadowing one query shape within this interval (0 = default 1m, negative disables)")
 	shadowPinRatio := fs.Float64("shadow-pin-ratio", 0, "pin shadow traces with at least this served/reference cost ratio into the flight recorder (0 = default 2)")
+	execSampleRate := fs.Float64("exec-sample-rate", 0, "fraction of served plans executed over synthetic data for estimate-vs-actual feedback, in [0, 1] (0 disables exec sampling)")
+	execMaxRels := fs.Int("exec-max-rels", 0, "largest relation count eligible for exec sampling (0 = default 8)")
+	execMaxRows := fs.Int("exec-max-rows", 0, "largest base-relation row count eligible for exec sampling (0 = default 2000)")
+	feedbackLog := fs.String("feedback-log", "", "append exec-sampled observations to this JSONL corpus (replay with 'sdplab robust -feedback')")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,6 +58,15 @@ func serveCmd(args []string) error {
 	}
 	if *shadowRate == 0 && (*shadowHitRate != 0 || *shadowWorkers != 0 || *shadowQueue != 0 || *shadowDPRels != 0 || *shadowDedup != 0 || *shadowPinRatio != 0) {
 		return fmt.Errorf("shadow flags require -shadow-rate > 0 to enable the shadow layer")
+	}
+	if *execSampleRate < 0 || *execSampleRate > 1 {
+		return fmt.Errorf("-exec-sample-rate must lie in [0, 1] (got %g)", *execSampleRate)
+	}
+	if *execMaxRels < 0 || *execMaxRows < 0 {
+		return fmt.Errorf("exec-sampling bounds must be non-negative (got -exec-max-rels %d, -exec-max-rows %d)", *execMaxRels, *execMaxRows)
+	}
+	if *execSampleRate == 0 && (*execMaxRels != 0 || *execMaxRows != 0 || *feedbackLog != "") {
+		return fmt.Errorf("exec-sampling flags require -exec-sample-rate > 0 to enable the feedback layer")
 	}
 
 	cat := sdpopt.PaperSchema()
@@ -93,6 +106,15 @@ func serveCmd(args []string) error {
 			Obs:        ob,
 		})
 	}
+	var fb *sdpopt.FeedbackOptions
+	if *execSampleRate > 0 {
+		fb = &sdpopt.FeedbackOptions{
+			SampleRate: *execSampleRate,
+			MaxRels:    *execMaxRels,
+			MaxRows:    *execMaxRows,
+			LogPath:    *feedbackLog,
+		}
+	}
 	var shadow *sdpopt.RegretOptions
 	if *shadowRate > 0 {
 		shadow = &sdpopt.RegretOptions{
@@ -116,6 +138,7 @@ func serveCmd(args []string) error {
 		Budget:        *budgetMB << 20,
 		Timeout:       *timeout,
 		Regret:        shadow,
+		Feedback:      fb,
 		Flight: sdpopt.FlightRecorderOptions{
 			Recent:        *flightRecent,
 			Notable:       *flightNotable,
@@ -140,6 +163,11 @@ func serveCmd(args []string) error {
 		fmt.Fprintf(os.Stderr, "  GET  /debug/regret       plan-quality regret: shadowed ρ/W windows per technique\n")
 		fmt.Fprintf(os.Stderr, "  GET  /debug/regret.json  regret dump (render with 'sdplab regret')\n")
 	}
+	if fb != nil {
+		fmt.Fprintf(os.Stderr, "  GET  /debug/cardinality       estimate-vs-actual q-errors and staleness per catalog object\n")
+		fmt.Fprintf(os.Stderr, "  GET  /debug/cardinality.json  cardinality dump (render with 'sdplab feedback')\n")
+	}
+	fmt.Fprintf(os.Stderr, "  GET  /debug              index of every mounted debug surface\n")
 	fmt.Fprintf(os.Stderr, "  catalog version %s, cache %d entries, techniques %v\n",
 		sdpopt.CatalogFingerprint(cat), *cacheEntries, sdpopt.Techniques())
 

@@ -39,6 +39,13 @@ type Column struct {
 	// cardinalities stay exact: pg_class.reltuples survives even when
 	// pg_statistic rows are missing.
 	StatsLost bool `json:",omitempty"`
+	// ZipfS, when > 1, gives the column's generated data a Zipf value
+	// distribution with this exponent (P(k) ∝ 1/(1+k)^s). Unlike Skew it is
+	// a property of the data alone: estimation never reads it, so executed
+	// actuals systematically diverge from the uniform-assumption estimates —
+	// the divergence the cardinality-feedback ledger measures. Zero means
+	// no Zipf tilt.
+	ZipfS float64 `json:",omitempty"`
 }
 
 // EffectiveNDV is the distinct count used for join selectivity estimation.
@@ -218,6 +225,28 @@ func Synthetic(cfg Config) (*Catalog, error) {
 		rel.IndexCorr = rng.Float64()
 	}
 	return cat, nil
+}
+
+// WithZipfSkew returns a deep copy of the catalog in which every column's
+// generated data is Zipf-distributed with exponent s (> 1). Statistics are
+// untouched — the estimator keeps assuming uniformity while the data
+// concentrates onto few hot values, so executed cardinalities diverge from
+// estimates in a controlled, reproducible way (see exec.Generate and
+// internal/feedback).
+func (c *Catalog) WithZipfSkew(s float64) (*Catalog, error) {
+	if s <= 1 {
+		return nil, fmt.Errorf("catalog: Zipf exponent %g must be > 1", s)
+	}
+	cp := &Catalog{Rels: make([]Relation, len(c.Rels))}
+	for i, rel := range c.Rels {
+		r := rel
+		r.Cols = append([]Column(nil), rel.Cols...)
+		for j := range r.Cols {
+			r.Cols[j].ZipfS = s
+		}
+		cp.Rels[i] = r
+	}
+	return cp, nil
 }
 
 // MustSynthetic is Synthetic that panics on configuration errors; for use

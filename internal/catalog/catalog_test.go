@@ -262,10 +262,47 @@ func TestReadJSONRejectsInvalid(t *testing.T) {
 		"negative skew":  `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Skew":-1,"Width":4}],"IndexCol":0}]}`,
 		"zero width":     `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":0}],"IndexCol":0}]}`,
 		"lost with ndv":  `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":4,"StatsLost":true}],"IndexCol":0}]}`,
+		"zipf s too low": `{"Rels":[{"Name":"X","Rows":10,"Cols":[{"Name":"a","NDV":5,"Width":4,"ZipfS":0.8}],"IndexCol":0}]}`,
 	}
 	for name, src := range cases {
 		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestJSONRoundTripZipf covers the skewed-data shape sdpgen -skew zipf:<s>
+// emits: the Zipf exponent survives serialization (including on stats-lost
+// columns, where it is a data property rather than a statistic).
+func TestJSONRoundTripZipf(t *testing.T) {
+	orig := MustSynthetic(DefaultConfig())
+	zipfed, err := orig.WithZipfSkew(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zipfed.Rels[0].Cols[1].StatsLost = true
+	zipfed.Rels[0].Cols[1].NDV = 0
+	zipfed.Rels[0].Cols[1].Skew = 0
+	var buf bytes.Buffer
+	if err := zipfed.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	for i := range got.Rels {
+		for j := range got.Rels[i].Cols {
+			if got.Rels[i].Cols[j].ZipfS != 1.5 {
+				t.Fatalf("column %d.%d ZipfS = %g after round trip", i, j, got.Rels[i].Cols[j].ZipfS)
+			}
+		}
+	}
+	if !got.Rels[0].Cols[1].StatsLost {
+		t.Fatal("StatsLost flag dropped")
+	}
+	// The original is untouched (deep copy).
+	if orig.Rels[0].Cols[0].ZipfS != 0 {
+		t.Fatal("WithZipfSkew mutated its receiver")
 	}
 }

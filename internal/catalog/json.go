@@ -57,6 +57,11 @@ func ReadJSON(r io.Reader) (*Catalog, error) {
 			if col.Width < 1 {
 				return nil, fmt.Errorf("catalog: column %s.%s width %d", rel.Name, col.Name, col.Width)
 			}
+			// ZipfS is a data-generation property, not a statistic, so it is
+			// legal on stats-lost columns too; rand.Zipf requires s > 1.
+			if col.ZipfS != 0 && col.ZipfS <= 1 {
+				return nil, fmt.Errorf("catalog: column %s.%s Zipf exponent %g must be > 1", rel.Name, col.Name, col.ZipfS)
+			}
 		}
 	}
 	return &c, nil

@@ -1,0 +1,138 @@
+package ce
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"sdpopt/internal/cost"
+	"sdpopt/internal/feedback"
+	"sdpopt/internal/workload"
+)
+
+// TestEmpiricalEstimatorFactors pins the replay semantics: a profile built
+// from observed est/actual pairs scales exactly the objects it observed and
+// nothing else.
+func TestEmpiricalEstimatorFactors(t *testing.T) {
+	cat := workload.PaperSchema()
+	q, err := workload.Example9(cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel0 := q.Relation(0).Name
+	pred0 := feedback.PredLabel(q, 0)
+	profile := feedback.BuildProfile([]feedback.Observation{
+		// Relation 0 overestimated 2×, predicate 0 underestimated 4×.
+		{Object: rel0, Kind: feedback.KindRelation, Est: 200, Actual: 100},
+		{Object: pred0, Kind: feedback.KindPredicate, Est: 25, Actual: 100},
+	})
+
+	base := cost.NewCatalogEstimator(q)
+	est := NewEmpiricalEstimator(q, nil, profile)
+	if got, want := est.RelRows(0), math.Max(1, base.RelRows(0)*2); math.Abs(got-want) > 1e-9*want {
+		t.Fatalf("RelRows(0) = %g, want %g (2x base)", got, want)
+	}
+	if got, want := est.PredSel(0), math.Min(1, base.PredSel(0)*0.25); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("PredSel(0) = %g, want %g (base/4)", got, want)
+	}
+	// Unobserved objects replay at factor 1 — bit-identical to the base.
+	for i := 1; i < q.NumRelations(); i++ {
+		if est.RelRows(i) != math.Max(1, base.RelRows(i)) {
+			t.Fatalf("unobserved relation %d scaled", i)
+		}
+	}
+	for pi := 1; pi < len(q.Preds); pi++ {
+		if est.PredSel(pi) != base.PredSel(pi) {
+			t.Fatalf("unobserved predicate %d scaled", pi)
+		}
+	}
+	if !strings.Contains(est.Name(), "empirical(n=2)") {
+		t.Fatalf("Name = %q", est.Name())
+	}
+
+	// A nil profile is a pure pass-through.
+	neutral := NewEmpiricalEstimator(q, nil, nil)
+	if neutral.RelRows(0) != math.Max(1, base.RelRows(0)) || neutral.PredSel(0) != base.PredSel(0) {
+		t.Fatal("nil-profile estimator is not the base")
+	}
+}
+
+// TestEmpiricalReplayByteDeterministic is the acceptance criterion: the
+// exported JSONL corpus replays byte-deterministically into the empirical
+// mode — corpus → lenient read → profile → Evaluate twice gives identical
+// marshaled reports.
+func TestEmpiricalReplayByteDeterministic(t *testing.T) {
+	cat := workload.PaperSchema()
+	// Every catalog relation gets a measured error, alternating over- and
+	// underestimates, so whichever relations the sampled instances draw,
+	// the replayed lie reaches them.
+	var observations []feedback.Observation
+	for i := range cat.Rels {
+		est := 300.0
+		if i%2 == 1 {
+			est = 50
+		}
+		observations = append(observations, feedback.Observation{
+			Object: cat.Rels[i].Name, Kind: feedback.KindRelation, Est: est, Actual: 100, Tech: "sdp",
+		})
+	}
+	var corpus bytes.Buffer
+	cw := feedback.NewCorpusWriter(&corpus)
+	cw.Append(observations...)
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func() []byte {
+		t.Helper()
+		read, skipped, err := feedback.ReadCorpusLenient(bytes.NewReader(corpus.Bytes()), nil)
+		if err != nil || skipped != 0 {
+			t.Fatalf("corpus read: %d skipped, err %v", skipped, err)
+		}
+		rep, err := Evaluate(Config{
+			Seed:       7,
+			Instances:  1,
+			Healths:    []float64{1},
+			Topologies: []TopoSpec{{workload.Star, 7}},
+			Empirical:  feedback.BuildProfile(read),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	b1, b2 := run(), run()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("empirical replay not byte-deterministic:\n%s\n%s", b1, b2)
+	}
+
+	var rep Report
+	if err := json.Unmarshal(b1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rep.Mode, "empirical(") {
+		t.Fatalf("report mode %q", rep.Mode)
+	}
+	if len(rep.Bands) != 1 || rep.Bands[0] != 1 {
+		t.Fatalf("empirical mode kept synthetic bands: %v", rep.Bands)
+	}
+	// The measured lie must actually reach the sweep: with relation 0
+	// overestimated 3x, at least one technique's q-error exceeds 1.
+	moved := false
+	for _, tr := range rep.Topologies {
+		for _, c := range tr.Cells {
+			if c.QErrMax > 1.01 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("empirical factors did not perturb any estimate")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sdpopt/internal/core"
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/feedback"
 	"sdpopt/internal/greedy"
 	"sdpopt/internal/idp"
 	"sdpopt/internal/obs"
@@ -45,6 +46,12 @@ type Config struct {
 	Healths []float64
 	// Mode selects what the injector corrupts.
 	Mode Mode
+	// Empirical, when non-nil, replaces the synthetic log-normal injector
+	// with measured error: every estimate is scaled by the geomean
+	// est/actual factor this profile recorded for the catalog object (see
+	// feedback.BuildProfile). Bands are ignored in this mode — the error
+	// is whatever was measured — so defaults() collapses them to {1}.
+	Empirical *feedback.ErrorProfile
 	// Topologies to sweep (nil = Chain-8, Star-9, Star-Chain-9). Sizes
 	// must stay DP-feasible: exhaustive DP under truth is the ρ baseline.
 	Topologies []TopoSpec
@@ -134,6 +141,10 @@ func (c *Config) defaults() {
 	if c.Instances == 0 {
 		c.Instances = 3
 	}
+	if c.Empirical != nil {
+		// Measured error has no band knob; one pass per (health, tech).
+		c.Bands = []float64{1}
+	}
 	if len(c.Bands) == 0 {
 		c.Bands = []float64{1, 2, 4, 8}
 	}
@@ -166,10 +177,14 @@ func Evaluate(cfg Config) (*Report, error) {
 		}
 	}
 	ob := obs.Or(cfg.Obs)
+	mode := cfg.Mode.String()
+	if cfg.Empirical != nil {
+		mode = fmt.Sprintf("empirical(n=%d)", cfg.Empirical.Observations)
+	}
 	rep := &Report{
 		Seed:      cfg.Seed,
 		Instances: cfg.Instances,
-		Mode:      cfg.Mode.String(),
+		Mode:      mode,
 		Bands:     cfg.Bands,
 		Healths:   cfg.Healths,
 	}
@@ -247,11 +262,17 @@ func evaluateTopology(cfg *Config, topo TopoSpec, ob *obs.Observer) (*TopologyRe
 			for _, tech := range techNames {
 				acc := cellAccum{}
 				for i, lq := range lyingQs {
-					inj, err := NewInjector(lq, nil, band, cfg.Seed, cfg.Mode)
-					if err != nil {
-						return nil, err
+					var est cost.Estimator
+					if cfg.Empirical != nil {
+						est = NewEmpiricalEstimator(lq, nil, cfg.Empirical)
+					} else {
+						inj, err := NewInjector(lq, nil, band, cfg.Seed, cfg.Mode)
+						if err != nil {
+							return nil, err
+						}
+						est = inj
 					}
-					m := cost.NewModelEst(lq, params, inj)
+					m := cost.NewModelEst(lq, params, est)
 					p, st, err := runTechnique(tech, lq, m, cfg.Budget)
 					if err != nil {
 						acc.infeas++

@@ -75,7 +75,7 @@ func Generate(q *query.Query, seed int64, maxRows int) (*DB, error) {
 		for r := range rows {
 			rows[r] = make([]int64, len(rel.Cols))
 			for c := range rel.Cols {
-				rows[r][c] = drawValue(&rel.Cols[c], rng)
+				rows[r][c] = drawValue(&rel.Cols[c], n, rng)
 			}
 		}
 		db.tables[i] = rows
@@ -85,11 +85,29 @@ func Generate(q *query.Query, seed int64, maxRows int) (*DB, error) {
 
 // drawValue samples one column value in [0, NDV): uniformly for unskewed
 // columns, exponentially tilted for skewed ones (matching the catalog's
-// "exponential distribution" of values).
-func drawValue(col *catalog.Column, rng *rand.Rand) int64 {
+// "exponential distribution" of values), Zipf-distributed when the column
+// carries a ZipfS exponent. Zipf skew is a data-generation property the
+// estimator never sees — the uniform-assumption estimates diverge from the
+// executed actuals, which is exactly what the cardinality-feedback ledger
+// exists to measure.
+func drawValue(col *catalog.Column, rows int, rng *rand.Rand) int64 {
 	ndv := int64(col.NDV)
 	if ndv < 1 {
-		ndv = 1
+		// No distinct count — the column lost its statistics (DegradeCatalog
+		// zeroes NDV alongside StatsLost). The underlying data still exists;
+		// assume near-unique values, PostgreSQL's ndistinct=-1 convention.
+		// Never collapse to a constant: a single-valued join column turns
+		// every join into a cross product.
+		ndv = int64(rows)
+		if ndv < 1 {
+			ndv = 1
+		}
+	}
+	if col.ZipfS > 1 {
+		// rand.Zipf draws k in [0, imax] with P(k) ∝ 1/(1+k)^s. The sampler
+		// holds no state beyond its constants, so constructing it per draw
+		// keeps the per-relation stream deterministic in seed alone.
+		return int64(rand.NewZipf(rng, col.ZipfS, 1, uint64(ndv-1)).Uint64())
 	}
 	if col.Skew == 0 {
 		return rng.Int63n(ndv)
@@ -103,38 +121,79 @@ func drawValue(col *catalog.Column, rng *rand.Rand) int64 {
 	return v
 }
 
+// maxJoinRows bounds any single join's materialized output. Cardinality
+// misestimates are the executor's reason to exist, but a plan whose true
+// intermediate is astronomically large (a de-facto cross product over a
+// mis-specified catalog) must fail fast rather than consume the host; the
+// feedback sampler counts such failures instead of wedging a worker.
+const maxJoinRows = 1 << 20
+
 // Run executes p against the database and returns its materialized result.
 func (db *DB) Run(p *plan.Plan) (*Table, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("exec: %w", err)
 	}
-	return db.run(p)
+	return db.run(p, nil)
 }
 
-func (db *DB) run(p *plan.Plan) (*Table, error) {
+// RunActuals executes p and additionally records the actual output row count
+// of every plan node, keyed by node pointer. Within one plan tree each node's
+// subtree covers a distinct relation set, so node identity is unambiguous.
+// One execution yields every intermediate cardinality — the raw material of
+// the estimate-vs-actual feedback ledger — where re-running each subtree
+// would square the work.
+func (db *DB) RunActuals(p *plan.Plan) (*Table, map[*plan.Plan]int, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("exec: %w", err)
+	}
+	actuals := make(map[*plan.Plan]int)
+	t, err := db.run(p, actuals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return t, actuals, nil
+}
+
+// run executes one node, recording its actual output cardinality in actuals
+// when non-nil.
+func (db *DB) run(p *plan.Plan, actuals map[*plan.Plan]int) (*Table, error) {
+	t, err := db.runNode(p, actuals)
+	if err != nil {
+		return nil, err
+	}
+	if actuals != nil {
+		actuals[p] = t.NumRows()
+	}
+	return t, nil
+}
+
+func (db *DB) runNode(p *plan.Plan, actuals map[*plan.Plan]int) (*Table, error) {
 	switch p.Op {
 	case plan.SeqScan:
 		return db.scan(p.Rel, false), nil
 	case plan.IndexScan:
 		return db.scan(p.Rel, true), nil
 	case plan.Sort:
-		in, err := db.run(p.Left)
+		in, err := db.run(p.Left, actuals)
 		if err != nil {
 			return nil, err
 		}
 		return db.sortTable(in, p.Order)
 	case plan.NestLoop, plan.HashJoin, plan.MergeJoin, plan.IndexNestLoop:
-		left, err := db.run(p.Left)
+		left, err := db.run(p.Left, actuals)
 		if err != nil {
 			return nil, err
 		}
 		var right *Table
 		if p.Op == plan.IndexNestLoop {
 			// The inner of an indexed nested loop is the base relation the
-			// probe descends into.
+			// probe descends into; its actual is the filtered scan size.
 			right = db.scan(p.Right.Rel, true)
+			if actuals != nil {
+				actuals[p.Right] = right.NumRows()
+			}
 		} else {
-			right, err = db.run(p.Right)
+			right, err = db.run(p.Right, actuals)
 			if err != nil {
 				return nil, err
 			}
@@ -232,6 +291,9 @@ func (db *DB) join(p *plan.Plan, left, right *Table) (*Table, error) {
 			build[row[pairs[0].r]] = append(build[row[pairs[0].r]], ri)
 		}
 		for _, lrow := range left.Rows {
+			if len(out.Rows) > maxJoinRows {
+				return nil, fmt.Errorf("exec: join of %v and %v exceeds %d rows", leftRels, rightRels, maxJoinRows)
+			}
 			for _, ri := range build[lrow[pairs[0].l]] {
 				rrow := right.Rows[ri]
 				if matches(lrow, rrow, pairs) {
@@ -243,6 +305,9 @@ func (db *DB) join(p *plan.Plan, left, right *Table) (*Table, error) {
 		// Nested loop semantics (also fine for merge join correctness —
 		// ordering is a physical property, not a logical one).
 		for _, lrow := range left.Rows {
+			if len(out.Rows) > maxJoinRows {
+				return nil, fmt.Errorf("exec: join of %v and %v exceeds %d rows", leftRels, rightRels, maxJoinRows)
+			}
 			for _, rrow := range right.Rows {
 				if matches(lrow, rrow, pairs) {
 					out.Rows = append(out.Rows, concat(lrow, rrow))

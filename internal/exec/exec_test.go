@@ -384,3 +384,196 @@ func TestFiltersAppliedAtScan(t *testing.T) {
 		t.Error("filtered plans disagree on results")
 	}
 }
+
+// TestRunActualsNodeIdentity checks that RunActuals records an actual row
+// count for every node of the tree, keyed by node pointer, and that the
+// recorded values are internally consistent: the root's actual equals the
+// materialized result, scans match their filtered base-relation size, and an
+// indexed nested loop's inner scan is recorded too.
+func TestRunActualsNodeIdentity(t *testing.T) {
+	q := tinyQuery(t, 5, query.StarEdges(5), nil)
+	db, err := Generate(q, 2, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := dp.Optimize(q, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, actuals, err := db.RunActuals(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := actuals[p]; got != res.NumRows() {
+		t.Fatalf("root actual %d != result rows %d", got, res.NumRows())
+	}
+	var walk func(n *plan.Plan)
+	walk = func(n *plan.Plan) {
+		if n == nil {
+			return
+		}
+		got, ok := actuals[n]
+		if !ok {
+			t.Fatalf("node %v (%v) missing from actuals", n.Op, n.Rels)
+		}
+		if n.Op.IsScan() {
+			want := db.scan(n.Rel, false).NumRows()
+			if got != want {
+				t.Fatalf("scan of rel %d: actual %d, want filtered size %d", n.Rel, got, want)
+			}
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(p)
+	// RunActuals and Run agree on the result itself.
+	plain, err := db.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Fingerprint() != res.Fingerprint() {
+		t.Fatal("RunActuals result differs from Run")
+	}
+}
+
+// TestActualsInvariantUnderJoinOrder is the property test behind the
+// feedback ledger's attribution: the actual cardinality of an intermediate
+// result depends only on its relation set, never on the join order that
+// produced it. Any two equivalent plans must therefore agree on the actual
+// row count of every relation set they both materialize.
+func TestActualsInvariantUnderJoinOrder(t *testing.T) {
+	topologies := []struct {
+		name  string
+		n     int
+		edges []query.Edge
+	}{
+		{"chain-5", 5, query.ChainEdges(5)},
+		{"star-5", 5, query.StarEdges(5)},
+		{"cycle-4", 4, query.CycleEdges(4)},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range topologies {
+		q := tinyQuery(t, tc.n, tc.edges, nil)
+		db, err := Generate(q, 3, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var plans []*plan.Plan
+		dpPlan, _, err := dp.Optimize(q, dp.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, dpPlan)
+		gooPlan, _, err := greedy.Optimize(q, greedy.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, gooPlan)
+		m := cost.NewModel(q, cost.DefaultParams())
+		for i := 0; i < 4; i++ {
+			p, err := jointree.Build(q, m, jointree.RandomPerm(q, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			plans = append(plans, p)
+		}
+		// byRels[relation set] = actual row count, across all plans.
+		byRels := map[string]int{}
+		for pi, p := range plans {
+			_, actuals, err := db.RunActuals(p)
+			if err != nil {
+				t.Fatalf("%s plan %d: %v", tc.name, pi, err)
+			}
+			for n, rows := range actuals {
+				if n.Op == plan.Sort {
+					continue // pass-through; same set as its child
+				}
+				key := n.Rels.String()
+				if prev, ok := byRels[key]; ok && prev != rows {
+					t.Fatalf("%s: relation set %s has actual %d in plan %d but %d earlier",
+						tc.name, key, rows, pi, prev)
+				}
+				byRels[key] = rows
+			}
+		}
+	}
+}
+
+// TestZipfGeneration checks the -skew zipf path: a Zipf-skewed catalog
+// generates deterministically, values stay in the column domain, and the
+// distribution is actually tilted — the total mass sits far below the
+// uniform catalog's.
+func TestZipfGeneration(t *testing.T) {
+	cat := tinyCatalog(3)
+	zcat, err := cat.WithZipfSkew(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.WithZipfSkew(1); err == nil {
+		t.Error("WithZipfSkew accepted exponent 1")
+	}
+	uq, err := testutil.Query(cat, 3, query.ChainEdges(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zq, err := testutil.Query(zcat, 3, query.ChainEdges(3), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 11
+	za, err := Generate(zq, seed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zb, err := Generate(zq, seed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ud, err := Generate(uq, seed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zipfSum, uniformSum int64
+	for i := range za.tables {
+		if !bytes.Equal(tableBytes(za.tables[i]), tableBytes(zb.tables[i])) {
+			t.Fatalf("relation %d: zipf generation not deterministic", i)
+		}
+		rel := zq.Relation(i)
+		for _, row := range za.tables[i] {
+			for c, v := range row {
+				if v < 0 || float64(v) >= math.Max(1, rel.Cols[c].NDV) {
+					t.Fatalf("zipf value %d outside [0,%g)", v, rel.Cols[c].NDV)
+				}
+				zipfSum += v
+			}
+		}
+		for _, row := range ud.tables[i] {
+			for _, v := range row {
+				uniformSum += v
+			}
+		}
+	}
+	if zipfSum*2 >= uniformSum {
+		t.Fatalf("zipf data not tilted: zipf sum %d vs uniform sum %d", zipfSum, uniformSum)
+	}
+	// Equivalent plans stay equivalent over zipf data.
+	p1, _, err := dp.Optimize(zq, dp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _, err := greedy.Optimize(zq, greedy.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := za.Run(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := za.Run(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint() != r2.Fingerprint() {
+		t.Error("zipf plans disagree on results")
+	}
+}

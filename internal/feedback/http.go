@@ -1,0 +1,78 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+)
+
+// JSONHandler serves the ledger state as JSON at /debug/cardinality.json.
+func (l *Ledger) JSONHandler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(l.Snapshot(s))
+	})
+}
+
+// Handler serves the human debug page at /debug/cardinality: the worst
+// q-error table per relation/predicate with sparkline window summaries and
+// staleness flags.
+func (l *Ledger) Handler(s *Sampler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		d := l.Snapshot(s)
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html><html><head><title>/debug/cardinality</title><style>\n")
+		b.WriteString("body{font-family:sans-serif;margin:1em 2em}pre{background:#f6f8fa;padding:0.8em;overflow-x:auto}\n")
+		b.WriteString("h2{border-bottom:1px solid #ccc;padding-bottom:0.2em}table{border-collapse:collapse}\n")
+		b.WriteString("td,th{padding:0.15em 0.8em;text-align:left;border-bottom:1px solid #eee}\n")
+		b.WriteString(".bad{color:#b00020}.warn{color:#b35c00}.spark{font-family:monospace;letter-spacing:1px}</style></head><body>\n")
+		b.WriteString("<h1>sdpopt cardinality feedback</h1>\n")
+		fmt.Fprintf(&b, "<p>%d observations · %d objects · %d flagged stale</p>\n",
+			d.Observations, len(d.Objects), d.StaleObjects)
+		fmt.Fprintf(&b, "<p>ledger window %d &middot; min obs %d &middot; stale at score &ge; %g (geomean q-error &ge; %.2g)</p>\n",
+			d.Config.Window, d.Config.MinObs, d.Config.StaleScore, staleQErr(d.Config.StaleScore))
+		if d.Sampler != nil {
+			fmt.Fprintf(&b, "<p>exec sampler: %d observed &middot; %d sampled &middot; %d skipped &middot; %d deduped &middot; %d dropped &middot; %d completed (%d failed)</p>\n",
+				d.Sampler.Observed, d.Sampler.Sampled, d.Sampler.Skipped, d.Sampler.Deduped,
+				d.Sampler.Dropped, d.Sampler.Completed, d.Sampler.Failures)
+		}
+		b.WriteString("<p><a href=\"/debug/cardinality.json\">cardinality.json</a> · <a href=\"/debug\">debug index</a> · <a href=\"/metrics\">metrics</a></p>\n")
+
+		b.WriteString("<h2>Objects by worst q-error</h2>\n")
+		if len(d.Objects) == 0 {
+			b.WriteString("<p>no observations yet — is exec sampling enabled (<code>-exec-sample-rate</code>)?</p>\n")
+		} else {
+			b.WriteString("<table><tr><th>object</th><th>kind</th><th>count</th><th>over</th><th>under</th>" +
+				"<th>q-err p50</th><th>q-err p95</th><th>q-err max</th><th>staleness</th><th>flag</th>" +
+				"<th>last est/actual</th><th>window</th></tr>\n")
+			for _, o := range d.Objects {
+				class := ""
+				switch {
+				case o.Stale:
+					class = " class=\"bad\""
+				case o.QErrP95 > 2:
+					class = " class=\"warn\""
+				}
+				flag := ""
+				if o.Stale {
+					flag = "STALE"
+				}
+				fmt.Fprintf(&b, "<tr%s><td>%s</td><td>%s</td><td>%d</td><td>%d</td><td>%d</td>"+
+					"<td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%s</td>"+
+					"<td>%.0f / %.0f</td><td class=\"spark\">%s</td></tr>\n",
+					class, html.EscapeString(o.Object), html.EscapeString(o.Kind),
+					o.Count, o.Over, o.Under, o.QErrP50, o.QErrP95, o.QErrMax,
+					o.Staleness, flag, o.LastEst, o.LastActual,
+					html.EscapeString(sparkline(o.RecentQErr)))
+			}
+			b.WriteString("</table>\n")
+		}
+		b.WriteString("</body></html>\n")
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

@@ -78,6 +78,10 @@ type BenchReport struct {
 	// health) with q-error quantiles and escape-hatch counts (see
 	// ce.Report).
 	Robustness *ce.Report `json:"robustness,omitempty"`
+	// Feedback reports the cardinality feedback ledger's end-to-end
+	// measurement: exec-sampled estimate-vs-actual q-errors on a skewed
+	// catalog, healthy vs stats-degraded (see FeedbackBench).
+	Feedback *FeedbackBench `json:"feedback,omitempty"`
 }
 
 // LoadBench is the serving-under-load comparison: the same open-loop
@@ -240,6 +244,11 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Robustness = ceb
+	fb, err := benchFeedback(c)
+	if err != nil {
+		return nil, err
+	}
+	r.Feedback = fb
 	return r, nil
 }
 

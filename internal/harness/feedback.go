@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"sdpopt/internal/catalog"
+	"sdpopt/internal/ce"
+	"sdpopt/internal/feedback"
+	"sdpopt/internal/server"
+	"sdpopt/internal/workload"
+)
+
+// FeedbackBench measures the cardinality feedback ledger end to end against
+// a live in-process server: a star workload over a Zipf-skewed synthetic
+// catalog, served with exec sampling at 100% so every plan is executed over
+// generated data and its estimate-vs-actual observations land in the ledger.
+// The same workload is then replayed against a stats-degraded copy of the
+// catalog (half the columns lose their statistics); the estimator falls back
+// to magic constants there, so the degraded pass's worst staleness score
+// should exceed the healthy pass's — the signal the router's stale-demotion
+// keys on.
+type FeedbackBench struct {
+	Graph     string `json:"graph"`
+	Relations int    `json:"relations"`
+	Instances int    `json:"instances"`
+	// Requests is the serve count per pass (one per instance).
+	Requests int `json:"requests"`
+
+	// Sampled/Completed/Failures echo the healthy pass's sampler counters
+	// after draining: a correct run samples every serve and executes every
+	// sampled plan.
+	Sampled   int64 `json:"sampled"`
+	Completed int64 `json:"completed"`
+	Failures  int64 `json:"failures"`
+
+	// Observations/Objects/StaleObjects summarize the healthy pass's
+	// ledger; WorstQErrP95 is the worst per-object windowed q-error p95.
+	Observations int64   `json:"observations"`
+	Objects      int     `json:"objects"`
+	StaleObjects int     `json:"stale_objects"`
+	WorstQErrP95 float64 `json:"worst_qerr_p95"`
+
+	// HealthyWorstStaleness vs DegradedWorstStaleness is the comparison the
+	// ledger exists to make: losing statistics must show up as a higher
+	// staleness score.
+	HealthyWorstStaleness  float64 `json:"healthy_worst_staleness"`
+	DegradedWorstStaleness float64 `json:"degraded_worst_staleness"`
+	DegradedStaleObjects   int     `json:"degraded_stale_objects"`
+}
+
+// benchFeedback serves the same skewed workload against a healthy and a
+// stats-degraded catalog, exec-sampling every serve into the ledger.
+func benchFeedback(c Config) (*FeedbackBench, error) {
+	const (
+		n     = 6
+		zipfS = 1.3
+	)
+	// Small rows and wide domains keep the skewed joins inside exec's row
+	// cap: Zipf heavy hitters make every join fan out, and the fanout
+	// compounds across a star's joins.
+	base := catalog.MustSynthetic(catalog.Config{
+		NumRelations:    n,
+		BaseRows:        12,
+		Ratio:           1.2,
+		ColsPerRelation: 8,
+		MinDomain:       8,
+		MaxDomain:       40,
+		Seed:            c.Seed,
+	})
+	healthy, err := base.WithZipfSkew(zipfS)
+	if err != nil {
+		return nil, err
+	}
+	degraded, err := ce.DegradeCatalog(healthy, 0.5, c.Seed)
+	if err != nil {
+		return nil, err
+	}
+	spec := &workload.Spec{Cat: healthy, Topology: workload.Star, NumRelations: n, Seed: c.Seed}
+	qs, err := workload.Instances(*spec, c.instances(5))
+	if err != nil {
+		return nil, err
+	}
+
+	pass := func(cat *catalog.Catalog) (*feedback.Dump, error) {
+		srv, err := server.New(server.Options{
+			Cat: cat,
+			Feedback: &server.FeedbackOptions{
+				SampleRate: 1,
+				MaxRels:    n,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Shutdown(context.Background())
+		for _, q := range qs {
+			body, err := json.Marshal(server.OptimizeRequest{SQL: q.SQL(), Technique: "sdp"})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := http.Post(ts.URL+"/optimize", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return nil, fmt.Errorf("feedback bench: %w", err)
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("feedback bench: serve returned %d", resp.StatusCode)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+		defer cancel()
+		if err := srv.FeedbackSampler().Drain(ctx); err != nil {
+			return nil, fmt.Errorf("feedback bench: %w", err)
+		}
+		return srv.FeedbackLedger().Snapshot(srv.FeedbackSampler()), nil
+	}
+
+	healthyDump, err := pass(healthy)
+	if err != nil {
+		return nil, err
+	}
+	degradedDump, err := pass(degraded)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &FeedbackBench{
+		Graph:        fmt.Sprintf("Star-%d (zipf %.1f)", n, zipfS),
+		Relations:    n,
+		Instances:    len(qs),
+		Requests:     len(qs),
+		Observations: healthyDump.Observations,
+		Objects:      len(healthyDump.Objects),
+		StaleObjects: healthyDump.StaleObjects,
+	}
+	if s := healthyDump.Sampler; s != nil {
+		out.Sampled = s.Sampled
+		out.Completed = s.Completed
+		out.Failures = s.Failures
+	}
+	for _, o := range healthyDump.Objects {
+		if o.QErrP95 > out.WorstQErrP95 {
+			out.WorstQErrP95 = o.QErrP95
+		}
+		if o.Staleness > out.HealthyWorstStaleness {
+			out.HealthyWorstStaleness = o.Staleness
+		}
+	}
+	out.DegradedStaleObjects = degradedDump.StaleObjects
+	for _, o := range degradedDump.Objects {
+		if o.Staleness > out.DegradedWorstStaleness {
+			out.DegradedWorstStaleness = o.Staleness
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package harness
+
+import "testing"
+
+func TestBenchFeedback(t *testing.T) {
+	fb, err := benchFeedback(Config{Instances: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Relations != 6 || fb.Instances != 3 || fb.Requests != 3 {
+		t.Fatalf("shape: %+v", fb)
+	}
+	// Every serve is sampled at rate 1 and every sampled plan executes.
+	if fb.Sampled != int64(fb.Requests) || fb.Completed != fb.Sampled || fb.Failures != 0 {
+		t.Fatalf("sampler counters: %+v", fb)
+	}
+	// A star-6 plan yields 6 relation observations plus predicate
+	// observations per execution.
+	if fb.Observations < int64(fb.Requests*6) || fb.Objects == 0 {
+		t.Fatalf("ledger: %+v", fb)
+	}
+	if fb.WorstQErrP95 < 1 {
+		t.Fatalf("q-error below 1: %+v", fb)
+	}
+	if fb.HealthyWorstStaleness < 0 || fb.HealthyWorstStaleness >= 1 ||
+		fb.DegradedWorstStaleness < 0 || fb.DegradedWorstStaleness >= 1 {
+		t.Fatalf("staleness out of range: %+v", fb)
+	}
+	// Losing half the statistics must not look healthier than keeping
+	// them all.
+	if fb.DegradedWorstStaleness < fb.HealthyWorstStaleness {
+		t.Fatalf("degraded staleness %v below healthy %v",
+			fb.DegradedWorstStaleness, fb.HealthyWorstStaleness)
+	}
+}

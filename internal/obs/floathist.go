@@ -104,6 +104,85 @@ func (h *FloatHistogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) from the bucket counts by
+// linear interpolation inside the landed bucket. With no observations it
+// returns 0, never NaN — an empty rolling window must render as a harmless
+// zero on debug pages, not poison a JSON document. Values in the overflow
+// bucket report the largest finite bound. Nil-safe.
+func (h *FloatHistogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank target (1-based), then walk cumulative counts.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n > 0 && cum+n >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: the best bounded answer is the top bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			// Interpolate within the bucket; a single observation (or all
+			// observations in one bucket) lands on a finite point inside it.
+			frac := (float64(rank-cum) - 0.5) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// SummarizeWindow reduces one rolling window of raw observations to the
+// (p50, p95, max) triple the cardinality-feedback ledger reports. It is
+// defensively NaN-safe for the degenerate windows real ledgers produce —
+// empty (all zeros), single-observation (all three equal that value), and
+// all-equal — and ignores NaN/Inf inputs entirely rather than letting one
+// bad division poison a JSON rendering.
+func SummarizeWindow(vals []float64) (p50, p95, max float64) {
+	clean := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		clean = append(clean, v)
+	}
+	if len(clean) == 0 {
+		return 0, 0, 0
+	}
+	sort.Float64s(clean)
+	// Nearest-rank quantiles: exact for 1-element and all-equal windows.
+	pick := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(clean)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(clean) {
+			i = len(clean) - 1
+		}
+		return clean[i]
+	}
+	return pick(0.5), pick(0.95), clean[len(clean)-1]
+}
+
 // Exemplars returns the histogram's current per-bucket exemplars in bucket
 // order (empty buckets skipped). Nil-safe.
 func (h *FloatHistogram) Exemplars() []FloatExemplar {

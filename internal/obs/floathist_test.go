@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"math"
 	"runtime"
 	"strconv"
 	"strings"
@@ -88,6 +89,90 @@ func TestFloatHistogramExposition(t *testing.T) {
 	var nilR *Registry
 	if nilR.FloatHistogram("x", nil) != nil {
 		t.Error("nil registry handed out a float histogram")
+	}
+}
+
+func TestFloatHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+
+	// Empty histogram: every quantile is 0, never NaN.
+	h := r.FloatHistogram("sdpopt_test_q_empty", nil)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0 || got != got {
+			t.Fatalf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+
+	// Single observation: all quantiles land inside its bucket.
+	h1 := r.FloatHistogram("sdpopt_test_q_one", nil)
+	h1.Observe(1.3) // bucket (1.25, 1.5]
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h1.Quantile(q)
+		if got != got {
+			t.Fatalf("single-obs Quantile(%g) is NaN", q)
+		}
+		if got < 1.25 || got > 1.5 {
+			t.Fatalf("single-obs Quantile(%g) = %g, want within (1.25, 1.5]", q, got)
+		}
+	}
+
+	// All-equal observations: every quantile agrees.
+	hEq := r.FloatHistogram("sdpopt_test_q_eq", nil)
+	for i := 0; i < 10; i++ {
+		hEq.Observe(2.5) // bucket (2, 3]
+	}
+	if p50, p95 := hEq.Quantile(0.5), hEq.Quantile(0.95); p50 < 2 || p50 > 3 || p95 < 2 || p95 > 3 {
+		t.Fatalf("all-equal quantiles p50=%g p95=%g, want within (2, 3]", p50, p95)
+	}
+
+	// Spread observations: quantiles are monotone and overflow is bounded.
+	hs := r.FloatHistogram("sdpopt_test_q_spread", nil)
+	for _, v := range []float64{1, 1.2, 1.4, 2.5, 4, 8, 500} {
+		hs.Observe(v)
+	}
+	p50, p95 := hs.Quantile(0.5), hs.Quantile(0.95)
+	if p50 > p95 {
+		t.Fatalf("quantiles not monotone: p50=%g > p95=%g", p50, p95)
+	}
+	if top := hs.Quantile(1); top != 100 {
+		t.Fatalf("overflow quantile = %g, want top bound 100", top)
+	}
+
+	// Nil safety and clamping.
+	var nilH *FloatHistogram
+	if nilH.Quantile(0.5) != 0 {
+		t.Error("nil Quantile not 0")
+	}
+	if lo, hi := h1.Quantile(-1), h1.Quantile(2); lo != lo || hi != hi {
+		t.Error("out-of-range q produced NaN")
+	}
+}
+
+func TestSummarizeWindow(t *testing.T) {
+	// Empty window: zeros, not NaN.
+	if p50, p95, max := SummarizeWindow(nil); p50 != 0 || p95 != 0 || max != 0 {
+		t.Fatalf("empty window = %g/%g/%g, want zeros", p50, p95, max)
+	}
+	// Single observation: all three equal it.
+	if p50, p95, max := SummarizeWindow([]float64{3.5}); p50 != 3.5 || p95 != 3.5 || max != 3.5 {
+		t.Fatalf("single window = %g/%g/%g, want 3.5 each", p50, p95, max)
+	}
+	// All-equal observations.
+	if p50, p95, max := SummarizeWindow([]float64{2, 2, 2, 2}); p50 != 2 || p95 != 2 || max != 2 {
+		t.Fatalf("all-equal window = %g/%g/%g, want 2 each", p50, p95, max)
+	}
+	// NaN and Inf inputs are dropped, not propagated.
+	vals := []float64{1, math.NaN(), 4, math.Inf(1), 2}
+	p50, p95, max := SummarizeWindow(vals)
+	if p50 != p50 || p95 != p95 || max != max {
+		t.Fatalf("NaN leaked through: %g/%g/%g", p50, p95, max)
+	}
+	if p50 != 2 || max != 4 {
+		t.Fatalf("window with NaN/Inf = %g/%g/%g, want p50=2 max=4", p50, p95, max)
+	}
+	// All-garbage window degrades to zeros.
+	if p50, _, max := SummarizeWindow([]float64{math.NaN(), math.Inf(-1)}); p50 != 0 || max != 0 {
+		t.Fatalf("garbage window = %g/%g, want zeros", p50, max)
 	}
 }
 

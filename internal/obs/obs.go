@@ -278,6 +278,36 @@ const (
 	// cardinalities (internal/exec) — validation of the truth itself.
 	MCEExecQError = "sdpopt_ce_exec_qerror"
 
+	// Cardinality-feedback metrics (see internal/feedback).
+
+	// MFeedbackQError is the estimate-vs-actual q-error float histogram of
+	// executed plan nodes, labeled kind= (relation, predicate), with
+	// RatioBuckets bounds and trace-ID exemplars linking the worst lies to
+	// flight-recorder entries.
+	MFeedbackQError = "sdpopt_feedback_qerror"
+	// MFeedbackObservations counts ledger observations recorded, labeled
+	// kind=.
+	MFeedbackObservations = "sdpopt_feedback_observations_total"
+	// MFeedbackSampled counts /optimize requests picked for off-path
+	// execution sampling.
+	MFeedbackSampled = "sdpopt_feedback_sampled_total"
+	// MFeedbackSkipped counts sampled requests skipped before execution
+	// (too many relations, relations too large, queue full, duplicate),
+	// labeled cause=.
+	MFeedbackSkipped = "sdpopt_feedback_skipped_total"
+	// MFeedbackExecSeconds is the off-path sample-execution duration
+	// histogram (generate + run + ledger update).
+	MFeedbackExecSeconds = "sdpopt_feedback_exec_seconds"
+	// MFeedbackExecErrors counts sampled executions that failed; these
+	// contribute no observations.
+	MFeedbackExecErrors = "sdpopt_feedback_exec_errors_total"
+	// MFeedbackQueueDepth gauges sampled queries queued but not yet
+	// executed.
+	MFeedbackQueueDepth = "sdpopt_feedback_queue_depth"
+	// MFeedbackStaleObjects gauges catalog objects currently flagged stale
+	// by the ledger.
+	MFeedbackStaleObjects = "sdpopt_feedback_stale_objects"
+
 	// Process metrics (see RegisterBuildInfo).
 
 	// MBuildInfo is the constant-1 gauge carrying version/goversion/

@@ -37,6 +37,7 @@ const (
 	EvBatchEnd      = "batch.end"      // graph, dur_ns
 	EvInstance      = "instance"       // graph, tech, instance, dur_ns, plans_costed, feasible
 	EvRegret        = "regret"         // tech, ref, shape, rels, ratio, served_cost, ref_cost, trace_id, dur_ns
+	EvFeedback      = "feedback"       // object, kind, est, actual, qerr, tech, rels, trace_id
 )
 
 // MarshalJSON flattens the event to one JSON object: {"t": ..., "ev": ...,

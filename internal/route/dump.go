@@ -52,6 +52,8 @@ type DumpConfig struct {
 	RegretAlpha      float64 `json:"regret_alpha"`
 	MinReserveMS     float64 `json:"min_reserve_ms"`
 	MaxReserveMS     float64 `json:"max_reserve_ms"`
+	ExactRels        int     `json:"exact_rels"`
+	StaleScore       float64 `json:"stale_score"`
 }
 
 // Dump is the /debug/routes.json document: config, executed-decision
@@ -93,6 +95,8 @@ func (r *Router) Snapshot() *Dump {
 		RegretAlpha:      r.opts.RegretAlpha,
 		MinReserveMS:     ms(r.opts.MinReserve),
 		MaxReserveMS:     ms(r.opts.MaxReserve),
+		ExactRels:        r.opts.ExactRels,
+		StaleScore:       r.opts.StaleScore,
 	}
 
 	r.mu.RLock()

@@ -61,17 +61,30 @@ const (
 	// ReasonBudgetDemote marks the mid-flight fallback taken when the
 	// chosen engine aborted on the memory-feasibility budget.
 	ReasonBudgetDemote = "auto:budget-demote"
+	// ReasonExact is the opt-in exhaustive-DP tier: queries small enough
+	// (Options.ExactRels) to afford full enumeration for the optimal plan.
+	ReasonExact = "auto:dp-exact"
+	// ReasonStaleDemote marks a DP-exact route demoted to SDP because the
+	// cardinality-feedback ledger flagged the query's objects stale:
+	// exhaustive DP's precision is exactly as good as the estimates it
+	// exploits, and the ledger just measured those estimates lying.
+	ReasonStaleDemote = "auto:stale-demote"
 )
 
 // Technique names the router routes between, strongest first. The router
-// deliberately never routes to exhaustive DP: its super-polynomial blowup
-// is exactly what a serving path must not gamble on. The IDP rung is the
-// balanced IDP2 variant, not plain IDP1: IDP1's k-sized table rebuilds run
-// for seconds on large stars (unservable), while IDP2's greedy-skeleton +
-// windowed-DP refinement stays in single-digit milliseconds at plan
-// quality close to the reference — exactly the latency/quality point a
-// deadline-squeezed or budget-endangered request needs.
+// deliberately never routes to exhaustive DP by default: its
+// super-polynomial blowup is exactly what a serving path must not gamble
+// on. Operators may opt small queries into the DP tier via
+// Options.ExactRels; even then the cardinality-feedback loop demotes DP
+// back to SDP when the ledger flags the query's estimates stale. The IDP
+// rung is the balanced IDP2 variant, not plain IDP1: IDP1's k-sized table
+// rebuilds run for seconds on large stars (unservable), while IDP2's
+// greedy-skeleton + windowed-DP refinement stays in single-digit
+// milliseconds at plan quality close to the reference — exactly the
+// latency/quality point a deadline-squeezed or budget-endangered request
+// needs.
 const (
+	TechDP     = "dp"
 	TechSDP    = "sdp"
 	TechIDP    = "idp2"
 	TechGreedy = "greedy"
@@ -115,6 +128,17 @@ type Options struct {
 	// them).
 	MinReserve time.Duration
 	MaxReserve time.Duration
+	// ExactRels opts queries into the exhaustive-DP tier: above the greedy
+	// fast path and at most this many relations, route to full DP for the
+	// enumeration-optimal plan. Default 0 — disabled; DP on the serving
+	// path is strictly an operator's informed choice.
+	ExactRels int
+	// StaleScore is the feedback-ledger staleness at which the DP-exact
+	// tier is demoted back to SDP (default 0.5, i.e. a windowed geomean
+	// q-error of 2 on the query's worst object): when estimates are known
+	// to lie, DP's exhaustive exploitation of them buys risk, not
+	// optimality, so the robust heuristic serves instead.
+	StaleScore float64
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +168,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxReserve <= 0 {
 		o.MaxReserve = 250 * time.Millisecond
+	}
+	if o.StaleScore <= 0 || o.StaleScore >= 1 {
+		o.StaleScore = 0.5
 	}
 	return o
 }
@@ -225,6 +252,8 @@ func Band(rels int) string { return regret.Band(rels) }
 // trades quality for an answer in time.
 func ladder(tech string) []string {
 	switch tech {
+	case TechDP:
+		return []string{TechDP, TechSDP, TechIDP, TechGreedy}
 	case TechSDP:
 		return []string{TechSDP, TechIDP, TechGreedy}
 	case TechIDP:
@@ -237,28 +266,50 @@ func ladder(tech string) []string {
 // Decide routes one query: rels relations, shape from query.Shape(), and
 // the remaining deadline (0 = none). Decide is pure — it reads the live
 // profiles but records nothing; the serving layer reports the executed
-// outcome back via Count/Observe.
+// outcome back via Count/Observe. Decide assumes fresh statistics; servers
+// wired to a cardinality-feedback ledger call DecideObserved instead.
 func (r *Router) Decide(rels int, shape string, remaining time.Duration) Decision {
+	return r.DecideObserved(rels, shape, remaining, 0)
+}
+
+// DecideObserved is Decide plus the feedback loop's input: staleness is the
+// ledger's worst staleness score over the query's catalog objects (0 when
+// no ledger runs). It biases the ladder away from exhaustive DP — the
+// technique most leveraged on estimate precision — when the ledger has
+// measured the estimates drifting.
+func (r *Router) DecideObserved(rels int, shape string, remaining time.Duration, staleness float64) Decision {
 	band := Band(rels)
 
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 
 	// Base ladder: fast path for small or chain-like shapes, IDP for the
-	// heavy tail, SDP in between.
+	// heavy tail, the opt-in exhaustive tier for small-enough queries, SDP
+	// in between.
 	tech, reason := TechSDP, ReasonDefault
 	switch {
 	case rels <= r.opts.SmallRels || shape == "single" || shape == "chain":
 		tech, reason = TechGreedy, ReasonFastPath
 	case rels >= r.opts.HeavyRels:
 		tech, reason = TechIDP, ReasonHeavy
+	case r.opts.ExactRels > 0 && rels <= r.opts.ExactRels:
+		tech, reason = TechDP, ReasonExact
+	}
+
+	// Cardinality feedback: exhaustive DP chases the cost model's exact
+	// optimum, so its advantage over the robust heuristic is real only
+	// while the estimates are. A stale-flagged shape falls back to SDP —
+	// the paper's point that heuristics lose little under misestimation
+	// applies doubly when the misestimation is measured, not hypothetical.
+	if tech == TechDP && staleness >= r.opts.StaleScore {
+		tech, reason = TechSDP, ReasonStaleDemote
 	}
 
 	// Regret feedback: a cheap route whose rolling ρ on this key degraded
 	// is promoted back to SDP — plan quality is the thing the cheap route
 	// was trading away, and the shadow optimizer just measured the trade
 	// going bad.
-	if tech != TechSDP {
+	if tech != TechSDP && tech != TechDP {
 		if e := r.reg[key{tech, shape, band}]; e != nil &&
 			e.n >= r.opts.MinRegretSamples && e.val > r.opts.DemoteRho {
 			tech, reason = TechSDP, ReasonRegretPromote
@@ -399,6 +450,12 @@ var priors = map[string][]time.Duration{
 	// full enumeration — measured single-digit ms through Star-24.
 	TechIDP: {time.Millisecond, 4 * time.Millisecond, 6 * time.Millisecond,
 		15 * time.Millisecond, 40 * time.Millisecond, 150 * time.Millisecond},
+	// Exhaustive DP's priors reflect its super-polynomial blowup: sane in
+	// the exact tier's intended bands, prohibitive beyond — a deadline of
+	// any realistic size demotes it down the ladder there, which is the
+	// intended behavior, not a tuning problem.
+	TechDP: {time.Millisecond, 30 * time.Millisecond, 500 * time.Millisecond,
+		10 * time.Second, 15 * time.Minute, 24 * time.Hour},
 }
 
 func prior(tech, band string) time.Duration {

@@ -219,3 +219,48 @@ func TestSnapshotAndHandlers(t *testing.T) {
 		t.Fatal("nil snapshot should have no table")
 	}
 }
+
+// TestExactTierStaleDemotion proves the cardinality-feedback coupling: with
+// the exact tier enabled, a healthy shape earns exhaustive DP while a
+// stale-flagged one is demoted to the robust heuristic.
+func TestExactTierStaleDemotion(t *testing.T) {
+	r := New(Options{ExactRels: 12})
+
+	healthy := r.DecideObserved(10, "star", 0, 0)
+	if healthy.Technique != TechDP || healthy.Reason != ReasonExact {
+		t.Fatalf("healthy 10-rel star = %s/%s, want dp/%s", healthy.Technique, healthy.Reason, ReasonExact)
+	}
+	stale := r.DecideObserved(10, "star", 0, 0.8)
+	if stale.Technique != TechSDP || stale.Reason != ReasonStaleDemote {
+		t.Fatalf("stale 10-rel star = %s/%s, want sdp/%s", stale.Technique, stale.Reason, ReasonStaleDemote)
+	}
+	// Below the staleness threshold the exact tier holds.
+	if mild := r.DecideObserved(10, "star", 0, 0.3); mild.Technique != TechDP {
+		t.Fatalf("mildly-stale shape demoted: %s/%s", mild.Technique, mild.Reason)
+	}
+	// The fast path and heavy tail are untouched by the exact tier.
+	if d := r.DecideObserved(3, "star", 0, 0); d.Technique != TechGreedy {
+		t.Fatalf("small query = %s, want greedy", d.Technique)
+	}
+	if d := r.DecideObserved(25, "clique", 0, 0); d.Technique != TechIDP {
+		t.Fatalf("heavy query = %s, want idp2", d.Technique)
+	}
+	// A deadline the DP prior cannot fit walks the ladder down from dp.
+	if d := r.DecideObserved(10, "star", 40*time.Millisecond, 0); d.Technique == TechDP {
+		t.Fatalf("40ms deadline kept dp (predicted %v)", d.Predicted)
+	} else if d.Reason != ReasonDeadlineDowngrade {
+		t.Fatalf("deadline-squeezed exact tier reason = %s", d.Reason)
+	}
+
+	// Without the opt-in, staleness or not, DP is never routed.
+	def := New(Options{})
+	for _, s := range []float64{0, 0.9} {
+		if d := def.DecideObserved(10, "star", 0, s); d.Technique == TechDP {
+			t.Fatalf("default router routed dp (staleness %g)", s)
+		}
+	}
+	// Decide is DecideObserved at staleness zero.
+	if a, b := def.Decide(10, "star", 0), def.DecideObserved(10, "star", 0, 0); a != b {
+		t.Fatalf("Decide %+v != DecideObserved(…, 0) %+v", a, b)
+	}
+}

@@ -41,11 +41,13 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/feedback"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
 	"sdpopt/internal/obs/regret"
@@ -115,6 +117,36 @@ type Options struct {
 	// served — and when Regret is enabled its sample stream is wired into
 	// the router's regret-feedback loop.
 	Route route.Options
+	// Feedback, when non-nil, enables the cardinality-feedback ledger:
+	// estimate-vs-actual telemetry aggregated per catalog object, served at
+	// /debug/cardinality, and fed back into the router's staleness
+	// demotion. Execution sampling — the part that actually produces
+	// actuals — is separately gated on FeedbackOptions.SampleRate.
+	Feedback *FeedbackOptions
+}
+
+// FeedbackOptions wires the cardinality-feedback subsystem (see
+// internal/feedback) into a server. The ledger and its debug surface are
+// always constructed; the exec-sampling path that feeds them runs only at
+// SampleRate > 0 — executing plans, even over scaled-down synthetic data,
+// is orders of magnitude more work than optimizing them.
+type FeedbackOptions struct {
+	// Ledger sizes the rolling windows and the staleness threshold (zero
+	// value: the feedback package defaults — window 64, min 3 observations,
+	// stale at score 0.5). Obs is filled in from the server's observer.
+	Ledger feedback.LedgerOptions
+	// SampleRate is the fraction of successfully served plans executed
+	// over synthetic data off the measured path, in [0, 1]. Default 0:
+	// exec sampling is strictly opt-in.
+	SampleRate float64
+	// MaxRels and MaxRows bound sampling eligibility (defaults 8 relations
+	// and 2000 base rows): beyond either, a query's plan is never executed.
+	MaxRels int
+	MaxRows int
+	// LogPath, when set, appends every observation to a JSONL corpus —
+	// the replayable record that internal/ce's empirical-error mode and
+	// `sdplab robust -feedback` consume.
+	LogPath string
 }
 
 // Server is the optimizer-as-a-service HTTP layer. Construct with New.
@@ -128,9 +160,12 @@ type Server struct {
 	maxQueue   int
 	workers    int
 
-	flight *span.Recorder
-	shadow *regret.Shadow
-	router *route.Router
+	flight  *span.Recorder
+	shadow  *regret.Shadow
+	router  *route.Router
+	ledger  *feedback.Ledger
+	sampler *feedback.Sampler
+	corpus  *feedback.CorpusWriter
 
 	sem      chan struct{} // executing-slot semaphore
 	pending  atomic.Int64  // executing + queued
@@ -213,6 +248,35 @@ func New(opts Options) (*Server, error) {
 			return nil, err
 		}
 		s.shadow = shadow
+	}
+	if opts.Feedback != nil {
+		fo := *opts.Feedback
+		lo := fo.Ledger
+		if lo.Obs == nil {
+			lo.Obs = s.ob
+		}
+		s.ledger = feedback.NewLedger(lo)
+		if fo.LogPath != "" {
+			cw, err := feedback.OpenCorpus(fo.LogPath)
+			if err != nil {
+				return nil, fmt.Errorf("server: %w", err)
+			}
+			s.corpus = cw
+		}
+		if fo.SampleRate > 0 {
+			sampler, err := feedback.NewSampler(feedback.SamplerOptions{
+				Ledger:  s.ledger,
+				Corpus:  s.corpus,
+				Obs:     s.ob,
+				Rate:    fo.SampleRate,
+				MaxRels: fo.MaxRels,
+				MaxRows: fo.MaxRows,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.sampler = sampler
+		}
 	}
 	return s, nil
 }
@@ -335,6 +399,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/catalog", s.handleCatalog)
 	// Exact paths outrank the /debug/ subtree below, so the flight
 	// recorder coexists with pprof/expvar on one listener.
+	mux.HandleFunc("/debug", s.handleDebugIndex)
 	mux.Handle("/debug/requests", s.flight.RequestsHandler(s.registry()))
 	mux.Handle("/debug/flight.json", s.flight.FlightHandler())
 	if s.shadow != nil {
@@ -343,12 +408,51 @@ func (s *Server) Handler() http.Handler {
 	}
 	mux.Handle("/debug/routes", s.router.Handler())
 	mux.Handle("/debug/routes.json", s.router.JSONHandler())
+	if s.ledger != nil {
+		mux.Handle("/debug/cardinality", s.ledger.Handler(s.sampler))
+		mux.Handle("/debug/cardinality.json", s.ledger.JSONHandler(s.sampler))
+	}
 	if s.ob != nil && s.ob.Registry != nil {
 		oh := s.ob.Registry.Handler()
 		mux.Handle("/metrics", oh)
 		mux.Handle("/debug/", oh)
 	}
 	return mux
+}
+
+// handleDebugIndex serves /debug: one page listing every debug surface this
+// server actually mounts, so an operator landing on a live instance can see
+// what is observable without reading the source.
+func (s *Server) handleDebugIndex(w http.ResponseWriter, r *http.Request) {
+	type entry struct{ path, desc string }
+	entries := []entry{
+		{"/debug/requests", "flight recorder: recent and slow/error request traces (HTML)"},
+		{"/debug/flight.json", "flight recorder, machine-readable"},
+		{"/debug/routes", "technique router: decision table, latency and regret profiles (HTML; .json twin)"},
+	}
+	if s.shadow != nil {
+		entries = append(entries, entry{"/debug/regret", "shadow re-optimization regret: served-vs-reference plan cost ratios (HTML; .json twin)"})
+	}
+	if s.ledger != nil {
+		entries = append(entries, entry{"/debug/cardinality", "cardinality feedback ledger: estimate-vs-actual q-errors and staleness per catalog object (HTML; .json twin)"})
+	}
+	if s.ob != nil && s.ob.Registry != nil {
+		entries = append(entries,
+			entry{"/metrics", "Prometheus metrics with trace-ID exemplars"},
+			entry{"/debug/pprof/", "Go runtime profiles"},
+			entry{"/debug/vars", "expvar"},
+		)
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>/debug</title><style>\n")
+	b.WriteString("body{font-family:sans-serif;margin:1em 2em}td,th{padding:0.15em 0.8em;text-align:left;border-bottom:1px solid #eee}table{border-collapse:collapse}</style></head><body>\n")
+	b.WriteString("<h1>sdpopt debug surfaces</h1>\n<table><tr><th>surface</th><th>what it shows</th></tr>\n")
+	for _, e := range entries {
+		fmt.Fprintf(&b, "<tr><td><a href=\"%s\">%s</a></td><td>%s</td></tr>\n", e.path, e.path, e.desc)
+	}
+	b.WriteString("</table>\n</body></html>\n")
+	_, _ = w.Write([]byte(b.String()))
 }
 
 // registry returns the observer's metrics registry, or nil without one.
@@ -368,6 +472,14 @@ func (s *Server) Regret() *regret.Shadow { return s.shadow }
 
 // Router returns the server's technique router (always non-nil).
 func (s *Server) Router() *route.Router { return s.router }
+
+// FeedbackLedger returns the cardinality-feedback ledger, or nil when
+// feedback is not configured.
+func (s *Server) FeedbackLedger() *feedback.Ledger { return s.ledger }
+
+// FeedbackSampler returns the exec sampler, or nil when exec sampling is
+// not enabled.
+func (s *Server) FeedbackSampler() *feedback.Sampler { return s.sampler }
 
 // Start listens on addr (":0" for an ephemeral port) and serves in a
 // background goroutine, returning the bound address.
@@ -395,6 +507,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// during the grace period may still offer samples, and Close discards
 	// queued shadow work rather than delaying shutdown on it.
 	s.shadow.Close()
+	// Same for the feedback sampler; its Close also flushes the corpus, so
+	// closing the underlying file afterwards loses nothing.
+	s.sampler.Close()
+	if cerr := s.corpus.Close(); err == nil {
+		err = cerr
+	}
 	if ferr := s.ob.Flush(); err == nil {
 		err = ferr
 	}
@@ -542,7 +660,16 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 		if dl, ok := ctx.Deadline(); ok {
 			remaining = time.Until(dl)
 		}
-		dec := s.router.Decide(rels, topo, remaining)
+		// The feedback coupling: the ledger's worst staleness over this
+		// query's relations and predicates biases the router away from the
+		// exhaustive-DP tier when the estimates it would exploit are known
+		// to be lying. A few read-locked map lookups — cheap enough for the
+		// request path.
+		staleness := 0.0
+		if s.ledger != nil {
+			staleness = s.ledger.StalenessFor(feedback.QueryObjects(q))
+		}
+		dec := s.router.DecideObserved(rels, topo, remaining, staleness)
 		technique, routeReason, reserve = dec.Technique, dec.Reason, dec.Reserve
 	}
 	routedTech := technique
@@ -670,6 +797,15 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 			Source:      src,
 			TraceID:     root.TraceID(),
 			RouteReason: routeReason,
+		})
+		// Same contract as the shadow: the exec sampler sees every
+		// successful serve after the response is on the wire, and decides
+		// internally (rate gate, eligibility, dedup) whether to execute.
+		s.sampler.Observe(feedback.Sample{
+			Query:     q,
+			Plan:      best,
+			Technique: technique,
+			TraceID:   root.TraceID(),
 		})
 	}
 }

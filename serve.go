@@ -11,6 +11,7 @@ import (
 
 	"sdpopt/internal/catalog"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/feedback"
 	"sdpopt/internal/loadgen"
 	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/obs/span"
@@ -60,6 +61,26 @@ type (
 	// RegretDump is the /debug/regret.json document: shadow config,
 	// counters, per-key quality windows, and worst-regret exemplars.
 	RegretDump = regret.Dump
+	// FeedbackOptions configures the server's cardinality feedback ledger:
+	// exec-sampling rate and eligibility bounds, ledger window sizing, and
+	// the JSONL corpus path. Set ServerOptions.Feedback to enable
+	// /debug/cardinality and staleness-aware routing.
+	FeedbackOptions = server.FeedbackOptions
+	// FeedbackLedgerOptions sizes the ledger's rolling windows and the
+	// staleness threshold.
+	FeedbackLedgerOptions = feedback.LedgerOptions
+	// FeedbackLedger aggregates estimate-vs-actual observations per catalog
+	// object; the server exposes its own via Server.FeedbackLedger.
+	FeedbackLedger = feedback.Ledger
+	// FeedbackObservation is one per-plan-node (estimate, actual) pair
+	// attributed to a catalog object — the JSONL corpus record.
+	FeedbackObservation = feedback.Observation
+	// FeedbackDump is the /debug/cardinality.json document: ledger config,
+	// sampler counters, and per-object q-error/staleness summaries.
+	FeedbackDump = feedback.Dump
+	// FeedbackProfile is the per-object geomean est/actual error factors
+	// distilled from a corpus — RobustConfig.Empirical replays it.
+	FeedbackProfile = feedback.ErrorProfile
 	// RouteOptions tunes the server's SLO-aware technique router: the
 	// fast-path and heavy-tail relation thresholds, the deadline safety
 	// factor, and the latency/regret EWMA smoothing (see internal/route
@@ -109,6 +130,25 @@ func ReadFlightDump(r io.Reader) (*FlightDump, error) { return span.ReadDump(r) 
 // ReadRegretDump parses a /debug/regret.json document; render it with
 // RegretDump.Render (`sdplab regret` wraps both).
 func ReadRegretDump(r io.Reader) (*RegretDump, error) { return regret.ReadDump(r) }
+
+// ReadFeedbackDump parses a /debug/cardinality.json document; render it
+// with FeedbackDump.Render (`sdplab feedback` wraps both).
+func ReadFeedbackDump(r io.Reader) (*FeedbackDump, error) { return feedback.ReadDump(r) }
+
+// ReadFeedbackCorpus decodes a JSONL observation corpus written by a
+// feedback-enabled server (-feedback-log), skipping malformed lines — a
+// warning per skipped line goes to warn (discarded when nil) — and returns
+// how many were skipped. Corpora cut off mid-line by a crash stay readable.
+func ReadFeedbackCorpus(r io.Reader, warn io.Writer) ([]FeedbackObservation, int, error) {
+	return feedback.ReadCorpusLenient(r, warn)
+}
+
+// BuildFeedbackProfile distills a corpus into per-object geomean est/actual
+// error factors; set RobustConfig.Empirical to replay them in place of the
+// synthetic error bands.
+func BuildFeedbackProfile(observations []FeedbackObservation) *FeedbackProfile {
+	return feedback.BuildProfile(observations)
+}
 
 // RunLoad drives one open-loop load run against a running server and
 // returns the aggregated report (`sdplab load` wraps it).
