@@ -267,10 +267,11 @@ func BenchmarkCostModel(b *testing.B) {
 
 // BenchmarkEnumerationOnly isolates the DP engine's pair-enumeration and
 // memoization machinery on a 12-relation star, comparing the retained
-// naive generate-and-filter reference scan against the adjacency-indexed
-// walk. Each sub-bench reports how many candidate pairs one optimization
-// considers; CI runs the pair as a regression guard (the indexed path
-// failing to beat 110 % of the naive time fails the build).
+// naive generate-and-filter reference scan, the adjacency-indexed walk,
+// and the default DPccp csg-cmp enumeration. Each sub-bench reports how
+// many candidate pairs one optimization considers; CI runs the trio as a
+// regression guard (indexed failing to beat 110 % of the naive time, or
+// ccp failing to stay within 110 % of the indexed time, fails the build).
 func BenchmarkEnumerationOnly(b *testing.B) {
 	qs, err := workload.Instances(workload.Spec{
 		Cat: workload.PaperSchema(), Topology: workload.Star, NumRelations: 12, Seed: 9,
@@ -282,8 +283,9 @@ func BenchmarkEnumerationOnly(b *testing.B) {
 		name string
 		opts dp.Options
 	}{
-		{"naive", dp.Options{NaiveEnum: true}},
-		{"indexed", dp.Options{}},
+		{"naive", dp.Options{Enum: dp.EnumNaive}},
+		{"indexed", dp.Options{Enum: dp.EnumIndexed}},
+		{"ccp", dp.Options{}},
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			b.ReportAllocs()
@@ -309,13 +311,13 @@ func BenchmarkNeighbors(b *testing.B) {
 	b.Run("single-bit", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink = uint64(q.Neighbors(single))
+			sink = q.Neighbors(single).Hash()
 		}
 	})
 	b.Run("multi-bit", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			sink = uint64(q.Neighbors(multi))
+			sink = q.Neighbors(multi).Hash()
 		}
 	})
 }

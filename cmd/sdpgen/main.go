@@ -38,11 +38,13 @@ func parseSkew(s string) (float64, error) {
 }
 
 func main() {
-	topo := flag.String("topology", "star", "chain | star | cycle | clique | star-chain")
+	topo := flag.String("topology", "star", "chain | star | cycle | clique | star-chain | snowflake")
 	rels := flag.Int("rels", 15, "number of relations")
+	preset := flag.String("preset", "", "star-30 | clique-25 | snowflake-40 — large-query presets; overrides -topology/-rels and generates against an extended schema sized to the query")
 	count := flag.Int("count", 5, "number of query instances")
 	seed := flag.Int64("seed", 1, "workload seed")
 	ordered := flag.Bool("ordered", false, "add an ORDER BY on a join column")
+	useExtended := flag.Bool("extended", false, "generate against an extended schema with one distinct relation per query slot (automatic when -rels exceeds the paper schema's 25)")
 	statsHealth := flag.Float64("stats-health", 1, "fraction of columns keeping ANALYZE statistics in the emitted catalog; the rest lose NDV/skew (magic-selectivity fallback)")
 	skew := flag.String("skew", "", "data-generation skew for the emitted catalog, e.g. zipf:1.3; statistics are untouched, so the estimator's uniformity assumption is measurably wrong")
 	catalogOut := flag.String("catalog-out", "", "write the (possibly degraded or skewed) catalog as JSON to this file ('-' = stdout)")
@@ -51,11 +53,35 @@ func main() {
 	topos := map[string]sdpopt.Topology{
 		"chain": sdpopt.Chain, "star": sdpopt.Star, "cycle": sdpopt.Cycle,
 		"clique": sdpopt.Clique, "star-chain": sdpopt.StarChain,
+		"snowflake": sdpopt.Snowflake,
 	}
 	t, ok := topos[strings.ToLower(*topo)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "sdpgen: unknown topology %q\n", *topo)
 		os.Exit(2)
+	}
+	// Presets are the large-query validation workloads: each names its
+	// topology and width, and generates against an extended schema with one
+	// distinct relation per query slot (no aliasing), which is what makes
+	// them exercise the >64-relation set representation end to end.
+	extended := false
+	if *preset != "" {
+		presets := map[string]struct {
+			topo sdpopt.Topology
+			name string
+			rels int
+		}{
+			"star-30":      {sdpopt.Star, "star", 30},
+			"clique-25":    {sdpopt.Clique, "clique", 25},
+			"snowflake-40": {sdpopt.Snowflake, "snowflake", 40},
+		}
+		p, ok := presets[strings.ToLower(*preset)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sdpgen: unknown preset %q (star-30 | clique-25 | snowflake-40)\n", *preset)
+			os.Exit(2)
+		}
+		t, *rels, *topo = p.topo, p.rels, p.name
+		extended = true
 	}
 	zipfS, err := parseSkew(*skew)
 	if err != nil {
@@ -71,6 +97,9 @@ func main() {
 		os.Exit(2)
 	}
 	cat := sdpopt.PaperSchema()
+	if extended || *useExtended || *rels > cat.NumRelations() {
+		cat = sdpopt.ExtendedSchema(*rels)
+	}
 	qs, err := sdpopt.Instances(sdpopt.WorkloadSpec{
 		Cat: cat, Topology: t, NumRelations: *rels,
 		Ordered: *ordered, Seed: *seed,

@@ -1,38 +1,69 @@
-// Package bits implements relation sets as 64-bit bitsets.
+// Package bits implements relation sets as fixed-width multi-word bitsets.
 //
 // The optimizer identifies every join-composite relation (JCR) by the set of
-// base relations it covers. Queries in this system are capped at 64 base
-// relations (the paper's largest experiment is a 45-relation star), so a
-// uint64 bitset gives O(1) set algebra and makes memo lookups a single map
-// probe.
+// base relations it covers. Set is a fixed [2]uint64 array value — two words
+// give 128 relation slots, enough for the large-query workloads (Star-30,
+// Clique-25, snowflakes, 100-relation chains) while remaining a comparable
+// value type: sets are zero-allocation map keys, memo lookups stay a single
+// map probe, and == is exact set equality. All set algebra is word-parallel,
+// so the adjacency-indexed Walker's OR/AND-NOT mask arithmetic carries over
+// unchanged in spirit: each operation is a short fixed loop the compiler
+// unrolls.
 package bits
 
 import (
 	"fmt"
-	"math/bits"
+	mbits "math/bits"
 	"strings"
 )
 
-// Set is a set of relation indexes in [0, 64). The zero value is the empty set.
-type Set uint64
+const (
+	wordBits = 64
+	// numWords is the fixed word count of a Set. Raising it widens every
+	// engine in the repo at once; 2 words (128 relations) doubles the paper's
+	// largest experiment with headroom for the massively-parallel literature's
+	// 100-relation regime.
+	numWords = 2
+)
 
 // MaxRelations is the largest number of base relations a Set can hold.
-const MaxRelations = 64
+const MaxRelations = numWords * wordBits
+
+// Set is a set of relation indexes in [0, MaxRelations). The zero value is
+// the empty set. Word 0 holds indexes 0–63, word 1 holds 64–127; the numeric
+// order used by Less/Compare treats word 1 as the high word, so for sets
+// confined to the first 64 relations the order is identical to the historical
+// uint64 encoding.
+type Set [numWords]uint64
 
 // Single returns the set containing only relation i.
 func Single(i int) Set {
 	if i < 0 || i >= MaxRelations {
 		panic(fmt.Sprintf("bits: relation index %d out of range [0,%d)", i, MaxRelations))
 	}
-	return Set(1) << uint(i)
+	var s Set
+	s[i/wordBits] = 1 << uint(i%wordBits)
+	return s
 }
 
 // Of returns the set of the given relation indexes.
 func Of(idx ...int) Set {
 	var s Set
 	for _, i := range idx {
-		s |= Single(i)
+		s = s.Add(i)
 	}
+	return s
+}
+
+// FromWords builds a set directly from its machine words, word 0 first
+// (relations 0–63). It is the inverse of indexing the Set array and exists
+// for tests and reference implementations that need dense random sets.
+func FromWords(words ...uint64) Set {
+	if len(words) > numWords {
+		panic(fmt.Sprintf("bits: %d words exceeds the %d-word set width", len(words), numWords))
+	}
+	var s Set
+	copy(s[:], words)
 	return s
 }
 
@@ -41,67 +72,176 @@ func Full(n int) Set {
 	if n < 0 || n > MaxRelations {
 		panic(fmt.Sprintf("bits: set size %d out of range [0,%d]", n, MaxRelations))
 	}
-	if n == MaxRelations {
-		return ^Set(0)
+	var s Set
+	for w := 0; n > 0; w++ {
+		if n >= wordBits {
+			s[w] = ^uint64(0)
+			n -= wordBits
+		} else {
+			s[w] = 1<<uint(n) - 1
+			n = 0
+		}
 	}
-	return Set(1)<<uint(n) - 1
+	return s
 }
 
 // Has reports whether relation i is in s.
-func (s Set) Has(i int) bool { return s&Single(i) != 0 }
+func (s Set) Has(i int) bool {
+	return s[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
 
 // Add returns s with relation i added.
-func (s Set) Add(i int) Set { return s | Single(i) }
+func (s Set) Add(i int) Set {
+	if i < 0 || i >= MaxRelations {
+		panic(fmt.Sprintf("bits: relation index %d out of range [0,%d)", i, MaxRelations))
+	}
+	s[i/wordBits] |= 1 << uint(i%wordBits)
+	return s
+}
 
 // Remove returns s with relation i removed.
-func (s Set) Remove(i int) Set { return s &^ Single(i) }
+func (s Set) Remove(i int) Set {
+	if i < 0 || i >= MaxRelations {
+		panic(fmt.Sprintf("bits: relation index %d out of range [0,%d)", i, MaxRelations))
+	}
+	s[i/wordBits] &^= 1 << uint(i%wordBits)
+	return s
+}
 
 // Union returns s ∪ t.
-func (s Set) Union(t Set) Set { return s | t }
+func (s Set) Union(t Set) Set {
+	for w := range s {
+		s[w] |= t[w]
+	}
+	return s
+}
 
 // Intersect returns s ∩ t.
-func (s Set) Intersect(t Set) Set { return s & t }
+func (s Set) Intersect(t Set) Set {
+	for w := range s {
+		s[w] &= t[w]
+	}
+	return s
+}
 
 // Diff returns s \ t.
-func (s Set) Diff(t Set) Set { return s &^ t }
+func (s Set) Diff(t Set) Set {
+	for w := range s {
+		s[w] &^= t[w]
+	}
+	return s
+}
 
 // Overlaps reports whether s and t share any relation.
-func (s Set) Overlaps(t Set) bool { return s&t != 0 }
+func (s Set) Overlaps(t Set) bool {
+	for w := range s {
+		if s[w]&t[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
 
 // Disjoint reports whether s and t share no relation.
-func (s Set) Disjoint(t Set) bool { return s&t == 0 }
+func (s Set) Disjoint(t Set) bool { return !s.Overlaps(t) }
 
 // Contains reports whether every relation of t is in s.
-func (s Set) Contains(t Set) bool { return s&t == t }
+func (s Set) Contains(t Set) bool {
+	for w := range s {
+		if s[w]&t[w] != t[w] {
+			return false
+		}
+	}
+	return true
+}
 
 // IsEmpty reports whether s is the empty set.
-func (s Set) IsEmpty() bool { return s == 0 }
+func (s Set) IsEmpty() bool {
+	for w := range s {
+		if s[w] != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // Len returns the number of relations in s.
-func (s Set) Len() int { return bits.OnesCount64(uint64(s)) }
+func (s Set) Len() int {
+	n := 0
+	for w := range s {
+		n += mbits.OnesCount64(s[w])
+	}
+	return n
+}
 
 // Min returns the smallest relation index in s. It panics on the empty set.
 func (s Set) Min() int {
-	if s == 0 {
-		panic("bits: Min of empty set")
+	for w := range s {
+		if s[w] != 0 {
+			return w*wordBits + mbits.TrailingZeros64(s[w])
+		}
 	}
-	return bits.TrailingZeros64(uint64(s))
+	panic("bits: Min of empty set")
 }
 
 // Max returns the largest relation index in s. It panics on the empty set.
 func (s Set) Max() int {
-	if s == 0 {
-		panic("bits: Max of empty set")
+	for w := numWords - 1; w >= 0; w-- {
+		if s[w] != 0 {
+			return w*wordBits + wordBits - 1 - mbits.LeadingZeros64(s[w])
+		}
 	}
-	return 63 - bits.LeadingZeros64(uint64(s))
+	panic("bits: Max of empty set")
+}
+
+// Less reports whether s precedes t in the canonical numeric order: the set
+// is read as one wide unsigned integer with word numWords-1 most significant.
+// This is the total order every deterministic drain/sort in the repo uses
+// (memo canonicalization, sharded staging drains); for sets within the first
+// 64 relations it coincides with the historical uint64 comparison.
+func (s Set) Less(t Set) bool {
+	for w := numWords - 1; w >= 0; w-- {
+		if s[w] != t[w] {
+			return s[w] < t[w]
+		}
+	}
+	return false
+}
+
+// Compare returns -1, 0, or +1 ordering s against t in the same canonical
+// numeric order as Less.
+func (s Set) Compare(t Set) int {
+	for w := numWords - 1; w >= 0; w-- {
+		if s[w] != t[w] {
+			if s[w] < t[w] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Hash mixes the set's words into a single 64-bit value with the high bits
+// well distributed (Fibonacci multiplicative hashing per word), so shard
+// selectors can take the top k bits directly. Equal sets hash equal; the
+// function is pure and stable within a build, which is all the deterministic
+// sharded-drain contract needs (shard assignment is never observable — every
+// drain sorts by Less).
+func (s Set) Hash() uint64 {
+	h := s[0] * 0x9E3779B97F4A7C15
+	h ^= (s[1] + 0x9E3779B97F4A7C15) * 0xC2B2AE3D27D4EB4F
+	h ^= h >> 29
+	h *= 0x9E3779B97F4A7C15
+	return h
 }
 
 // Each calls fn for every relation index in s, in increasing order.
 func (s Set) Each(fn func(i int)) {
-	for t := s; t != 0; {
-		i := bits.TrailingZeros64(uint64(t))
-		fn(i)
-		t &= t - 1
+	for w := range s {
+		for t := s[w]; t != 0; t &= t - 1 {
+			fn(w*wordBits + mbits.TrailingZeros64(t))
+		}
 	}
 }
 
@@ -120,17 +260,22 @@ func (s Set) Each(fn func(i int)) {
 func (s Set) Iter() Iter { return Iter{rest: s} }
 
 // Iter is a cursor over a Set's members. The zero value is exhausted.
-type Iter struct{ rest Set }
+type Iter struct {
+	rest Set
+	word int
+}
 
 // Next returns the next relation index in increasing order, reporting false
 // when the set is exhausted.
 func (it *Iter) Next() (int, bool) {
-	if it.rest == 0 {
-		return -1, false
+	for it.word < numWords {
+		if w := it.rest[it.word]; w != 0 {
+			it.rest[it.word] = w & (w - 1)
+			return it.word*wordBits + mbits.TrailingZeros64(w), true
+		}
+		it.word++
 	}
-	i := bits.TrailingZeros64(uint64(it.rest))
-	it.rest &= it.rest - 1
-	return i, true
+	return -1, false
 }
 
 // NextBit returns the smallest relation index in s that is at least from, or
@@ -138,16 +283,24 @@ func (it *Iter) Next() (int, bool) {
 // Iter, exposed for resumable walks that skip ahead (from may be any value;
 // negative behaves like 0, values ≥ MaxRelations return -1).
 func (s Set) NextBit(from int) int {
+	if from < 0 {
+		from = 0
+	}
 	if from >= MaxRelations {
 		return -1
 	}
-	if from > 0 {
-		s &= ^Set(0) << uint(from)
+	w := from / wordBits
+	word := s[w] &^ (1<<uint(from%wordBits) - 1)
+	for {
+		if word != 0 {
+			return w*wordBits + mbits.TrailingZeros64(word)
+		}
+		w++
+		if w >= numWords {
+			return -1
+		}
+		word = s[w]
 	}
-	if s == 0 {
-		return -1
-	}
-	return bits.TrailingZeros64(uint64(s))
 }
 
 // Slice returns the relation indexes of s in increasing order.
@@ -163,16 +316,18 @@ func (s Set) Slice() []int {
 // which is what a bushy join enumerator wants. fn returning false stops the
 // enumeration early.
 func (s Set) Subsets(fn func(sub Set) bool) {
-	if s == 0 {
+	if s.IsEmpty() {
 		return
 	}
-	lo := Set(1) << uint(bits.TrailingZeros64(uint64(s)))
-	rest := s &^ lo
+	lo := Single(s.Min())
+	rest := s.Diff(lo)
 	// Enumerate all subsets of rest (including empty) and or-in the low bit;
-	// skip the full set itself so only proper subsets are produced.
-	for sub := Set(0); ; sub = (sub - rest) & rest {
-		cand := sub | lo
-		if cand != s {
+	// skip the full set itself so only proper subsets are produced. The
+	// classic sub = (sub - rest) & rest counter carries across words with a
+	// full-width borrow chain, exactly the mod-2^128 analogue of the uint64
+	// trick.
+	for sub := (Set{}); ; sub = sub.subsetSucc(rest) {
+		if cand := sub.Union(lo); cand != s {
 			if !fn(cand) {
 				return
 			}
@@ -181,6 +336,33 @@ func (s Set) Subsets(fn func(sub Set) bool) {
 			return
 		}
 	}
+}
+
+// SubsetsAll calls fn for every subset of s, including the empty set and s
+// itself, in the ⊆-compatible subset-counter order (a set is always emitted
+// after all of its proper subsets). This is the enumeration order DPccp's
+// EnumerateCsgRec relies on. fn returning false stops early.
+func (s Set) SubsetsAll(fn func(sub Set) bool) {
+	for sub := (Set{}); ; sub = sub.subsetSucc(s) {
+		if !fn(sub) {
+			return
+		}
+		if sub == s {
+			return
+		}
+	}
+}
+
+// subsetSucc advances the subset counter: the next subset of mask after s in
+// the (s - mask) & mask order. Wraps to the empty set after mask itself.
+func (s Set) subsetSucc(mask Set) Set {
+	var out Set
+	borrow := uint64(0)
+	for w := 0; w < numWords; w++ {
+		out[w], borrow = mbits.Sub64(s[w], mask[w], borrow)
+		out[w] &= mask[w]
+	}
+	return out
 }
 
 // String renders the set as "{1,3,7}" using 1-based relation numbers, the

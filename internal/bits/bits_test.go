@@ -19,7 +19,7 @@ func TestSingle(t *testing.T) {
 }
 
 func TestSingleOutOfRangePanics(t *testing.T) {
-	for _, i := range []int{-1, 64, 100} {
+	for _, i := range []int{-1, MaxRelations, MaxRelations + 36} {
 		func() {
 			defer func() {
 				if recover() == nil {
@@ -32,18 +32,19 @@ func TestSingleOutOfRangePanics(t *testing.T) {
 }
 
 func TestOf(t *testing.T) {
-	s := Of(0, 2, 5)
-	if got, want := s.Len(), 3; got != want {
+	// Members on both sides of the word boundary.
+	s := Of(0, 2, 5, 63, 64, 100)
+	if got, want := s.Len(), 6; got != want {
 		t.Fatalf("Len = %d, want %d", got, want)
 	}
-	for _, i := range []int{0, 2, 5} {
+	for _, i := range []int{0, 2, 5, 63, 64, 100} {
 		if !s.Has(i) {
-			t.Errorf("Of(0,2,5) missing %d", i)
+			t.Errorf("set missing %d", i)
 		}
 	}
-	for _, i := range []int{1, 3, 4, 6} {
+	for _, i := range []int{1, 3, 4, 6, 62, 65, 99, 101, 127} {
 		if s.Has(i) {
-			t.Errorf("Of(0,2,5) wrongly contains %d", i)
+			t.Errorf("set wrongly contains %d", i)
 		}
 	}
 }
@@ -52,10 +53,17 @@ func TestFull(t *testing.T) {
 	cases := []struct {
 		n    int
 		want int
-	}{{0, 0}, {1, 1}, {5, 5}, {63, 63}, {64, 64}}
+	}{{0, 0}, {1, 1}, {5, 5}, {63, 63}, {64, 64}, {65, 65}, {127, 127}, {128, 128}}
 	for _, c := range cases {
-		if got := Full(c.n).Len(); got != c.want {
+		f := Full(c.n)
+		if got := f.Len(); got != c.want {
 			t.Errorf("Full(%d).Len() = %d, want %d", c.n, got, c.want)
+		}
+		if c.n > 0 && (f.Min() != 0 || f.Max() != c.n-1) {
+			t.Errorf("Full(%d) spans [%d,%d], want [0,%d]", c.n, f.Min(), f.Max(), c.n-1)
+		}
+		if c.n < MaxRelations && f.Has(c.n) {
+			t.Errorf("Full(%d) contains %d", c.n, c.n)
 		}
 	}
 }
@@ -63,35 +71,39 @@ func TestFull(t *testing.T) {
 func TestFullOutOfRangePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Error("Full(65) did not panic")
+			t.Errorf("Full(%d) did not panic", MaxRelations+1)
 		}
 	}()
-	Full(65)
+	Full(MaxRelations + 1)
 }
 
 func TestAddRemove(t *testing.T) {
-	s := Set(0)
-	s = s.Add(3).Add(7).Add(3)
-	if got := s.Len(); got != 2 {
-		t.Fatalf("Len after adds = %d, want 2", got)
+	s := Set{}
+	s = s.Add(3).Add(7).Add(3).Add(80).Add(80)
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len after adds = %d, want 3", got)
 	}
 	s = s.Remove(3)
-	if s.Has(3) || !s.Has(7) {
+	if s.Has(3) || !s.Has(7) || !s.Has(80) {
 		t.Fatalf("after Remove(3): %v", s)
 	}
 	s = s.Remove(3) // removing an absent element is a no-op
-	if got := s.Len(); got != 1 {
-		t.Fatalf("Len after double remove = %d, want 1", got)
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len after double remove = %d, want 2", got)
+	}
+	s = s.Remove(80)
+	if s.Has(80) || s.Len() != 1 {
+		t.Fatalf("after Remove(80): %v", s)
 	}
 }
 
 func TestSetAlgebra(t *testing.T) {
-	a := Of(0, 1, 2)
-	b := Of(2, 3)
-	if got, want := a.Union(b), Of(0, 1, 2, 3); got != want {
+	a := Of(0, 1, 2, 64)
+	b := Of(2, 3, 64, 65)
+	if got, want := a.Union(b), Of(0, 1, 2, 3, 64, 65); got != want {
 		t.Errorf("Union = %v, want %v", got, want)
 	}
-	if got, want := a.Intersect(b), Of(2); got != want {
+	if got, want := a.Intersect(b), Of(2, 64); got != want {
 		t.Errorf("Intersect = %v, want %v", got, want)
 	}
 	if got, want := a.Diff(b), Of(0, 1); got != want {
@@ -100,22 +112,39 @@ func TestSetAlgebra(t *testing.T) {
 	if !a.Overlaps(b) || a.Disjoint(b) {
 		t.Error("a and b should overlap")
 	}
-	c := Of(4, 5)
+	c := Of(4, 5, 90)
 	if a.Overlaps(c) || !a.Disjoint(c) {
 		t.Error("a and c should be disjoint")
 	}
-	if !a.Contains(Of(0, 2)) || a.Contains(b) {
+	if !a.Contains(Of(0, 2, 64)) || a.Contains(b) {
 		t.Error("Contains misbehaves")
+	}
+	// Cross-word-only overlap: low words disjoint, high words share a bit.
+	d, e := Of(1, 100), Of(2, 100)
+	if !d.Overlaps(e) || d.Disjoint(e) {
+		t.Error("cross-word overlap missed")
 	}
 }
 
 func TestMinMax(t *testing.T) {
-	s := Of(3, 10, 41)
-	if got := s.Min(); got != 3 {
-		t.Errorf("Min = %d, want 3", got)
+	cases := []struct {
+		s        Set
+		min, max int
+	}{
+		{Of(3, 10, 41), 3, 41},
+		{Of(63), 63, 63},
+		{Of(64), 64, 64},
+		{Of(63, 64), 63, 64},
+		{Of(5, 127), 5, 127},
+		{Of(70, 127), 70, 127},
 	}
-	if got := s.Max(); got != 41 {
-		t.Errorf("Max = %d, want 41", got)
+	for _, c := range cases {
+		if got := c.s.Min(); got != c.min {
+			t.Errorf("%v.Min() = %d, want %d", c.s, got, c.min)
+		}
+		if got := c.s.Max(); got != c.max {
+			t.Errorf("%v.Max() = %d, want %d", c.s, got, c.max)
+		}
 	}
 }
 
@@ -127,14 +156,14 @@ func TestMinMaxEmptyPanics(t *testing.T) {
 					t.Errorf("%s of empty set did not panic", name)
 				}
 			}()
-			fn(Set(0))
+			fn(Set{})
 		}()
 	}
 }
 
 func TestEachAndSlice(t *testing.T) {
-	s := Of(5, 1, 9)
-	want := []int{1, 5, 9}
+	s := Of(5, 1, 9, 64, 63, 127)
+	want := []int{1, 5, 9, 63, 64, 127}
 	got := s.Slice()
 	if len(got) != len(want) {
 		t.Fatalf("Slice = %v, want %v", got, want)
@@ -146,11 +175,73 @@ func TestEachAndSlice(t *testing.T) {
 	}
 }
 
+func TestLessCompareOrder(t *testing.T) {
+	// Canonical numeric order: word 1 is the high word. Sets confined to
+	// the first 64 relations order exactly as the historical uint64 did.
+	ordered := []Set{
+		{},
+		Of(0),
+		Of(1),
+		Of(0, 1),
+		Of(63),
+		Of(0, 63),
+		Of(64),     // any high-word bit outranks every low-word-only set
+		Of(63, 64), // ...and the low word breaks ties
+		Of(65),
+		Of(127),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			wantLess := i < j
+			if got := ordered[i].Less(ordered[j]); got != wantLess {
+				t.Errorf("%v.Less(%v) = %v, want %v", ordered[i], ordered[j], got, wantLess)
+			}
+			wantCmp := 0
+			if i < j {
+				wantCmp = -1
+			} else if i > j {
+				wantCmp = 1
+			}
+			if got := ordered[i].Compare(ordered[j]); got != wantCmp {
+				t.Errorf("%v.Compare(%v) = %d, want %d", ordered[i], ordered[j], got, wantCmp)
+			}
+		}
+	}
+}
+
+func TestHashEqualSetsEqualHash(t *testing.T) {
+	a := Of(0, 63, 64, 127)
+	b := Of(127, 64, 63, 0)
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal sets hash differently")
+	}
+	// Word swap must not collide trivially: {0} vs {64} differ.
+	if Of(0).Hash() == Of(64).Hash() {
+		t.Fatal("word-swapped singletons collide")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	s := FromWords(1<<5|1<<63, 1<<0|1<<63)
+	if got, want := s, Of(5, 63, 64, 127); got != want {
+		t.Fatalf("FromWords = %v, want %v", got, want)
+	}
+	if got, want := FromWords(7), Of(0, 1, 2); got != want {
+		t.Fatalf("FromWords(7) = %v, want %v", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("FromWords with too many words did not panic")
+		}
+	}()
+	FromWords(1, 2, 3)
+}
+
 func TestSubsetsPartitionsOnce(t *testing.T) {
-	// For s = {0,1,2,3}, Subsets must visit each unordered 2-partition
-	// exactly once: every emitted subset contains the low bit, and together
-	// with its complement covers s.
-	s := Of(0, 1, 2, 3)
+	// For s spanning the word boundary, Subsets must visit each unordered
+	// 2-partition exactly once: every emitted subset contains the low bit,
+	// and together with its complement covers s.
+	s := Of(0, 1, 63, 64)
 	seen := map[Set]bool{}
 	s.Subsets(func(sub Set) bool {
 		if seen[sub] {
@@ -189,7 +280,7 @@ func TestSubsetsEarlyStop(t *testing.T) {
 }
 
 func TestSubsetsEmptyAndSingleton(t *testing.T) {
-	Set(0).Subsets(func(Set) bool {
+	(Set{}).Subsets(func(Set) bool {
 		t.Fatal("empty set emitted a subset")
 		return true
 	})
@@ -197,35 +288,67 @@ func TestSubsetsEmptyAndSingleton(t *testing.T) {
 		t.Fatal("singleton emitted a proper subset containing its low bit")
 		return true
 	})
+	Single(127).Subsets(func(Set) bool {
+		t.Fatal("high-word singleton emitted a proper subset")
+		return true
+	})
 }
 
-func TestString(t *testing.T) {
-	cases := []struct {
-		s    Set
-		want string
-	}{
-		{Set(0), "{}"},
-		{Of(0), "{1}"},
-		{Of(0, 1, 6), "{1,2,7}"},
+func TestSubsetsAllOrderIsSubsetCompatible(t *testing.T) {
+	// DPccp relies on the subset-counter order being ⊆-compatible: every
+	// set is emitted after all of its proper subsets. Verify across the
+	// word boundary.
+	s := Of(2, 63, 64, 100)
+	var order []Set
+	pos := map[Set]int{}
+	s.SubsetsAll(func(sub Set) bool {
+		pos[sub] = len(order)
+		order = append(order, sub)
+		return true
+	})
+	if len(order) != 1<<s.Len() {
+		t.Fatalf("SubsetsAll emitted %d sets, want %d", len(order), 1<<s.Len())
 	}
-	for _, c := range cases {
-		if got := c.s.String(); got != c.want {
-			t.Errorf("String(%#x) = %q, want %q", uint64(c.s), got, c.want)
+	if order[0] != (Set{}) || order[len(order)-1] != s {
+		t.Fatalf("SubsetsAll order starts %v ends %v", order[0], order[len(order)-1])
+	}
+	for _, a := range order {
+		for _, b := range order {
+			if a != b && b.Contains(a) && pos[b] < pos[a] {
+				t.Fatalf("superset %v emitted before subset %v", b, a)
+			}
 		}
 	}
 }
 
-// Property: union/intersection/difference behave like their map-based models.
+// randomSet draws a set with popcount ≤ maxLen whose members spread across
+// the whole 128-bit range, biased to hit the word-boundary bits.
+func randomSet(rng *rand.Rand, maxLen int) Set {
+	boundary := []int{0, 62, 63, 64, 65, 126, 127}
+	var s Set
+	n := 1 + rng.Intn(maxLen)
+	for s.Len() < n {
+		if rng.Intn(3) == 0 {
+			s = s.Add(boundary[rng.Intn(len(boundary))])
+		} else {
+			s = s.Add(rng.Intn(MaxRelations))
+		}
+	}
+	return s
+}
+
+// Property: union/intersection/difference behave like their map-based models
+// over the full 128-bit domain.
 func TestQuickSetAlgebraModel(t *testing.T) {
-	f := func(a, b uint64) bool {
-		sa, sb := Set(a), Set(b)
+	f := func(a0, a1, b0, b1 uint64) bool {
+		sa, sb := FromWords(a0, a1), FromWords(b0, b1)
 		model := func(s Set) map[int]bool {
 			m := map[int]bool{}
 			s.Each(func(i int) { m[i] = true })
 			return m
 		}
 		ma, mb := model(sa), model(sb)
-		for i := 0; i < 64; i++ {
+		for i := 0; i < MaxRelations; i++ {
 			if sa.Union(sb).Has(i) != (ma[i] || mb[i]) {
 				return false
 			}
@@ -246,8 +369,8 @@ func TestQuickSetAlgebraModel(t *testing.T) {
 // Property: Len equals the number of elements Each visits, and Slice is
 // sorted strictly increasing.
 func TestQuickLenAndOrder(t *testing.T) {
-	f := func(a uint64) bool {
-		s := Set(a)
+	f := func(a0, a1 uint64) bool {
+		s := FromWords(a0, a1)
 		sl := s.Slice()
 		if len(sl) != s.Len() {
 			return false
@@ -264,16 +387,40 @@ func TestQuickLenAndOrder(t *testing.T) {
 	}
 }
 
+// Property: Less is a strict total order consistent with Compare, and agrees
+// with lexicographic comparison of the reversed word arrays.
+func TestQuickLessTotalOrder(t *testing.T) {
+	f := func(a0, a1, b0, b1 uint64) bool {
+		a, b := FromWords(a0, a1), FromWords(b0, b1)
+		la, lb := a.Less(b), b.Less(a)
+		if a == b {
+			return !la && !lb && a.Compare(b) == 0
+		}
+		if la == lb { // exactly one direction must hold for distinct sets
+			return false
+		}
+		if la && a.Compare(b) != -1 {
+			return false
+		}
+		if lb && a.Compare(b) != 1 {
+			return false
+		}
+		// Model: big-endian word comparison.
+		wantLess := a[1] < b[1] || (a[1] == b[1] && a[0] < b[0])
+		return la == wantLess
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: every subset emitted by Subsets S satisfies S∪(s\S)=s, S∩(s\S)=∅,
 // and contains the low bit; the emission count is 2^(len-1)-1 for non-empty s.
 func TestQuickSubsetsInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 200; trial++ {
-		// Cap the popcount so enumeration stays fast.
-		var s Set
-		for s.Len() < 1+rng.Intn(10) {
-			s = s.Add(rng.Intn(64))
-		}
+		// Cap the popcount so enumeration stays fast; members span both words.
+		s := randomSet(rng, 10)
 		count := 0
 		ok := true
 		s.Subsets(func(sub Set) bool {

@@ -2,16 +2,21 @@ package bits
 
 import "testing"
 
-// FuzzSubsetsPartition checks that for arbitrary sets, Subsets emits
+// FuzzSubsetsPartition checks that for arbitrary two-word sets, Subsets emits
 // exactly the proper subsets containing the low bit, each pairing with its
-// complement into a valid 2-partition.
+// complement into a valid 2-partition. The popcount is capped at 16 but the
+// members may sit anywhere in the 128-bit range, so the multi-word borrow
+// chain in the subset counter is exercised across the 63/64 word boundary.
 func FuzzSubsetsPartition(f *testing.F) {
-	f.Add(uint64(0b1011))
-	f.Add(uint64(0))
-	f.Add(uint64(1))
-	f.Add(^uint64(0) >> 48)
-	f.Fuzz(func(t *testing.T, raw uint64) {
-		s := Set(raw & 0xFFFF) // cap popcount at 16 to bound enumeration
+	f.Add(uint64(0b1011), uint64(0))
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0))
+	f.Add(^uint64(0)>>48, uint64(0))
+	f.Add(uint64(1)<<63, uint64(1))                 // straddles bits 63 and 64
+	f.Add(uint64(0), ^uint64(0)>>52)                // high word only
+	f.Add(uint64(1)<<63|uint64(1), uint64(1)<<63|1) // bits 0, 63, 64, 127
+	f.Fuzz(func(t *testing.T, raw0, raw1 uint64) {
+		s := capPopcount(FromWords(raw0, raw1), 16)
 		count := 0
 		s.Subsets(func(sub Set) bool {
 			count++
@@ -38,4 +43,54 @@ func FuzzSubsetsPartition(f *testing.F) {
 			t.Fatalf("set %v emitted %d subsets, want %d", s, count, want)
 		}
 	})
+}
+
+// FuzzSubsetsAllMatchesReference checks SubsetsAll against the reference
+// enumerator: the same 2^n subsets, each after all of its proper subsets.
+func FuzzSubsetsAllMatchesReference(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0b101), uint64(0))
+	f.Add(uint64(1)<<63, uint64(0b11))
+	f.Add(uint64(1), uint64(1)<<63)
+	f.Fuzz(func(t *testing.T, raw0, raw1 uint64) {
+		s := capPopcount(FromWords(raw0, raw1), 12)
+		pos := map[Set]int{}
+		n := 0
+		s.SubsetsAll(func(sub Set) bool {
+			if _, dup := pos[sub]; dup {
+				t.Fatalf("subset %v emitted twice", sub)
+			}
+			if !s.Contains(sub) {
+				t.Fatalf("subset %v outside %v", sub, s)
+			}
+			pos[sub] = n
+			n++
+			return true
+		})
+		if n != 1<<s.Len() {
+			t.Fatalf("set %v emitted %d subsets, want %d", s, n, 1<<s.Len())
+		}
+		// ⊆-compatibility spot check against every singleton split: removing
+		// one member must land earlier in the order.
+		for sub, p := range pos {
+			for it := sub.Iter(); ; {
+				i, ok := it.Next()
+				if !ok {
+					break
+				}
+				if q := pos[sub.Remove(i)]; q >= p {
+					t.Fatalf("subset %v at %d precedes its subset %v at %d", sub, p, sub.Remove(i), q)
+				}
+			}
+		}
+	})
+}
+
+// capPopcount trims s to at most n members (keeping the smallest) so fuzzed
+// enumerations stay bounded.
+func capPopcount(s Set, n int) Set {
+	for s.Len() > n {
+		s = s.Remove(s.Max())
+	}
+	return s
 }

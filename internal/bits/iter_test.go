@@ -4,15 +4,18 @@ import "testing"
 
 // FuzzIterMatchesEach checks that the allocation-free Iter cursor and the
 // resumable NextBit primitive visit exactly the members Each visits, in the
-// same increasing order, for arbitrary sets.
+// same increasing order, for arbitrary two-word sets — including sets whose
+// members straddle the 63/64 word boundary and the top bit 127.
 func FuzzIterMatchesEach(f *testing.F) {
-	f.Add(uint64(0))
-	f.Add(uint64(1))
-	f.Add(uint64(0b1011))
-	f.Add(^uint64(0))
-	f.Add(uint64(1) << 63)
-	f.Fuzz(func(t *testing.T, raw uint64) {
-		s := Set(raw)
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(0))
+	f.Add(uint64(0b1011), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(1)<<63, uint64(0))
+	f.Add(uint64(1)<<63, uint64(1)) // adjacent members 63 and 64
+	f.Add(uint64(0), uint64(1)<<63) // only bit 127
+	f.Fuzz(func(t *testing.T, raw0, raw1 uint64) {
+		s := FromWords(raw0, raw1)
 		var want []int
 		s.Each(func(i int) { want = append(want, i) })
 
@@ -59,16 +62,22 @@ func TestIterExhausted(t *testing.T) {
 }
 
 func TestNextBitBounds(t *testing.T) {
-	s := Of(0, 5, 63)
+	s := Of(0, 5, 63, 64, 127)
 	cases := []struct{ from, want int }{
-		{-7, 0}, {0, 0}, {1, 5}, {5, 5}, {6, 63}, {63, 63}, {64, -1}, {200, -1},
+		{-7, 0}, {0, 0}, {1, 5}, {5, 5}, {6, 63}, {63, 63},
+		{64, 64}, {65, 127}, {127, 127}, {128, -1}, {200, -1},
 	}
 	for _, c := range cases {
 		if got := s.NextBit(c.from); got != c.want {
 			t.Errorf("NextBit(%d) = %d, want %d", c.from, got, c.want)
 		}
 	}
-	if got := Set(0).NextBit(0); got != -1 {
+	if got := (Set{}).NextBit(0); got != -1 {
 		t.Errorf("empty NextBit(0) = %d, want -1", got)
+	}
+	// Low word empty: the resume must hop the word boundary.
+	hi := Of(100)
+	if got := hi.NextBit(3); got != 100 {
+		t.Errorf("NextBit(3) over {101} = %d, want 100", got)
 	}
 }

@@ -1,0 +1,206 @@
+package bits
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet is the obviously-correct reference implementation every multi-word
+// operation is checked against: a boolean membership array with set algebra
+// written element-by-element.
+type refSet [MaxRelations]bool
+
+func refFrom(s Set) refSet {
+	var r refSet
+	s.Each(func(i int) { r[i] = true })
+	return r
+}
+
+func (r refSet) toSet() Set {
+	var s Set
+	for i, ok := range r {
+		if ok {
+			s = s.Add(i)
+		}
+	}
+	return s
+}
+
+func (r refSet) len() int {
+	n := 0
+	for _, ok := range r {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+func (r refSet) slice() []int {
+	var out []int
+	for i, ok := range r {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (r refSet) nextBit(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	for i := from; i < MaxRelations; i++ {
+		if r[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// refSubsets enumerates the proper subsets of s containing s's minimum
+// element by recursion over the member list — no bit tricks shared with the
+// implementation under test.
+func refSubsets(s Set) []Set {
+	if s.IsEmpty() || s.Len() == 1 {
+		return nil
+	}
+	members := s.Slice()
+	lo, rest := members[0], members[1:]
+	var out []Set
+	for mask := 0; mask < 1<<len(rest); mask++ {
+		sub := Single(lo)
+		for j, m := range rest {
+			if mask&(1<<j) != 0 {
+				sub = sub.Add(m)
+			}
+		}
+		if sub != s {
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// boundaryRandomSet draws sets that preferentially include bits 62–65 and
+// 126–127, the cross-word cases a single-word implementation never sees.
+func boundaryRandomSet(rng *rand.Rand, maxLen int) Set {
+	hot := []int{62, 63, 64, 65, 126, 127}
+	var s Set
+	n := 1 + rng.Intn(maxLen)
+	for s.Len() < n {
+		if rng.Intn(2) == 0 {
+			s = s.Add(hot[rng.Intn(len(hot))])
+		} else {
+			s = s.Add(rng.Intn(MaxRelations))
+		}
+	}
+	return s
+}
+
+func TestReferenceAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		a := boundaryRandomSet(rng, 20)
+		b := boundaryRandomSet(rng, 20)
+		ra, rb := refFrom(a), refFrom(b)
+
+		var union, inter, diff refSet
+		overlaps, contains := false, true
+		for i := 0; i < MaxRelations; i++ {
+			union[i] = ra[i] || rb[i]
+			inter[i] = ra[i] && rb[i]
+			diff[i] = ra[i] && !rb[i]
+			overlaps = overlaps || (ra[i] && rb[i])
+			contains = contains && (!rb[i] || ra[i])
+		}
+		if got, want := a.Union(b), union.toSet(); got != want {
+			t.Fatalf("Union(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := a.Intersect(b), inter.toSet(); got != want {
+			t.Fatalf("Intersect(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if got, want := a.Diff(b), diff.toSet(); got != want {
+			t.Fatalf("Diff(%v,%v) = %v, want %v", a, b, got, want)
+		}
+		if a.Overlaps(b) != overlaps || a.Disjoint(b) == overlaps {
+			t.Fatalf("Overlaps(%v,%v) disagrees with reference", a, b)
+		}
+		if a.Contains(b) != contains {
+			t.Fatalf("Contains(%v,%v) disagrees with reference", a, b)
+		}
+		if a.Len() != ra.len() {
+			t.Fatalf("Len(%v) = %d, want %d", a, a.Len(), ra.len())
+		}
+		sl := ra.slice()
+		if a.Min() != sl[0] || a.Max() != sl[len(sl)-1] {
+			t.Fatalf("Min/Max(%v) disagree with reference %v", a, sl)
+		}
+	}
+}
+
+func TestReferenceIterNextBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 500; trial++ {
+		s := boundaryRandomSet(rng, 20)
+		r := refFrom(s)
+		want := r.slice()
+
+		var viaIter []int
+		for it := s.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			viaIter = append(viaIter, i)
+		}
+		if !equalInts(viaIter, want) {
+			t.Fatalf("Iter(%v) = %v, reference %v", s, viaIter, want)
+		}
+		for from := -1; from <= MaxRelations; from++ {
+			if got, wantB := s.NextBit(from), r.nextBit(from); got != wantB {
+				t.Fatalf("NextBit(%v, %d) = %d, reference %d", s, from, got, wantB)
+			}
+		}
+	}
+}
+
+func TestReferenceSubsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 200; trial++ {
+		s := boundaryRandomSet(rng, 10)
+		var got []Set
+		s.Subsets(func(sub Set) bool {
+			got = append(got, sub)
+			return true
+		})
+		want := refSubsets(s)
+		sortSets(got)
+		sortSets(want)
+		if len(got) != len(want) {
+			t.Fatalf("Subsets(%v) emitted %d, reference %d", s, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("Subsets(%v) diverges from reference at %d: %v vs %v", s, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortSets(s []Set) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Less(s[j]) })
+}

@@ -229,6 +229,47 @@ func TestJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJSONRoundTripAbove64Relations pins the serialization path for schemas
+// wider than one machine word of relations: an 80-relation extended catalog
+// must survive a JSON round trip column-exact and keep a stable fingerprint
+// — the golden-catalog guarantee the >64-relation workloads rely on.
+func TestJSONRoundTripAbove64Relations(t *testing.T) {
+	orig := MustSynthetic(ExtendedConfig(80))
+	if orig.NumRelations() != 80 {
+		t.Fatalf("relations = %d, want 80", orig.NumRelations())
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if got.NumRelations() != orig.NumRelations() {
+		t.Fatalf("relations = %d after round trip", got.NumRelations())
+	}
+	for i := range orig.Rels {
+		if got.Rels[i].Rows != orig.Rels[i].Rows || got.Rels[i].IndexCol != orig.Rels[i].IndexCol {
+			t.Fatalf("relation %d differs after round trip", i)
+		}
+		for j := range orig.Rels[i].Cols {
+			if got.Rels[i].Cols[j] != orig.Rels[i].Cols[j] {
+				t.Fatalf("column %d.%d differs after round trip", i, j)
+			}
+		}
+	}
+	if got.Fingerprint() != orig.Fingerprint() {
+		t.Errorf("fingerprint changed across round trip: %s != %s", got.Fingerprint(), orig.Fingerprint())
+	}
+	// Regeneration from the same config is fingerprint-stable, so a golden
+	// catalog written once keeps matching freshly generated schemas.
+	again := MustSynthetic(ExtendedConfig(80))
+	if again.Fingerprint() != orig.Fingerprint() {
+		t.Errorf("fingerprint not deterministic: %s != %s", again.Fingerprint(), orig.Fingerprint())
+	}
+}
+
 // TestJSONRoundTripStatsLost covers the degraded-catalog shape sdpgen
 // -stats-health emits: lost columns carry no NDV/Skew but must survive
 // serialization with the flag intact.

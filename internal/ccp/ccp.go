@@ -1,0 +1,272 @@
+// Package ccp enumerates the connected-subgraph / connected-complement
+// (csg-cmp) pairs of a join graph — DPccp-style enumeration after Moerkotte
+// & Neumann's "Analysis of Two Existing and One New Dynamic Programming
+// Algorithm for the Generation of Optimal Bushy Join Trees without Cross
+// Products" (VLDB 2006).
+//
+// A csg-cmp pair is an unordered pair of disjoint, individually connected
+// vertex sets (S1, S2) joined by at least one edge. These are exactly the
+// class pairs a bushy DP enumerator must join, so emitting only them makes
+// pairs_considered == pairs_connected *by construction* — where DPsize scans
+// per-level cross products and filters, and the PR 5 adjacency-indexed
+// Walker gathers joinable candidates from per-level bitmaps, DPccp never
+// generates a candidate it will reject and does work proportional to the
+// number of connected pairs rather than to the level population.
+//
+// The enumeration order carries the invariant dynamic programming needs:
+// when a pair (S1, S2) is emitted, every csg-cmp pair of S1 and every
+// csg-cmp pair of S2 has already been emitted, so a DP table updated at each
+// emission always reads finalized entries. The order is achieved the
+// classical way:
+//
+//   - the outer loop starts connected subgraphs from each vertex v_i with i
+//     descending, forbidding the prefix B_i = {v_0..v_i}; every csg started
+//     at v_i has minimum v_i, and its complements have strictly larger
+//     minima, so their own pairs were produced by earlier outer iterations;
+//   - within an iteration, subgraphs grow by subsets of the breadth-first
+//     neighborhood in size-ascending order with growing forbidden sets,
+//     which makes csg emission ⊆-compatible: a subgraph is always emitted
+//     after all of its connected subsets.
+//
+// Vertices are indexes into a caller-provided adjacency table, so the graph
+// may be a contracted view (IDP's compound leaves map several base relations
+// onto one vertex). The enumerator is deterministic: identical adjacency
+// yields an identical emission sequence.
+package ccp
+
+import (
+	"sdpopt/internal/bits"
+)
+
+// Options bounds an enumeration.
+type Options struct {
+	// MinLevel suppresses emission of pairs whose combined vertex count is
+	// ≤ MinLevel (their joins were already performed by a previous partial
+	// run). 0 or 1 emits everything from pairs of singletons up.
+	MinLevel int
+	// MaxLevel suppresses pairs whose combined vertex count exceeds it and
+	// prunes the recursion that could only produce such pairs — the engine's
+	// partial-run bound (IDP enumerates blocks of k levels). 0 means no
+	// bound.
+	MaxLevel int
+	// LeftDeep restricts emission to pairs with at least one singleton side,
+	// System R's classic space: every join extends a composite by one leaf.
+	LeftDeep bool
+}
+
+// Enumerate emits every csg-cmp pair of the graph within the level bounds,
+// each unordered pair exactly once with min(S1) < min(S2). adj[i] is the
+// neighbor set of vertex i (never containing i); len(adj) is the vertex
+// count, at most bits.MaxRelations. A non-nil error from emit aborts the
+// enumeration and is returned unchanged.
+func Enumerate(adj []bits.Set, opts Options, emit func(s1, s2 bits.Set) error) error {
+	n := len(adj)
+	if n < 2 {
+		return nil
+	}
+	maxLevel := opts.MaxLevel
+	if maxLevel <= 0 || maxLevel > n {
+		maxLevel = n
+	}
+	minLevel := opts.MinLevel
+	if minLevel < 1 {
+		minLevel = 1
+	}
+	if maxLevel < 2 || minLevel >= maxLevel {
+		return nil
+	}
+	e := &enum{adj: adj, minLevel: minLevel, maxLevel: maxLevel, leftDeep: opts.LeftDeep, emit: emit}
+	for i := n - 1; i >= 0; i-- {
+		s1 := bits.Single(i)
+		forbidden := bits.Full(i + 1) // B_i: v_i and every smaller vertex
+		if err := e.emitCsg(s1, 1, forbidden); err != nil {
+			return err
+		}
+		if maxLevel >= 3 { // a grown csg needs room for at least one cmp vertex
+			if err := e.csgRec(s1, 1, forbidden, forbidden); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+type enum struct {
+	adj      []bits.Set
+	minLevel int
+	maxLevel int
+	leftDeep bool
+	emit     func(s1, s2 bits.Set) error
+
+	// scratch reuses one member buffer per recursion depth for the
+	// size-bounded subset walks; depths beyond the slice grow it lazily.
+	scratch [][]int
+}
+
+// neighbors returns the neighbor set of s: vertices outside s adjacent to
+// any member.
+func (e *enum) neighbors(s bits.Set) bits.Set {
+	var nb bits.Set
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		nb = nb.Union(e.adj[i])
+	}
+	return nb.Diff(s)
+}
+
+// members fills the depth-d scratch buffer with s's vertices.
+func (e *enum) members(d int, s bits.Set) []int {
+	for len(e.scratch) <= d {
+		e.scratch = append(e.scratch, nil)
+	}
+	buf := e.scratch[d][:0]
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		buf = append(buf, i)
+	}
+	e.scratch[d] = buf
+	return buf
+}
+
+// subsets calls fn for every non-empty subset of nb with at most maxSize
+// vertices, in size-ascending order (size-ascending is ⊆-compatible, the
+// property the emission-order invariant rests on). Enumerating combinations
+// size by size — instead of the classic full subset counter — keeps the work
+// proportional to the subsets actually produced, which matters when a level
+// bound caps the size well below the neighborhood (IDP blocks on hub-heavy
+// contracted graphs). fn's error aborts.
+func (e *enum) subsets(depth int, nb bits.Set, maxSize int, fn func(sub bits.Set, size int) error) error {
+	m := e.members(depth, nb)
+	if maxSize > len(m) {
+		maxSize = len(m)
+	}
+	var idx [bits.MaxRelations]int
+	for size := 1; size <= maxSize; size++ {
+		// Initialize the first size-combination 0,1,..,size-1.
+		for i := 0; i < size; i++ {
+			idx[i] = i
+		}
+		for {
+			var sub bits.Set
+			for i := 0; i < size; i++ {
+				sub = sub.Add(m[idx[i]])
+			}
+			if err := fn(sub, size); err != nil {
+				return err
+			}
+			// Advance the combination in lexicographic order.
+			i := size - 1
+			for i >= 0 && idx[i] == len(m)-size+i {
+				i--
+			}
+			if i < 0 {
+				break
+			}
+			idx[i]++
+			for j := i + 1; j < size; j++ {
+				idx[j] = idx[j-1] + 1
+			}
+		}
+	}
+	return nil
+}
+
+// csgRec grows the connected subgraph s (EnumerateCsgRec): every non-empty
+// neighborhood subset yields a larger csg, emitted (with its complements)
+// before any recursion so the ⊆-compatible order holds, then each extension
+// recurses with the whole neighborhood forbidden. x accumulates the growth
+// exclusions down the recursion; bmin stays the outer iteration's prefix —
+// complements are only ever barred from the prefix, not from the growth
+// exclusions (a vertex this branch declined to grow into is still a valid
+// complement member).
+func (e *enum) csgRec(s bits.Set, size int, x, bmin bits.Set) error {
+	nb := e.neighbors(s).Diff(x)
+	if nb.IsEmpty() {
+		return nil
+	}
+	depth := size // recursion depth strictly increases with size
+	// A csg used as S1 needs at least one vertex left for its complement.
+	grow := e.maxLevel - 1 - size
+	if err := e.subsets(depth, nb, grow, func(sub bits.Set, subSize int) error {
+		return e.emitCsg(s.Union(sub), size+subSize, bmin)
+	}); err != nil {
+		return err
+	}
+	if grow < 2 { // no extension can grow further
+		return nil
+	}
+	xNext := x.Union(nb)
+	return e.subsets(depth, nb, grow-1, func(sub bits.Set, subSize int) error {
+		return e.csgRec(s.Union(sub), size+subSize, xNext, bmin)
+	})
+}
+
+// emitCsg enumerates the connected complements of csg s1 (EmitCsg): each
+// neighbor v of s1 outside the forbidden prefix starts a complement, grown
+// exactly like a csg but with s1, the prefix, and v's smaller co-neighbors
+// forbidden — the same min-vertex decomposition, applied within the
+// complement space, so each (s1, s2) pair surfaces exactly once.
+func (e *enum) emitCsg(s1 bits.Set, size1 int, bmin bits.Set) error {
+	x := bmin.Union(s1)
+	nb := e.neighbors(s1).Diff(x)
+	if nb.IsEmpty() {
+		return nil
+	}
+	growS2 := e.maxLevel - size1 - 1
+	if e.leftDeep && size1 > 1 {
+		growS2 = 0 // composite S1: only singleton complements keep one side a leaf
+	}
+	for it := nb.Iter(); ; {
+		v, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		s2 := bits.Single(v)
+		if size1+1 > e.minLevel {
+			if err := e.emit(s1, s2); err != nil {
+				return err
+			}
+		}
+		if growS2 > 0 {
+			// Forbid v's predecessors within the neighborhood (each larger
+			// complement is found from its minimal neighbor only) alongside
+			// x: the complement growth space is disjoint from s1 and B_min.
+			bv := nb.Intersect(bits.Full(v + 1))
+			if err := e.cmpRec(s1, size1, s2, 1, x.Union(bv)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// cmpRec grows the complement s2 of s1 (EnumerateCmp's recursive half),
+// emitting each grown complement as a pair with s1.
+func (e *enum) cmpRec(s1 bits.Set, size1 int, s2 bits.Set, size2 int, x bits.Set) error {
+	nb := e.neighbors(s2).Diff(x)
+	if nb.IsEmpty() {
+		return nil
+	}
+	depth := size1 + size2
+	grow := e.maxLevel - size1 - size2
+	if err := e.subsets(depth, nb, grow, func(sub bits.Set, subSize int) error {
+		if size1+size2+subSize <= e.minLevel {
+			return nil
+		}
+		return e.emit(s1, s2.Union(sub))
+	}); err != nil {
+		return err
+	}
+	if grow < 2 {
+		return nil
+	}
+	xNext := x.Union(nb)
+	return e.subsets(depth, nb, grow-1, func(sub bits.Set, subSize int) error {
+		return e.cmpRec(s1, size1, s2.Union(sub), size2+subSize, xNext)
+	})
+}

@@ -98,12 +98,14 @@ func assertSameResult(t *testing.T, label string, pRef *plan.Plan, stRef dp.Stat
 	}
 }
 
-// TestDPEnumerationEquivalence runs exhaustive DP three ways — the naive
-// generate-and-filter reference loop, the adjacency-indexed walk, and the
-// parallel engine at 1/2/4/8 workers — and requires identical results.
-// It also pins the point of the index: the indexed walk must consider no
-// more candidate pairs than the naive scan, and on every corpus entry the
-// naive scan considers strictly more (the filter was doing real work).
+// TestDPEnumerationEquivalence runs exhaustive DP four ways — the naive
+// generate-and-filter reference loop, the adjacency-indexed walk, the
+// default DPccp csg-cmp enumeration, and the parallel engine at 1/2/4/8
+// workers — and requires identical results. It also pins the point of each
+// enumerator: the indexed walk must consider no more candidate pairs than
+// the naive scan (and on every corpus entry strictly fewer — the filter was
+// doing real work), and DPccp must report considered == connected, its
+// structural no-filtering guarantee.
 func TestDPEnumerationEquivalence(t *testing.T) {
 	for _, ce := range equivCorpus() {
 		ce := ce
@@ -113,11 +115,11 @@ func TestDPEnumerationEquivalence(t *testing.T) {
 			if err != nil {
 				t.Fatalf("One: %v", err)
 			}
-			pNaive, stNaive, err := dp.Optimize(q, dp.Options{NaiveEnum: true})
+			pNaive, stNaive, err := dp.Optimize(q, dp.Options{Enum: dp.EnumNaive})
 			if err != nil {
 				t.Fatalf("naive: %v", err)
 			}
-			pIdx, stIdx, err := dp.Optimize(q, dp.Options{})
+			pIdx, stIdx, err := dp.Optimize(q, dp.Options{Enum: dp.EnumIndexed})
 			if err != nil {
 				t.Fatalf("indexed: %v", err)
 			}
@@ -130,6 +132,15 @@ func TestDPEnumerationEquivalence(t *testing.T) {
 				t.Errorf("indexed considered %d pairs, not fewer than naive's %d — index is not filtering",
 					stIdx.PairsConsidered, stNaive.PairsConsidered)
 			}
+			pCcp, stCcp, err := dp.Optimize(q, dp.Options{}) // default: DPccp
+			if err != nil {
+				t.Fatalf("ccp: %v", err)
+			}
+			assertSameResult(t, "ccp", pNaive, stNaive, pCcp, stCcp)
+			if stCcp.PairsConsidered != stCcp.PairsConnected {
+				t.Errorf("ccp considered %d pairs but connected %d — the csg-cmp enumeration emitted a pair it had to filter",
+					stCcp.PairsConsidered, stCcp.PairsConnected)
+			}
 			for _, workers := range []int{1, 2, 4, 8} {
 				pPar, stPar, err := pardp.Optimize(q, pardp.Options{Workers: workers})
 				if err != nil {
@@ -138,6 +149,106 @@ func TestDPEnumerationEquivalence(t *testing.T) {
 				assertSameResult(t, fmt.Sprintf("w=%d", workers), pNaive, stNaive, pPar, stPar)
 			}
 		})
+	}
+}
+
+// TestDPccpEquivalenceWidths sweeps DPccp ≡ DPsize across every generator
+// topology at widths 2–15 (cycle and star-chain start at their structural
+// minimum of 3): identical optimal plan to the cost bit, identical memo
+// shape, identical connected-pair count, and the parallel engine bit-for-bit
+// identical at 1/2/4/8 workers — the full proof obligation of making DPccp
+// the default. Three deliberate caps keep the sweep inside test time without
+// weakening the proof — at every capped width the work cut is join costing,
+// never enumeration coverage: the naive scan's per-level cross products are
+// quadratic in the class population, so it drops out above width 13 on the
+// dense hub topologies (the indexed walk — already proven ≡ naive — carries
+// the DPsize side there); the four-way worker sweep stops at parMax because
+// each worker count is a full exhaustive optimization and pardp drives its
+// own level loop, untouched by the enumerator default (its determinism on
+// the hub-heavy corpus is pinned by TestDPEnumerationEquivalence); and the
+// clique sweep stops at 9 because an exhaustive clique optimization joins
+// Θ(3ⁿ) pairs in *every* enumerator — the joins, not the enumeration, are
+// the cost; pair-set equality for larger cliques is covered structurally
+// (and cheaply) in internal/ccp.
+func TestDPccpEquivalenceWidths(t *testing.T) {
+	cat := workload.PaperSchema()
+	sweeps := []struct {
+		name     string
+		topo     workload.Topology
+		min      int
+		max      int
+		naiveMax int
+		parMax   int
+	}{
+		{"chain", workload.Chain, 2, 15, 15, 15},
+		{"cycle", workload.Cycle, 3, 15, 15, 15},
+		{"star", workload.Star, 2, 15, 13, 13},
+		{"starchain", workload.StarChain, 3, 15, 13, 13},
+		{"clique", workload.Clique, 2, 9, 9, 8},
+	}
+	for _, sw := range sweeps {
+		for n := sw.min; n <= sw.max; n++ {
+			sw, n := sw, n
+			t.Run(fmt.Sprintf("%s-%d", sw.name, n), func(t *testing.T) {
+				t.Parallel()
+				q, err := workload.One(workload.Spec{
+					Cat: cat, Topology: sw.topo, NumRelations: n, Seed: int64(1000*int64(sw.topo) + int64(n)),
+				})
+				if err != nil {
+					t.Fatalf("One: %v", err)
+				}
+				pCcp, stCcp, err := dp.Optimize(q, dp.Options{}) // default: DPccp
+				if err != nil {
+					t.Fatalf("ccp: %v", err)
+				}
+				if stCcp.PairsConsidered != stCcp.PairsConnected {
+					t.Errorf("ccp considered %d != connected %d", stCcp.PairsConsidered, stCcp.PairsConnected)
+				}
+				pIdx, stIdx, err := dp.Optimize(q, dp.Options{Enum: dp.EnumIndexed})
+				if err != nil {
+					t.Fatalf("indexed: %v", err)
+				}
+				assertSameResult(t, "ccp-vs-indexed", pIdx, stIdx, pCcp, stCcp)
+				if n <= sw.naiveMax {
+					pNaive, stNaive, err := dp.Optimize(q, dp.Options{Enum: dp.EnumNaive})
+					if err != nil {
+						t.Fatalf("naive: %v", err)
+					}
+					assertSameResult(t, "ccp-vs-naive", pNaive, stNaive, pCcp, stCcp)
+				}
+				if n <= sw.parMax {
+					for _, workers := range []int{1, 2, 4, 8} {
+						pPar, stPar, err := pardp.Optimize(q, pardp.Options{Workers: workers})
+						if err != nil {
+							t.Fatalf("w=%d: %v", workers, err)
+						}
+						assertSameResult(t, fmt.Sprintf("ccp-vs-w=%d", workers), pCcp, stCcp, pPar, stPar)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDPccpStructuralInvariant is the CI enumeration-regression guard's
+// named check: over the full smoke corpus, the default engine must be DPccp
+// and must report pairs_considered == pairs_connected — more considered than
+// connected means the structural enumeration generated a candidate it had to
+// reject, which DPccp by construction never does.
+func TestDPccpStructuralInvariant(t *testing.T) {
+	for _, ce := range equivCorpus() {
+		q, err := workload.One(ce.spec)
+		if err != nil {
+			t.Fatalf("%s: One: %v", ce.name, err)
+		}
+		_, st, err := dp.Optimize(q, dp.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", ce.name, err)
+		}
+		if st.PairsConsidered != st.PairsConnected {
+			t.Errorf("%s: DPccp considered %d pairs, connected %d — structural invariant broken",
+				ce.name, st.PairsConsidered, st.PairsConnected)
+		}
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"sdpopt/internal/bits"
+	"sdpopt/internal/ccp"
 	"sdpopt/internal/cost"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
@@ -62,8 +63,39 @@ type LevelHook func(level int, m *memo.Memo, created []*memo.Class) error
 // SortClasses orders classes canonically by relation set — the order level
 // hooks observe in both the sequential and the parallel engine.
 func SortClasses(cs []*memo.Class) {
-	sort.Slice(cs, func(i, j int) bool { return cs[i].Set < cs[j].Set })
+	sort.Slice(cs, func(i, j int) bool { return cs[i].Set.Less(cs[j].Set) })
 }
+
+// EnumMode selects the engine's candidate-pair generation strategy. All
+// three modes enumerate exactly the same connected class pairs and produce
+// bit-for-bit identical memos, plans and costing (the equivalence property
+// tests assert this); they differ only in how much work finding those pairs
+// takes.
+type EnumMode int
+
+const (
+	// EnumDPccp, the default, generates connected-subgraph/connected-
+	// complement pairs directly from the join graph (Moerkotte & Neumann's
+	// DPccp): no candidate is ever generated and rejected, so
+	// pairs_considered == pairs_connected by construction and the
+	// enumeration cost is proportional to the connected pairs alone. Runs
+	// with a per-level hook (SDP) fall back to EnumIndexed: DPccp has no
+	// level barrier to run hooks at, and under hook pruning the surviving
+	// classes are a sparse memo-dependent subset that the structural
+	// enumeration cannot see — the indexed walk gathers candidates from the
+	// memo itself, which is exactly what pruned search needs.
+	EnumDPccp EnumMode = iota
+	// EnumIndexed is the adjacency-indexed level walk: per-level bitmap
+	// indexes gather each class's joinable partners, skipping disconnected
+	// candidates without testing them. The enumerator behind every hooked
+	// (SDP) run and the parallel engine's task generator.
+	EnumIndexed
+	// EnumNaive is the generate-and-filter reference loop: scan every class
+	// pair per level and reject with Disjoint/Connected, recomputing the
+	// neighborhood per pair. Exists as the equivalence oracle and benchmark
+	// baseline for the two real enumerators.
+	EnumNaive
+)
 
 // Options configures an engine run.
 type Options struct {
@@ -94,12 +126,13 @@ type Options struct {
 	// ("DP" when empty); IDP and SDP pass their own names so per-level
 	// spans attribute effort to the right strategy.
 	Label string
-	// NaiveEnum selects the retained generate-and-filter reference loop:
-	// scan every class pair per level and reject with Disjoint/Connected,
-	// recomputing the neighborhood per pair. It produces bit-for-bit the
-	// same memo, plans and costing as the default adjacency-indexed walk
-	// (the equivalence property tests assert this) and exists only as the
-	// comparison baseline for those tests and the enumeration benchmarks.
+	// Enum selects the candidate-pair generation strategy; the zero value is
+	// EnumDPccp (see EnumMode for the fallback rule hooked runs trigger).
+	Enum EnumMode
+	// NaiveEnum selects the generate-and-filter reference loop.
+	//
+	// Deprecated: equivalent to Enum = EnumNaive, which takes precedence
+	// over this flag and should be used instead.
 	NaiveEnum bool
 }
 
@@ -132,7 +165,11 @@ type Engine struct {
 	leaves   []Leaf
 	hook     LevelHook
 	leftDeep bool
-	naive    bool
+	enum     EnumMode
+
+	// ccpDone is the highest level whose pairs the DPccp path has already
+	// emitted; a later partial Run resumes above it instead of re-joining.
+	ccpDone int
 
 	costedAtStart int64
 	started       time.Time
@@ -176,6 +213,13 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 	if label == "" {
 		label = "DP"
 	}
+	enum := opts.Enum
+	if enum == EnumDPccp && opts.NaiveEnum {
+		enum = EnumNaive
+	}
+	if enum == EnumDPccp && opts.Hook != nil {
+		enum = EnumIndexed // hooks need level barriers; see EnumMode docs
+	}
 	e := &Engine{
 		Q:             q,
 		Model:         model,
@@ -184,7 +228,8 @@ func NewEngine(q *query.Query, leaves []Leaf, opts Options) (*Engine, error) {
 		leaves:        leaves,
 		hook:          opts.Hook,
 		leftDeep:      opts.LeftDeepOnly,
-		naive:         opts.NaiveEnum,
+		enum:          enum,
+		ccpDone:       1,
 		costedAtStart: model.PlansCosted,
 		started:       time.Now(),
 		ob:            ob,
@@ -295,6 +340,9 @@ func (e *Engine) Run(toLevel int) error {
 	if toLevel > len(e.leaves) {
 		toLevel = len(e.leaves)
 	}
+	if e.enum == EnumDPccp {
+		return e.runCCP(toLevel)
+	}
 	for k := 2; k <= toLevel; k++ {
 		if err := e.checkCtx(); err != nil {
 			return err
@@ -325,10 +373,16 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted, prevCons, pr
 	if e.ob == nil && e.sp == nil {
 		return
 	}
-	d := time.Since(started)
-	costed := e.Model.PlansCosted - prevCosted
-	pairsCons := e.pairsConsidered - prevCons
-	pairsConn := e.pairsConnected - prevConn
+	e.emitLevel(k, started, time.Since(started),
+		e.Model.PlansCosted-prevCosted, e.pairsConsidered-prevCons, e.pairsConnected-prevConn,
+		created, err)
+}
+
+// emitLevel is observeLevel's emission body, taking the level's duration and
+// counter deltas directly — the DPccp path accumulates per-level deltas out
+// of emission order and replays them through here at run end. Call only when
+// e.ob or e.sp is non-nil.
+func (e *Engine) emitLevel(k int, started time.Time, d time.Duration, costed, pairsCons, pairsConn int64, created int, err error) {
 	if e.sp != nil {
 		lv := e.sp.ChildAt("level", started, d)
 		lv.SetAttr("tech", e.label)
@@ -383,7 +437,7 @@ func (e *Engine) observeLevel(k int, started time.Time, prevCosted, prevCons, pr
 }
 
 func (e *Engine) runLevel(k int) ([]*memo.Class, error) {
-	if e.naive {
+	if e.enum == EnumNaive {
 		return e.runLevelNaive(k)
 	}
 	var created []*memo.Class
@@ -474,6 +528,124 @@ func (e *Engine) runLevelNaive(k int) ([]*memo.Class, error) {
 		}
 	}
 	return created, nil
+}
+
+// ccpGraph builds the join graph the DPccp enumerator walks: one vertex per
+// leaf, an edge wherever a join predicate connects two leaves' relation
+// sets, plus the translation from vertex sets back to relation sets. For the
+// common base-relation leaf set (leaf i covers exactly relation i) both are
+// free — the adjacency is the query's own and the translation is identity;
+// IDP's compound leaves get a contracted graph built by pairwise
+// connectivity tests.
+func (e *Engine) ccpGraph() (adj []bits.Set, rels func(bits.Set) bits.Set) {
+	n := len(e.leaves)
+	identity := true
+	for i := range e.leaves {
+		if e.leaves[i].Set != bits.Single(i) {
+			identity = false
+			break
+		}
+	}
+	adj = make([]bits.Set, n)
+	if identity {
+		for i := range adj {
+			adj[i] = e.Q.Neighbors(bits.Single(i))
+		}
+		return adj, func(s bits.Set) bits.Set { return s }
+	}
+	leafSets := make([]bits.Set, n)
+	for i := range e.leaves {
+		leafSets[i] = e.leaves[i].Set
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if e.Q.Connected(leafSets[i], leafSets[j]) {
+				adj[i] = adj[i].Add(j)
+				adj[j] = adj[j].Add(i)
+			}
+		}
+	}
+	return adj, func(s bits.Set) bits.Set {
+		var r bits.Set
+		for it := s.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				return r
+			}
+			r = r.Union(leafSets[i])
+		}
+	}
+}
+
+// runCCP runs the DPccp enumerator for levels (e.ccpDone, toLevel]: every
+// emitted csg-cmp pair is a connected, disjoint class pair, joined the
+// moment it surfaces. The enumeration order guarantees both sides' classes
+// are complete before a pair is emitted (see package ccp), so no level
+// barrier is needed — which also means per-level telemetry cannot be closed
+// level by level; instead the pair callback accumulates each level's deltas
+// and the run replays them through emitLevel in ascending order at the end,
+// producing the same one-observation-per-level stream the level-synchronous
+// enumerators emit.
+func (e *Engine) runCCP(toLevel int) error {
+	minLevel := e.ccpDone
+	if toLevel <= minLevel {
+		return nil
+	}
+	runStart := time.Now()
+	adj, rels := e.ccpGraph()
+	timed := e.ob != nil || e.sp != nil
+	durs := make([]time.Duration, toLevel+1)
+	costed := make([]int64, toLevel+1)
+	pairs := make([]int64, toLevel+1)
+	created := make([]int, toLevel+1)
+	abortLevel := 0
+	err := ccp.Enumerate(adj, ccp.Options{MinLevel: minLevel, MaxLevel: toLevel, LeftDeep: e.leftDeep},
+		func(s1, s2 bits.Set) error {
+			lvl := s1.Len() + s2.Len()
+			if cerr := e.checkCtx(); cerr != nil {
+				abortLevel = lvl
+				return cerr
+			}
+			a, b := e.Memo.Get(rels(s1)), e.Memo.Get(rels(s2))
+			// Considered == connected by construction: the enumerator only
+			// produces disjoint connected pairs, it never filters.
+			e.pairsConsidered++
+			e.pairsConnected++
+			pairs[lvl]++
+			var t0 time.Time
+			if timed {
+				t0 = time.Now()
+			}
+			pc := e.Model.PlansCosted
+			_, isNew, jerr := e.joinClasses(a, b, lvl)
+			costed[lvl] += e.Model.PlansCosted - pc
+			if timed {
+				durs[lvl] += time.Since(t0)
+			}
+			if isNew {
+				created[lvl]++
+			}
+			if jerr != nil {
+				abortLevel = lvl
+				return jerr
+			}
+			return nil
+		})
+	if err == nil {
+		e.ccpDone = toLevel
+	}
+	if timed {
+		lvStart := runStart
+		for k := minLevel + 1; k <= toLevel; k++ {
+			var lerr error
+			if k == abortLevel {
+				lerr = err
+			}
+			e.emitLevel(k, lvStart, durs[k], costed[k], pairs[k], pairs[k], created[k], lerr)
+			lvStart = lvStart.Add(durs[k])
+		}
+	}
+	return err
 }
 
 // joinClasses enumerates the physical joins of classes a and b, folding the

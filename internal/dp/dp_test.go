@@ -352,7 +352,7 @@ func TestCompoundLeaves(t *testing.T) {
 func TestNewEngineValidatesLeaves(t *testing.T) {
 	q := chainQuery(t, 3)
 	cases := map[string][]Leaf{
-		"empty leaf":      {{Set: bits.Set(0)}, {Set: bits.Of(0, 1, 2), Plans: []*plan.Plan{{}}}},
+		"empty leaf":      {{Set: bits.Set{}}, {Set: bits.Of(0, 1, 2), Plans: []*plan.Plan{{}}}},
 		"overlap":         {{Set: bits.Of(0, 1), Plans: []*plan.Plan{{}}}, {Set: bits.Of(1, 2), Plans: []*plan.Plan{{}}}},
 		"not covering":    {{Set: bits.Single(0)}, {Set: bits.Single(1)}},
 		"multi w/o plans": {{Set: bits.Of(0, 1)}, {Set: bits.Single(2)}},

@@ -12,10 +12,13 @@ import (
 
 	"sdpopt/internal/ce"
 	"sdpopt/internal/core"
+	"sdpopt/internal/dp"
 	"sdpopt/internal/loadgen"
 	"sdpopt/internal/obs/regret"
 	"sdpopt/internal/obs/span"
+	"sdpopt/internal/plan"
 	"sdpopt/internal/plancache"
+	"sdpopt/internal/query"
 	"sdpopt/internal/server"
 	"sdpopt/internal/workload"
 )
@@ -82,6 +85,24 @@ type BenchReport struct {
 	// measurement: exec-sampled estimate-vs-actual q-errors on a skewed
 	// catalog, healthy vs stats-degraded (see FeedbackBench).
 	Feedback *FeedbackBench `json:"feedback,omitempty"`
+	// LargeQuery reports the beyond-64-relation validation workloads:
+	// Star-30, Clique-25 and Chain-40 over extended schemas, with
+	// per-technique feasibility, enumeration-pair counts and peak simulated
+	// memory (see LargeQueryBench).
+	LargeQuery *LargeQueryBench `json:"large_query,omitempty"`
+}
+
+// LargeQueryBench is the multi-word-bitset validation section: workloads
+// wide enough that a single machine word cannot represent their relation
+// sets, each batch recording which techniques survive the memory budget and
+// how much enumeration work the survivors do. Chain-40 is the headline
+// comparison — exhaustive DP is feasible there, and the batch runs the
+// default DPccp enumerator next to the retained DPsize generate-and-filter
+// scan, so mean_pairs_considered exposes the enumeration-work gap (the
+// csg-cmp pair count (n³−n)/6 = 10 660 against the scan's ~274 k generated
+// candidates) while both report identical plans, costings and memory.
+type LargeQueryBench struct {
+	Batches []BenchBatch `json:"batches"`
 }
 
 // LoadBench is the serving-under-load comparison: the same open-loop
@@ -249,7 +270,70 @@ func Bench(c Config, date time.Time) (*BenchReport, error) {
 		return nil, err
 	}
 	r.Feedback = fb
+	lq, err := benchLargeQuery(c)
+	if err != nil {
+		return nil, err
+	}
+	r.LargeQuery = lq
 	return r, nil
+}
+
+// benchLargeQuery runs the beyond-64-relation workloads. Technique choices
+// per batch follow measured feasibility on the 1 GB budget:
+//
+//   - Star-30: SDP finishes in seconds (hub pruning collapses the spoke
+//     combinations), so it is the reference, with IDP2 and greedy beside it.
+//   - Clique-25: nothing prunes a clique — SDP degenerates to exhaustive
+//     enumeration and grinds ~40 s to its budget abort, so it is recorded
+//     as a static infeasible row rather than re-probed every run; greedy is
+//     the reference and IDP2 the quality comparison.
+//   - Chain-40: exhaustive DP is feasible (the chain's csg-cmp pair count
+//     is cubic), so DP is the reference and the batch carries the DPsize
+//     scan ("DP-size"), SDP, IDP2 and greedy beside it.
+//
+// Exhaustive DP is statically infeasible on Star-30 and Clique-25 exactly
+// as on the Star-17 main batch: 2³⁰ and 2²⁵ subsets dwarf the budget.
+func benchLargeQuery(c Config) (*LargeQueryBench, error) {
+	budget := c.budget()
+	ew := c.enumWorkers()
+	out := &LargeQueryBench{}
+	run := func(graph string, spec workload.Spec, techs []Technique, ref string, static ...string) error {
+		qs, err := workload.Instances(spec, c.instances(3))
+		if err != nil {
+			return err
+		}
+		b, err := RunBatchWorkers(graph, qs, techs, ref, c.workers())
+		if err != nil {
+			return fmt.Errorf("large-query %s: %w", graph, err)
+		}
+		for i := len(static) - 1; i >= 0; i-- {
+			b.AddInfeasible(static[i])
+		}
+		out.Batches = append(out.Batches, benchBatch(b))
+		return nil
+	}
+	if err := run("Star-30",
+		workload.Spec{Cat: workload.ExtendedSchema(30), Topology: workload.Star, NumRelations: 30, Seed: c.Seed},
+		[]Technique{TechSDP(budget, ew), TechIDP2(7, budget), TechGOO()},
+		"SDP", "DP"); err != nil {
+		return nil, err
+	}
+	if err := run("Clique-25",
+		workload.Spec{Cat: workload.ExtendedSchema(25), Topology: workload.Clique, NumRelations: 25, Seed: c.Seed},
+		[]Technique{TechIDP2(7, budget), TechGOO()},
+		"GOO", "DP", "SDP"); err != nil {
+		return nil, err
+	}
+	dpSize := Technique{Name: "DP-size", Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+		return dp.Optimize(q, dp.Options{Enum: dp.EnumNaive, Budget: budget, Label: "DP-size"})
+	}}
+	if err := run("Chain-40",
+		workload.Spec{Cat: workload.ExtendedSchema(40), Topology: workload.Chain, NumRelations: 40, Seed: c.Seed},
+		[]Technique{TechDP(budget), dpSize, TechSDP(budget, ew), TechIDP2(7, budget), TechGOO()},
+		"DP"); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // benchLoad runs the routed-vs-baseline load comparison. Each pass gets

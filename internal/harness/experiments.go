@@ -653,9 +653,7 @@ func AblationPriorArt(c Config) (string, error) {
 		TechDP(budget),
 		TechIDP(7, budget),
 		TechSDP(budget),
-		{Name: "GOO", Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
-			return greedy.Optimize(q, greedy.Options{})
-		}},
+		TechGOO(),
 		{Name: "II", Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
 			return randomized.Optimize(q, randomized.Options{Algorithm: randomized.II, Seed: c.Seed})
 		}},
@@ -685,19 +683,11 @@ func AblationIDP2(c Config) (string, error) {
 		return "", err
 	}
 	budget := c.budget()
-	mkIDP2 := func(k int) Technique {
-		return Technique{Name: fmt.Sprintf("IDP2(%d)", k), Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
-			opts := idp.DefaultOptions()
-			opts.K = k
-			opts.Budget = budget
-			return idp.Optimize2(q, opts)
-		}}
-	}
 	b, err := RunBatch("Star-Chain-15", qs, []Technique{
 		TechDP(budget),
 		TechIDP(7, budget),
-		mkIDP2(7),
-		mkIDP2(4),
+		TechIDP2(7, budget),
+		TechIDP2(4, budget),
 		TechSDP(budget),
 	}, "DP")
 	if err != nil {

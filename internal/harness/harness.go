@@ -17,6 +17,7 @@ import (
 
 	"sdpopt/internal/core"
 	"sdpopt/internal/dp"
+	"sdpopt/internal/greedy"
 	"sdpopt/internal/idp"
 	"sdpopt/internal/memo"
 	"sdpopt/internal/obs"
@@ -134,6 +135,26 @@ func TechIDP(k int, budget int64) Technique {
 		opts.K = k
 		opts.Budget = budget
 		return idp.Optimize(q, opts)
+	}}
+}
+
+// TechIDP2 is IDP2 (greedy-then-re-optimize subtree passes) with block
+// size k.
+func TechIDP2(k int, budget int64) Technique {
+	return Technique{Name: fmt.Sprintf("IDP2(%d)", k), Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+		opts := idp.DefaultOptions()
+		opts.K = k
+		opts.Budget = budget
+		return idp.Optimize2(q, opts)
+	}}
+}
+
+// TechGOO is greedy operator ordering. It takes no budget: greedy's memory
+// is linear in the query, so it is feasible on every workload the harness
+// can generate.
+func TechGOO() Technique {
+	return Technique{Name: "GOO", Run: func(q *query.Query) (*plan.Plan, dp.Stats, error) {
+		return greedy.Optimize(q, greedy.Options{})
 	}}
 }
 

@@ -95,4 +95,50 @@ func TestBenchReport(t *testing.T) {
 	if tr.OffMeanSeconds <= 0 || tr.OnMeanSeconds <= 0 || tr.Overhead <= 0 {
 		t.Errorf("tracing bench has empty measurements: %+v", tr)
 	}
+	if r.LargeQuery == nil {
+		t.Fatal("report missing large_query section")
+	}
+	lq := r.LargeQuery
+	if len(lq.Batches) != 3 {
+		t.Fatalf("large_query batches = %d, want 3", len(lq.Batches))
+	}
+	byGraph := map[string]BenchBatch{}
+	for _, b := range lq.Batches {
+		byGraph[b.Graph] = b
+	}
+	for _, g := range []string{"Star-30", "Clique-25", "Chain-40"} {
+		if _, ok := byGraph[g]; !ok {
+			t.Fatalf("large_query missing %s batch", g)
+		}
+	}
+	// Chain-40 is the headline: exhaustive DP via DPccp must be feasible
+	// beyond 64 relations, and its enumeration must be perfectly tight
+	// (every pair considered is connected), while the naive DP-size scan
+	// considers an order of magnitude more pairs for the same plan work.
+	var ccp, size BenchTech
+	for _, tech := range byGraph["Chain-40"].Techniques {
+		switch tech.Name {
+		case "DP":
+			ccp = tech
+		case "DP-size":
+			size = tech
+		}
+	}
+	if !ccp.Feasible || !size.Feasible {
+		t.Fatalf("Chain-40 DP feasibility: ccp=%+v size=%+v", ccp, size)
+	}
+	if ccp.MeanPairsConsidered != ccp.MeanPairsConnected {
+		t.Errorf("Chain-40 DPccp considered %v != connected %v",
+			ccp.MeanPairsConsidered, ccp.MeanPairsConnected)
+	}
+	if size.MeanPairsConsidered <= 10*ccp.MeanPairsConsidered {
+		t.Errorf("Chain-40 DP-size considered %v, want >10x DPccp's %v",
+			size.MeanPairsConsidered, ccp.MeanPairsConsidered)
+	}
+	// Clique-25 records exhaustive techniques as statically infeasible.
+	for _, tech := range byGraph["Clique-25"].Techniques {
+		if (tech.Name == "DP" || tech.Name == "SDP") && tech.Feasible {
+			t.Errorf("Clique-25 %s marked feasible, want infeasible", tech.Name)
+		}
+	}
 }

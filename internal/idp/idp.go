@@ -209,8 +209,15 @@ func selectSubplan(q *query.Query, model *cost.Model, m *memo.Memo, leaves []dp.
 	if len(cands) == 0 {
 		return nil, 0, 0, fmt.Errorf("idp: no candidate subplans at level %d", block)
 	}
+	// Canonical set order breaks score ties: Level returns classes in
+	// creation order, which depends on the enumeration strategy, and the
+	// shortlist cut below must not.
 	sort.SliceStable(cands, func(a, b int) bool {
-		return opts.Eval.score(cands[a]) < opts.Eval.score(cands[b])
+		sa, sb := opts.Eval.score(cands[a]), opts.Eval.score(cands[b])
+		if sa != sb {
+			return sa < sb
+		}
+		return cands[a].Set.Less(cands[b].Set)
 	})
 	if opts.BalloonFrac <= 0 {
 		return cands[0], len(cands), 1, nil

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sdpopt/internal/bits"
+	"sdpopt/internal/ccp"
 	"sdpopt/internal/cost"
 	"sdpopt/internal/dp"
 	"sdpopt/internal/memo"
@@ -179,7 +180,12 @@ func replanSubtree(q *query.Query, model *cost.Model, ob *obs.Observer, root, su
 	return rebuildWith(q, model, root, sub, best), stats, nil
 }
 
-// dpOverSubset runs exhaustive DPsize over just the relations in set.
+// dpOverSubset runs exhaustive DP over just the relations in set, driving
+// the DPccp enumerator over the induced subgraph: vertex i of the contracted
+// graph is the i-th relation of set, adjacent wherever the full query joins
+// the two relations. Every emitted pair is connected and disjoint with both
+// sides' classes already complete, so the joins fold straight into the memo
+// with no level loop and no filtering.
 func dpOverSubset(q *query.Query, model *cost.Model, ob *obs.Observer, set bits.Set, budget int64) (*plan.Plan, memo.Stats, error) {
 	m := memo.New(budget)
 	m.Observe(ob)
@@ -199,47 +205,50 @@ func dpOverSubset(q *query.Query, model *cost.Model, ob *obs.Observer, set bits.
 			}
 		}
 	}
-	n := len(rels)
-	for k := 2; k <= n; k++ {
-		for i := 1; i <= k/2; i++ {
-			left := m.Level(i)
-			right := m.Level(k - i)
-			for ai, a := range left {
-				bs := right
-				if i == k-i {
-					bs = right[ai+1:]
-				}
-				for _, b := range bs {
-					if !a.Set.Disjoint(b.Set) || !q.Connected(a.Set, b.Set) {
-						continue
-					}
-					u := a.Set.Union(b.Set)
-					cls := m.Get(u)
-					if cls == nil {
-						var err error
-						cls, err = mk(u, k)
-						if err != nil {
-							return nil, m.Stats, err
-						}
-					}
-					preds := q.PredsBetween(a.Set, b.Set)
-					for _, pa := range a.Paths() {
-						for _, pb := range b.Paths() {
-							for _, in := range []cost.JoinInputs{
-								{Outer: pa, Inner: pb, Preds: preds, Rows: cls.Rows},
-								{Outer: pb, Inner: pa, Preds: preds, Rows: cls.Rows},
-							} {
-								for _, p := range model.JoinPlans(in) {
-									if _, err := m.AddPlan(cls, p); err != nil {
-										return nil, m.Stats, err
-									}
-								}
-							}
+	adj := make([]bits.Set, len(rels))
+	for i, r := range rels {
+		nbrs := q.Neighbors(bits.Single(r))
+		for j, r2 := range rels {
+			if j != i && nbrs.Has(r2) {
+				adj[i] = adj[i].Add(j)
+			}
+		}
+	}
+	toRels := func(s bits.Set) bits.Set {
+		var out bits.Set
+		s.Each(func(i int) { out = out.Add(rels[i]) })
+		return out
+	}
+	err := ccp.Enumerate(adj, ccp.Options{}, func(s1, s2 bits.Set) error {
+		a, b := m.Get(toRels(s1)), m.Get(toRels(s2))
+		u := a.Set.Union(b.Set)
+		cls := m.Get(u)
+		if cls == nil {
+			var err error
+			cls, err = mk(u, s1.Len()+s2.Len())
+			if err != nil {
+				return err
+			}
+		}
+		preds := q.PredsBetween(a.Set, b.Set)
+		for _, pa := range a.Paths() {
+			for _, pb := range b.Paths() {
+				for _, in := range []cost.JoinInputs{
+					{Outer: pa, Inner: pb, Preds: preds, Rows: cls.Rows},
+					{Outer: pb, Inner: pa, Preds: preds, Rows: cls.Rows},
+				} {
+					for _, p := range model.JoinPlans(in) {
+						if _, err := m.AddPlan(cls, p); err != nil {
+							return err
 						}
 					}
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, m.Stats, err
 	}
 	cls := m.Get(set)
 	if cls == nil || cls.Best == nil {

@@ -41,7 +41,7 @@ func TestNewClassAndGet(t *testing.T) {
 
 func TestNewClassRejectsDuplicatesAndEmpty(t *testing.T) {
 	m := New(0)
-	if _, err := m.NewClass(bits.Set(0), 1, 1, 1); err == nil {
+	if _, err := m.NewClass(bits.Set{}, 1, 1, 1); err == nil {
 		t.Error("empty set accepted")
 	}
 	if _, err := m.NewClass(bits.Of(0), 1, 1, 1); err != nil {

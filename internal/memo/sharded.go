@@ -59,11 +59,10 @@ type Staged struct {
 	ordered []OrderedPlan
 }
 
-// shardOf spreads sets across stripes with a Fibonacci multiplicative hash;
-// the high bits select the shard.
+// shardOf spreads sets across stripes with the set's word-mixing Fibonacci
+// hash; the high bits select the shard.
 func shardOf(set bits.Set) int {
-	return int((uint64(set) * 0x9E3779B97F4A7C15) >> 58) // 6 bits = numShards
-
+	return int(set.Hash() >> 58) // 6 bits = numShards
 }
 
 // Get returns the staged class for set, creating it on first sight with the
@@ -140,7 +139,7 @@ func (s *Sharded) Drain() []*Staged {
 			out = append(out, st)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Set < out[j].Set })
+	sort.Slice(out, func(i, j int) bool { return out[i].Set.Less(out[j].Set) })
 	return out
 }
 

@@ -111,7 +111,7 @@ func TestShardedDrainCanonicalOrder(t *testing.T) {
 		t.Fatalf("Drain len = %d, want %d", len(drained), len(sets))
 	}
 	for i := 1; i < len(drained); i++ {
-		if drained[i-1].Set >= drained[i].Set {
+		if !drained[i-1].Set.Less(drained[i].Set) {
 			t.Fatalf("Drain out of canonical order: %v before %v", drained[i-1].Set, drained[i].Set)
 		}
 	}

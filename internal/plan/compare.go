@@ -25,11 +25,8 @@ func Compare(a, b *Plan) int {
 	case a.Cost > b.Cost:
 		return 1
 	}
-	switch {
-	case a.Rels < b.Rels:
-		return -1
-	case a.Rels > b.Rels:
-		return 1
+	if c := a.Rels.Compare(b.Rels); c != 0 {
+		return c
 	}
 	if a.Op != b.Op {
 		return int(a.Op) - int(b.Op)

@@ -261,7 +261,7 @@ func (q *Query) connected() bool {
 	reached := bits.Single(0)
 	frontier := bits.Single(0)
 	for !frontier.IsEmpty() {
-		next := bits.Set(0)
+		next := bits.Set{}
 		frontier.Each(func(i int) { next = next.Union(q.adj[i]) })
 		next = next.Diff(reached)
 		reached = reached.Union(next)
@@ -284,10 +284,10 @@ func (q *Query) Adjacent(i int) bits.Set { return q.adj[i] }
 // Neighbors returns the relations outside s adjacent to any member of s —
 // the neighbor set of s viewed as a contracted node of the join graph.
 func (q *Query) Neighbors(s bits.Set) bits.Set {
-	if s&(s-1) == 0 { // single relation (or empty): adjacency is precomputed
-		if s == 0 {
-			return 0
-		}
+	switch s.Len() {
+	case 0:
+		return bits.Set{}
+	case 1: // single relation: adjacency is precomputed
 		return q.adj[s.Min()] // adj[i] never contains i, so no Diff needed
 	}
 	var n bits.Set
@@ -296,7 +296,7 @@ func (q *Query) Neighbors(s bits.Set) bits.Set {
 		if !ok {
 			break
 		}
-		n |= q.adj[i]
+		n = n.Union(q.adj[i])
 	}
 	return n.Diff(s)
 }

@@ -121,7 +121,7 @@ func TestConnectedSet(t *testing.T) {
 		{bits.Of(0, 4, 5, 6), true}, // hub + chain
 		{bits.Of(7, 8), false},      // two spokes of hub 7
 		{bits.Of(6, 7, 8), true},
-		{bits.Set(0), false}, // empty set is not connected
+		{bits.Set{}, false}, // empty set is not connected
 	}
 	for _, c := range cases {
 		if got := q.ConnectedSet(c.s); got != c.want {
@@ -164,6 +164,11 @@ func TestTopologyGenerators(t *testing.T) {
 		{"cycle-5", CycleEdges(5), 5, 5, nil},
 		{"clique-4", CliqueEdges(4), 4, 6, []int{0, 1, 2, 3}},
 		{"star-chain-15", StarChainEdges(15, 10), 15, 14, []int{0}},
+		// Snowflake-12 with 2 dims: fact degree 2 (not a hub), the two
+		// dimension hubs carry 5 and 4 outriggers.
+		{"snowflake-12", SnowflakeEdges(12, 2), 12, 11, []int{1, 2}},
+		// With 4 dims the fact table itself reaches hub degree.
+		{"snowflake-12-4", SnowflakeEdges(12, 4), 12, 11, []int{0, 1, 2, 3}},
 	}
 	cat := testCatalog(t, 15)
 	for _, c := range cases {
@@ -195,6 +200,23 @@ func TestStarChainSpokes(t *testing.T) {
 	}
 }
 
+func TestDefaultSnowflakeDims(t *testing.T) {
+	// A 40-relation snowflake gets 5 dimension hubs of ~7 outriggers.
+	if got := DefaultSnowflakeDims(40); got != 5 {
+		t.Errorf("DefaultSnowflakeDims(40) = %d, want 5", got)
+	}
+	for n := 3; n <= 128; n++ {
+		d := DefaultSnowflakeDims(n)
+		if d < 1 || d > n-1 {
+			t.Errorf("DefaultSnowflakeDims(%d) = %d out of range", n, d)
+		}
+		// The default must always be a valid SnowflakeEdges argument.
+		if got := len(SnowflakeEdges(n, d)); got != n-1 {
+			t.Errorf("SnowflakeEdges(%d, %d) has %d edges, want %d", n, d, got, n-1)
+		}
+	}
+}
+
 func TestTopologyPanics(t *testing.T) {
 	for name, fn := range map[string]func(){
 		"chain-0":            func() { ChainEdges(0) },
@@ -203,6 +225,8 @@ func TestTopologyPanics(t *testing.T) {
 		"clique-1":           func() { CliqueEdges(1) },
 		"star-chain-2":       func() { StarChainEdges(2, 1) },
 		"star-chain-bad-spk": func() { StarChainEdges(5, 5) },
+		"snowflake-2":        func() { SnowflakeEdges(2, 1) },
+		"snowflake-bad-dims": func() { SnowflakeEdges(5, 5) },
 	} {
 		func() {
 			defer func() {
@@ -350,10 +374,10 @@ func TestSQLRendering(t *testing.T) {
 
 func TestTooManyRelationsRejected(t *testing.T) {
 	cfg := catalog.DefaultConfig()
-	cfg.NumRelations = 70
+	cfg.NumRelations = bits.MaxRelations + 6
 	cfg.ColsPerRelation = 2
 	cat := catalog.MustSynthetic(cfg)
-	rels := make([]int, 65)
+	rels := make([]int, bits.MaxRelations+1)
 	var preds []Pred
 	for i := range rels {
 		rels[i] = i
@@ -362,7 +386,48 @@ func TestTooManyRelationsRejected(t *testing.T) {
 		}
 	}
 	if _, err := New(cat, rels, preds, nil); err == nil {
-		t.Error("New accepted a 65-relation query")
+		t.Errorf("New accepted a %d-relation query", bits.MaxRelations+1)
+	}
+}
+
+// TestWideQueryAboveSixtyFour proves the multi-word bitset lifted the old
+// 64-relation ceiling end to end at the query layer: a 100-relation chain
+// constructs, is connected, and its adjacency works across word boundaries.
+func TestWideQueryAboveSixtyFour(t *testing.T) {
+	const n = 100
+	cfg := catalog.DefaultConfig()
+	cfg.NumRelations = n
+	cfg.ColsPerRelation = 3
+	cat := catalog.MustSynthetic(cfg)
+	rels := make([]int, n)
+	var preds []Pred
+	for i := range rels {
+		rels[i] = i
+		if i > 0 {
+			// Alternate columns so predicate transitivity cannot imply
+			// edges beyond the chain.
+			preds = append(preds, Pred{LeftRel: i - 1, LeftCol: 1, RightRel: i, RightCol: 0})
+		}
+	}
+	q, err := New(cat, rels, preds, nil)
+	if err != nil {
+		t.Fatalf("New on a %d-relation chain: %v", n, err)
+	}
+	if got := q.NumRelations(); got != n {
+		t.Fatalf("NumRelations = %d, want %d", got, n)
+	}
+	// Adjacency straddling the word boundary: relation 64 neighbors 63 and 65.
+	if got, want := q.Adjacent(64), bits.Of(63, 65); got != want {
+		t.Errorf("Adjacent(64) = %v, want %v", got, want)
+	}
+	if !q.ConnectedSet(bits.Full(n)) {
+		t.Error("full 100-relation chain not reported connected")
+	}
+	if q.Connected(bits.Of(0, 1), bits.Of(90, 91)) {
+		t.Error("distant chain segments reported connected")
+	}
+	if !q.Connected(bits.Full(64), bits.Of(64)) {
+		t.Error("cross-word chain edge 63-64 not reported connected")
 	}
 }
 

@@ -82,6 +82,45 @@ func DefaultStarChainSpokes(n int) int {
 	return s
 }
 
+// SnowflakeEdges returns an n-relation snowflake: relation 0 is the fact
+// table joined to dims dimension hubs (relations 1..dims), and the remaining
+// n-1-dims outrigger relations attach to the dimension hubs round-robin —
+// the normalized data-warehouse shape where each dimension is itself a small
+// star. With one outrigger layer the graph is a two-level tree: denser in
+// hubs than a star-chain, but far sparser than a clique, which is the regime
+// where connected-subgraph enumeration pays off at widths beyond 25.
+func SnowflakeEdges(n, dims int) []Edge {
+	mustAtLeast(n, 3, "snowflake")
+	if dims < 1 || dims > n-1 {
+		panic(fmt.Sprintf("query: snowflake dims %d out of range [1,%d]", dims, n-1))
+	}
+	edges := make([]Edge, 0, n-1)
+	for d := 1; d <= dims; d++ {
+		edges = append(edges, Edge{0, d})
+	}
+	for i := dims + 1; i < n; i++ {
+		owner := 1 + (i-dims-1)%dims
+		edges = append(edges, Edge{owner, i})
+	}
+	return edges
+}
+
+// DefaultSnowflakeDims is the dimension-hub count for an n-relation
+// snowflake when the caller does not pin one down: one hub per eight
+// relations, at least two — a 40-relation snowflake gets 5 dimensions of
+// ~7 outriggers each, the proportion of a warehouse fact table joined
+// through a handful of deep dimensions.
+func DefaultSnowflakeDims(n int) int {
+	d := (n + 7) / 8
+	if d < 2 {
+		d = 2
+	}
+	if d > n-1 {
+		d = n - 1
+	}
+	return d
+}
+
 // Example9Edges is the fixed nine-relation join graph of the paper's
 // Figure 2.1: relation 1 (index 0) is a four-way hub over relations 2–5,
 // a chain runs 5–6–7, and relation 7 (index 6) is a three-way hub over 6, 8

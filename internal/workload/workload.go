@@ -28,9 +28,11 @@ import (
 // Topology identifies a join-graph template.
 type Topology int
 
-// Join-graph templates evaluated in the paper. Custom instantiates the
-// explicit edge list in Spec.Edges (used for the paper's fixed Figure 2.1
-// example graph).
+// Join-graph templates evaluated in the paper, plus Snowflake — the
+// two-level warehouse tree used by the >64-relation scale-up experiments.
+// Custom instantiates the explicit edge list in Spec.Edges (used for the
+// paper's fixed Figure 2.1 example graph). Snowflake is appended after
+// Custom so the paper topologies keep their original numeric values.
 const (
 	Chain Topology = iota
 	Star
@@ -38,6 +40,7 @@ const (
 	Clique
 	StarChain
 	Custom
+	Snowflake
 )
 
 // String names the topology.
@@ -55,6 +58,8 @@ func (t Topology) String() string {
 		return "Star-Chain"
 	case Custom:
 		return "Custom"
+	case Snowflake:
+		return "Snowflake"
 	}
 	return fmt.Sprintf("Topology(%d)", int(t))
 }
@@ -88,6 +93,9 @@ type Spec struct {
 	// Spokes is the star-spoke count for StarChain; 0 selects the paper's
 	// default proportion (10 spokes at N=15).
 	Spokes int
+	// Dims is the dimension-hub count for Snowflake; 0 selects
+	// query.DefaultSnowflakeDims.
+	Dims int
 	// Ordered adds an ORDER BY on a random join column to every instance.
 	Ordered bool
 	// Edges is the explicit edge list for the Custom topology; edge
@@ -241,6 +249,16 @@ func instance(spec Spec, rng *rand.Rand) (*query.Query, error) {
 			spokes = query.DefaultStarChainSpokes(n)
 		}
 		edges = query.StarChainEdges(n, spokes)
+	case Snowflake:
+		// The fact table is the schema's largest relation, as with the star
+		// hub: warehouse fact tables dominate their dimensions.
+		hub := cat.LargestRelation()
+		rels = append([]int{hub}, sample(rng, cat.NumRelations(), n-1, hub)...)
+		dims := spec.Dims
+		if dims == 0 {
+			dims = query.DefaultSnowflakeDims(n)
+		}
+		edges = query.SnowflakeEdges(n, dims)
 	case Custom:
 		if len(spec.Edges) == 0 {
 			return nil, fmt.Errorf("workload: Custom topology needs Edges")

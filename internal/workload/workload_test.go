@@ -13,7 +13,7 @@ import (
 func TestTopologyString(t *testing.T) {
 	cases := map[Topology]string{
 		Chain: "Chain", Star: "Star", Cycle: "Cycle", Clique: "Clique",
-		StarChain: "Star-Chain", Topology(9): "Topology(9)",
+		StarChain: "Star-Chain", Snowflake: "Snowflake", Topology(9): "Topology(9)",
 	}
 	for topo, want := range cases {
 		if got := topo.String(); got != want {
@@ -176,7 +176,7 @@ func TestValidationErrors(t *testing.T) {
 		{"nil catalog", Spec{Topology: Star, NumRelations: 5}, 1},
 		{"zero count", Spec{Cat: cat, Topology: Star, NumRelations: 5}, 0},
 		{"too few rels", Spec{Cat: cat, Topology: Star, NumRelations: 1}, 1},
-		{"too many rels", Spec{Cat: cat, Topology: Star, NumRelations: 65}, 1},
+		{"too many rels", Spec{Cat: cat, Topology: Star, NumRelations: bits.MaxRelations + 1}, 1},
 		{"bad topology", Spec{Cat: cat, Topology: Topology(42), NumRelations: 5}, 1},
 	}
 	for _, c := range cases {
@@ -197,6 +197,81 @@ func TestExtendedSchemaSupportsBigStars(t *testing.T) {
 	}
 	if got := q.Adjacent(0).Len(); got != 44 {
 		t.Errorf("hub degree = %d, want 44", got)
+	}
+}
+
+func TestSnowflakeInstancesShape(t *testing.T) {
+	cat := PaperSchema()
+	qs, err := Instances(Spec{Cat: cat, Topology: Snowflake, NumRelations: 12, Seed: 612}, 10)
+	if err != nil {
+		t.Fatalf("Instances: %v", err)
+	}
+	fact := cat.LargestRelation()
+	for i, q := range qs {
+		// The fact table is the schema's largest relation at local index 0,
+		// joined to the two default dimension hubs of a 12-relation flake.
+		if q.Rels[0] != fact {
+			t.Errorf("instance %d fact = catalog rel %d, want %d", i, q.Rels[0], fact)
+		}
+		if got := q.Adjacent(0).Len(); got != query.DefaultSnowflakeDims(12) {
+			t.Errorf("instance %d fact degree = %d, want %d", i, got, query.DefaultSnowflakeDims(12))
+		}
+		if len(q.Preds) != 11 {
+			t.Errorf("instance %d has %d predicates, want 11", i, len(q.Preds))
+		}
+		for _, p := range q.Preds {
+			if p.Implied {
+				t.Errorf("instance %d has an implied edge — topology perturbed", i)
+			}
+		}
+		// A snowflake is a two-level tree: the dimension hubs carry the
+		// branching, so the runtime classifier sees a multi-hub tree.
+		if got := q.Shape(); got != "tree" {
+			t.Errorf("instance %d shape = %q, want tree", i, got)
+		}
+	}
+	// Explicit dimension count overrides the default proportion.
+	q, err := One(Spec{Cat: cat, Topology: Snowflake, NumRelations: 12, Dims: 4, Seed: 612})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Adjacent(0).Len(); got != 4 {
+		t.Errorf("fact degree = %d with Dims: 4", got)
+	}
+}
+
+// TestSnowflakeAbove64Relations drives workload generation through the
+// multi-word set representation: an 80-relation snowflake over an
+// 80-relation extended schema uses every relation exactly once (no
+// aliasing) and keeps the two-level tree shape.
+func TestSnowflakeAbove64Relations(t *testing.T) {
+	cat := ExtendedSchema(80)
+	q, err := One(Spec{Cat: cat, Topology: Snowflake, NumRelations: 80, Seed: 80})
+	if err != nil {
+		t.Fatalf("80-relation snowflake: %v", err)
+	}
+	if q.NumRelations() != 80 {
+		t.Fatalf("got %d relations", q.NumRelations())
+	}
+	if len(q.Preds) != 79 {
+		t.Errorf("preds = %d, want 79", len(q.Preds))
+	}
+	seen := map[int]bool{}
+	for _, r := range q.Rels {
+		if seen[r] {
+			t.Errorf("catalog relation %d aliased — schema pool should cover the query", r)
+		}
+		seen[r] = true
+	}
+	if got := q.Shape(); got != "tree" {
+		t.Errorf("shape = %q, want tree", got)
+	}
+	q2, err := One(Spec{Cat: cat, Topology: Snowflake, NumRelations: 80, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.SQL() != q2.SQL() {
+		t.Error("snowflake generation not deterministic")
 	}
 }
 

@@ -98,6 +98,7 @@ const (
 	Clique    = workload.Clique
 	StarChain = workload.StarChain
 	Custom    = workload.Custom
+	Snowflake = workload.Snowflake
 )
 
 // DefaultBudget is the paper's 1 GB memory feasibility budget.
@@ -146,6 +147,7 @@ var (
 	CycleEdges     = query.CycleEdges
 	CliqueEdges    = query.CliqueEdges
 	StarChainEdges = query.StarChainEdges
+	SnowflakeEdges = query.SnowflakeEdges
 )
 
 // Instances samples count query instances of the workload template.
